@@ -1,0 +1,61 @@
+# Development entry points. Everything is stdlib Go; no external tools
+# beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench fuzz figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark point per paper figure plus solver micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz passes over the control-plane wire decoders.
+fuzz:
+	$(GO) test -fuzz FuzzDemandReportUnmarshal -fuzztime 20s ./internal/pnc
+	$(GO) test -fuzz FuzzChannelUpdateUnmarshal -fuzztime 20s ./internal/pnc
+	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime 20s ./internal/pnc
+
+# Regenerate every figure of EXPERIMENTS.md into results/ (slow: the
+# paper's full 50-seed sweeps).
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/mmwavesim -fig 1 | tee results/fig1.txt
+	$(GO) run ./cmd/mmwavesim -fig 2 | tee results/fig2.txt
+	$(GO) run ./cmd/mmwavesim -fig 3 | tee results/fig3.txt
+	$(GO) run ./cmd/mmwavesim -fig 4 | tee results/fig4.txt
+	$(GO) run ./cmd/mmwavesim -fig ablation -links 15 -seeds 20 | tee results/ablation.txt
+	$(GO) run ./cmd/mmwavesim -fig quality -links 20 -seeds 20 | tee results/quality.txt
+	$(GO) run ./cmd/mmwavesim -fig blockage | tee results/blockage.txt
+	$(GO) run ./cmd/mmwavesim -fig relay | tee results/relay.txt
+	$(GO) run ./cmd/mmwavesim -fig streaming | tee results/streaming.txt
+	$(GO) run ./cmd/mmwavesim -fig 1 -csv > results/fig1.csv
+	$(GO) run ./cmd/mmwavesim -fig 2 -csv > results/fig2.csv
+	$(GO) run ./cmd/mmwavesim -fig 3 -csv > results/fig3.csv
+	$(GO) run ./cmd/mmwaveplot -in results/fig1.csv -out results/fig1.svg -title "Fig 1" -xlabel "number of links" -ylabel "scheduling time (s)"
+	$(GO) run ./cmd/mmwaveplot -in results/fig2.csv -out results/fig2.svg -title "Fig 2" -xlabel "traffic demand" -ylabel "average delay (s)"
+	$(GO) run ./cmd/mmwaveplot -in results/fig3.csv -out results/fig3.svg -title "Fig 3" -xlabel "number of links" -ylabel "Jain fairness"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videostreaming
+	$(GO) run ./examples/convergence
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/pnccontrol
+	$(GO) run ./examples/quality
+
+clean:
+	$(GO) clean ./...

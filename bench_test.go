@@ -1,0 +1,235 @@
+// Package mmwave's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§VI) as Go benchmarks. Each
+// BenchmarkFig* case measures one point of the corresponding figure at
+// a fixed seed and reports the figure's metric (scheduling time,
+// average delay, Jain fairness, convergence iterations) through
+// b.ReportMetric, so `go test -bench=.` prints the series the paper
+// plots. The full sweeps with 50-seed confidence intervals are
+// produced by cmd/mmwavesim; see EXPERIMENTS.md.
+package mmwave
+
+import (
+	"fmt"
+	"testing"
+
+	"mmwave/internal/experiment"
+	"mmwave/internal/stats"
+)
+
+// benchConfig returns the Table I configuration tuned for benchmark
+// iteration counts (single rep per measurement; the bench loop itself
+// provides repetition).
+func benchConfig() experiment.Config {
+	cfg := experiment.DefaultConfig()
+	cfg.Seeds = 1
+	return cfg
+}
+
+// runPoint executes one (algorithm, links, demand-scale) measurement.
+func runPoint(b *testing.B, cfg experiment.Config, algo experiment.Algorithm, rep int) *experiment.RunResult {
+	b.Helper()
+	res, err := experiment.RunOnce(cfg, algo, rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig1SchedulingTime regenerates Figure 1: overall scheduling
+// time versus the number of links for the proposed scheme and both
+// benchmarks. The reported "sched_s" metric is the figure's y-value.
+func BenchmarkFig1SchedulingTime(b *testing.B) {
+	for _, algo := range experiment.AllAlgorithms() {
+		for _, links := range []int{10, 20, 30} {
+			b.Run(fmt.Sprintf("%s/links=%d", algo, links), func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.NumLinks = links
+				var total float64
+				for i := 0; i < b.N; i++ {
+					res := runPoint(b, cfg, algo, i)
+					total += res.Exec.TotalTime
+				}
+				b.ReportMetric(total/float64(b.N), "sched_s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2AverageDelay regenerates Figure 2: average per-link
+// delay versus traffic demand (×nominal GOP volume).
+func BenchmarkFig2AverageDelay(b *testing.B) {
+	for _, algo := range experiment.AllAlgorithms() {
+		for _, scale := range []float64{0.5, 1, 2} {
+			b.Run(fmt.Sprintf("%s/demand=%.1fx", algo, scale), func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.NumLinks = 20
+				cfg.DemandScale = scale
+				var total float64
+				for i := 0; i < b.N; i++ {
+					res := runPoint(b, cfg, algo, i)
+					total += res.Exec.AverageDelay()
+				}
+				b.ReportMetric(total/float64(b.N), "delay_s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Fairness regenerates Figure 3: the Jain fairness index
+// of per-link delay versus the number of links.
+func BenchmarkFig3Fairness(b *testing.B) {
+	for _, algo := range experiment.AllAlgorithms() {
+		for _, links := range []int{10, 20, 30} {
+			b.Run(fmt.Sprintf("%s/links=%d", algo, links), func(b *testing.B) {
+				cfg := benchConfig()
+				cfg.NumLinks = links
+				var total float64
+				for i := 0; i < b.N; i++ {
+					res := runPoint(b, cfg, algo, i)
+					total += stats.Jain(res.Exec.Completion)
+				}
+				b.ReportMetric(total/float64(b.N), "jain")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Convergence regenerates Figure 4: one column-generation
+// solve to proven optimality, reporting iterations to convergence and
+// the final optimality gap.
+func BenchmarkFig4Convergence(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumLinks = 7            // exact pricing converges quickly at this scale
+	cfg.PricerBudget = 50000000 // effectively unlimited
+	var iters, gap float64
+	for i := 0; i < b.N; i++ {
+		res := runPoint(b, cfg, experiment.Proposed, i)
+		if !res.Solver.Converged {
+			b.Fatal("fig4 run did not converge")
+		}
+		iters += float64(len(res.Solver.Iterations))
+		gap += res.Solver.Gap()
+	}
+	b.ReportMetric(iters/float64(b.N), "iters")
+	b.ReportMetric(gap/float64(b.N), "gap")
+}
+
+// BenchmarkTableIInstance measures instance generation under the
+// Table I parameters (the simulation setup itself).
+func BenchmarkTableIInstance(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := stats.Fork(cfg.Seed, int64(i))
+		if _, err := experiment.NewInstance(cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation measures the proposed scheme under each design
+// ablation of DESIGN.md §4 (power adaptation off, single channel,
+// greedy pricing, physical interference model) at ‖L‖ = 15.
+func BenchmarkAblation(b *testing.B) {
+	for _, v := range experiment.AllAblations() {
+		b.Run(string(v), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.NumLinks = 15
+			switch v {
+			case experiment.AblationFixedPower:
+				cfg.FixedPower = true
+			case experiment.AblationSingleChan:
+				cfg.NumChannels = 1
+			case experiment.AblationGreedyPrice:
+				cfg.GreedyPricing = true
+			case experiment.AblationPhysical:
+				cfg.Interference = "per-channel"
+			case experiment.AblationMultiChan:
+				cfg.MultiChannel = true
+			}
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res := runPoint(b, cfg, experiment.Proposed, i)
+				total += res.Exec.TotalTime
+			}
+			b.ReportMetric(total/float64(b.N), "sched_s")
+		})
+	}
+}
+
+// BenchmarkFigQuality regenerates one point of the PSNR-within-a-GOP
+// extension figure (quality-mode LP vs truncated P1 vs truncated
+// benchmarks).
+func BenchmarkFigQuality(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumLinks = 10
+	var psnr float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		fig, err := experiment.FigQuality(cfg, []float64{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		psnr += fig.Series[0].Points[0].Mean
+	}
+	b.ReportMetric(psnr/float64(b.N), "psnr_dB")
+}
+
+// BenchmarkBlockageChurn regenerates the blockage re-optimization
+// study at reduced scale.
+func BenchmarkBlockageChurn(b *testing.B) {
+	bc := experiment.DefaultBlockageConfig()
+	bc.Net.NumLinks = 6
+	bc.Net.NumChannels = 3
+	bc.Net.Seeds = 2
+	bc.Net.PricerBudget = 2000
+	bc.Epochs = 4
+	var reopt float64
+	for i := 0; i < b.N; i++ {
+		bc.Net.Seed = int64(i + 1)
+		res, err := experiment.RunBlockage(bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reopt += res.Reoptimized.Mean
+	}
+	b.ReportMetric(reopt/float64(b.N), "reopt_s")
+}
+
+// BenchmarkRelayRecovery regenerates the dual-hop recovery study at
+// reduced scale.
+func BenchmarkRelayRecovery(b *testing.B) {
+	rc := experiment.DefaultRelayConfig()
+	rc.Net.NumLinks = 6
+	rc.Net.NumChannels = 3
+	rc.Net.Seeds = 2
+	rc.Net.PricerBudget = 2000
+	var t float64
+	for i := 0; i < b.N; i++ {
+		rc.Net.Seed = int64(i + 1)
+		res, err := experiment.RunRelay(rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t += res.TimeWithRelay.Mean
+	}
+	b.ReportMetric(t/float64(b.N), "relayed_s")
+}
+
+// BenchmarkSolveProposed measures the optimizer alone (no slot replay)
+// at the paper's full scale.
+func BenchmarkSolveProposed(b *testing.B) {
+	for _, links := range []int{10, 30} {
+		b.Run(fmt.Sprintf("links=%d", links), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.NumLinks = links
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := runPoint(b, cfg, experiment.Proposed, i)
+				if res.Solver.Plan.Objective <= 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command mmwaveplot renders the CSV output of cmd/mmwavesim as SVG
+// line charts with 95%-confidence error bars (stdlib only).
+//
+// Usage:
+//
+//	mmwavesim -fig 1 -csv > fig1.csv
+//	mmwaveplot -in fig1.csv -out fig1.svg -title "Scheduling time vs links" \
+//	    -xlabel "number of links" -ylabel "scheduling time (s)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmwave/internal/plot"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run executes the CLI and returns the exit code.
+func run(args []string) int {
+	fs := flag.NewFlagSet("mmwaveplot", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input CSV (mmwavesim -csv output); empty or '-' reads stdin")
+		out    = fs.String("out", "", "output SVG path; empty or '-' writes stdout")
+		title  = fs.String("title", "", "chart title")
+		xlabel = fs.String("xlabel", "", "x axis label")
+		ylabel = fs.String("ylabel", "", "y axis label")
+		width  = fs.Int("width", 640, "chart width in pixels")
+		height = fs.Int("height", 420, "chart height in pixels")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var r *os.File
+	if *in == "" || *in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwaveplot: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	series, err := plot.ParseCSV(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmwaveplot: %v\n", err)
+		return 1
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwaveplot: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mmwaveplot: closing output: %v\n", err)
+			}
+		}()
+		w = f
+	}
+	opt := plot.Options{Title: *title, XLabel: *xlabel, YLabel: *ylabel, Width: *width, Height: *height}
+	if err := plot.SVG(w, opt, series); err != nil {
+		fmt.Fprintf(os.Stderr, "mmwaveplot: %v\n", err)
+		return 1
+	}
+	return 0
+}

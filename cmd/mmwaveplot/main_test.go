@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStdinStdout(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.svg")
+	csv := "x,a_mean,a_ci95\n1,2,0.1\n2,3,0.2\n"
+	if err := os.WriteFile(in, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-in", in, "-out", out, "-title", "t"}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty SVG")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if code := run([]string{"-in", "/nonexistent.csv"}); code != 1 {
+		t.Errorf("missing input exit = %d, want 1", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	os.WriteFile(bad, []byte("not,a,harness,csv\n"), 0o644)
+	if code := run([]string{"-in", bad}); code != 1 {
+		t.Errorf("bad csv exit = %d, want 1", code)
+	}
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import "testing"
+
+func TestRunPrintConfig(t *testing.T) {
+	if code := run([]string{"-print-config"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunMissingFigure(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if code := run([]string{"-fig", "99"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadSweep(t *testing.T) {
+	if code := run([]string{"-fig", "1", "-sweep", "5,banana"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadInterference(t *testing.T) {
+	if code := run([]string{"-fig", "1", "-interference", "psychic", "-seeds", "1", "-sweep", "3"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunFig1Tiny(t *testing.T) {
+	args := []string{"-fig", "1", "-seeds", "1", "-sweep", "3", "-channels", "2", "-budget", "500"}
+	if code := run(args); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if code := run(append(args, "-csv")); code != 0 {
+		t.Errorf("csv exit code = %d, want 0", code)
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	if code := run([]string{"-fig", "4", "-links", "4", "-channels", "2", "-budget", "100000"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunStreamingTiny(t *testing.T) {
+	if code := run([]string{"-fig", "streaming", "-links", "3", "-channels", "2", "-budget", "500"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunRelayTiny(t *testing.T) {
+	if code := run([]string{"-fig", "relay", "-links", "4", "-channels", "2", "-seeds", "2", "-budget", "500"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunBlockageTiny(t *testing.T) {
+	if code := run([]string{"-fig", "blockage", "-links", "4", "-channels", "2", "-seeds", "2", "-budget", "500"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunQualityTiny(t *testing.T) {
+	if code := run([]string{"-fig", "quality", "-links", "3", "-channels", "2", "-seeds", "1", "-sweep", "0.5", "-budget", "500"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	if code := run([]string{"-fig", "ablation", "-links", "4", "-channels", "2", "-seeds", "1", "-budget", "500"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}

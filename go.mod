@@ -1,0 +1,3 @@
+module mmwave
+
+go 1.22

@@ -1,0 +1,114 @@
+// Package antenna models directional antenna gain patterns for mmWave
+// links. The paper's interference term H_{l'l}^k = G_{l'l}^k · Δ(θ(l',l))
+// factors into a channel gain and a directional attenuation Δ(θ) that
+// depends on the angular offset from the transmitter's boresight. This
+// package provides several Δ(θ) models, from the idealized cone-plus-
+// sphere pattern common in the mmWave scheduling literature to the
+// paper's own uniform-random model (Table I draws Δ ~ U[0,1]).
+package antenna
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern is a directional antenna gain model. Gain returns the
+// normalized gain Δ(θ) ∈ [0, 1] at angular offset θ (radians, folded
+// into [0, π]) from boresight. Gain(0) is the main-lobe peak (1 for all
+// built-in patterns).
+type Pattern interface {
+	// Gain returns the normalized directional gain at offset θ.
+	Gain(theta float64) float64
+	// String names the pattern for logs and experiment records.
+	String() string
+}
+
+// Omni is an omnidirectional pattern: unit gain in every direction.
+// Useful as a worst-case interference baseline and in tests.
+type Omni struct{}
+
+var _ Pattern = Omni{}
+
+// Gain implements Pattern: always 1.
+func (Omni) Gain(float64) float64 { return 1 }
+
+// String implements Pattern.
+func (Omni) String() string { return "omni" }
+
+// ConeSphere is the classic flat-top model: unit gain inside the main
+// lobe of half-beamwidth Beamwidth/2, and a constant side-lobe floor
+// outside. It matches the "cone plus sphere" abstraction used by much
+// of the 60 GHz scheduling literature.
+type ConeSphere struct {
+	Beamwidth float64 // full main-lobe width, radians
+	SideLobe  float64 // side-lobe gain in [0, 1)
+}
+
+var _ Pattern = ConeSphere{}
+
+// Gain implements Pattern.
+func (c ConeSphere) Gain(theta float64) float64 {
+	if math.Abs(theta) <= c.Beamwidth/2 {
+		return 1
+	}
+	return c.SideLobe
+}
+
+// String implements Pattern.
+func (c ConeSphere) String() string {
+	return fmt.Sprintf("cone-sphere(bw=%.2f, sl=%.3f)", c.Beamwidth, c.SideLobe)
+}
+
+// Gaussian is a smooth main-lobe model: Δ(θ) = exp(-θ²/(2σ²)) with a
+// side-lobe floor. σ is derived from the 3 dB beamwidth so that
+// Gain(±Beamwidth/2) = 0.5.
+type Gaussian struct {
+	Beamwidth float64 // 3 dB full beamwidth, radians
+	SideLobe  float64 // floor gain in [0, 1)
+}
+
+var _ Pattern = Gaussian{}
+
+// Gain implements Pattern.
+func (g Gaussian) Gain(theta float64) float64 {
+	if g.Beamwidth <= 0 {
+		return g.SideLobe
+	}
+	sigma := g.Beamwidth / (2 * math.Sqrt(2*math.Ln2))
+	gain := math.Exp(-theta * theta / (2 * sigma * sigma))
+	return math.Max(gain, g.SideLobe)
+}
+
+// String implements Pattern.
+func (g Gaussian) String() string {
+	return fmt.Sprintf("gaussian(bw=%.2f, sl=%.3f)", g.Beamwidth, g.SideLobe)
+}
+
+// Sinc approximates a uniform linear array pattern with a |sinc|
+// envelope clipped at a side-lobe floor. It gives realistic nulls
+// between lobes, exercising schedules that exploit angular separation.
+type Sinc struct {
+	Beamwidth float64 // first-null full beamwidth, radians
+	SideLobe  float64 // floor gain in [0, 1)
+}
+
+var _ Pattern = Sinc{}
+
+// Gain implements Pattern.
+func (s Sinc) Gain(theta float64) float64 {
+	if s.Beamwidth <= 0 {
+		return s.SideLobe
+	}
+	// First null at θ = Beamwidth/2 → argument scaling π/(bw/2).
+	x := theta * math.Pi / (s.Beamwidth / 2) / math.Pi // = 2θ/bw
+	if x == 0 {
+		return 1
+	}
+	v := math.Abs(math.Sin(math.Pi*x) / (math.Pi * x))
+	return math.Max(v, s.SideLobe)
+}
+
+// String implements Pattern.
+func (s Sinc) String() string {
+	return fmt.Sprintf("sinc(bw=%.2f, sl=%.3f)", s.Beamwidth, s.SideLobe)
+}

@@ -1,0 +1,119 @@
+package antenna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOmni(t *testing.T) {
+	var p Omni
+	for _, theta := range []float64{0, 0.5, math.Pi} {
+		if g := p.Gain(theta); g != 1 {
+			t.Errorf("Omni.Gain(%v) = %v, want 1", theta, g)
+		}
+	}
+	if p.String() != "omni" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestConeSphere(t *testing.T) {
+	p := ConeSphere{Beamwidth: math.Pi / 3, SideLobe: 0.1}
+	if g := p.Gain(0); g != 1 {
+		t.Errorf("main lobe peak = %v, want 1", g)
+	}
+	if g := p.Gain(math.Pi / 6); g != 1 {
+		t.Errorf("edge of main lobe = %v, want 1", g)
+	}
+	if g := p.Gain(math.Pi / 4); g != 0.1 {
+		t.Errorf("side lobe = %v, want 0.1", g)
+	}
+}
+
+func TestGaussian3dB(t *testing.T) {
+	p := Gaussian{Beamwidth: math.Pi / 4, SideLobe: 0.01}
+	if g := p.Gain(0); math.Abs(g-1) > 1e-12 {
+		t.Errorf("peak = %v, want 1", g)
+	}
+	// Half beamwidth is the 3 dB point: gain 0.5.
+	if g := p.Gain(math.Pi / 8); math.Abs(g-0.5) > 1e-9 {
+		t.Errorf("3dB point = %v, want 0.5", g)
+	}
+	// Far out: clamped at the side lobe.
+	if g := p.Gain(math.Pi); g != 0.01 {
+		t.Errorf("far sidelobe = %v, want 0.01", g)
+	}
+	// Degenerate beamwidth.
+	z := Gaussian{Beamwidth: 0, SideLobe: 0.05}
+	if g := z.Gain(0.1); g != 0.05 {
+		t.Errorf("zero-beamwidth gain = %v, want side lobe", g)
+	}
+}
+
+func TestSinc(t *testing.T) {
+	p := Sinc{Beamwidth: math.Pi / 4, SideLobe: 0.02}
+	if g := p.Gain(0); g != 1 {
+		t.Errorf("peak = %v, want 1", g)
+	}
+	// First null at half beamwidth → clamped to side lobe.
+	if g := p.Gain(math.Pi / 8); g != 0.02 {
+		t.Errorf("first null = %v, want side lobe 0.02", g)
+	}
+	z := Sinc{Beamwidth: 0, SideLobe: 0.02}
+	if g := z.Gain(0.3); g != 0.02 {
+		t.Errorf("zero-beamwidth = %v, want side lobe", g)
+	}
+}
+
+func TestPatternsPropertyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	patterns := []Pattern{
+		Omni{},
+		ConeSphere{Beamwidth: math.Pi / 6, SideLobe: 0.1},
+		Gaussian{Beamwidth: math.Pi / 6, SideLobe: 0.05},
+		Sinc{Beamwidth: math.Pi / 6, SideLobe: 0.03},
+	}
+	check := func(uint32) bool {
+		theta := rng.Float64() * math.Pi
+		for _, p := range patterns {
+			g := p.Gain(theta)
+			if g < 0 || g > 1+1e-12 || math.IsNaN(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMainLobeDominatesSideLobe(t *testing.T) {
+	// For every directional pattern, boresight gain must exceed the
+	// gain far off boresight.
+	patterns := []Pattern{
+		ConeSphere{Beamwidth: math.Pi / 6, SideLobe: 0.1},
+		Gaussian{Beamwidth: math.Pi / 6, SideLobe: 0.05},
+		Sinc{Beamwidth: math.Pi / 6, SideLobe: 0.03},
+	}
+	for _, p := range patterns {
+		if p.Gain(0) <= p.Gain(math.Pi*0.9) {
+			t.Errorf("%s: boresight gain not dominant", p)
+		}
+	}
+}
+
+func TestStringsNonEmpty(t *testing.T) {
+	for _, p := range []Pattern{
+		Omni{},
+		ConeSphere{Beamwidth: 1, SideLobe: 0.1},
+		Gaussian{Beamwidth: 1, SideLobe: 0.1},
+		Sinc{Beamwidth: 1, SideLobe: 0.1},
+	} {
+		if p.String() == "" {
+			t.Errorf("%T has empty String()", p)
+		}
+	}
+}

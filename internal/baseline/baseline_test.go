@@ -1,0 +1,362 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmwave/internal/channel"
+	"mmwave/internal/geom"
+	"mmwave/internal/netmodel"
+	"mmwave/internal/sim"
+	"mmwave/internal/video"
+)
+
+// randomNetwork draws a Table-I style instance with disjoint nodes.
+func randomNetwork(rng *rand.Rand, nLinks, nChannels int, model netmodel.InterferenceModel) *netmodel.Network {
+	room := geom.Room{Width: 20, Height: 20}
+	segs := room.PlaceLinks(rng, nLinks, 1, 5)
+	gains := channel.TableI{}.Generate(rng, segs, nChannels)
+	links := make([]netmodel.Link, nLinks)
+	noise := make([]float64, nLinks)
+	for i := range links {
+		links[i] = netmodel.Link{TXNode: 2 * i, RXNode: 2*i + 1, Seg: segs[i]}
+		noise[i] = 0.1
+	}
+	return &netmodel.Network{
+		Links:        links,
+		NumChannels:  nChannels,
+		Gains:        gains,
+		Noise:        noise,
+		PMax:         1,
+		Rates:        netmodel.NewShannonRateTable(200e6, []float64{0.1, 0.2, 0.3, 0.4, 0.5}),
+		BandwidthHz:  200e6,
+		Interference: model,
+	}
+}
+
+// servable redraws until every link can reach the lowest level alone.
+func servable(rng *rand.Rand, nLinks, nChannels int, model netmodel.InterferenceModel) *netmodel.Network {
+	for {
+		nw := randomNetwork(rng, nLinks, nChannels, model)
+		ok := true
+		for l := 0; l < nLinks && ok; l++ {
+			_, sinr := nw.BestSingleLinkChannel(l)
+			ok = nw.Rates.BestLevel(sinr) >= 0
+		}
+		if ok {
+			return nw
+		}
+	}
+}
+
+func uniformDemands(n int, hp, lp float64) []video.Demand {
+	d := make([]video.Demand, n)
+	for i := range d {
+		d[i] = video.Demand{HP: hp, LP: lp}
+	}
+	return d
+}
+
+func TestPoliciesServeAllDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, model := range []netmodel.InterferenceModel{netmodel.PerChannel, netmodel.Global} {
+		nw := servable(rng, 6, 3, model)
+		demands := uniformDemands(6, 2e7, 1e7)
+		policies := []sim.Policy{
+			Benchmark1{},
+			&Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 5}},
+			TDMA{},
+		}
+		for _, p := range policies {
+			exec, err := sim.Run(nw, demands, p, sim.Options{SlotDuration: 1e-3, Validate: true})
+			if err != nil {
+				t.Fatalf("model %v policy %s: %v", model, p.Name(), err)
+			}
+			for l := 0; l < 6; l++ {
+				if exec.ServedHP[l] < demands[l].HP*(1-1e-6) {
+					t.Errorf("model %v policy %s: link %d HP underserved", model, p.Name(), l)
+				}
+				if exec.ServedLP[l] < demands[l].LP*(1-1e-6) {
+					t.Errorf("model %v policy %s: link %d LP underserved", model, p.Name(), l)
+				}
+				if exec.Completion[l] <= 0 || exec.Completion[l] > exec.TotalTime+1e-9 {
+					t.Errorf("model %v policy %s: bad completion time %v", model, p.Name(), exec.Completion[l])
+				}
+			}
+		}
+	}
+}
+
+func TestBenchmark1PrefersBestChannel(t *testing.T) {
+	nw := servable(rand.New(rand.NewSource(2)), 1, 3, netmodel.PerChannel)
+	rem := &sim.Remaining{HP: []float64{1e6}, LP: []float64{0}}
+	s, err := Benchmark1{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(s.Assignments))
+	}
+	bestK, _ := nw.BestSingleLinkChannel(0)
+	if s.Assignments[0].Channel != bestK {
+		t.Errorf("channel = %d, want best %d", s.Assignments[0].Channel, bestK)
+	}
+	if s.Assignments[0].Layer != 0 { // HP first
+		t.Errorf("layer = %v, want HP", s.Assignments[0].Layer)
+	}
+	if s.Assignments[0].Power != nw.PMax {
+		t.Errorf("power = %v, want PMax", s.Assignments[0].Power)
+	}
+}
+
+func TestBenchmark1SwitchesToLP(t *testing.T) {
+	nw := servable(rand.New(rand.NewSource(3)), 1, 2, netmodel.PerChannel)
+	rem := &sim.Remaining{HP: []float64{0}, LP: []float64{1e6}}
+	s, err := Benchmark1{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Assignments[0].Layer.String() != "lp" {
+		t.Errorf("layer = %v, want LP after HP drained", s.Assignments[0].Layer)
+	}
+}
+
+func TestBenchmark1AllDone(t *testing.T) {
+	nw := servable(rand.New(rand.NewSource(4)), 2, 2, netmodel.PerChannel)
+	rem := &sim.Remaining{HP: []float64{0, 0}, LP: []float64{0, 0}}
+	s, err := Benchmark1{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Errorf("schedule for finished demands: %v", s)
+	}
+}
+
+func TestChannelAllocationCoversAllLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	check := func(uint32) bool {
+		nw := randomNetwork(rng, 2+rng.Intn(10), 1+rng.Intn(4), netmodel.PerChannel)
+		alloc := ChannelAllocation{ExclusionDist: rng.Float64() * 10}
+		assign := alloc.Assign(nw)
+		if len(assign) != nw.NumLinks() {
+			return false
+		}
+		for _, k := range assign {
+			if k < 0 || k >= nw.NumChannels {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelAllocationExclusion(t *testing.T) {
+	// Two co-located links with a huge exclusion distance on two
+	// channels must land on different channels.
+	nw := randomNetwork(rand.New(rand.NewSource(6)), 2, 2, netmodel.PerChannel)
+	nw.Links[0].Seg = geom.Segment{TX: geom.Point{X: 0, Y: 0}, RX: geom.Point{X: 1, Y: 0}}
+	nw.Links[1].Seg = geom.Segment{TX: geom.Point{X: 0.5, Y: 0}, RX: geom.Point{X: 1.5, Y: 0}}
+	alloc := ChannelAllocation{ExclusionDist: 100}
+	assign := alloc.Assign(nw)
+	if assign[0] == assign[1] {
+		t.Errorf("co-located links share channel %d despite exclusion", assign[0])
+	}
+}
+
+func TestChannelAllocationZeroExclusionIsBestGain(t *testing.T) {
+	nw := randomNetwork(rand.New(rand.NewSource(7)), 4, 3, netmodel.PerChannel)
+	assign := ChannelAllocation{}.Assign(nw)
+	for l, k := range assign {
+		bestK, _ := nw.BestSingleLinkChannel(l)
+		if k != bestK {
+			t.Errorf("link %d assigned %d, want best-gain channel %d", l, k, bestK)
+		}
+	}
+}
+
+func TestTDMAServesLargestDemandFirst(t *testing.T) {
+	nw := servable(rand.New(rand.NewSource(8)), 3, 2, netmodel.PerChannel)
+	rem := &sim.Remaining{HP: []float64{1e6, 9e6, 4e6}, LP: []float64{0, 0, 0}}
+	s, err := TDMA{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != 1 || s.Assignments[0].Link != 1 {
+		t.Errorf("TDMA served %v, want link 1 (largest demand)", s.Assignments)
+	}
+}
+
+func TestTDMADone(t *testing.T) {
+	nw := servable(rand.New(rand.NewSource(9)), 2, 2, netmodel.PerChannel)
+	rem := &sim.Remaining{HP: []float64{0, 0}, LP: []float64{0, 0}}
+	s, err := TDMA{}.Decide(nw, rem, 0)
+	if err != nil || s != nil {
+		t.Errorf("TDMA on finished demands: %v, %v", s, err)
+	}
+}
+
+func TestBenchmark2CachesAllocationPerNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	nw1 := servable(rng, 4, 2, netmodel.PerChannel)
+	nw2 := servable(rng, 4, 2, netmodel.PerChannel)
+	b2 := &Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 5}}
+	rem := &sim.Remaining{HP: []float64{1e6, 1e6, 1e6, 1e6}, LP: make([]float64, 4)}
+	if _, err := b2.Decide(nw1, rem, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]int(nil), b2.assignment...)
+	// Same network: assignment unchanged.
+	if _, err := b2.Decide(nw1, rem, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if b2.assignment[i] != first[i] {
+			t.Fatal("assignment changed for same network")
+		}
+	}
+	// New network: recomputed.
+	if _, err := b2.Decide(nw2, rem, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b2.forNet != nw2 {
+		t.Error("allocation not rebound to new network")
+	}
+}
+
+func TestPropertySchedulesAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(uint32) bool {
+		model := netmodel.PerChannel
+		if rng.Intn(2) == 1 {
+			model = netmodel.Global
+		}
+		nw := servable(rng, 2+rng.Intn(6), 1+rng.Intn(3), model)
+		L := nw.NumLinks()
+		rem := &sim.Remaining{HP: make([]float64, L), LP: make([]float64, L)}
+		for l := 0; l < L; l++ {
+			if rng.Intn(3) > 0 {
+				rem.HP[l] = rng.Float64() * 1e7
+			}
+			if rng.Intn(3) > 0 {
+				rem.LP[l] = rng.Float64() * 1e7
+			}
+		}
+		pending := false
+		for l := 0; l < L; l++ {
+			pending = pending || !rem.Done(l)
+		}
+		policies := []sim.Policy{
+			Benchmark1{},
+			&Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 5}},
+			TDMA{},
+		}
+		for _, p := range policies {
+			s, err := p.Decide(nw, rem, 0)
+			if err != nil {
+				return false
+			}
+			if s == nil {
+				if pending {
+					return false // must make progress while demand remains
+				}
+				continue
+			}
+			if err := s.Validate(nw); err != nil {
+				return false
+			}
+			// Every assignment serves a pending layer.
+			for _, a := range s.Assignments {
+				if a.Layer == 0 && rem.HP[a.Link] <= 0 {
+					return false
+				}
+				if a.Layer == 1 && rem.LP[a.Link] <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Benchmark1{}).Name() != "benchmark1" ||
+		(&Benchmark2{}).Name() != "benchmark2" ||
+		(TDMA{}).Name() != "tdma" {
+		t.Error("policy name mismatch")
+	}
+}
+
+func TestBenchmark1MutualDrowningFallback(t *testing.T) {
+	// All links on one channel with overwhelming cross gains: everyone
+	// drowns everyone, and Benchmark 1 must fall back to serving the
+	// neediest link alone rather than wasting slots forever.
+	rng := rand.New(rand.NewSource(201))
+	nw := servable(rng, 3, 1, netmodel.Global)
+	for l := 0; l < 3; l++ {
+		// Solo SINR 1.5 (servable) but concurrent SINR 0.15/2.1 ≈ 0.07,
+		// below the lowest threshold: all three drown each other.
+		nw.Gains.Direct[l][0] = 0.15
+		for j := 0; j < 3; j++ {
+			if l != j {
+				nw.Gains.Cross[l][j][0] = 1
+			}
+		}
+	}
+	rem := &sim.Remaining{HP: []float64{1e6, 9e6, 4e6}, LP: make([]float64, 3)}
+	s, err := Benchmark1{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != 1 {
+		t.Fatalf("assignments = %d, want 1 (fallback)", len(s.Assignments))
+	}
+	if s.Assignments[0].Link != 1 {
+		t.Errorf("fallback served link %d, want neediest link 1", s.Assignments[0].Link)
+	}
+	if err := s.Validate(nw); err != nil {
+		t.Errorf("fallback schedule invalid: %v", err)
+	}
+}
+
+func TestBenchmark1HalfDuplexSkip(t *testing.T) {
+	// Two links sharing a node: only one transmits per slot even in the
+	// uncoordinated scheme.
+	rng := rand.New(rand.NewSource(202))
+	nw := servable(rng, 2, 2, netmodel.PerChannel)
+	nw.Links[1].TXNode = nw.Links[0].RXNode
+	rem := &sim.Remaining{HP: []float64{1e6, 1e6}, LP: make([]float64, 2)}
+	s, err := Benchmark1{}.Decide(nw, rem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Assignments) != 1 {
+		t.Fatalf("assignments = %d, want 1 under node sharing", len(s.Assignments))
+	}
+}
+
+func TestChannelPrefsAllUnservable(t *testing.T) {
+	// A link below threshold on every channel: channelPrefs falls back
+	// to best-gain ordering instead of returning nothing.
+	rng := rand.New(rand.NewSource(203))
+	nw := servable(rng, 2, 3, netmodel.PerChannel)
+	for k := 0; k < 3; k++ {
+		nw.Gains.Direct[0][k] = 1e-5
+	}
+	prefs := channelPrefs(nw, 0)
+	if len(prefs) != 3 {
+		t.Fatalf("prefs = %v, want all channels in fallback", prefs)
+	}
+	for i := 1; i < len(prefs); i++ {
+		if nw.Gains.Direct[0][prefs[i-1]] < nw.Gains.Direct[0][prefs[i]] {
+			t.Error("fallback prefs not gain-sorted")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmwave/internal/netmodel"
+	"mmwave/internal/sim"
+	"mmwave/internal/video"
+)
+
+// TestBenchmark2UnservableAllocatedChannel reproduces a field failure:
+// the [8]-style allocator once pushed a link onto a channel where it
+// could not reach even the lowest rate level alone, stranding its
+// demand. Channel preferences must exclude solo-unservable channels.
+func TestBenchmark2UnservableAllocatedChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nw := servable(rng, 4, 3, netmodel.Global)
+	// Make channel 2 unservable for link 1 but attractive-adjacent:
+	// gain below the γ^1 solo threshold (needs ≥ 0.01 here).
+	nw.Gains.Direct[1][2] = 0.001
+	b2 := &Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 1000}} // force spreading
+	demands := make([]video.Demand, 4)
+	for i := range demands {
+		demands[i] = video.Demand{HP: 1e6, LP: 1e6}
+	}
+	exec, err := sim.Run(nw, demands, b2, sim.Options{SlotDuration: 1e-3, Validate: true})
+	if err != nil {
+		t.Fatalf("benchmark2 stranded a link: %v", err)
+	}
+	for l := range demands {
+		if exec.ServedHP[l] < demands[l].HP*(1-1e-6) {
+			t.Errorf("link %d underserved", l)
+		}
+	}
+}

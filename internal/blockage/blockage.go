@@ -1,0 +1,171 @@
+// Package blockage models dynamic link blockage in mmWave networks.
+// The paper's motivating prior work ([5], [6]) treats each 60 GHz link
+// as a two-state Markov process — unblocked (line-of-sight) or blocked
+// (an obstacle attenuates the path) — and the paper's §III notes that
+// when conditions change, problem P1 is simply re-solved with updated
+// coefficients. This package provides that dynamic: a Gilbert–Elliott
+// process per link plus a helper that applies the current blockage
+// state to a network's direct gains, so experiments can re-optimize
+// epoch by epoch under churn.
+package blockage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mmwave/internal/channel"
+	"mmwave/internal/netmodel"
+)
+
+// State is a link's blockage state.
+type State uint8
+
+// Link blockage states.
+const (
+	Unblocked State = iota
+	Blocked
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Unblocked:
+		return "unblocked"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Model parameterizes the per-link two-state Markov chain, with
+// transition probabilities per step (one step = one scheduling epoch).
+type Model struct {
+	// PBlock is P(unblocked → blocked) per step.
+	PBlock float64
+	// PClear is P(blocked → unblocked) per step.
+	PClear float64
+	// Attenuation multiplies a blocked link's direct gains; 0 removes
+	// the link entirely, small values model penetration loss (20–30 dB
+	// is typical for a human blocker at 60 GHz → 0.001–0.01).
+	Attenuation float64
+}
+
+// DefaultModel returns a moderately dynamic blockage model: 10% chance
+// to become blocked, 30% to clear, 25 dB attenuation while blocked.
+func DefaultModel() Model {
+	return Model{PBlock: 0.1, PClear: 0.3, Attenuation: 0.003}
+}
+
+// Validate reports parameter errors.
+func (m Model) Validate() error {
+	if m.PBlock < 0 || m.PBlock > 1 || m.PClear < 0 || m.PClear > 1 {
+		return fmt.Errorf("blockage: transition probabilities (%g, %g) outside [0,1]", m.PBlock, m.PClear)
+	}
+	if m.Attenuation < 0 || m.Attenuation > 1 {
+		return fmt.Errorf("blockage: attenuation %g outside [0,1]", m.Attenuation)
+	}
+	return nil
+}
+
+// SteadyStateBlocked returns the chain's stationary blocked
+// probability PBlock/(PBlock+PClear) (0 when the chain never blocks).
+func (m Model) SteadyStateBlocked() float64 {
+	if m.PBlock+m.PClear == 0 {
+		return 0
+	}
+	return m.PBlock / (m.PBlock + m.PClear)
+}
+
+// Process tracks the blockage state of every link of one network.
+type Process struct {
+	model  Model
+	states []State
+}
+
+// NewProcess starts a process with all links unblocked.
+func NewProcess(model Model, numLinks int) (*Process, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if numLinks < 0 {
+		return nil, fmt.Errorf("blockage: negative link count %d", numLinks)
+	}
+	return &Process{model: model, states: make([]State, numLinks)}, nil
+}
+
+// States returns a copy of the current per-link states.
+func (p *Process) States() []State {
+	return append([]State(nil), p.states...)
+}
+
+// State returns link l's current state.
+func (p *Process) State(l int) State { return p.states[l] }
+
+// NumBlocked returns how many links are currently blocked.
+func (p *Process) NumBlocked() int {
+	n := 0
+	for _, s := range p.states {
+		if s == Blocked {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances every link's chain by one epoch.
+func (p *Process) Step(rng *rand.Rand) {
+	for l, s := range p.states {
+		switch s {
+		case Unblocked:
+			if rng.Float64() < p.model.PBlock {
+				p.states[l] = Blocked
+			}
+		case Blocked:
+			if rng.Float64() < p.model.PClear {
+				p.states[l] = Unblocked
+			}
+		}
+	}
+}
+
+// Apply returns a copy of the gain structure with every blocked link's
+// direct gains attenuated. Cross gains are attenuated too: a blocked
+// path blocks the interference it would have caused at that receiver
+// (the obstacle sits near the receiver in the [5]/[6] abstraction).
+func (p *Process) Apply(base *channel.Gains) *channel.Gains {
+	out := &channel.Gains{
+		Direct: make([][]float64, len(base.Direct)),
+		Cross:  make([][][]float64, len(base.Cross)),
+	}
+	att := p.model.Attenuation
+	for l := range base.Direct {
+		out.Direct[l] = append([]float64(nil), base.Direct[l]...)
+		if l < len(p.states) && p.states[l] == Blocked {
+			for k := range out.Direct[l] {
+				out.Direct[l][k] *= att
+			}
+		}
+	}
+	for lp := range base.Cross {
+		out.Cross[lp] = make([][]float64, len(base.Cross[lp]))
+		for l := range base.Cross[lp] {
+			out.Cross[lp][l] = append([]float64(nil), base.Cross[lp][l]...)
+			if l < len(p.states) && p.states[l] == Blocked {
+				for k := range out.Cross[lp][l] {
+					out.Cross[lp][l][k] *= att
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ApplyTo builds a network view with the process's current blockage
+// applied to the base network's gains. The returned network shares
+// everything except the gain structure.
+func (p *Process) ApplyTo(base *netmodel.Network) *netmodel.Network {
+	nw := *base
+	nw.Gains = p.Apply(base.Gains)
+	return &nw
+}

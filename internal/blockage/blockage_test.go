@@ -1,0 +1,158 @@
+package blockage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmwave/internal/channel"
+	"mmwave/internal/geom"
+)
+
+func TestModelValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Model
+		wantErr bool
+	}{
+		{"default", DefaultModel(), false},
+		{"never blocks", Model{}, false},
+		{"p > 1", Model{PBlock: 1.5}, true},
+		{"negative p", Model{PClear: -0.1}, true},
+		{"attenuation > 1", Model{Attenuation: 2}, true},
+		{"negative attenuation", Model{Attenuation: -1}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	m := Model{PBlock: 0.1, PClear: 0.3}
+	if got := m.SteadyStateBlocked(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("steady state = %v, want 0.25", got)
+	}
+	if got := (Model{}).SteadyStateBlocked(); got != 0 {
+		t.Errorf("degenerate steady state = %v, want 0", got)
+	}
+}
+
+func TestNewProcessErrors(t *testing.T) {
+	if _, err := NewProcess(Model{PBlock: 2}, 3); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := NewProcess(DefaultModel(), -1); err == nil {
+		t.Error("negative link count accepted")
+	}
+}
+
+func TestStepConvergesToStationary(t *testing.T) {
+	m := Model{PBlock: 0.2, PClear: 0.2, Attenuation: 0}
+	p, err := NewProcess(m, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Warm up past mixing time, then average occupancy.
+	for i := 0; i < 50; i++ {
+		p.Step(rng)
+	}
+	total := 0
+	const samples = 200
+	for i := 0; i < samples; i++ {
+		p.Step(rng)
+		total += p.NumBlocked()
+	}
+	frac := float64(total) / float64(samples*2000)
+	if math.Abs(frac-m.SteadyStateBlocked()) > 0.02 {
+		t.Errorf("empirical blocked fraction %v, want ≈%v", frac, m.SteadyStateBlocked())
+	}
+}
+
+func TestStatesAreCopies(t *testing.T) {
+	p, _ := NewProcess(DefaultModel(), 3)
+	s := p.States()
+	s[0] = Blocked
+	if p.State(0) == Blocked {
+		t.Error("States() exposed internal storage")
+	}
+}
+
+func TestApplyAttenuatesBlockedOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := geom.Room{Width: 10, Height: 10}.PlaceLinks(rng, 3, 1, 4)
+	base := channel.TableI{}.Generate(rng, segs, 2)
+
+	p, _ := NewProcess(Model{Attenuation: 0.01}, 3)
+	p.states[1] = Blocked
+
+	out := p.Apply(base)
+	for k := 0; k < 2; k++ {
+		if out.Direct[0][k] != base.Direct[0][k] {
+			t.Error("unblocked link's gain changed")
+		}
+		want := base.Direct[1][k] * 0.01
+		if math.Abs(out.Direct[1][k]-want) > 1e-15 {
+			t.Errorf("blocked link gain = %v, want %v", out.Direct[1][k], want)
+		}
+		// Interference *into* the blocked link's receiver attenuates;
+		// interference it causes to others is unchanged.
+		if out.Cross[0][1][k] != base.Cross[0][1][k]*0.01 {
+			t.Error("incoming interference at blocked receiver not attenuated")
+		}
+		if out.Cross[1][0][k] != base.Cross[1][0][k] {
+			t.Error("outgoing interference of blocked link changed")
+		}
+	}
+	// The base structure must be untouched.
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPropertyValidGains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(uint32) bool {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		segs := geom.Room{Width: 10, Height: 10}.PlaceLinks(rng, n, 1, 4)
+		base := channel.TableI{}.Generate(rng, segs, k)
+		p, err := NewProcess(Model{PBlock: 0.5, PClear: 0.5, Attenuation: rng.Float64()}, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			p.Step(rng)
+		}
+		out := p.Apply(base)
+		return out.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Unblocked.String() != "unblocked" || Blocked.String() != "blocked" {
+		t.Error("State String mismatch")
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown State String mismatch")
+	}
+}
+
+func TestNeverBlockingModelStaysUnblocked(t *testing.T) {
+	p, _ := NewProcess(Model{PBlock: 0, PClear: 1}, 10)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		p.Step(rng)
+	}
+	if p.NumBlocked() != 0 {
+		t.Error("links blocked under PBlock = 0")
+	}
+}

@@ -1,0 +1,312 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmwave/internal/antenna"
+	"mmwave/internal/geom"
+)
+
+// placedLinks draws n random links in a 20×20 room.
+func placedLinks(rng *rand.Rand, n int) []geom.Segment {
+	return geom.Room{Width: 20, Height: 20}.PlaceLinks(rng, n, 1, 6)
+}
+
+func TestTableIShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	links := placedLinks(rng, 6)
+	g := TableI{}.Generate(rng, links, 4)
+	if g.NumLinks() != 6 || g.NumChannels() != 4 {
+		t.Fatalf("shape = %d×%d, want 6×4", g.NumLinks(), g.NumChannels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTableIRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	links := placedLinks(rng, 10)
+	g := TableI{}.Generate(rng, links, 3)
+	for l := 0; l < 10; l++ {
+		for k := 0; k < 3; k++ {
+			if h := g.Direct[l][k]; h < 0 || h > 1 {
+				t.Fatalf("direct gain %v outside [0,1]", h)
+			}
+		}
+		for j := 0; j < 10; j++ {
+			for k := 0; k < 3; k++ {
+				h := g.Cross[l][j][k]
+				if l == j && h != 0 {
+					t.Fatal("nonzero self-interference")
+				}
+				if h < 0 || h > 1 {
+					t.Fatalf("cross gain %v outside [0,1]", h)
+				}
+			}
+		}
+	}
+}
+
+func TestTableIFrequencySelectivity(t *testing.T) {
+	// Different channels must (almost surely) get different direct
+	// gains for the same link.
+	rng := rand.New(rand.NewSource(3))
+	links := placedLinks(rng, 1)
+	g := TableI{}.Generate(rng, links, 5)
+	allEqual := true
+	for k := 1; k < 5; k++ {
+		if g.Direct[0][k] != g.Direct[0][0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("direct gains identical across channels — no frequency selectivity")
+	}
+}
+
+func TestPathLossDistanceMonotonicity(t *testing.T) {
+	// Two links with very different lengths: the longer one should get
+	// a (much) smaller mean direct gain.
+	rng := rand.New(rand.NewSource(4))
+	links := []geom.Segment{
+		{TX: geom.Point{X: 0, Y: 0}, RX: geom.Point{X: 1, Y: 0}},
+		{TX: geom.Point{X: 0, Y: 10}, RX: geom.Point{X: 15, Y: 10}},
+	}
+	p := DefaultPathLoss()
+	p.ShadowSigmaDB = 0 // deterministic
+	g := p.Generate(rng, links, 1)
+	if g.Direct[0][0] <= g.Direct[1][0] {
+		t.Errorf("short link gain %v not above long link gain %v", g.Direct[0][0], g.Direct[1][0])
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPathLossDirectionality(t *testing.T) {
+	// An interferer aimed directly at a victim receiver versus aimed
+	// away: the aligned geometry must produce more interference.
+	rng := rand.New(rand.NewSource(5))
+	p := PathLoss{
+		Exponent:      2.2,
+		ShadowSigmaDB: 0,
+		ReferenceDist: 5,
+		Pattern:       antenna.ConeSphere{Beamwidth: math.Pi / 4, SideLobe: 0.01},
+	}
+	victim := geom.Segment{TX: geom.Point{X: 20, Y: 0}, RX: geom.Point{X: 10, Y: 0}}
+	aimedAt := geom.Segment{TX: geom.Point{X: 0, Y: 0}, RX: geom.Point{X: 5, Y: 0}}  // boresight through victim RX
+	aimedOff := geom.Segment{TX: geom.Point{X: 0, Y: 0}, RX: geom.Point{X: 0, Y: 5}} // boresight 90° away
+	gAt := p.Generate(rng, []geom.Segment{aimedAt, victim}, 1)
+	gOff := p.Generate(rng, []geom.Segment{aimedOff, victim}, 1)
+	if gAt.Cross[0][1][0] <= gOff.Cross[0][1][0] {
+		t.Errorf("aimed interference %v not above averted %v", gAt.Cross[0][1][0], gOff.Cross[0][1][0])
+	}
+}
+
+func TestPathLossNearFieldClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := DefaultPathLoss()
+	p.ShadowSigmaDB = 0
+	// Zero-length link: distance clamps at 0.1 m, gain stays finite.
+	links := []geom.Segment{{TX: geom.Point{X: 1, Y: 1}, RX: geom.Point{X: 1, Y: 1}}}
+	g := p.Generate(rng, links, 1)
+	if math.IsInf(g.Direct[0][0], 0) || math.IsNaN(g.Direct[0][0]) {
+		t.Errorf("near-field gain not clamped: %v", g.Direct[0][0])
+	}
+}
+
+func TestPathLossZeroReferenceDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := DefaultPathLoss()
+	p.ReferenceDist = 0 // should default to 1 m internally
+	g := p.Generate(rng, placedLinks(rng, 3), 2)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fresh := func() *Gains { return TableI{}.Generate(rng, placedLinks(rng, 3), 2) }
+
+	t.Run("cross rows", func(t *testing.T) {
+		g := fresh()
+		g.Cross = g.Cross[:2]
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("ragged direct", func(t *testing.T) {
+		g := fresh()
+		g.Direct[1] = g.Direct[1][:1]
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("negative direct", func(t *testing.T) {
+		g := fresh()
+		g.Direct[0][0] = -0.5
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("nan cross", func(t *testing.T) {
+		g := fresh()
+		g.Cross[0][1][0] = math.NaN()
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("self interference", func(t *testing.T) {
+		g := fresh()
+		g.Cross[1][1][0] = 0.3
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("ragged cross", func(t *testing.T) {
+		g := fresh()
+		g.Cross[0][1] = g.Cross[0][1][:1]
+		if g.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestGeneratorsPropertyValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gens := []Generator{TableI{}, DefaultPathLoss()}
+	check := func(uint32) bool {
+		n := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		links := placedLinks(rng, n)
+		for _, gen := range gens {
+			g := gen.Generate(rng, links, k)
+			if g.Validate() != nil || g.NumLinks() != n || g.NumChannels() != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorStrings(t *testing.T) {
+	if (TableI{}).String() == "" || DefaultPathLoss().String() == "" {
+		t.Error("empty generator name")
+	}
+}
+
+func TestEmptyGains(t *testing.T) {
+	var g Gains
+	if g.NumLinks() != 0 || g.NumChannels() != 0 {
+		t.Error("empty gains should report zero dimensions")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("empty gains should validate: %v", err)
+	}
+}
+
+func TestRicianFading(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	links := placedLinks(rng, 4)
+
+	t.Run("valid gains", func(t *testing.T) {
+		g := Rician{K: 5, Base: TableI{}}.Generate(rng, links, 3)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("nil base defaults to path loss", func(t *testing.T) {
+		g := Rician{K: 5}.Generate(rng, links, 2)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if (Rician{K: 5}).String() == "" {
+			t.Error("empty name")
+		}
+	})
+	t.Run("unit mean fading", func(t *testing.T) {
+		// E[|h|²] = 1 for every K: the fading must not change the mean
+		// gain. Compare the empirical mean ratio against 1.
+		base := PathLoss{Exponent: 2, ReferenceDist: 5, ShadowSigmaDB: 0, Pattern: antenna.Omni{}}
+		ref := base.Generate(rand.New(rand.NewSource(1)), links, 1)
+		var sum float64
+		const reps = 400
+		for i := 0; i < reps; i++ {
+			faded := Rician{K: 3, Base: base}.Generate(rand.New(rand.NewSource(int64(i+2))), links, 1)
+			sum += faded.Direct[0][0] / ref.Direct[0][0]
+		}
+		if mean := sum / reps; math.Abs(mean-1) > 0.15 {
+			t.Errorf("mean fading gain = %v, want ≈1", mean)
+		}
+	})
+	t.Run("large K approaches deterministic", func(t *testing.T) {
+		base := PathLoss{Exponent: 2, ReferenceDist: 5, ShadowSigmaDB: 0, Pattern: antenna.Omni{}}
+		ref := base.Generate(rand.New(rand.NewSource(1)), links, 1)
+		faded := Rician{K: 1e6, Base: base}.Generate(rand.New(rand.NewSource(9)), links, 1)
+		ratio := faded.Direct[0][0] / ref.Direct[0][0]
+		if math.Abs(ratio-1) > 0.02 {
+			t.Errorf("K→∞ ratio = %v, want ≈1", ratio)
+		}
+	})
+	t.Run("negative K clamps to Rayleigh", func(t *testing.T) {
+		g := Rician{K: -3, Base: TableI{}}.Generate(rng, links, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBeamErrReducesDirectGain(t *testing.T) {
+	links := placedLinks(rand.New(rand.NewSource(10)), 5)
+	perfect := PathLoss{
+		Exponent: 2, ReferenceDist: 5, ShadowSigmaDB: 0,
+		Pattern: antenna.Gaussian{Beamwidth: math.Pi / 8, SideLobe: 0.01},
+	}
+	misaligned := perfect
+	misaligned.BeamErr = math.Pi / 12
+
+	ref := perfect.Generate(rand.New(rand.NewSource(1)), links, 1)
+	var worse, total int
+	for seed := int64(0); seed < 40; seed++ {
+		g := misaligned.Generate(rand.New(rand.NewSource(seed)), links, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for l := range links {
+			total++
+			if g.Direct[l][0] <= ref.Direct[l][0]+1e-15 {
+				worse++
+			}
+		}
+	}
+	// Misalignment can only lose main-lobe gain.
+	if worse != total {
+		t.Errorf("misaligned direct gain exceeded perfect alignment in %d/%d cases", total-worse, total)
+	}
+}
+
+func TestBeamErrZeroMatchesPerfect(t *testing.T) {
+	links := placedLinks(rand.New(rand.NewSource(11)), 3)
+	p := PathLoss{
+		Exponent: 2.2, ReferenceDist: 5, ShadowSigmaDB: 0,
+		Pattern: antenna.Gaussian{Beamwidth: math.Pi / 6, SideLobe: 0.05},
+	}
+	a := p.Generate(rand.New(rand.NewSource(1)), links, 2)
+	p.BeamErr = 0
+	b := p.Generate(rand.New(rand.NewSource(1)), links, 2)
+	for l := range links {
+		for k := 0; k < 2; k++ {
+			if a.Direct[l][k] != b.Direct[l][k] {
+				t.Fatal("zero beam error changed gains")
+			}
+		}
+	}
+}

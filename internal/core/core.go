@@ -1,0 +1,407 @@
+// Package core implements the paper's contribution: column-generation
+// based joint time-slot, channel, and power allocation that minimizes
+// the total scheduling time of multi-user video sessions over a mmWave
+// network (problem P1).
+//
+// The solver alternates between:
+//
+//   - the master problem (MP) — a linear program over the current
+//     schedule pool S′ choosing fractional slot counts τ^s (eqs. 14–17),
+//     solved with the internal simplex, whose duals (λ_hp, λ_lp) price
+//     schedules (eq. 18); and
+//   - the pricing sub-problem (SP) — find the feasible schedule with
+//     the most negative reduced cost Φ = 1 − Σ_l λ_l·r_l (eqs. 19–21,
+//     27–33), solved either by a problem-specific exact branch and
+//     bound (pricer.go) or by a generic MILP on the literal
+//     formulation (milppricer.go).
+//
+// At every iteration the Theorem-1 lower bound UB/(1−Φ) is tracked, so
+// the solver can stop at a proven optimality gap; with exact pricing
+// and Φ ≥ 0 the MP optimum is the P1 optimum.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mmwave/internal/lp"
+	"mmwave/internal/netmodel"
+	"mmwave/internal/schedule"
+	"mmwave/internal/video"
+)
+
+// Pricer finds a high-value feasible schedule under dual prices. It
+// returns the best schedule found, its pricing value Ψ = Σ_l λ_l·r_l^s,
+// and whether the search was exact (proved Ψ maximal). A nil schedule
+// means no positive-value schedule exists.
+type Pricer interface {
+	// Price searches for the schedule maximizing Σ λ·r over feasible
+	// schedules of nw.
+	Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
+	// String names the pricer for telemetry.
+	String() string
+}
+
+// PriceResult is the outcome of one pricing round.
+type PriceResult struct {
+	Schedule *schedule.Schedule // best schedule found (nil if none has value > 0)
+	Value    float64            // Ψ of the returned schedule (0 if nil)
+	Exact    bool               // true when Value is proved maximal
+	// RelaxValue upper-bounds the true maximal Ψ (≥ Value). When Exact,
+	// it may simply equal Value. Used for valid Theorem-1 bounds under
+	// truncated pricing.
+	RelaxValue float64
+	Nodes      int // search nodes explored (telemetry)
+}
+
+// IterationStat records one column-generation iteration for the
+// convergence analysis of Fig. 4.
+type IterationStat struct {
+	Iter       int
+	Upper      float64 // MP objective (upper bound on P1 optimum), seconds
+	Lower      float64 // Theorem-1 lower bound at this iteration, seconds
+	BestLower  float64 // running maximum of Lower
+	Phi        float64 // most negative reduced cost found (≤ 0 until convergence)
+	PoolSize   int     // columns in the MP
+	PricerNode int     // pricing search nodes
+	Exact      bool    // pricing was exact this iteration
+}
+
+// Result is the outcome of a column-generation solve.
+type Result struct {
+	Plan       Plan            // the optimal (or best found) schedule plan
+	Iterations []IterationStat // per-iteration telemetry
+	LowerBound float64         // best proven lower bound on the P1 optimum, seconds
+	Converged  bool            // true when Φ ≥ −tolerance with exact pricing
+	Duals      Duals           // final simplex multipliers
+}
+
+// Gap returns the relative optimality gap (UB−LB)/UB of the result, 0
+// when converged to optimality.
+func (r *Result) Gap() float64 {
+	if r.Plan.Objective <= 0 {
+		return 0
+	}
+	g := (r.Plan.Objective - r.LowerBound) / r.Plan.Objective
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Duals holds the final master-problem simplex multipliers (eq. 18).
+type Duals struct {
+	HP []float64
+	LP []float64
+}
+
+// Plan is a solved schedule plan: which feasible schedules to run and
+// for how long (τ^s, in seconds; fractional as in the paper).
+type Plan struct {
+	Schedules []*schedule.Schedule
+	Tau       []float64 // seconds allotted per schedule, parallel to Schedules
+	Objective float64   // Σ τ^s, seconds
+}
+
+// TotalTime returns Σ τ^s in seconds.
+func (p *Plan) TotalTime() float64 { return p.Objective }
+
+// Slots returns the number of whole time slots the plan occupies when
+// each schedule's duration is rounded up to slot granularity.
+func (p *Plan) Slots(slotDur float64) int {
+	if slotDur <= 0 {
+		return 0
+	}
+	total := 0
+	for _, tau := range p.Tau {
+		total += int(math.Ceil(tau/slotDur - 1e-9))
+	}
+	return total
+}
+
+// Options configures the solver.
+type Options struct {
+	// Pricer used to generate columns. Nil means NewBranchBoundPricer
+	// with the default node budget.
+	Pricer Pricer
+	// MaxIterations caps column-generation rounds; zero means 500.
+	MaxIterations int
+	// Tolerance on the reduced cost: the solver stops when
+	// Φ ≥ −Tolerance under exact pricing. Zero means 1e-7.
+	Tolerance float64
+	// GapTarget, when positive, stops the solve early once the
+	// relative UB/LB gap falls below it (the paper's early-termination
+	// use of Theorem 1).
+	GapTarget float64
+	// LP passes options to the master problem solves.
+	LP lp.Options
+}
+
+// Solver runs column generation on one network instance with fixed
+// per-link demands.
+type Solver struct {
+	nw      *netmodel.Network
+	demands []video.Demand
+	opts    Options
+	pool    *schedule.Pool
+
+	// warmBasis carries the previous master optimal basis between
+	// iterations: the pool only appends columns, so the old basis stays
+	// primal feasible and the re-solve skips phase 1 entirely.
+	warmBasis []lp.BasisVar
+}
+
+// ErrUnservable reports links whose demand can never be served (no
+// rate level reachable even transmitting alone at full power).
+var ErrUnservable = errors.New("core: demand unservable")
+
+// NewSolver validates the instance and seeds the column pool with the
+// paper's TDMA initialization (§IV-B).
+func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Solver, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network: %w", err)
+	}
+	if len(demands) != nw.NumLinks() {
+		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	}
+	for l, d := range demands {
+		if !d.Valid() {
+			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
+		}
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 500
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-7
+	}
+	if opts.Pricer == nil {
+		opts.Pricer = NewBranchBoundPricer(0)
+	}
+
+	s := &Solver{nw: nw, demands: demands, opts: opts, pool: schedule.NewPool()}
+	for _, sc := range schedule.TDMA(nw) {
+		s.pool.Add(sc)
+	}
+
+	// Every link with positive demand must be coverable by some column.
+	covered := make([]bool, nw.NumLinks())
+	for i := 0; i < s.pool.Len(); i++ {
+		for _, a := range s.pool.At(i).Assignments {
+			covered[a.Link] = true
+		}
+	}
+	var unservable []int
+	for l, d := range demands {
+		if d.Total() > 0 && !covered[l] {
+			unservable = append(unservable, l)
+		}
+	}
+	if len(unservable) > 0 {
+		return nil, fmt.Errorf("%w: links %v cannot reach any rate level alone at PMax", ErrUnservable, unservable)
+	}
+	return s, nil
+}
+
+// Pool exposes the current column pool (read-only use).
+func (s *Solver) Pool() *schedule.Pool { return s.pool }
+
+// SetDemands replaces the per-link demand vector and keeps the column
+// pool: the paper's §III update rule ("if the traffic demand changes,
+// we just need to update ... the constraint matrix ... and solve the
+// updated problem using the same method"). Every previously generated
+// schedule remains feasible — only the right-hand sides move — so a
+// subsequent Solve starts from the accumulated pool and typically
+// needs far fewer pricing rounds. The previous optimal basis is kept
+// as a warm-start hint; if the new demands make it infeasible the
+// master solve falls back to a cold start automatically.
+func (s *Solver) SetDemands(demands []video.Demand) error {
+	if len(demands) != s.nw.NumLinks() {
+		return fmt.Errorf("core: %d demands for %d links", len(demands), s.nw.NumLinks())
+	}
+	for l, d := range demands {
+		if !d.Valid() {
+			return fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
+		}
+	}
+	// Unservable links with new positive demand would make the master
+	// infeasible; the TDMA initialization covered every servable link.
+	covered := make([]bool, s.nw.NumLinks())
+	for i := 0; i < s.pool.Len(); i++ {
+		for _, a := range s.pool.At(i).Assignments {
+			covered[a.Link] = true
+		}
+	}
+	for l, d := range demands {
+		if d.Total() > 0 && !covered[l] {
+			return fmt.Errorf("%w: link %d cannot reach any rate level alone at PMax", ErrUnservable, l)
+		}
+	}
+	s.demands = append(s.demands[:0], demands...)
+	return nil
+}
+
+// Solve runs column generation to convergence (or the configured
+// iteration/gap limits) and returns the best plan.
+func (s *Solver) Solve() (*Result, error) {
+	res := &Result{LowerBound: 0}
+	bestLower := 0.0
+
+	for iter := 0; iter < s.opts.MaxIterations; iter++ {
+		mpSol, err := s.solveMaster()
+		if err != nil {
+			return nil, err
+		}
+		lambdaHP, lambdaLP := s.extractDuals(mpSol)
+
+		pr, err := s.opts.Pricer.Price(s.nw, lambdaHP, lambdaLP)
+		if err != nil {
+			return nil, fmt.Errorf("core: pricing failed at iteration %d: %w", iter, err)
+		}
+
+		phi := 1 - pr.Value // reduced cost of the best found column
+		// A valid lower bound needs Φ' ≤ Φ*; with truncated pricing use
+		// the relaxation value.
+		phiForBound := 1 - pr.RelaxValue
+		if pr.Exact {
+			phiForBound = phi
+		}
+		lower := 0.0
+		if denom := 1 - phiForBound; denom > 0 {
+			lower = mpSol.Objective / denom // UB = λᵀd by strong duality
+		}
+		if phiForBound >= 0 {
+			lower = mpSol.Objective
+		}
+		if lower > bestLower {
+			bestLower = lower
+		}
+
+		res.Iterations = append(res.Iterations, IterationStat{
+			Iter:       iter,
+			Upper:      mpSol.Objective,
+			Lower:      lower,
+			BestLower:  bestLower,
+			Phi:        phi,
+			PoolSize:   s.pool.Len(),
+			PricerNode: pr.Nodes,
+			Exact:      pr.Exact,
+		})
+
+		converged := pr.Exact && phi >= -s.opts.Tolerance
+		gapMet := s.opts.GapTarget > 0 && mpSol.Objective > 0 &&
+			(mpSol.Objective-bestLower)/mpSol.Objective <= s.opts.GapTarget
+		if converged || gapMet || pr.Schedule == nil || phi >= -s.opts.Tolerance {
+			res.Plan = s.extractPlan(mpSol)
+			res.LowerBound = bestLower
+			res.Converged = converged
+			res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
+			return res, nil
+		}
+
+		if _, added := s.pool.Add(pr.Schedule); !added {
+			// The pricer returned a column already in the pool with
+			// apparently negative reduced cost: numerical stall. Treat
+			// the current solution as final rather than looping.
+			res.Plan = s.extractPlan(mpSol)
+			res.LowerBound = bestLower
+			res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
+			return res, nil
+		}
+	}
+
+	// Iteration limit: return the last master solution.
+	mpSol, err := s.solveMaster()
+	if err != nil {
+		return nil, err
+	}
+	lambdaHP, lambdaLP := s.extractDuals(mpSol)
+	res.Plan = s.extractPlan(mpSol)
+	res.LowerBound = bestLower
+	res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
+	return res, nil
+}
+
+// solveMaster builds and solves the MP over the current pool.
+func (s *Solver) solveMaster() (*lp.Solution, error) {
+	n := s.pool.Len()
+	L := s.nw.NumLinks()
+	costs := make([]float64, n)
+	for j := range costs {
+		costs[j] = 1
+	}
+	p := lp.NewProblem(costs)
+
+	// Precompute each column's rate vectors once.
+	colHP := make([][]float64, n)
+	colLP := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		colHP[j], colLP[j] = s.pool.At(j).RateVectors(s.nw)
+	}
+
+	// Row order: HP rows for links 0..L-1, then LP rows.
+	for l := 0; l < L; l++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = colHP[j][l]
+		}
+		p.AddRow(row, lp.GE, s.demands[l].HP)
+	}
+	for l := 0; l < L; l++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = colLP[j][l]
+		}
+		p.AddRow(row, lp.GE, s.demands[l].LP)
+	}
+
+	lpOpts := s.opts.LP
+	lpOpts.WarmBasis = s.warmBasis
+	sol, err := lp.SolveWith(p, lpOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: master LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.StatusOptimal:
+		s.warmBasis = sol.Basis
+		return sol, nil
+	case lp.StatusInfeasible:
+		return nil, fmt.Errorf("core: master problem infeasible (TDMA initialization should prevent this)")
+	default:
+		return nil, fmt.Errorf("core: master problem ended with status %v", sol.Status)
+	}
+}
+
+// extractDuals splits the MP dual vector into λ(hp) and λ(lp),
+// clamping tiny negatives from roundoff (duals of GE rows in a min LP
+// are non-negative).
+func (s *Solver) extractDuals(sol *lp.Solution) (hp, lpDuals []float64) {
+	L := s.nw.NumLinks()
+	hp = make([]float64, L)
+	lpDuals = make([]float64, L)
+	for l := 0; l < L; l++ {
+		hp[l] = math.Max(0, sol.Dual[l])
+		lpDuals[l] = math.Max(0, sol.Dual[L+l])
+	}
+	return hp, lpDuals
+}
+
+// extractPlan reads the nonzero τ^s out of an MP solution.
+func (s *Solver) extractPlan(sol *lp.Solution) Plan {
+	var plan Plan
+	for j, tau := range sol.X {
+		if tau > 1e-9 {
+			plan.Schedules = append(plan.Schedules, s.pool.At(j))
+			plan.Tau = append(plan.Tau, tau)
+		}
+	}
+	plan.Objective = sol.Objective
+	return plan
+}
+
+// RateVectorsValue recomputes Ψ = Σ λ·r for a schedule; exported for
+// tests and benchmark cross-checks.
+func RateVectorsValue(nw *netmodel.Network, s *schedule.Schedule, lambdaHP, lambdaLP []float64) float64 {
+	return s.Value(nw, lambdaHP, lambdaLP)
+}

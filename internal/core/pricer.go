@@ -1,0 +1,580 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mmwave/internal/netmodel"
+	"mmwave/internal/schedule"
+)
+
+// BranchBoundPricer solves the pricing sub-problem exactly with a
+// problem-specific branch and bound. It exploits three structural
+// facts of the SP (eqs. 27–33):
+//
+//  1. Layer choice collapses: a link transmitting in one schedule earns
+//     λ_hp·u or λ_lp·u at the same SINR threshold, so the better layer
+//     is simply the one with the larger dual.
+//  2. Links with zero dual value never belong to an optimal schedule —
+//     they add interference and earn nothing.
+//  3. Per-channel SINR feasibility of an active set with chosen levels
+//     reduces to the minimal-power test (netmodel.MinPowers), which is
+//     monotone: supersets and higher levels are never easier.
+//
+// The search branches over candidate links in descending best-case
+// contribution order; each link either stays idle or picks a
+// (channel, level). Sub-trees are pruned by an optimistic suffix bound
+// and by per-channel power feasibility.
+type BranchBoundPricer struct {
+	nodeBudget int
+
+	// FixedPower disables power adaptation: every active link
+	// transmits at PMax and feasibility requires the thresholds to hold
+	// at that fixed power. This reproduces the paper's power-adaptation
+	// ablation (Benchmark 2 lacks power control).
+	FixedPower bool
+}
+
+var _ Pricer = (*BranchBoundPricer)(nil)
+
+// defaultPricerBudget bounds pricing feasibility probes per call. Each
+// probe is one power-control feasibility test, the unit of real work
+// in the search; bounding probes bounds wall-clock time regardless of
+// instance shape.
+const defaultPricerBudget = 60_000
+
+// NewBranchBoundPricer returns a pricer with the given node budget
+// (0 means the default). When the budget is exhausted the best
+// schedule found so far is returned with Exact=false and a valid
+// relaxation bound.
+func NewBranchBoundPricer(nodeBudget int) *BranchBoundPricer {
+	if nodeBudget <= 0 {
+		nodeBudget = defaultPricerBudget
+	}
+	return &BranchBoundPricer{nodeBudget: nodeBudget}
+}
+
+// String implements Pricer.
+func (p *BranchBoundPricer) String() string {
+	if p.FixedPower {
+		return fmt.Sprintf("branch-bound(budget=%d, fixed-power)", p.nodeBudget)
+	}
+	return fmt.Sprintf("branch-bound(budget=%d)", p.nodeBudget)
+}
+
+// candidate is one link the pricer may activate.
+type candidate struct {
+	link    int
+	layer   schedule.Layer
+	lam     float64 // max(λ_hp, λ_lp)
+	best    float64 // optimistic contribution = lam · max achievable rate
+	qmax    []int   // per channel: highest solo-feasible level, -1 if none
+	chOrder []int   // channels in descending direct-gain order
+}
+
+// pricerState is the mutable DFS state.
+type pricerState struct {
+	nw         *netmodel.Network
+	cands      []candidate
+	suffixBest []float64 // suffixBest[i] = Σ_{j≥i} cands[j].best
+
+	chActive [][]int     // per channel: active candidate indices (into cands)
+	chLevels [][]float64 // per channel: γ thresholds parallel to chActive
+	usedNode map[int]int // node → owning link (half-duplex; a link's two layer-streams share its nodes)
+	sibling  []int       // per candidate: index of the same link's other-layer candidate, or -1
+
+	assign []assignChoice // per candidate: current choice
+
+	bestVal    float64
+	bestAssign []assignChoice
+
+	nodes      int // dfs nodes (telemetry)
+	checks     int // feasibility probes (budget unit)
+	budget     int
+	halted     bool
+	fixedPower bool
+
+	// Scratch buffers reused across feasibility probes.
+	scratchLinks  []int
+	scratchChans  []int
+	scratchGammas []float64
+}
+
+// assignChoice is a candidate's decision: idle (channel == -1) or an
+// activation.
+type assignChoice struct {
+	channel int
+	level   int
+}
+
+// Price implements Pricer.
+func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	L := nw.NumLinks()
+	if len(lambdaHP) != L || len(lambdaLP) != L {
+		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	}
+
+	const lamTol = 1e-12
+	var cands []candidate
+	var relax float64
+	for l := 0; l < L; l++ {
+		qmax := make([]int, nw.NumChannels)
+		bestRate := -1.0
+		usable := false
+		for k := 0; k < nw.NumChannels; k++ {
+			sinr := nw.Gains.Direct[l][k] * nw.PMax / nw.Noise[l]
+			q := nw.Rates.BestLevel(sinr)
+			qmax[k] = q
+			if q >= 0 {
+				usable = true
+				if r := nw.Rates.Rates[q]; r > bestRate {
+					bestRate = r
+				}
+			}
+		}
+		if !usable {
+			continue
+		}
+		var chOrder []int
+		addCand := func(layer schedule.Layer, lam float64) {
+			if lam <= lamTol {
+				return
+			}
+			if chOrder == nil {
+				chOrder = channelOrder(nw, l)
+			}
+			c := candidate{
+				link: l, layer: layer, lam: lam, best: lam * bestRate, qmax: qmax,
+				chOrder: chOrder,
+			}
+			cands = append(cands, c)
+			relax += c.best
+		}
+		if nw.MultiChannel {
+			// §III extension: HP and LP may ride different channels in
+			// the same slot, so each layer is its own candidate.
+			addCand(schedule.HP, lambdaHP[l])
+			addCand(schedule.LP, lambdaLP[l])
+		} else {
+			// Layer choice collapses to the larger dual (same rate,
+			// same threshold).
+			if lambdaLP[l] > lambdaHP[l] {
+				addCand(schedule.LP, lambdaLP[l])
+			} else {
+				addCand(schedule.HP, lambdaHP[l])
+			}
+		}
+	}
+
+	if len(cands) == 0 {
+		return &PriceResult{Schedule: nil, Value: 0, Exact: true, RelaxValue: 0}, nil
+	}
+
+	sort.Slice(cands, func(i, j int) bool { return cands[i].best > cands[j].best })
+	suffix := make([]float64, len(cands)+1)
+	for i := len(cands) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + cands[i].best
+	}
+	sibling := make([]int, len(cands))
+	for i := range sibling {
+		sibling[i] = -1
+	}
+	if nw.MultiChannel {
+		byLink := make(map[int]int, len(cands))
+		for i, c := range cands {
+			if j, ok := byLink[c.link]; ok {
+				sibling[i] = j
+				sibling[j] = i
+			} else {
+				byLink[c.link] = i
+			}
+		}
+	}
+
+	st := &pricerState{
+		nw:         nw,
+		cands:      cands,
+		suffixBest: suffix,
+		chActive:   make([][]int, nw.NumChannels),
+		chLevels:   make([][]float64, nw.NumChannels),
+		usedNode:   make(map[int]int),
+		sibling:    sibling,
+		assign:     make([]assignChoice, len(cands)),
+		budget:     p.nodeBudget,
+		fixedPower: p.FixedPower,
+	}
+	for i := range st.assign {
+		st.assign[i] = assignChoice{channel: -1}
+	}
+	// Seed the incumbent with the greedy heuristic: a strong initial
+	// bound prunes most of the tree, and the exact search can only
+	// improve on it.
+	if !p.FixedPower {
+		if seed, err := (GreedyPricer{}).Price(nw, lambdaHP, lambdaLP); err == nil && seed.Schedule != nil {
+			st.seedIncumbent(seed)
+		}
+	}
+	st.dfs(0, 0)
+
+	res := &PriceResult{
+		Value: st.bestVal,
+		Exact: !st.halted,
+		Nodes: st.nodes,
+		// Under truncation the interference-free relaxation Σ best_l is
+		// a loose but valid upper bound on Ψ*; with an exhausted search
+		// the found value itself is the tight bound.
+		RelaxValue: relax,
+	}
+	if !st.halted {
+		res.RelaxValue = st.bestVal
+	}
+	if st.bestVal > 0 && st.bestAssign != nil {
+		sched, err := st.buildSchedule()
+		if err != nil {
+			return nil, err
+		}
+		res.Schedule = sched
+	}
+	return res, nil
+}
+
+// seedIncumbent installs a known feasible schedule (from the greedy
+// heuristic) as the initial incumbent.
+func (st *pricerState) seedIncumbent(seed *PriceResult) {
+	type key struct {
+		link  int
+		layer schedule.Layer
+	}
+	byKey := make(map[key]int, len(st.cands))
+	for ci, c := range st.cands {
+		byKey[key{c.link, c.layer}] = ci
+	}
+	assign := make([]assignChoice, len(st.cands))
+	for i := range assign {
+		assign[i] = assignChoice{channel: -1}
+	}
+	for _, a := range seed.Schedule.Assignments {
+		ci, ok := byKey[key{a.Link, a.Layer}]
+		if !ok {
+			return // schedule references a non-candidate; skip seeding
+		}
+		assign[ci] = assignChoice{channel: a.Channel, level: a.Level}
+	}
+	st.bestVal = seed.Value
+	st.bestAssign = assign
+}
+
+// dfs explores candidate i with accumulated value.
+func (st *pricerState) dfs(i int, value float64) {
+	st.nodes++
+	if st.checks > st.budget {
+		st.halted = true
+		return
+	}
+	if value > st.bestVal {
+		st.bestVal = value
+		st.bestAssign = append([]assignChoice(nil), st.assign...)
+	}
+	if i >= len(st.cands) {
+		return
+	}
+	// Prune against max(incumbent, 1): schedules with pricing value
+	// ≤ 1 have non-negative reduced cost and are useless to the master
+	// problem, so subtrees that cannot exceed 1 need no exploration —
+	// completing the search still proves Φ ≥ 0 (convergence).
+	target := st.bestVal
+	if target < 1 {
+		target = 1 - 1e-12
+	}
+	if value+st.suffixBest[i] <= target+1e-15 {
+		return // optimistic bound cannot beat the incumbent/threshold
+	}
+
+	c := &st.cands[i]
+	lk := st.nw.Links[c.link]
+	// Half-duplex: the candidate may activate only if its nodes are
+	// free or already owned by the same link (its other layer-stream
+	// under the multi-channel extension).
+	ownTX, okTX := st.usedNode[lk.TXNode]
+	ownRX, okRX := st.usedNode[lk.RXNode]
+	nodeFree := (!okTX || ownTX == c.link) && (!okRX || ownRX == c.link)
+
+	if nodeFree {
+		claimedTX, claimedRX := false, false
+		if !okTX {
+			st.usedNode[lk.TXNode] = c.link
+			claimedTX = true
+		}
+		if !okRX {
+			st.usedNode[lk.RXNode] = c.link
+			claimedRX = true
+		}
+		release := func() {
+			if claimedTX {
+				delete(st.usedNode, lk.TXNode)
+			}
+			if claimedRX {
+				delete(st.usedNode, lk.RXNode)
+			}
+		}
+
+		// Try channels in descending direct-gain order: feasible
+		// high-gain placements first to tighten the incumbent early.
+		for _, k := range c.chOrder {
+			// A link's two layer-streams must ride distinct channels.
+			if sib := st.sibling[i]; sib >= 0 && st.assign[sib].channel == k {
+				continue
+			}
+			maxQ := c.qmax[k]
+			for q := maxQ; q >= 0; q-- {
+				if value+c.lam*st.nw.Rates.Rates[q]+st.suffixBest[i+1] <= target+1e-15 {
+					break // lower q only shrinks this branch's bound further
+				}
+				if !st.feasibleWith(k, i, q) {
+					continue
+				}
+				st.chActive[k] = append(st.chActive[k], i)
+				st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[q])
+				st.assign[i] = assignChoice{channel: k, level: q}
+
+				st.dfs(i+1, value+c.lam*st.nw.Rates.Rates[q])
+
+				st.chActive[k] = st.chActive[k][:len(st.chActive[k])-1]
+				st.chLevels[k] = st.chLevels[k][:len(st.chLevels[k])-1]
+				st.assign[i] = assignChoice{channel: -1}
+				if st.halted {
+					release()
+					return
+				}
+			}
+		}
+		release()
+	}
+
+	// Idle branch.
+	st.dfs(i+1, value)
+}
+
+// feasibleWith tests whether the current activation pattern plus
+// candidate ci on channel k at level q admits a power assignment
+// within PMax. Under the per-channel interference model only channel
+// k's active set matters; under the global model the whole
+// cross-channel pattern is checked.
+func (st *pricerState) feasibleWith(k, ci, q int) bool {
+	st.checks++
+	active := st.scratchLinks[:0]
+	chans := st.scratchChans[:0]
+	gammas := st.scratchGammas[:0]
+	if st.nw.Interference == netmodel.Global {
+		for kk := range st.chActive {
+			for idx, cj := range st.chActive[kk] {
+				active = append(active, st.cands[cj].link)
+				chans = append(chans, kk)
+				gammas = append(gammas, st.chLevels[kk][idx])
+			}
+		}
+	} else {
+		for idx, cj := range st.chActive[k] {
+			active = append(active, st.cands[cj].link)
+			chans = append(chans, k)
+			gammas = append(gammas, st.chLevels[k][idx])
+		}
+	}
+	active = append(active, st.cands[ci].link)
+	chans = append(chans, k)
+	gammas = append(gammas, st.nw.Rates.Gammas[q])
+	st.scratchLinks = active
+	st.scratchChans = chans
+	st.scratchGammas = gammas
+	if st.fixedPower {
+		return fixedPowerFeasible(st.nw, active, chans, gammas)
+	}
+	_, ok := st.nw.MinPowersAssigned(active, chans, gammas)
+	return ok
+}
+
+// fixedPowerFeasible checks the thresholds with every link at PMax.
+func fixedPowerFeasible(nw *netmodel.Network, active []int, chans []int, gammas []float64) bool {
+	powers := make([]float64, len(active))
+	for i := range powers {
+		powers[i] = nw.PMax
+	}
+	for i := range active {
+		if nw.SINRAssigned(i, active, chans, powers) < gammas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSchedule converts the best assignment into a schedule with
+// minimal feasible powers (PMax everywhere under FixedPower).
+func (st *pricerState) buildSchedule() (*schedule.Schedule, error) {
+	var cis, active, chans []int
+	var gammas []float64
+	for ci, a := range st.bestAssign {
+		if a.channel < 0 {
+			continue
+		}
+		cis = append(cis, ci)
+		active = append(active, st.cands[ci].link)
+		chans = append(chans, a.channel)
+		gammas = append(gammas, st.nw.Rates.Gammas[a.level])
+	}
+	var powers []float64
+	if st.fixedPower {
+		if !fixedPowerFeasible(st.nw, active, chans, gammas) {
+			return nil, fmt.Errorf("core: internal: best fixed-power assignment infeasible")
+		}
+		powers = make([]float64, len(active))
+		for i := range powers {
+			powers[i] = st.nw.PMax
+		}
+	} else {
+		var ok bool
+		powers, ok = st.nw.MinPowersAssigned(active, chans, gammas)
+		if !ok {
+			return nil, fmt.Errorf("core: internal: best assignment infeasible")
+		}
+	}
+	var out schedule.Schedule
+	for i, ci := range cis {
+		out.Assignments = append(out.Assignments, schedule.Assignment{
+			Link:    st.cands[ci].link,
+			Channel: chans[i],
+			Level:   st.bestAssign[ci].level,
+			Layer:   st.cands[ci].layer,
+			Power:   powers[i],
+		})
+	}
+	out.Normalize()
+	return &out, nil
+}
+
+// channelOrder returns channel indices sorted by descending direct gain
+// for the link.
+func channelOrder(nw *netmodel.Network, link int) []int {
+	order := make([]int, nw.NumChannels)
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return nw.Gains.Direct[link][order[a]] > nw.Gains.Direct[link][order[b]]
+	})
+	return order
+}
+
+// GreedyPricer is a fast heuristic pricer: it greedily activates
+// candidates in descending contribution order at the highest feasible
+// level on their best feasible channel. It never proves optimality
+// (Exact is false unless nothing is activatable) and serves as a
+// baseline for pricing-ablation experiments.
+type GreedyPricer struct{}
+
+var _ Pricer = GreedyPricer{}
+
+// String implements Pricer.
+func (GreedyPricer) String() string { return "greedy" }
+
+// Price implements Pricer.
+func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	L := nw.NumLinks()
+	if len(lambdaHP) != L || len(lambdaLP) != L {
+		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	}
+	type item struct {
+		link  int
+		layer schedule.Layer
+		lam   float64
+		best  float64
+	}
+	var items []item
+	var relax float64
+	for l := 0; l < L; l++ {
+		lam, layer := lambdaHP[l], schedule.HP
+		if lambdaLP[l] > lam {
+			lam, layer = lambdaLP[l], schedule.LP
+		}
+		if lam <= 1e-12 {
+			continue
+		}
+		bestRate := -1.0
+		for k := 0; k < nw.NumChannels; k++ {
+			sinr := nw.Gains.Direct[l][k] * nw.PMax / nw.Noise[l]
+			if q := nw.Rates.BestLevel(sinr); q >= 0 && nw.Rates.Rates[q] > bestRate {
+				bestRate = nw.Rates.Rates[q]
+			}
+		}
+		if bestRate < 0 {
+			continue
+		}
+		items = append(items, item{link: l, layer: layer, lam: lam, best: lam * bestRate})
+		relax += lam * bestRate
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].best > items[j].best })
+
+	var accLinks, accChans, accLevels []int
+	var accGammas []float64
+	var layers []schedule.Layer
+	usedNode := make(map[int]bool)
+	var value float64
+
+	tryAdd := func(l, k, q int) bool {
+		active := append(append([]int(nil), accLinks...), l)
+		chans := append(append([]int(nil), accChans...), k)
+		gammas := append(append([]float64(nil), accGammas...), nw.Rates.Gammas[q])
+		_, ok := nw.MinPowersAssigned(active, chans, gammas)
+		return ok
+	}
+
+	for _, it := range items {
+		lk := nw.Links[it.link]
+		if usedNode[lk.TXNode] || usedNode[lk.RXNode] {
+			continue
+		}
+		bestK, bestQ := -1, -1
+		for k := 0; k < nw.NumChannels; k++ {
+			solo := nw.Rates.BestLevel(nw.Gains.Direct[it.link][k] * nw.PMax / nw.Noise[it.link])
+			for q := solo; q >= 0; q-- {
+				if bestQ >= q {
+					break // cannot beat the incumbent channel choice
+				}
+				if tryAdd(it.link, k, q) {
+					bestK, bestQ = k, q
+					break
+				}
+			}
+		}
+		if bestK < 0 {
+			continue
+		}
+		accLinks = append(accLinks, it.link)
+		accChans = append(accChans, bestK)
+		accLevels = append(accLevels, bestQ)
+		accGammas = append(accGammas, nw.Rates.Gammas[bestQ])
+		layers = append(layers, it.layer)
+		usedNode[lk.TXNode] = true
+		usedNode[lk.RXNode] = true
+		value += it.lam * nw.Rates.Rates[bestQ]
+	}
+
+	if len(accLinks) == 0 {
+		return &PriceResult{Value: 0, Exact: len(items) == 0, RelaxValue: relax}, nil
+	}
+	powers, ok := nw.MinPowersAssigned(accLinks, accChans, accGammas)
+	if !ok {
+		return nil, fmt.Errorf("core: internal: greedy activation set infeasible")
+	}
+	var out schedule.Schedule
+	for i, l := range accLinks {
+		out.Assignments = append(out.Assignments, schedule.Assignment{
+			Link:    l,
+			Channel: accChans[i],
+			Level:   accLevels[i],
+			Layer:   layers[i],
+			Power:   powers[i],
+		})
+	}
+	out.Normalize()
+	return &PriceResult{Schedule: &out, Value: value, Exact: false, RelaxValue: relax}, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mmwave/internal/lp"
+	"mmwave/internal/netmodel"
+	"mmwave/internal/schedule"
+	"mmwave/internal/video"
+)
+
+// QualitySolver solves the quality-mode dual of problem P1: instead of
+// minimizing the time to serve all demand, it takes a fixed scheduling
+// time budget T (e.g. one GOP period) and maximizes the total received
+// video quality. Under the paper's MGS model (eq. 1,
+// PSNR = α + β·r_sum) quality is linear in delivered bits, so the
+// problem is the LP
+//
+//	max  Σ_l w_l·(y_l^hp + y_l^lp)
+//	s.t. y_l^λ ≤ Σ_s r_l^s(λ)·τ^s   (delivery)
+//	     y_l^λ ≤ d_l(λ)             (demand cap)
+//	     Σ_s τ^s ≤ T                (time budget)
+//	     τ, y ≥ 0
+//
+// over the same exponential schedule space as P1, solved by the same
+// column generation: the pricing sub-problem maximizes Σ α·r with the
+// delivery-row duals α, and a column improves iff its value exceeds
+// the budget row's dual magnitude |μ|.
+type QualitySolver struct {
+	nw      *netmodel.Network
+	demands []video.Demand
+	budget  float64
+	weights []float64
+	opts    Options
+	pool    *schedule.Pool
+
+	warmBasis []lp.BasisVar
+}
+
+// QualityResult is the outcome of a quality-mode solve.
+type QualityResult struct {
+	Plan      Plan           // schedules and durations, Σ τ ≤ budget
+	Delivered []video.Demand // bits credited per link and layer (≤ demand)
+	Quality   float64        // Σ w·delivered, the LP objective
+	// Iterations counts column-generation rounds.
+	Iterations int
+	// Converged reports proven optimality (exact pricing and no
+	// improving column).
+	Converged bool
+}
+
+// PSNR returns link l's reconstructed quality for a session with the
+// given rate-quality model, assuming the delivered bits are spread
+// over one GOP of the given duration.
+func (r *QualityResult) PSNR(l int, q video.Quality, gopSeconds float64) float64 {
+	if gopSeconds <= 0 {
+		return 0
+	}
+	rate := r.Delivered[l].Total() / gopSeconds / 1e6 // Mb/s, the model's unit
+	return q.PSNR(rate)
+}
+
+// NewQualitySolver validates the instance and seeds the column pool.
+// weights holds one quality-per-bit weight per link (e.g. the MGS β of
+// each session); nil means uniform weights.
+func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSeconds float64, weights []float64, opts Options) (*QualitySolver, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network: %w", err)
+	}
+	if len(demands) != nw.NumLinks() {
+		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	}
+	for l, d := range demands {
+		if !d.Valid() {
+			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
+		}
+	}
+	if budgetSeconds < 0 || math.IsNaN(budgetSeconds) || math.IsInf(budgetSeconds, 0) {
+		return nil, fmt.Errorf("core: invalid time budget %g", budgetSeconds)
+	}
+	if weights == nil {
+		weights = make([]float64, nw.NumLinks())
+		for l := range weights {
+			weights[l] = 1
+		}
+	}
+	if len(weights) != nw.NumLinks() {
+		return nil, fmt.Errorf("core: %d weights for %d links", len(weights), nw.NumLinks())
+	}
+	for l, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("core: invalid weight %g on link %d", w, l)
+		}
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 500
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-7
+	}
+	if opts.Pricer == nil {
+		opts.Pricer = NewBranchBoundPricer(0)
+	}
+	s := &QualitySolver{
+		nw:      nw,
+		demands: demands,
+		budget:  budgetSeconds,
+		weights: append([]float64(nil), weights...),
+		opts:    opts,
+		pool:    schedule.NewPool(),
+	}
+	for _, sc := range schedule.TDMA(nw) {
+		s.pool.Add(sc)
+	}
+	return s, nil
+}
+
+// errQualityMaster wraps master-LP failures with context.
+var errQualityMaster = errors.New("core: quality master problem")
+
+// Solve runs column generation to convergence or the iteration cap.
+func (s *QualitySolver) Solve() (*QualityResult, error) {
+	L := s.nw.NumLinks()
+	res := &QualityResult{}
+	for iter := 0; ; iter++ {
+		sol, err := s.solveMaster()
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = iter + 1
+
+		if iter >= s.opts.MaxIterations-1 {
+			s.extract(sol, res)
+			return res, nil
+		}
+
+		// Duals: rows 0..2L-1 are delivery rows (GE → α ≥ 0); the
+		// budget row is the last (LE → μ ≤ 0).
+		alphaHP := make([]float64, L)
+		alphaLP := make([]float64, L)
+		for l := 0; l < L; l++ {
+			alphaHP[l] = math.Max(0, sol.Dual[l])
+			alphaLP[l] = math.Max(0, sol.Dual[L+l])
+		}
+		mu := math.Min(0, sol.Dual[4*L])
+
+		// Scale so the pricer's improvement threshold of 1 corresponds
+		// to |μ|: a column improves iff Σ α·r > |μ|.
+		denom := math.Max(-mu, 1e-18)
+		scaledHP := make([]float64, L)
+		scaledLP := make([]float64, L)
+		for l := 0; l < L; l++ {
+			scaledHP[l] = alphaHP[l] / denom
+			scaledLP[l] = alphaLP[l] / denom
+		}
+
+		pr, err := s.opts.Pricer.Price(s.nw, scaledHP, scaledLP)
+		if err != nil {
+			return nil, fmt.Errorf("core: quality pricing failed at iteration %d: %w", iter, err)
+		}
+		if pr.Schedule == nil || pr.Value <= 1+s.opts.Tolerance {
+			s.extract(sol, res)
+			res.Converged = pr.Exact
+			return res, nil
+		}
+		if _, added := s.pool.Add(pr.Schedule); !added {
+			s.extract(sol, res) // numerical stall: accept current solution
+			return res, nil
+		}
+	}
+}
+
+// solveMaster builds and solves the quality LP over the current pool.
+// Variable layout: [y_hp (L)] [y_lp (L)] [τ_s (n)] — y first so that
+// variable indices (and therefore warm-start bases) stay valid as the
+// pool appends columns between iterations.
+// Row layout: delivery hp (L), delivery lp (L), caps hp (L), caps lp
+// (L), budget (1).
+func (s *QualitySolver) solveMaster() (*lp.Solution, error) {
+	n := s.pool.Len()
+	L := s.nw.NumLinks()
+	nVars := n + 2*L
+
+	costs := make([]float64, nVars)
+	for l := 0; l < L; l++ {
+		costs[l] = -s.weights[l] // maximize → minimize negative
+		costs[L+l] = -s.weights[l]
+	}
+	p := lp.NewProblem(costs)
+	tau := func(j int) int { return 2*L + j }
+
+	colHP := make([][]float64, n)
+	colLP := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		colHP[j], colLP[j] = s.pool.At(j).RateVectors(s.nw)
+	}
+
+	// Delivery rows: Σ_s r·τ − y ≥ 0.
+	for l := 0; l < L; l++ {
+		row := make([]float64, nVars)
+		for j := 0; j < n; j++ {
+			row[tau(j)] = colHP[j][l]
+		}
+		row[l] = -1
+		p.AddRow(row, lp.GE, 0)
+	}
+	for l := 0; l < L; l++ {
+		row := make([]float64, nVars)
+		for j := 0; j < n; j++ {
+			row[tau(j)] = colLP[j][l]
+		}
+		row[L+l] = -1
+		p.AddRow(row, lp.GE, 0)
+	}
+	// Caps: y ≤ d.
+	for l := 0; l < L; l++ {
+		row := make([]float64, nVars)
+		row[l] = 1
+		p.AddRow(row, lp.LE, s.demands[l].HP)
+	}
+	for l := 0; l < L; l++ {
+		row := make([]float64, nVars)
+		row[L+l] = 1
+		p.AddRow(row, lp.LE, s.demands[l].LP)
+	}
+	// Budget: Σ τ ≤ T.
+	row := make([]float64, nVars)
+	for j := 0; j < n; j++ {
+		row[tau(j)] = 1
+	}
+	p.AddRow(row, lp.LE, s.budget)
+
+	lpOpts := s.opts.LP
+	lpOpts.WarmBasis = s.warmBasis
+	sol, err := lp.SolveWith(p, lpOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errQualityMaster, err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		return nil, fmt.Errorf("%w: status %v", errQualityMaster, sol.Status)
+	}
+	s.warmBasis = sol.Basis
+	return sol, nil
+}
+
+// extract reads the plan and delivered volumes out of a master
+// solution. Structural variables: τ first, then y.
+func (s *QualitySolver) extract(sol *lp.Solution, res *QualityResult) {
+	n := s.pool.Len()
+	L := s.nw.NumLinks()
+	res.Plan = Plan{}
+	for j := 0; j < n; j++ {
+		if v := sol.X[2*L+j]; v > 1e-9 {
+			res.Plan.Schedules = append(res.Plan.Schedules, s.pool.At(j))
+			res.Plan.Tau = append(res.Plan.Tau, v)
+			res.Plan.Objective += v
+		}
+	}
+	res.Delivered = make([]video.Demand, L)
+	res.Quality = 0
+	for l := 0; l < L; l++ {
+		res.Delivered[l] = video.Demand{HP: sol.X[l], LP: sol.X[L+l]}
+		res.Quality += s.weights[l] * res.Delivered[l].Total()
+	}
+}

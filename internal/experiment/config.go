@@ -1,0 +1,139 @@
+// Package experiment reproduces the paper's evaluation (§VI): it
+// generates random network instances per Table I, runs the proposed
+// column-generation scheduler and the benchmark schemes through the
+// slot-level simulator, aggregates repetitions into means with 95%
+// confidence intervals, and renders the series behind each figure.
+package experiment
+
+import (
+	"fmt"
+
+	"mmwave/internal/geom"
+	"mmwave/internal/video"
+	"mmwave/internal/video/trace"
+)
+
+// Config holds every knob of a simulation campaign. DefaultConfig
+// reproduces Table I of the paper.
+type Config struct {
+	NumLinks    int       // ‖L‖
+	NumChannels int       // ‖K‖
+	PMax        float64   // W
+	Noise       float64   // ρ, W
+	BandwidthHz float64   // W (channel bandwidth)
+	Gammas      []float64 // SINR threshold vector Γ
+
+	SlotDuration float64 // seconds per time slot
+
+	Room       geom.Room // deployment area for link placement
+	LinkLenMin float64   // minimum TX–RX distance, m
+	LinkLenMax float64   // maximum TX–RX distance, m
+
+	// ChannelModel selects the gain generator: "table-i" (the paper's
+	// U[0,1] model), "path-loss" (geometric 60 GHz model), or "rician"
+	// (path loss with Rician small-scale fading).
+	ChannelModel string
+
+	// RateModel selects the discrete rate table: "shannon" (the
+	// paper's eq.-2 levels over Gammas) or "80211ad" (the IEEE
+	// 802.11ad single-carrier MCS set; Gammas is ignored).
+	RateModel string
+
+	// Interference selects the interference accounting: "global" (the
+	// paper's SP formulation, eqs. 26–28 — interference from every
+	// concurrent transmitter; reproduces the paper's scaling trends) or
+	// "per-channel" (the physical model of eq. 3).
+	Interference string
+
+	// DemandScale multiplies every link's per-GOP demand (the Fig. 2
+	// sweep variable).
+	DemandScale float64
+
+	Video video.Session // rate-quality model and HP share
+	Trace trace.Config  // synthetic H.264 trace parameters
+
+	Seeds int   // repetitions per point (the paper uses 50)
+	Seed  int64 // base seed; repetition r uses stream (Seed, r)
+
+	// PricerBudget caps pricing search nodes (0 = package default).
+	PricerBudget int
+	// MaxIterations caps column-generation rounds (0 = default).
+	MaxIterations int
+	// GapTarget stops column generation early at this relative
+	// optimality gap (0 = solve to optimality).
+	GapTarget float64
+	// FixedPower disables power adaptation in the proposed scheme
+	// (ablation).
+	FixedPower bool
+	// GreedyPricing swaps the exact pricer for the greedy heuristic
+	// (ablation).
+	GreedyPricing bool
+	// MultiChannel enables the §III extension: a link may carry HP and
+	// LP on different channels in the same slot.
+	MultiChannel bool
+}
+
+// DefaultConfig returns the paper's Table I parameters: 30 links, 5
+// channels, PMax 1 W, noise 0.1 W, 200 MHz channels, Γ = {0.1,…,0.5},
+// H.264 HD trace at 171.44 Mb/s, 50 repetitions.
+func DefaultConfig() Config {
+	return Config{
+		NumLinks:     30,
+		NumChannels:  5,
+		PMax:         1,
+		Noise:        0.1,
+		BandwidthHz:  200e6,
+		Gammas:       []float64{0.1, 0.2, 0.3, 0.4, 0.5},
+		SlotDuration: 1e-3,
+		Room:         geom.Room{Width: 20, Height: 20},
+		LinkLenMin:   1,
+		LinkLenMax:   8,
+		ChannelModel: "table-i",
+		RateModel:    "shannon",
+		Interference: "global",
+		DemandScale:  1,
+		Video:        video.DefaultSession(),
+		Trace:        trace.DefaultConfig(),
+		Seeds:        50,
+		Seed:         1,
+		PricerBudget: 6000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumLinks <= 0:
+		return fmt.Errorf("experiment: NumLinks = %d, want > 0", c.NumLinks)
+	case c.NumChannels <= 0:
+		return fmt.Errorf("experiment: NumChannels = %d, want > 0", c.NumChannels)
+	case c.PMax <= 0:
+		return fmt.Errorf("experiment: PMax = %g, want > 0", c.PMax)
+	case c.Noise <= 0:
+		return fmt.Errorf("experiment: Noise = %g, want > 0", c.Noise)
+	case c.BandwidthHz <= 0:
+		return fmt.Errorf("experiment: BandwidthHz = %g, want > 0", c.BandwidthHz)
+	case len(c.Gammas) == 0:
+		return fmt.Errorf("experiment: empty SINR threshold vector")
+	case c.SlotDuration <= 0:
+		return fmt.Errorf("experiment: SlotDuration = %g, want > 0", c.SlotDuration)
+	case c.DemandScale < 0:
+		return fmt.Errorf("experiment: DemandScale = %g, want ≥ 0", c.DemandScale)
+	case c.Seeds <= 0:
+		return fmt.Errorf("experiment: Seeds = %d, want > 0", c.Seeds)
+	case c.ChannelModel != "table-i" && c.ChannelModel != "path-loss" && c.ChannelModel != "rician":
+		return fmt.Errorf("experiment: unknown channel model %q", c.ChannelModel)
+	case c.RateModel != "" && c.RateModel != "shannon" && c.RateModel != "80211ad":
+		return fmt.Errorf("experiment: unknown rate model %q", c.RateModel)
+	case c.Interference != "global" && c.Interference != "per-channel":
+		return fmt.Errorf("experiment: unknown interference model %q", c.Interference)
+	}
+	return c.Trace.Validate()
+}
+
+// String summarizes the config in one line for experiment records.
+func (c Config) String() string {
+	return fmt.Sprintf("L=%d K=%d Pmax=%gW ρ=%gW W=%gMHz Γ=%v slot=%gms demand×%g model=%s interference=%s seeds=%d",
+		c.NumLinks, c.NumChannels, c.PMax, c.Noise, c.BandwidthHz/1e6, c.Gammas,
+		c.SlotDuration*1e3, c.DemandScale, c.ChannelModel, c.Interference, c.Seeds)
+}

@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mmwave/internal/stats"
+)
+
+// Point is one aggregated measurement on a figure series.
+type Point struct {
+	X    float64 // sweep value (number of links, demand scale, …)
+	Mean float64
+	CI95 float64 // half-width of the 95% confidence interval
+	N    int     // repetitions aggregated
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced evaluation figure: labeled series over a
+// sweep.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// metric extracts a scalar from one run.
+type metric func(*RunResult) float64
+
+// sweepFigure runs every algorithm over every sweep value with
+// cfg.Seeds repetitions, aggregating the metric into series.
+func sweepFigure(cfg Config, algos []Algorithm, xs []float64, apply func(Config, float64) Config, m metric) ([]Series, error) {
+	series := make([]Series, len(algos))
+	for i, a := range algos {
+		series[i].Name = string(a)
+	}
+	for _, x := range xs {
+		pointCfg := apply(cfg, x)
+		if err := pointCfg.Validate(); err != nil {
+			return nil, err
+		}
+		sums := make([]stats.Summary, len(algos))
+		for rep := 0; rep < pointCfg.Seeds; rep++ {
+			rng := stats.Fork(pointCfg.Seed, int64(rep))
+			inst, err := NewInstance(pointCfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			for ai, algo := range algos {
+				res, err := RunOn(pointCfg, algo, inst)
+				if err != nil {
+					return nil, fmt.Errorf("x=%g rep=%d: %w", x, rep, err)
+				}
+				sums[ai].Add(m(res))
+			}
+		}
+		for ai := range algos {
+			series[ai].Points = append(series[ai].Points, Point{
+				X: x, Mean: sums[ai].Mean, CI95: sums[ai].CI95(), N: sums[ai].N,
+			})
+		}
+	}
+	return series, nil
+}
+
+// DefaultLinkSweep is the ‖L‖ sweep of Figs. 1–3.
+func DefaultLinkSweep() []float64 { return []float64{10, 15, 20, 25, 30} }
+
+// DefaultDemandSweep is the traffic-demand sweep of Fig. 2 (multiples
+// of the nominal per-GOP demand).
+func DefaultDemandSweep() []float64 { return []float64{0.5, 1, 1.5, 2, 2.5} }
+
+// Fig1 reproduces Figure 1: overall scheduling time (seconds) versus
+// the number of links, for the proposed scheme and both benchmarks.
+func Fig1(cfg Config, linkCounts []float64) (*Figure, error) {
+	if linkCounts == nil {
+		linkCounts = DefaultLinkSweep()
+	}
+	series, err := sweepFigure(cfg, AllAlgorithms(), linkCounts,
+		func(c Config, x float64) Config { c.NumLinks = int(x); return c },
+		func(r *RunResult) float64 { return r.Exec.TotalTime })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig1",
+		Title:  "Overall scheduling time versus number of links",
+		XLabel: "number of links",
+		YLabel: "scheduling time (s)",
+		Series: series,
+	}, nil
+}
+
+// Fig2 reproduces Figure 2: average per-link delay versus traffic
+// demand (the body text sweeps demand; the caption axis label says
+// links — we follow the text and sweep the demand scale).
+func Fig2(cfg Config, demandScales []float64) (*Figure, error) {
+	if demandScales == nil {
+		demandScales = DefaultDemandSweep()
+	}
+	series, err := sweepFigure(cfg, AllAlgorithms(), demandScales,
+		func(c Config, x float64) Config { c.DemandScale = x; return c },
+		func(r *RunResult) float64 { return r.Exec.AverageDelay() })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig2",
+		Title:  "Average delay versus per-link traffic demand",
+		XLabel: "traffic demand (× nominal GOP volume)",
+		YLabel: "average delay (s)",
+		Series: series,
+	}, nil
+}
+
+// Fig3 reproduces Figure 3: Jain fairness index of per-link delay
+// versus the number of links.
+func Fig3(cfg Config, linkCounts []float64) (*Figure, error) {
+	if linkCounts == nil {
+		linkCounts = DefaultLinkSweep()
+	}
+	series, err := sweepFigure(cfg, AllAlgorithms(), linkCounts,
+		func(c Config, x float64) Config { c.NumLinks = int(x); return c },
+		func(r *RunResult) float64 { return stats.Jain(r.Exec.Completion) })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:     "fig3",
+		Title:  "Fairness (Jain index of per-link delay) versus number of links",
+		XLabel: "number of links",
+		YLabel: "Jain fairness index",
+		Series: series,
+	}, nil
+}
+
+// Convergence is the Fig. 4 record: per-iteration bounds and reduced
+// cost of one column-generation solve.
+type Convergence struct {
+	Iter  []int
+	Upper []float64 // MP objective (upper bound)
+	Lower []float64 // best Theorem-1 lower bound so far
+	Phi   []float64 // most negative reduced cost
+}
+
+// Fig4 reproduces Figure 4: the convergence trace of the proposed
+// algorithm on one instance (repetition rep of the config).
+func Fig4(cfg Config, rep int) (*Convergence, error) {
+	res, err := RunOnce(cfg, Proposed, rep)
+	if err != nil {
+		return nil, err
+	}
+	conv := &Convergence{}
+	for _, it := range res.Solver.Iterations {
+		conv.Iter = append(conv.Iter, it.Iter)
+		conv.Upper = append(conv.Upper, it.Upper)
+		conv.Lower = append(conv.Lower, it.BestLower)
+		conv.Phi = append(conv.Phi, it.Phi)
+	}
+	return conv, nil
+}
+
+// AblationVariant names one design-choice ablation of the proposed
+// scheme.
+type AblationVariant string
+
+// Ablation variants (DESIGN.md §4).
+const (
+	AblationFull        AblationVariant = "full"           // everything on
+	AblationFixedPower  AblationVariant = "fixed-power"    // no power adaptation
+	AblationSingleChan  AblationVariant = "single-channel" // ‖K‖ = 1
+	AblationGreedyPrice AblationVariant = "greedy-pricing" // heuristic pricer
+	AblationPhysical    AblationVariant = "per-channel-interference"
+	AblationMultiChan   AblationVariant = "multi-channel-access" // §III extension
+)
+
+// AllAblations lists the variants compared by the ablation study.
+func AllAblations() []AblationVariant {
+	return []AblationVariant{
+		AblationFull, AblationFixedPower, AblationSingleChan,
+		AblationGreedyPrice, AblationPhysical, AblationMultiChan,
+	}
+}
+
+// Ablation measures total scheduling time of the proposed scheme under
+// each design-choice ablation, at the config's scale.
+func Ablation(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation",
+		Title:  "Design ablations of the proposed scheme (scheduling time)",
+		XLabel: "repetition-aggregated",
+		YLabel: "scheduling time (s)",
+	}
+	for _, v := range AllAblations() {
+		vcfg := cfg
+		switch v {
+		case AblationFixedPower:
+			vcfg.FixedPower = true
+		case AblationSingleChan:
+			vcfg.NumChannels = 1
+		case AblationGreedyPrice:
+			vcfg.GreedyPricing = true
+		case AblationPhysical:
+			vcfg.Interference = "per-channel"
+		case AblationMultiChan:
+			vcfg.MultiChannel = true
+		}
+		var sum stats.Summary
+		for rep := 0; rep < vcfg.Seeds; rep++ {
+			res, err := RunOnce(vcfg, Proposed, rep)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s rep %d: %w", v, rep, err)
+			}
+			sum.Add(res.Exec.TotalTime)
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   string(v),
+			Points: []Point{{X: float64(cfg.NumLinks), Mean: sum.Mean, CI95: sum.CI95(), N: sum.N}},
+		})
+	}
+	return fig, nil
+}

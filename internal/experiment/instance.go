@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mmwave/internal/channel"
+	"mmwave/internal/netmodel"
+	"mmwave/internal/video"
+	"mmwave/internal/video/trace"
+)
+
+// Instance is one drawn simulation scenario: a network plus the
+// per-link video demands for the scheduling period (one GOP).
+type Instance struct {
+	Network *netmodel.Network
+	Demands []video.Demand
+}
+
+// NewInstance draws a network and demands from the config using rng.
+// Instances are redrawn (bounded retries) until every link can reach
+// the lowest rate level alone at PMax, matching the paper's implicit
+// assumption that each link's demand is servable.
+func NewInstance(cfg Config, rng *rand.Rand) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	const maxTries = 200
+	for try := 0; try < maxTries; try++ {
+		nw, err := drawNetwork(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		servable := true
+		for l := 0; l < nw.NumLinks() && servable; l++ {
+			_, sinr := nw.BestSingleLinkChannel(l)
+			servable = nw.Rates.BestLevel(sinr) >= 0
+		}
+		if !servable {
+			continue
+		}
+		demands, err := drawDemands(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Network: nw, Demands: demands}, nil
+	}
+	return nil, fmt.Errorf("experiment: no servable instance in %d draws (thresholds too high for the gain model?)", maxTries)
+}
+
+// drawNetwork samples the gain structure and topology.
+func drawNetwork(cfg Config, rng *rand.Rand) (*netmodel.Network, error) {
+	segs := cfg.Room.PlaceLinks(rng, cfg.NumLinks, cfg.LinkLenMin, cfg.LinkLenMax)
+	var gen channel.Generator
+	switch cfg.ChannelModel {
+	case "table-i":
+		gen = channel.TableI{}
+	case "path-loss":
+		gen = channel.DefaultPathLoss()
+	case "rician":
+		gen = channel.Rician{K: 6, Base: channel.DefaultPathLoss()}
+	default:
+		return nil, fmt.Errorf("experiment: unknown channel model %q", cfg.ChannelModel)
+	}
+	gains := gen.Generate(rng, segs, cfg.NumChannels)
+
+	links := make([]netmodel.Link, cfg.NumLinks)
+	noise := make([]float64, cfg.NumLinks)
+	for i := range links {
+		links[i] = netmodel.Link{TXNode: 2 * i, RXNode: 2*i + 1, Seg: segs[i]}
+		noise[i] = cfg.Noise
+	}
+	rates := netmodel.NewShannonRateTable(cfg.BandwidthHz, cfg.Gammas)
+	if cfg.RateModel == "80211ad" {
+		rates = netmodel.IEEE80211adSCRateTable()
+	}
+	interference := netmodel.Global
+	if cfg.Interference == "per-channel" {
+		interference = netmodel.PerChannel
+	}
+	nw := &netmodel.Network{
+		Links:        links,
+		NumChannels:  cfg.NumChannels,
+		Gains:        gains,
+		Noise:        noise,
+		PMax:         cfg.PMax,
+		Rates:        rates,
+		BandwidthHz:  cfg.BandwidthHz,
+		Interference: interference,
+		MultiChannel: cfg.MultiChannel,
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: drawn network invalid: %w", err)
+	}
+	return nw, nil
+}
+
+// drawDemands samples each link's next-GOP HP/LP demand from the
+// synthetic trace generator.
+func drawDemands(cfg Config, rng *rand.Rand) ([]video.Demand, error) {
+	gen, err := trace.NewGenerator(cfg.Trace, rng)
+	if err != nil {
+		return nil, err
+	}
+	demands := make([]video.Demand, cfg.NumLinks)
+	for l := range demands {
+		demands[l] = gen.NextDemand(cfg.Video).Scale(cfg.DemandScale)
+	}
+	return demands, nil
+}

@@ -1,0 +1,118 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDualSignsMixedSenses(t *testing.T) {
+	// min x1 + 2·x2
+	// s.t. x1 + x2 ≥ 4   (binding GE → dual ≥ 0)
+	//      x1      ≤ 3   (binding LE → dual ≤ 0)
+	// Optimum: x1 = 3, x2 = 1, obj = 5.
+	p := NewProblem([]float64{1, 2})
+	p.AddRow([]float64{1, 1}, GE, 4)
+	p.AddRow([]float64{1, 0}, LE, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-5) > 1e-9 {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+	if sol.Dual[0] < -1e-9 {
+		t.Errorf("GE dual = %v, want ≥ 0", sol.Dual[0])
+	}
+	if sol.Dual[1] > 1e-9 {
+		t.Errorf("LE dual = %v, want ≤ 0", sol.Dual[1])
+	}
+	// Strong duality: y1·4 + y2·3 = 5. With y1 = 2, y2 = −1.
+	if math.Abs(sol.Dual[0]-2) > 1e-9 || math.Abs(sol.Dual[1]+1) > 1e-9 {
+		t.Errorf("duals = %v, want [2, -1]", sol.Dual)
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := NewProblem([]float64{1, 1, 1, 1})
+	p.AddRow([]float64{1, 2, 3, 4}, GE, 10)
+	p.AddRow([]float64{4, 3, 2, 1}, GE, 10)
+	sol, err := SolveWith(p, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusIterLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestZeroRHSDegenerate(t *testing.T) {
+	// All-zero rhs with GE rows: x = 0 is optimal, heavy degeneracy.
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{1, -1}, GE, 0)
+	p.AddRow([]float64{-1, 1}, GE, 0)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 0", sol.Status, sol.Objective)
+	}
+}
+
+func TestTightColumnGenerationLoop(t *testing.T) {
+	// Simulate a miniature column-generation interaction directly on
+	// the LP layer: start with identity-ish columns, iteratively add a
+	// strictly improving column, and require monotone objectives.
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 0}, GE, 4)
+	p.AddRow([]float64{0, 2}, GE, 4)
+	prev := math.Inf(1)
+	for iter := 0; iter < 3; iter++ {
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("iter %d status %v", iter, sol.Status)
+		}
+		if sol.Objective > prev+1e-9 {
+			t.Fatalf("objective rose from %v to %v", prev, sol.Objective)
+		}
+		prev = sol.Objective
+		// Add a column covering both rows at increasing strength.
+		if _, err := p.AddColumn(1, []float64{3 + float64(iter), 3 + float64(iter)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best column covers both rows at 5 per unit → τ = 4/5.
+	if math.Abs(final.Objective-0.8) > 1e-9 {
+		t.Errorf("final objective = %v, want 0.8", final.Objective)
+	}
+}
+
+func TestAllZeroObjective(t *testing.T) {
+	// Feasibility-only problem: any feasible vertex, objective 0.
+	p := NewProblem([]float64{0, 0})
+	p.AddRow([]float64{1, 1}, GE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || sol.Objective != 0 {
+		t.Fatalf("got %v / %v", sol.Status, sol.Objective)
+	}
+	var lhs float64
+	for j, x := range sol.X {
+		lhs += p.A[0][j] * x
+	}
+	if lhs < 2-1e-9 {
+		t.Errorf("returned point infeasible: %v", sol.X)
+	}
+}

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualSimplexAfterRHSIncrease(t *testing.T) {
+	// Solve, then tighten the demands: the old basis is dual feasible
+	// but primal infeasible — the warm path must repair it and agree
+	// with a cold solve.
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 1}, GE, 4)
+	p.AddRow([]float64{1, 3}, GE, 6)
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.B[0] = 8 // demand doubled
+	p.B[1] = 9
+	warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal || cold.Status != StatusOptimal {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+cold.Objective) {
+		t.Errorf("warm %v != cold %v", warm.Objective, cold.Objective)
+	}
+	// Feasibility of the warm answer on the new data.
+	for i, row := range p.A {
+		var lhs float64
+		for j := range row {
+			lhs += row[j] * warm.X[j]
+		}
+		if lhs < p.B[i]-1e-6 {
+			t.Errorf("warm point violates row %d", i)
+		}
+	}
+}
+
+func TestDualSimplexDetectsInfeasible(t *testing.T) {
+	// x ≤ 3 with x ≥ 0 solved, then the LE bound pushed negative: the
+	// warm dual-simplex path must report infeasibility (cold start
+	// agrees).
+	p := NewProblem([]float64{1})
+	p.AddRow([]float64{1}, LE, 3)
+	p.AddRow([]float64{1}, GE, 1)
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.B[0] = 0.5
+	p.B[1] = 2 // now 2 ≤ x ≤ 0.5: empty
+	warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusInfeasible {
+		t.Fatalf("warm status = %v, want infeasible", warm.Status)
+	}
+}
+
+func TestDualSimplexPropertyRHSPerturbation(t *testing.T) {
+	// Random colgen-shaped LPs, random RHS perturbations: warm and cold
+	// solves must agree in status and objective.
+	rng := rand.New(rand.NewSource(151))
+	check := func(uint32) bool {
+		p := randomFeasibleLP(rng, 2+rng.Intn(6), 1+rng.Intn(5))
+		first, err := Solve(p)
+		if err != nil || first.Status != StatusOptimal {
+			return false
+		}
+		for i := range p.B {
+			p.B[i] *= 0.5 + rng.Float64()*2 // scale each demand in [0.5, 2.5)
+		}
+		warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+		if err != nil {
+			return false
+		}
+		cold, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if warm.Status != cold.Status {
+			return false
+		}
+		if warm.Status != StatusOptimal {
+			return true
+		}
+		return math.Abs(warm.Objective-cold.Objective) <= 1e-6*(1+math.Abs(cold.Objective))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualSimplexSkipsPhase1(t *testing.T) {
+	// The warm path after an RHS change should pivot fewer times than
+	// a two-phase cold start on a moderately sized problem.
+	rng := rand.New(rand.NewSource(157))
+	p := randomFeasibleLP(rng, 24, 14)
+	first, err := Solve(p)
+	if err != nil || first.Status != StatusOptimal {
+		t.Fatal("setup solve failed")
+	}
+	for i := range p.B {
+		p.B[i] *= 1.3
+	}
+	warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm used %d pivots, cold %d — dual warm start should not pivot more",
+			warm.Iterations, cold.Iterations)
+	}
+}

@@ -1,0 +1,51 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"mmwave/internal/lp"
+)
+
+// ExampleSolve shows the basic minimize-subject-to workflow.
+func ExampleSolve() {
+	// min x + y  s.t.  2x + y ≥ 4,  x + 3y ≥ 6
+	p := lp.NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 1}, lp.GE, 4)
+	p.AddRow([]float64{1, 3}, lp.GE, 6)
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	fmt.Printf("objective: %.3f\n", sol.Objective)
+	fmt.Printf("x = %.3f, y = %.3f\n", sol.X[0], sol.X[1])
+	// Output:
+	// status: optimal
+	// objective: 2.800
+	// x = 1.200, y = 1.600
+}
+
+// ExampleProblem_AddColumn shows the column-generation access pattern:
+// solve, read duals, append an improving column, warm re-solve.
+func ExampleProblem_AddColumn() {
+	// Cover two demand rows with one generic column, then add a column
+	// specialized for row 2.
+	p := lp.NewProblem([]float64{1})
+	p.AddRow([]float64{1}, lp.GE, 2)
+	p.AddRow([]float64{1}, lp.GE, 3)
+
+	first, _ := lp.Solve(p)
+	fmt.Printf("initial objective: %.1f\n", first.Objective)
+
+	// The duals price new columns: a column with Σ dual·coef > cost
+	// improves the solution.
+	if _, err := p.AddColumn(1, []float64{0, 3}); err != nil {
+		panic(err)
+	}
+	second, _ := lp.SolveWith(p, lp.Options{WarmBasis: first.Basis})
+	fmt.Printf("after new column: %.2f\n", second.Objective)
+	// Output:
+	// initial objective: 3.0
+	// after new column: 2.33
+}

@@ -1,0 +1,49 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMixedScaleRatioTest reproduces a field failure: rows mixing
+// O(1e8) rate coefficients with unit coefficients produce genuinely
+// small (≈1e-8) basis-direction entries after equilibration; a ratio
+// test that skips them lets theta run past the budget row and returns
+// an infeasible "optimum". This is the quality-mode master problem's
+// shape.
+func TestMixedScaleRatioTest(t *testing.T) {
+	// vars: [y1, y2, τ1, τ2]; max y1+y2 s.t. delivery, caps, budget.
+	p := NewProblem([]float64{-1, -1, 0, 0})
+	p.AddRow([]float64{-1, 0, 1e8, 0}, GE, 0)
+	p.AddRow([]float64{0, -1, 0, 0.8e8}, GE, 0)
+	p.AddRow([]float64{1, 0, 0, 0}, LE, 1e7)
+	p.AddRow([]float64{0, 1, 0, 0}, LE, 2e7)
+	p.AddRow([]float64{0, 0, 1, 1}, LE, 0.01)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// All budget on the faster link: y1 = 1e8·0.01 = 1e6.
+	if math.Abs(sol.Objective+1e6) > 1 {
+		t.Errorf("objective = %v, want -1e6", sol.Objective)
+	}
+	for i, row := range p.A {
+		var lhs float64
+		for j := range row {
+			lhs += row[j] * sol.X[j]
+		}
+		switch p.Rel[i] {
+		case GE:
+			if lhs < p.B[i]-1e-6*(1+math.Abs(p.B[i])) {
+				t.Errorf("row %d violated: %v < %v", i, lhs, p.B[i])
+			}
+		case LE:
+			if lhs > p.B[i]+1e-6*(1+math.Abs(p.B[i])) {
+				t.Errorf("row %d violated: %v > %v", i, lhs, p.B[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,820 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// SolveWith optimizes the problem with explicit options using the
+// two-phase revised simplex method.
+func SolveWith(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20000 + 50*(p.NumRows()+p.NumVars())
+	}
+
+	if p.NumRows() == 0 {
+		// With x ≥ 0 and no rows, the optimum is x = 0 unless some
+		// cost is negative (then the LP is unbounded).
+		for _, c := range p.C {
+			if c < -tol {
+				return &Solution{Status: StatusUnbounded, X: make([]float64, p.NumVars())}, nil
+			}
+		}
+		return &Solution{
+			Status: StatusOptimal,
+			X:      make([]float64, p.NumVars()),
+			Dual:   nil,
+		}, nil
+	}
+
+	t := newTableau(p, tol)
+
+	iters1 := 0
+	switch t.tryWarmStart(opt.WarmBasis) {
+	case warmPrimalFeasible:
+		// Straight to phase 2.
+	case warmDualFeasible:
+		// The basis factorizes and prices out non-negatively (typical
+		// after a right-hand-side change, e.g. a demand update): the
+		// dual simplex restores primal feasibility without phase 1.
+		st, it := t.runDual(t.phase2Costs(), maxIter)
+		iters1 = it
+		switch st {
+		case StatusIterLimit:
+			return &Solution{Status: StatusIterLimit, Iterations: iters1}, nil
+		case StatusInfeasible:
+			return &Solution{Status: StatusInfeasible, Iterations: iters1}, nil
+		}
+	default:
+		// Phase 1: minimize the sum of artificial variables.
+		var st Status
+		st, iters1 = t.run(t.phase1Costs(), maxIter, true)
+		if st == StatusIterLimit {
+			return &Solution{Status: StatusIterLimit, Iterations: iters1}, nil
+		}
+		if t.objective(t.phase1Costs()) > 1e-6 {
+			return &Solution{Status: StatusInfeasible, Iterations: iters1}, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: minimize the true objective with artificials barred.
+	st, iters2 := t.run(t.phase2Costs(), maxIter-iters1, false)
+	iters := iters1 + iters2
+	switch st {
+	case StatusUnbounded:
+		return &Solution{Status: StatusUnbounded, Iterations: iters}, nil
+	case StatusIterLimit:
+		return &Solution{Status: StatusIterLimit, Iterations: iters}, nil
+	}
+
+	// Refresh the factorization once before extraction so the reported
+	// point is exactly B⁻¹b for the final basis.
+	t.refactorize()
+	sol := &Solution{
+		Status:     StatusOptimal,
+		X:          t.primal(p.NumVars()),
+		Dual:       t.duals(t.phase2Costs()),
+		Iterations: iters,
+		Basis:      t.encodeBasis(),
+	}
+	sol.Objective = p.Objective(sol.X)
+	// Undo the equilibration and row sign flips applied during
+	// standardization so the duals refer to the caller's original rows:
+	// scaling row i by s makes its dual 1/s times the original's.
+	for i := range sol.Dual {
+		sol.Dual[i] *= t.rowScale[i]
+		if t.rowFlipped[i] {
+			sol.Dual[i] = -sol.Dual[i]
+		}
+	}
+	return sol, nil
+}
+
+// tableau is the working state of the revised simplex: the standardized
+// column matrix, the current basis, and an explicitly maintained basis
+// inverse that is refactorized periodically for numerical hygiene.
+type tableau struct {
+	m, n int // rows, total columns (structural + slack/surplus + artificial)
+
+	nStruct int // structural variable count
+	nArt    int // artificial variable count (last nArt columns)
+
+	cols  [][]float64 // column-major constraint matrix, m entries per column
+	b     []float64   // right-hand side (non-negative after standardization)
+	costs []float64   // phase-2 costs: structural costs then zeros
+
+	rowScale []float64 // equilibration factor applied to each row
+
+	rowFlipped []bool // rows negated during standardization
+	slackOf    []int  // per row: slack/surplus column, -1 if none (EQ rows)
+	artOf      []int  // per row: artificial column, -1 if none (LE rows)
+
+	basis  []int  // basis column index per row
+	inBas  []bool // membership mask, len n
+	binv   [][]float64
+	xB     []float64 // current basic values
+	barred []bool    // columns that may not enter (artificials in phase 2)
+
+	tol           float64
+	pivotsSinceLU int
+}
+
+// newTableau standardizes the problem: flips rows to make b ≥ 0, adds a
+// slack (+1) for ≤ rows, a surplus (−1) plus artificial for ≥ rows, and
+// an artificial for = rows, then starts from the identity basis formed
+// by slacks and artificials.
+func newTableau(p *Problem, tol float64) *tableau {
+	m := p.NumRows()
+	nStruct := p.NumVars()
+
+	// Count auxiliary columns.
+	nSlack := 0
+	for i := 0; i < m; i++ {
+		rel := p.Rel[i]
+		if p.B[i] < 0 {
+			// Flipping the row reverses the sense.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel != EQ {
+			nSlack++
+		}
+	}
+
+	t := &tableau{
+		m:          m,
+		nStruct:    nStruct,
+		rowFlipped: make([]bool, m),
+		b:          make([]float64, m),
+		tol:        tol,
+	}
+
+	// Artificials: one per row whose slack cannot seed the basis
+	// (GE and EQ rows). We allocate lazily below.
+	nArt := 0
+	for i := 0; i < m; i++ {
+		rel := effectiveRel(p, i)
+		if rel != LE {
+			nArt++
+		}
+	}
+	t.nArt = nArt
+	t.n = nStruct + nSlack + nArt
+
+	t.cols = make([][]float64, t.n)
+	for j := range t.cols {
+		t.cols[j] = make([]float64, m)
+	}
+
+	// Structural columns (with row flips and equilibration applied).
+	// Equilibration divides every row by its largest |coefficient| so
+	// that pivot magnitudes are O(1) regardless of the caller's units
+	// (master-problem rates are ~1e8 bits/s); without it, noise-level
+	// pivots wreck the factorization.
+	t.rowScale = make([]float64, m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+			t.rowFlipped[i] = true
+		}
+		maxAbs := 0.0
+		for j := 0; j < nStruct; j++ {
+			if a := math.Abs(p.A[i][j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := 1.0
+		if maxAbs > 0 {
+			scale = 1 / maxAbs
+		}
+		t.rowScale[i] = scale
+		t.b[i] = sign * scale * p.B[i]
+		for j := 0; j < nStruct; j++ {
+			t.cols[j][i] = sign * scale * p.A[i][j]
+		}
+	}
+
+	// Slack/surplus and artificial columns.
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+	t.basis = make([]int, m)
+	t.slackOf = make([]int, m)
+	t.artOf = make([]int, m)
+	for i := 0; i < m; i++ {
+		t.slackOf[i] = -1
+		t.artOf[i] = -1
+		switch effectiveRel(p, i) {
+		case LE:
+			t.cols[slackAt][i] = 1
+			t.slackOf[i] = slackAt
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			t.cols[slackAt][i] = -1
+			t.slackOf[i] = slackAt
+			slackAt++
+			t.cols[artAt][i] = 1
+			t.artOf[i] = artAt
+			t.basis[i] = artAt
+			artAt++
+		case EQ:
+			t.cols[artAt][i] = 1
+			t.artOf[i] = artAt
+			t.basis[i] = artAt
+			artAt++
+		}
+	}
+
+	t.inBas = make([]bool, t.n)
+	for _, j := range t.basis {
+		t.inBas[j] = true
+	}
+	t.barred = make([]bool, t.n)
+
+	t.binv = identity(m)
+	t.xB = append([]float64(nil), t.b...)
+	t.costs = make([]float64, t.n)
+	copy(t.costs, p.C)
+	return t
+}
+
+// effectiveRel returns the row's sense after the b ≥ 0 normalization.
+func effectiveRel(p *Problem, i int) Relation {
+	rel := p.Rel[i]
+	if p.B[i] < 0 {
+		switch rel {
+		case LE:
+			return GE
+		case GE:
+			return LE
+		}
+	}
+	return rel
+}
+
+// isArtificial reports whether column j is one of the artificials.
+func (t *tableau) isArtificial(j int) bool { return j >= t.n-t.nArt }
+
+// phase1Costs returns the phase-1 cost vector: 1 on artificials.
+func (t *tableau) phase1Costs() []float64 {
+	c := make([]float64, t.n)
+	for j := t.n - t.nArt; j < t.n; j++ {
+		c[j] = 1
+	}
+	return c
+}
+
+// phase2Costs returns the true cost vector: the structural costs
+// extended with zeros over the auxiliary columns.
+func (t *tableau) phase2Costs() []float64 { return t.costs }
+
+// objective returns cᵀx_B for the current basis under costs c.
+func (t *tableau) objective(c []float64) float64 {
+	var v float64
+	for i, j := range t.basis {
+		v += c[j] * t.xB[i]
+	}
+	return v
+}
+
+// duals returns y = c_Bᵀ B⁻¹ under costs c.
+func (t *tableau) duals(c []float64) []float64 {
+	y := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		var v float64
+		for r, j := range t.basis {
+			v += c[j] * t.binv[r][i]
+		}
+		y[i] = v
+	}
+	return y
+}
+
+// primal extracts the first nStruct structural variable values.
+func (t *tableau) primal(nStruct int) []float64 {
+	x := make([]float64, nStruct)
+	for i, j := range t.basis {
+		if j < nStruct {
+			x[j] = t.xB[i]
+		}
+	}
+	// Clean tiny negatives from roundoff.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	return x
+}
+
+// run performs simplex pivots under costs c until optimality,
+// unboundedness, or the iteration budget runs out. phase1 marks the
+// feasibility phase (artificials allowed in the basis).
+func (t *tableau) run(c []float64, maxIter int, phase1 bool) (Status, int) {
+	if !phase1 {
+		for j := t.n - t.nArt; j < t.n; j++ {
+			t.barred[j] = true
+		}
+	}
+	iters := 0
+	stall := 0
+	lastObj := math.Inf(1)
+	for {
+		if iters >= maxIter {
+			return StatusIterLimit, iters
+		}
+		y := t.duals(c)
+		useBland := stall > 2*t.m+20
+
+		enter := -1
+		best := -t.tol
+		for j := 0; j < t.n; j++ {
+			if t.inBas[j] || t.barred[j] {
+				continue
+			}
+			rc := c[j] - dot(y, t.cols[j])
+			if useBland {
+				if rc < -t.tol {
+					enter = j
+					break
+				}
+			} else if rc < best {
+				best = rc
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal, iters
+		}
+
+		// Direction u = B⁻¹ a_enter.
+		u := t.applyBinv(t.cols[enter])
+
+		// Ratio test. The pivot threshold separates cancellation noise
+		// (≈1e-15 relative after row equilibration) from genuine small
+		// entries caused by mixed-scale rows (e.g. 1e-8 when rate and
+		// unit coefficients share a column); only the former may be
+		// skipped — a skipped positive entry would let theta run past
+		// its row's feasibility limit. Roundoff-negative basic values
+		// are treated as zero.
+		maxU := 0.0
+		for i := 0; i < t.m; i++ {
+			if a := math.Abs(u[i]); a > maxU {
+				maxU = a
+			}
+		}
+		pivTol := 1e-11 * maxU
+		if pivTol < t.tol {
+			pivTol = t.tol
+		}
+		leaveRow := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if u[i] > pivTol {
+				xb := t.xB[i]
+				if xb < 0 {
+					xb = 0
+				}
+				r := xb / u[i]
+				if r < minRatio-t.tol ||
+					(r < minRatio+t.tol && (leaveRow < 0 || t.basis[i] < t.basis[leaveRow])) {
+					minRatio = r
+					leaveRow = i
+				}
+			}
+		}
+		if leaveRow < 0 {
+			if phase1 {
+				// Phase-1 objective is bounded below by 0; an
+				// unbounded ray here is numerical noise.
+				return StatusOptimal, iters
+			}
+			return StatusUnbounded, iters
+		}
+
+		t.pivot(enter, leaveRow, u)
+		iters++
+
+		obj := t.objective(c)
+		if obj < lastObj-t.tol {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+		}
+	}
+}
+
+// pivot brings column enter into the basis at row leaveRow, updating
+// the basis inverse by elementary row operations (product-form update)
+// and refactorizing periodically.
+func (t *tableau) pivot(enter, leaveRow int, u []float64) {
+	piv := u[leaveRow]
+	// Update xB. A roundoff-negative leaving value is a degenerate
+	// pivot at the bound.
+	theta := t.xB[leaveRow] / piv
+	if theta < 0 && theta > -1e-7 {
+		theta = 0
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leaveRow {
+			continue
+		}
+		t.xB[i] -= theta * u[i]
+		if t.xB[i] < 0 && t.xB[i] > -1e-9 {
+			t.xB[i] = 0
+		}
+	}
+	t.xB[leaveRow] = theta
+
+	// Update B⁻¹: row ops that map u to e_leaveRow.
+	inv := 1 / piv
+	for j := 0; j < t.m; j++ {
+		t.binv[leaveRow][j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leaveRow || u[i] == 0 {
+			continue
+		}
+		f := u[i]
+		for j := 0; j < t.m; j++ {
+			t.binv[i][j] -= f * t.binv[leaveRow][j]
+		}
+	}
+
+	leaving := t.basis[leaveRow]
+	t.inBas[leaving] = false
+	t.basis[leaveRow] = enter
+	t.inBas[enter] = true
+
+	t.pivotsSinceLU++
+	if t.pivotsSinceLU >= 64 {
+		t.refactorize()
+	}
+}
+
+// refactorize recomputes B⁻¹ from the basis columns by Gauss-Jordan
+// elimination with partial pivoting, then refreshes xB = B⁻¹ b. It
+// reports whether the basis was factorable.
+func (t *tableau) refactorize() bool {
+	t.pivotsSinceLU = 0
+	mat := make([][]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		mat[i] = make([]float64, t.m)
+		for j := 0; j < t.m; j++ {
+			mat[i][j] = t.cols[t.basis[j]][i]
+		}
+	}
+	inv, err := invert(mat)
+	if err != nil {
+		// A numerically singular basis should be impossible after a
+		// successful pivot sequence; keep the product-form inverse.
+		return false
+	}
+	t.binv = inv
+	nb := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		nb[i] = dot(t.binv[i], t.b)
+		if nb[i] < 0 && nb[i] > -1e-7 {
+			nb[i] = 0
+		}
+	}
+	t.xB = nb
+	return true
+}
+
+// encodeBasis renders the current basis in representation-independent
+// form for warm starts.
+func (t *tableau) encodeBasis() []BasisVar {
+	rowOfAux := make(map[int]int, 2*t.m)
+	for i := 0; i < t.m; i++ {
+		if t.slackOf[i] >= 0 {
+			rowOfAux[t.slackOf[i]] = i
+		}
+		if t.artOf[i] >= 0 {
+			rowOfAux[t.artOf[i]] = i
+		}
+	}
+	out := make([]BasisVar, t.m)
+	for r, j := range t.basis {
+		if j < t.nStruct {
+			out[r] = BasisVar{Kind: BasisStructural, Index: j}
+		} else {
+			out[r] = BasisVar{Kind: BasisAux, Index: rowOfAux[j]}
+		}
+	}
+	return out
+}
+
+// warmOutcome classifies what a caller-provided basis is good for.
+type warmOutcome uint8
+
+const (
+	warmUnusable       warmOutcome = iota // fall back to cold start
+	warmPrimalFeasible                    // xB ≥ 0: run primal phase 2 directly
+	warmDualFeasible                      // xB has negatives but prices ≥ 0: dual simplex
+)
+
+// tryWarmStart installs a caller-provided basis and classifies it: the
+// basis must have one entry per row, reference valid columns, and
+// factorize. A primal-feasible basis (xB ≥ 0) skips phase 1 entirely; a
+// primal-infeasible basis whose reduced costs are all non-negative is
+// dual-feasible and repairable by the dual simplex. Anything else
+// leaves the tableau in its cold-start state.
+func (t *tableau) tryWarmStart(warm []BasisVar) warmOutcome {
+	if len(warm) != t.m {
+		return warmUnusable
+	}
+	cand := make([]int, t.m)
+	seen := make(map[int]bool, t.m)
+	for r, bv := range warm {
+		var j int
+		switch bv.Kind {
+		case BasisStructural:
+			if bv.Index < 0 || bv.Index >= t.nStruct {
+				return warmUnusable
+			}
+			j = bv.Index
+		case BasisAux:
+			if bv.Index < 0 || bv.Index >= t.m {
+				return warmUnusable
+			}
+			j = t.slackOf[bv.Index]
+			if j < 0 {
+				j = t.artOf[bv.Index]
+			}
+			if j < 0 {
+				return warmUnusable
+			}
+		default:
+			return warmUnusable
+		}
+		if seen[j] {
+			return warmUnusable
+		}
+		seen[j] = true
+		cand[r] = j
+	}
+
+	oldBasis := t.basis
+	oldInBas := t.inBas
+	oldBinv := t.binv
+	oldXB := t.xB
+	restore := func() {
+		t.basis = oldBasis
+		t.inBas = oldInBas
+		t.binv = oldBinv
+		t.xB = oldXB
+	}
+
+	t.basis = cand
+	t.inBas = make([]bool, t.n)
+	for _, j := range cand {
+		t.inBas[j] = true
+	}
+	if !t.refactorize() {
+		restore()
+		return warmUnusable
+	}
+	primal := true
+	for _, v := range t.xB {
+		if v < -1e-7 {
+			primal = false
+			break
+		}
+	}
+	if primal {
+		return warmPrimalFeasible
+	}
+	// Primal infeasible: usable by the dual simplex iff every nonbasic
+	// column prices out non-negatively under the phase-2 costs.
+	c := t.phase2Costs()
+	y := t.duals(c)
+	for j := 0; j < t.n; j++ {
+		if t.inBas[j] || t.isArtificial(j) {
+			continue
+		}
+		if c[j]-dot(y, t.cols[j]) < -1e-7 {
+			restore()
+			return warmUnusable
+		}
+	}
+	return warmDualFeasible
+}
+
+// runDual performs dual simplex pivots from a dual-feasible basis
+// until primal feasibility (then the point is optimal), proven primal
+// infeasibility, or the iteration budget runs out.
+func (t *tableau) runDual(c []float64, maxIter int) (Status, int) {
+	// Artificials stay barred exactly as in primal phase 2.
+	for j := t.n - t.nArt; j < t.n; j++ {
+		t.barred[j] = true
+	}
+	iters := 0
+	for {
+		if iters >= maxIter {
+			return StatusIterLimit, iters
+		}
+		// Leaving row: most negative basic value.
+		leave := -1
+		worst := -t.tol
+		for i := 0; i < t.m; i++ {
+			if t.xB[i] < worst {
+				worst = t.xB[i]
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return StatusOptimal, iters // primal feasible and dual feasible
+		}
+
+		// Row leave of B⁻¹·A over nonbasic columns; candidates need a
+		// negative entry to push the basic value up.
+		y := t.duals(c)
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < t.n; j++ {
+			if t.inBas[j] || t.barred[j] {
+				continue
+			}
+			alpha := dot(t.binv[leave], t.cols[j])
+			if alpha >= -1e-9 {
+				continue
+			}
+			rc := c[j] - dot(y, t.cols[j])
+			if rc < 0 {
+				rc = 0 // roundoff: dual feasibility holds by invariant
+			}
+			ratio := rc / -alpha
+			if ratio < bestRatio-t.tol ||
+				(ratio < bestRatio+t.tol && (enter < 0 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return StatusInfeasible, iters // the row proves Ax{≤,=,≥}b empty
+		}
+
+		u := t.applyBinv(t.cols[enter])
+		t.pivotDual(enter, leave, u)
+		iters++
+	}
+}
+
+// pivotDual performs the basis exchange for the dual simplex, where
+// the leaving basic value is negative (theta < 0 is expected, unlike
+// the primal ratio-tested pivot).
+func (t *tableau) pivotDual(enter, leaveRow int, u []float64) {
+	piv := u[leaveRow]
+	theta := t.xB[leaveRow] / piv
+	for i := 0; i < t.m; i++ {
+		if i == leaveRow {
+			continue
+		}
+		t.xB[i] -= theta * u[i]
+	}
+	t.xB[leaveRow] = theta
+
+	inv := 1 / piv
+	for j := 0; j < t.m; j++ {
+		t.binv[leaveRow][j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leaveRow || u[i] == 0 {
+			continue
+		}
+		f := u[i]
+		for j := 0; j < t.m; j++ {
+			t.binv[i][j] -= f * t.binv[leaveRow][j]
+		}
+	}
+	leaving := t.basis[leaveRow]
+	t.inBas[leaving] = false
+	t.basis[leaveRow] = enter
+	t.inBas[enter] = true
+
+	t.pivotsSinceLU++
+	if t.pivotsSinceLU >= 64 {
+		t.refactorize()
+	}
+}
+
+// driveOutArtificials pivots basic artificial variables (at zero level
+// after a feasible phase 1) out of the basis where a nonzero structural
+// pivot exists; rows with no such pivot are redundant and keep their
+// artificial, which stays barred in phase 2.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if !t.isArtificial(t.basis[i]) {
+			continue
+		}
+		// Prefer the largest pivot magnitude for numerical stability.
+		bestJ := -1
+		bestPiv := 1e-7
+		var bestU []float64
+		for j := 0; j < t.n-t.nArt; j++ {
+			if t.inBas[j] || t.barred[j] {
+				continue
+			}
+			u := t.applyBinv(t.cols[j])
+			if a := math.Abs(u[i]); a > bestPiv {
+				bestPiv = a
+				bestJ = j
+				bestU = u
+			}
+		}
+		if bestJ >= 0 {
+			t.pivot(bestJ, i, bestU)
+		}
+	}
+}
+
+// applyBinv returns B⁻¹ v.
+func (t *tableau) applyBinv(v []float64) []float64 {
+	out := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		out[i] = dot(t.binv[i], v)
+	}
+	return out
+}
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	var v float64
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}
+
+// identity returns the m×m identity matrix.
+func identity(m int) [][]float64 {
+	id := make([][]float64, m)
+	for i := range id {
+		id[i] = make([]float64, m)
+		id[i][i] = 1
+	}
+	return id
+}
+
+// errSingular reports a numerically singular matrix in invert.
+var errSingular = errors.New("lp: singular basis matrix")
+
+// invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	m := len(a)
+	// Augment [A | I] and reduce in place.
+	work := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		work[i] = make([]float64, 2*m)
+		copy(work[i], a[i])
+		work[i][m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		pr := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(work[r][col]) > math.Abs(work[pr][col]) {
+				pr = r
+			}
+		}
+		if math.Abs(work[pr][col]) < 1e-12 {
+			return nil, errSingular
+		}
+		work[col], work[pr] = work[pr], work[col]
+		piv := work[col][col]
+		for j := col; j < 2*m; j++ {
+			work[col][j] /= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := col; j < 2*m; j++ {
+				work[r][j] -= f * work[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		inv[i] = work[i][m:]
+	}
+	return inv, nil
+}

@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWarmStartSameProblem(t *testing.T) {
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 0}, GE, 4)
+	p.AddRow([]float64{0, 3}, GE, 6)
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != StatusOptimal || cold.Basis == nil {
+		t.Fatalf("cold solve: %+v", cold)
+	}
+	warm, err := SolveWith(p, Options{WarmBasis: cold.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status = %v", warm.Status)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+	if warm.Iterations > 0 {
+		t.Errorf("re-solving at the optimum took %d pivots, want 0", warm.Iterations)
+	}
+}
+
+func TestWarmStartAfterColumnAddition(t *testing.T) {
+	// The column-generation pattern: solve, add an improving column,
+	// warm re-solve. The warm path must reach the same optimum as a
+	// cold solve, typically in fewer pivots.
+	p := NewProblem([]float64{1, 1, 1})
+	p.AddRow([]float64{2, 1, 0}, GE, 4)
+	p.AddRow([]float64{0, 1, 2}, GE, 4)
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.AddColumn(1, []float64{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal || cold.Status != StatusOptimal {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+}
+
+func TestWarmStartRejectsGarbage(t *testing.T) {
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{1, 1}, GE, 2)
+
+	for name, basis := range map[string][]BasisVar{
+		"wrong length":     {{Kind: BasisStructural, Index: 0}, {Kind: BasisAux, Index: 0}},
+		"bad structural":   {{Kind: BasisStructural, Index: 9}},
+		"bad aux row":      {{Kind: BasisAux, Index: 5}},
+		"bad kind":         {{Kind: BasisVarKind(9), Index: 0}},
+		"duplicate member": {{Kind: BasisStructural, Index: 0}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			sol, err := SolveWith(p, Options{WarmBasis: basis})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Unusable bases must fall back to a correct cold solve.
+			if sol.Status != StatusOptimal || math.Abs(sol.Objective-2) > 1e-9 {
+				t.Errorf("fallback solve = %v / %v", sol.Status, sol.Objective)
+			}
+		})
+	}
+}
+
+func TestWarmStartInfeasibleBasisFallsBack(t *testing.T) {
+	// A basis that is structurally valid but primal infeasible for the
+	// data must be rejected in favor of a cold start.
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{1, 0}, GE, 5)
+	p.AddRow([]float64{0, 1}, GE, 5)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the problem so the old basis point violates feasibility
+	// structure (swap a coefficient sign).
+	p.A[0][0] = -1
+	p.B[0] = -5 // now -x1 >= -5, i.e. x1 <= 5
+	warm, err := SolveWith(p, Options{WarmBasis: sol.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("status = %v", warm.Status)
+	}
+	// Optimal: x2 = 5, x1 = 0 → objective 5.
+	if math.Abs(warm.Objective-5) > 1e-9 {
+		t.Errorf("objective = %v, want 5", warm.Objective)
+	}
+}
+
+func TestWarmStartPropertyMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	check := func(uint32) bool {
+		p := randomFeasibleLP(rng, 2+rng.Intn(8), 1+rng.Intn(6))
+		first, err := Solve(p)
+		if err != nil || first.Status != StatusOptimal {
+			return false
+		}
+		// Append 1–3 random columns and re-solve both ways.
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			col := make([]float64, p.NumRows())
+			for i := range col {
+				col[i] = rng.Float64() * 2
+			}
+			if _, err := p.AddColumn(0.5+rng.Float64(), col); err != nil {
+				return false
+			}
+		}
+		warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+		if err != nil || warm.Status != StatusOptimal {
+			return false
+		}
+		cold, err := Solve(p)
+		if err != nil || cold.Status != StatusOptimal {
+			return false
+		}
+		return math.Abs(warm.Objective-cold.Objective) <= 1e-6*(1+math.Abs(cold.Objective))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package milp implements a mixed-integer linear programming solver:
+// LP-relaxation branch and bound on top of package lp, with best-first
+// node selection and most-fractional branching.
+//
+// The paper's pricing sub-problem (eqs. 27–33) is a MILP; the authors
+// solve it with Gurobi / Matlab intlinprog. This package is the
+// from-scratch replacement. The column-generation core uses a faster
+// problem-specific pricer for large instances and cross-validates it
+// against this solver on small ones.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mmwave/internal/lp"
+)
+
+// Problem is a mixed-integer program: the embedded LP plus integrality
+// markers and optional variable upper bounds. Variables are implicitly
+// bounded below by zero (inherited from package lp).
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool    // len = LP.NumVars(); true marks an integral variable
+	Upper   []float64 // optional upper bounds; nil or +Inf entries mean unbounded
+}
+
+// NewProblem wraps an LP with integrality markers (all false) sized to
+// the LP's variable count.
+func NewProblem(base *lp.Problem) *Problem {
+	return &Problem{
+		LP:      base,
+		Integer: make([]bool, base.NumVars()),
+	}
+}
+
+// SetBinary marks variable j as binary: integral with bounds [0, 1].
+func (p *Problem) SetBinary(j int) {
+	p.Integer[j] = true
+	p.ensureUpper()
+	p.Upper[j] = 1
+}
+
+// SetUpper sets an upper bound on variable j.
+func (p *Problem) SetUpper(j int, u float64) {
+	p.ensureUpper()
+	p.Upper[j] = u
+}
+
+func (p *Problem) ensureUpper() {
+	if p.Upper == nil {
+		p.Upper = make([]float64, p.LP.NumVars())
+		for j := range p.Upper {
+			p.Upper[j] = math.Inf(1)
+		}
+	}
+}
+
+// Validate reports structural errors.
+func (p *Problem) Validate() error {
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	if len(p.Integer) != p.LP.NumVars() {
+		return fmt.Errorf("milp: %d integrality markers for %d variables", len(p.Integer), p.LP.NumVars())
+	}
+	if p.Upper != nil && len(p.Upper) != p.LP.NumVars() {
+		return fmt.Errorf("milp: %d upper bounds for %d variables", len(p.Upper), p.LP.NumVars())
+	}
+	return nil
+}
+
+// Status is the outcome of a MILP solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal    Status = iota // proven optimal incumbent
+	StatusInfeasible               // no integral feasible point
+	StatusNodeLimit                // node budget exhausted; incumbent may exist
+	StatusUnbounded                // LP relaxation unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusNodeLimit:
+		return "node-limit"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int8(s))
+	}
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // incumbent (valid when Status is Optimal, or NodeLimit with HasIncumbent)
+	Objective float64   // incumbent objective
+	Bound     float64   // proven lower bound on the optimum (min sense)
+	Nodes     int       // branch-and-bound nodes explored
+	// HasIncumbent reports whether X/Objective hold a feasible integral
+	// point (always true for StatusOptimal).
+	HasIncumbent bool
+}
+
+// Options tunes the branch and bound.
+type Options struct {
+	// MaxNodes caps explored nodes; zero means 200000.
+	MaxNodes int
+	// IntTol is the integrality tolerance; zero means 1e-6.
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops early;
+	// zero means prove optimality exactly (gap 1e-9).
+	Gap float64
+	// LP passes options through to the LP relaxation solves.
+	LP lp.Options
+}
+
+// node is one branch-and-bound subproblem: variable bound tightenings
+// layered over the root problem.
+type node struct {
+	lower map[int]float64 // var → lower bound (≥)
+	upper map[int]float64 // var → upper bound (≤)
+	bound float64         // parent LP objective (optimistic)
+	depth int
+}
+
+// nodeQueue is a min-heap on the optimistic bound (best-first search).
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve optimizes the MILP with default options.
+func Solve(p *Problem) (*Solution, error) { return SolveWith(p, Options{}) }
+
+// SolveWith optimizes the MILP by best-first branch and bound.
+func SolveWith(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	intTol := opt.IntTol
+	if intTol <= 0 {
+		intTol = 1e-6
+	}
+	gap := opt.Gap
+	if gap <= 0 {
+		gap = 1e-9
+	}
+
+	root := &node{lower: map[int]float64{}, upper: map[int]float64{}}
+	queue := &nodeQueue{}
+	heap.Init(queue)
+
+	sol := &Solution{Status: StatusInfeasible, Bound: math.Inf(-1)}
+	incumbent := math.Inf(1)
+
+	// Solve the root relaxation first to classify unboundedness.
+	rootLP, err := p.solveRelaxation(root, opt.LP)
+	if err != nil {
+		return nil, err
+	}
+	switch rootLP.Status {
+	case lp.StatusUnbounded:
+		return &Solution{Status: StatusUnbounded, Nodes: 1}, nil
+	case lp.StatusInfeasible:
+		return &Solution{Status: StatusInfeasible, Nodes: 1}, nil
+	case lp.StatusIterLimit:
+		return nil, fmt.Errorf("milp: root LP hit iteration limit")
+	}
+	root.bound = rootLP.Objective
+	sol.Bound = rootLP.Objective
+	heap.Push(queue, root)
+
+	relaxations := map[*node]*lp.Solution{root: rootLP}
+
+	nodes := 0
+	for queue.Len() > 0 {
+		nd := heap.Pop(queue).(*node)
+		nodes++
+		if nodes > maxNodes {
+			sol.Status = StatusNodeLimit
+			sol.Nodes = nodes
+			return sol, nil
+		}
+		// Best-first: the head's bound is the global lower bound.
+		sol.Bound = math.Max(sol.Bound, math.Min(nd.bound, incumbent))
+
+		if nd.bound >= incumbent-gapAbs(incumbent, gap) {
+			continue // cannot beat the incumbent
+		}
+
+		rel := relaxations[nd]
+		delete(relaxations, nd)
+		if rel == nil {
+			rel, err = p.solveRelaxation(nd, opt.LP)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if rel.Status != lp.StatusOptimal {
+			continue // infeasible branch (unbounded cannot appear below a bounded root)
+		}
+		if rel.Objective >= incumbent-gapAbs(incumbent, gap) {
+			continue
+		}
+
+		branchVar := mostFractional(p, rel.X, intTol)
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			if rel.Objective < incumbent {
+				incumbent = rel.Objective
+				sol.X = roundIntegral(p, rel.X)
+				sol.Objective = rel.Objective
+				sol.HasIncumbent = true
+			}
+			continue
+		}
+
+		val := rel.X[branchVar]
+		down := childNode(nd)
+		down.upper[branchVar] = math.Floor(val)
+		up := childNode(nd)
+		up.lower[branchVar] = math.Ceil(val)
+		for _, child := range []*node{down, up} {
+			childRel, err := p.solveRelaxation(child, opt.LP)
+			if err != nil {
+				return nil, err
+			}
+			if childRel.Status != lp.StatusOptimal {
+				continue
+			}
+			if childRel.Objective >= incumbent-gapAbs(incumbent, gap) {
+				continue
+			}
+			child.bound = childRel.Objective
+			relaxations[child] = childRel
+			heap.Push(queue, child)
+		}
+	}
+
+	sol.Nodes = nodes
+	if sol.HasIncumbent {
+		sol.Status = StatusOptimal
+		sol.Bound = sol.Objective
+	}
+	return sol, nil
+}
+
+// gapAbs converts a relative gap into an absolute slack around the
+// incumbent value.
+func gapAbs(incumbent, gap float64) float64 {
+	if math.IsInf(incumbent, 0) {
+		return 0
+	}
+	return gap * (1 + math.Abs(incumbent))
+}
+
+// childNode clones a node's bound maps.
+func childNode(nd *node) *node {
+	c := &node{
+		lower: make(map[int]float64, len(nd.lower)+1),
+		upper: make(map[int]float64, len(nd.upper)+1),
+		depth: nd.depth + 1,
+	}
+	for k, v := range nd.lower {
+		c.lower[k] = v
+	}
+	for k, v := range nd.upper {
+		c.upper[k] = v
+	}
+	return c
+}
+
+// mostFractional returns the integral variable whose relaxed value is
+// farthest from an integer, or -1 if all integral variables are within
+// tolerance.
+func mostFractional(p *Problem, x []float64, intTol float64) int {
+	best := -1
+	bestFrac := intTol
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := math.Abs(x[j] - math.Round(x[j]))
+		if f > bestFrac {
+			bestFrac = f
+			best = j
+		}
+	}
+	return best
+}
+
+// roundIntegral snaps integral variables to the nearest integer and
+// copies the rest.
+func roundIntegral(p *Problem, x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, isInt := range p.Integer {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+// solveRelaxation builds and solves the LP relaxation of a node: the
+// root LP plus global upper bounds and the node's branching bounds.
+func (p *Problem) solveRelaxation(nd *node, opt lp.Options) (*lp.Solution, error) {
+	work := p.LP.Clone()
+	n := work.NumVars()
+	unit := func(j int) []float64 {
+		row := make([]float64, n)
+		row[j] = 1
+		return row
+	}
+	if p.Upper != nil {
+		for j, u := range p.Upper {
+			if !math.IsInf(u, 1) {
+				// Tighten with any node-level upper bound.
+				if nu, ok := nd.upper[j]; ok && nu < u {
+					u = nu
+				}
+				work.AddRow(unit(j), lp.LE, u)
+			} else if nu, ok := nd.upper[j]; ok {
+				work.AddRow(unit(j), lp.LE, nu)
+			}
+		}
+	} else {
+		for j, nu := range nd.upper {
+			work.AddRow(unit(j), lp.LE, nu)
+		}
+	}
+	for j, nl := range nd.lower {
+		if nl > 0 {
+			work.AddRow(unit(j), lp.GE, nl)
+		}
+	}
+	return lp.SolveWith(work, opt)
+}

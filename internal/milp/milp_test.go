@@ -1,0 +1,279 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmwave/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c <= 6, binary.
+	// Enumerate: a+c (5 wt? 3+2=5 <=6) = 17; b+c (6) = 20; a+b (7) no.
+	// Optimum 20 → min form -20.
+	base := lp.NewProblem([]float64{-10, -13, -7})
+	base.AddRow([]float64{3, 4, 2}, lp.LE, 6)
+	p := NewProblem(base)
+	for j := 0; j < 3; j++ {
+		p.SetBinary(j)
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective+20) > 1e-6 {
+		t.Errorf("objective = %v, want -20", sol.Objective)
+	}
+	want := []float64{0, 1, 1}
+	for j := range want {
+		if math.Abs(sol.X[j]-want[j]) > 1e-6 {
+			t.Errorf("x = %v, want %v", sol.X, want)
+			break
+		}
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 10y, x continuous in [0, 2.5], y binary,
+	// s.t. x + 4y <= 5.
+	// y=1: x <= 1 → obj = -1 - 10 = -11. y=0: x <= 2.5 → obj = -2.5.
+	base := lp.NewProblem([]float64{-1, -10})
+	base.AddRow([]float64{1, 4}, lp.LE, 5)
+	p := NewProblem(base)
+	p.SetUpper(0, 2.5)
+	p.SetBinary(1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective+11) > 1e-6 {
+		t.Errorf("objective = %v, want -11", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Errorf("x = %v, want [1 1]", sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x s.t. 2x <= 7, x integer → x = 3 (LP gives 3.5).
+	base := lp.NewProblem([]float64{-1})
+	base.AddRow([]float64{2}, lp.LE, 7)
+	p := NewProblem(base)
+	p.Integer[0] = true
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.X[0]-3) > 1e-6 {
+		t.Fatalf("got %v (status %v), want x = 3", sol.X, sol.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x binary with x >= 2: infeasible.
+	base := lp.NewProblem([]float64{1})
+	base.AddRow([]float64{1}, lp.GE, 2)
+	p := NewProblem(base)
+	p.SetBinary(0)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestIntegralityGapInfeasible(t *testing.T) {
+	// LP-feasible but integer-infeasible: 2x = 1 with x integer.
+	base := lp.NewProblem([]float64{1})
+	base.AddRow([]float64{2}, lp.EQ, 1)
+	p := NewProblem(base)
+	p.Integer[0] = true
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	base := lp.NewProblem([]float64{-1})
+	base.AddRow([]float64{1}, lp.GE, 0)
+	p := NewProblem(base)
+	p.Integer[0] = true
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A small problem with a tiny node budget must stop with
+	// StatusNodeLimit instead of spinning.
+	rng := rand.New(rand.NewSource(5))
+	p := randomBinaryPacking(rng, 12, 4)
+	sol, err := SolveWith(p, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusNodeLimit && sol.Status != StatusOptimal {
+		t.Fatalf("status = %v, want node-limit or optimal", sol.Status)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := lp.NewProblem([]float64{1, 2})
+	p := NewProblem(base)
+	p.Integer = p.Integer[:1]
+	if err := p.Validate(); err == nil {
+		t.Error("Validate should reject mismatched Integer length")
+	}
+	p2 := NewProblem(base)
+	p2.Upper = []float64{1}
+	if err := p2.Validate(); err == nil {
+		t.Error("Validate should reject mismatched Upper length")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusOptimal:    "optimal",
+		StatusInfeasible: "infeasible",
+		StatusNodeLimit:  "node-limit",
+		StatusUnbounded:  "unbounded",
+		Status(9):        "Status(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status String = %q, want %q", got, want)
+		}
+	}
+}
+
+// randomBinaryPacking builds max Σ v_j x_j s.t. m random packing rows,
+// binary x — always feasible (x = 0).
+func randomBinaryPacking(rng *rand.Rand, n, m int) *Problem {
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = -(0.5 + rng.Float64()) // negative: maximize value
+	}
+	base := lp.NewProblem(c)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		base.AddRow(row, lp.LE, 1+rng.Float64()*float64(n)/4)
+	}
+	p := NewProblem(base)
+	for j := 0; j < n; j++ {
+		p.SetBinary(j)
+	}
+	return p
+}
+
+// bruteForceBinary enumerates all binary assignments and returns the
+// best feasible objective (min sense), or +Inf if none.
+func bruteForceBinary(p *Problem) float64 {
+	n := p.LP.NumVars()
+	best := math.Inf(1)
+	x := make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			x[j] = float64((mask >> j) & 1)
+		}
+		feasible := true
+		for i, row := range p.LP.A {
+			var lhs float64
+			for j := range row {
+				lhs += row[j] * x[j]
+			}
+			switch p.LP.Rel[i] {
+			case lp.LE:
+				feasible = lhs <= p.LP.B[i]+1e-9
+			case lp.GE:
+				feasible = lhs >= p.LP.B[i]-1e-9
+			case lp.EQ:
+				feasible = math.Abs(lhs-p.LP.B[i]) <= 1e-9
+			}
+			if !feasible {
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if v := p.LP.Objective(x); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestPropertyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	check := func(uint32) bool {
+		n := 3 + rng.Intn(8) // up to 10 binaries → 1024 enumerations
+		m := 1 + rng.Intn(4)
+		p := randomBinaryPacking(rng, n, m)
+		sol, err := Solve(p)
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		want := bruteForceBinary(p)
+		return math.Abs(sol.Objective-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBoundSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	check := func(uint32) bool {
+		p := randomBinaryPacking(rng, 3+rng.Intn(6), 1+rng.Intn(3))
+		sol, err := Solve(p)
+		if err != nil || sol.Status != StatusOptimal {
+			return false
+		}
+		// The reported bound must match the optimum at optimality, and
+		// the incumbent must be integral and feasible.
+		if math.Abs(sol.Bound-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			return false
+		}
+		for j, isInt := range p.Integer {
+			if isInt && math.Abs(sol.X[j]-math.Round(sol.X[j])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	p := randomBinaryPacking(rng, 16, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"mmwave/internal/lp"
+)
+
+func TestGapEarlyStop(t *testing.T) {
+	// A knapsack whose LP bound is close to the integer optimum: with a
+	// generous gap the solver may stop early but must report a valid
+	// incumbent and a bound consistent with it.
+	base := lp.NewProblem([]float64{-10, -9, -8, -7, -6})
+	base.AddRow([]float64{5, 4, 3, 2, 1}, lp.LE, 8)
+	p := NewProblem(base)
+	for j := 0; j < 5; j++ {
+		p.SetBinary(j)
+	}
+	sol, err := SolveWith(p, Options{Gap: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.HasIncumbent {
+		t.Fatal("no incumbent with generous gap")
+	}
+	if sol.Bound > sol.Objective+1e-9 {
+		t.Errorf("bound %v above incumbent %v", sol.Bound, sol.Objective)
+	}
+	// Exact solve for reference: optimum is well-defined.
+	exact, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Status != StatusOptimal {
+		t.Fatalf("exact status %v", exact.Status)
+	}
+	// Gap guarantee: incumbent within 20% of the optimum.
+	if sol.Objective > exact.Objective*(1-0.2)+1e-9 && sol.Objective > exact.Objective+0.2*(1+math.Abs(exact.Objective)) {
+		t.Errorf("gap solve %v too far from optimum %v", sol.Objective, exact.Objective)
+	}
+}
+
+func TestNodeLimitKeepsIncumbent(t *testing.T) {
+	base := lp.NewProblem([]float64{-3, -2, -2})
+	base.AddRow([]float64{1, 1, 1}, lp.LE, 2)
+	p := NewProblem(base)
+	for j := 0; j < 3; j++ {
+		p.SetBinary(j)
+	}
+	sol, err := SolveWith(p, Options{MaxNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == StatusNodeLimit && sol.HasIncumbent {
+		// Incumbent must be integral and feasible.
+		var lhs float64
+		for j, x := range sol.X {
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				t.Errorf("non-integral incumbent %v", sol.X)
+			}
+			lhs += p.LP.A[0][j] * x
+		}
+		if lhs > 2+1e-9 {
+			t.Errorf("infeasible incumbent %v", sol.X)
+		}
+	}
+}
+
+func TestAllContinuousDelegatesToLP(t *testing.T) {
+	base := lp.NewProblem([]float64{1, 1})
+	base.AddRow([]float64{1, 2}, lp.GE, 4)
+	p := NewProblem(base)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("continuous MILP = %v / %v, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestUpperBoundsWithoutIntegrality(t *testing.T) {
+	// max x (min −x) with x ≤ 0.4 via Upper: tests bound rows alone.
+	base := lp.NewProblem([]float64{-1})
+	base.AddRow([]float64{1}, lp.LE, 10)
+	p := NewProblem(base)
+	p.SetUpper(0, 0.4)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-0.4) > 1e-9 {
+		t.Errorf("x = %v, want 0.4", sol.X[0])
+	}
+}

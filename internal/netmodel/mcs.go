@@ -1,0 +1,40 @@
+package netmodel
+
+import "math"
+
+// IEEE80211adSCRateTable returns a rate table modeled on the IEEE
+// 802.11ad single-carrier PHY MCS set (MCS 1–12): the discrete
+// modulation-and-coding steps a real 60 GHz radio would adapt across,
+// as an alternative to the paper's Shannon-derived levels. Receiver
+// SNR requirements follow the published link-budget figures (≈1 dB for
+// π/2-BPSK rate-1/2 up to ≈15 dB for π/2-16QAM rate-3/4); thresholds
+// are converted to linear SINR.
+func IEEE80211adSCRateTable() RateTable {
+	type mcs struct {
+		rateMbps float64
+		snrDB    float64
+	}
+	table := []mcs{
+		{385, 1},      // MCS 1: π/2-BPSK 1/2, repetition 2
+		{770, 2.5},    // MCS 2: π/2-BPSK 1/2
+		{962.5, 3},    // MCS 3: π/2-BPSK 5/8
+		{1155, 4},     // MCS 4: π/2-BPSK 3/4
+		{1251.25, 5},  // MCS 5: π/2-BPSK 13/16
+		{1540, 5.5},   // MCS 6: π/2-QPSK 1/2
+		{1925, 7},     // MCS 7: π/2-QPSK 5/8
+		{2310, 8.5},   // MCS 8: π/2-QPSK 3/4
+		{2502.5, 9.5}, // MCS 9: π/2-QPSK 13/16
+		{3080, 11},    // MCS 10: π/2-16QAM 1/2
+		{3850, 13},    // MCS 11: π/2-16QAM 5/8
+		{4620, 15},    // MCS 12: π/2-16QAM 3/4
+	}
+	rt := RateTable{
+		Gammas: make([]float64, len(table)),
+		Rates:  make([]float64, len(table)),
+	}
+	for i, m := range table {
+		rt.Gammas[i] = math.Pow(10, m.snrDB/10)
+		rt.Rates[i] = m.rateMbps * 1e6
+	}
+	return rt
+}

@@ -1,0 +1,405 @@
+// Package pnc simulates the control plane of §II of the paper: a
+// PicoNet Coordinator exchanges messages with the link nodes over a
+// low-frequency public control channel (e.g. WiFi). Per scheduling
+// epoch (one GOP period), nodes report their traffic demands and
+// channel-state updates, the coordinator solves problem P1 with the
+// column-generation core, and broadcasts the channel/time-slot/power
+// grants. The package accounts for the control-channel airtime these
+// exchanges consume, so experiments can report control overhead
+// alongside data-plane scheduling time.
+package pnc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mmwave/internal/core"
+	"mmwave/internal/netmodel"
+	"mmwave/internal/schedule"
+	"mmwave/internal/video"
+)
+
+// MsgType tags control-channel messages.
+type MsgType uint8
+
+// Control-plane message types.
+const (
+	MsgDemandReport  MsgType = iota + 1 // node → PNC: next period's HP/LP demand
+	MsgChannelUpdate                    // node → PNC: refreshed direct gains
+	MsgScheduleGrant                    // PNC → nodes: one schedule + its duration
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	switch m {
+	case MsgDemandReport:
+		return "demand-report"
+	case MsgChannelUpdate:
+		return "channel-update"
+	case MsgScheduleGrant:
+		return "schedule-grant"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Wire format: every message starts with a 1-byte type and a 2-byte
+// little-endian payload length, followed by the payload. Numbers are
+// little-endian; float64s are IEEE-754 bits.
+const headerLen = 3
+
+// DemandReport is a node's per-epoch traffic declaration.
+type DemandReport struct {
+	Link   uint16
+	Demand video.Demand
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r DemandReport) MarshalBinary() ([]byte, error) {
+	if !r.Demand.Valid() {
+		return nil, fmt.Errorf("pnc: invalid demand in report for link %d", r.Link)
+	}
+	buf := make([]byte, headerLen+2+16)
+	buf[0] = byte(MsgDemandReport)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(2+16))
+	binary.LittleEndian.PutUint16(buf[headerLen:], r.Link)
+	binary.LittleEndian.PutUint64(buf[headerLen+2:], math.Float64bits(r.Demand.HP))
+	binary.LittleEndian.PutUint64(buf[headerLen+10:], math.Float64bits(r.Demand.LP))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *DemandReport) UnmarshalBinary(data []byte) error {
+	payload, err := checkHeader(data, MsgDemandReport, 2+16)
+	if err != nil {
+		return err
+	}
+	r.Link = binary.LittleEndian.Uint16(payload)
+	r.Demand.HP = math.Float64frombits(binary.LittleEndian.Uint64(payload[2:]))
+	r.Demand.LP = math.Float64frombits(binary.LittleEndian.Uint64(payload[10:]))
+	if !r.Demand.Valid() {
+		return errors.New("pnc: demand report carries invalid demand")
+	}
+	return nil
+}
+
+// ChannelUpdate is a node's refreshed per-channel direct gain vector.
+type ChannelUpdate struct {
+	Link  uint16
+	Gains []float64 // H_l^k for each channel k
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (u ChannelUpdate) MarshalBinary() ([]byte, error) {
+	if len(u.Gains) > 255 {
+		return nil, fmt.Errorf("pnc: %d channels exceed the wire limit", len(u.Gains))
+	}
+	n := 2 + 1 + 8*len(u.Gains)
+	buf := make([]byte, headerLen+n)
+	buf[0] = byte(MsgChannelUpdate)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(n))
+	binary.LittleEndian.PutUint16(buf[headerLen:], u.Link)
+	buf[headerLen+2] = byte(len(u.Gains))
+	for i, g := range u.Gains {
+		binary.LittleEndian.PutUint64(buf[headerLen+3+8*i:], math.Float64bits(g))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (u *ChannelUpdate) UnmarshalBinary(data []byte) error {
+	if len(data) < headerLen+3 {
+		return errors.New("pnc: channel update too short")
+	}
+	payload, err := checkHeader(data, MsgChannelUpdate, len(data)-headerLen)
+	if err != nil {
+		return err
+	}
+	u.Link = binary.LittleEndian.Uint16(payload)
+	k := int(payload[2])
+	if len(payload) != 3+8*k {
+		return fmt.Errorf("pnc: channel update payload %d bytes, want %d", len(payload), 3+8*k)
+	}
+	u.Gains = make([]float64, k)
+	for i := range u.Gains {
+		u.Gains[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[3+8*i:]))
+	}
+	return nil
+}
+
+// ScheduleGrant carries one feasible schedule and its allotted time.
+type ScheduleGrant struct {
+	Seconds float64 // τ^s
+	Entries []schedule.Assignment
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (g ScheduleGrant) MarshalBinary() ([]byte, error) {
+	if len(g.Entries) > 1024 {
+		return nil, fmt.Errorf("pnc: %d grant entries exceed the wire limit", len(g.Entries))
+	}
+	const entryLen = 2 + 1 + 1 + 1 + 8 // link, channel, level, layer, power
+	n := 8 + 2 + entryLen*len(g.Entries)
+	buf := make([]byte, headerLen+n)
+	buf[0] = byte(MsgScheduleGrant)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(n))
+	binary.LittleEndian.PutUint64(buf[headerLen:], math.Float64bits(g.Seconds))
+	binary.LittleEndian.PutUint16(buf[headerLen+8:], uint16(len(g.Entries)))
+	off := headerLen + 10
+	for _, a := range g.Entries {
+		if a.Channel > 255 || a.Level > 255 || a.Link > 65535 {
+			return nil, fmt.Errorf("pnc: assignment out of wire range: %+v", a)
+		}
+		binary.LittleEndian.PutUint16(buf[off:], uint16(a.Link))
+		buf[off+2] = byte(a.Channel)
+		buf[off+3] = byte(a.Level)
+		buf[off+4] = byte(a.Layer)
+		binary.LittleEndian.PutUint64(buf[off+5:], math.Float64bits(a.Power))
+		off += entryLen
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (g *ScheduleGrant) UnmarshalBinary(data []byte) error {
+	payload, err := checkHeader(data, MsgScheduleGrant, len(data)-headerLen)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 10 {
+		return errors.New("pnc: schedule grant too short")
+	}
+	g.Seconds = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	n := int(binary.LittleEndian.Uint16(payload[8:]))
+	const entryLen = 13
+	if len(payload) != 10+entryLen*n {
+		return fmt.Errorf("pnc: grant payload %d bytes, want %d", len(payload), 10+entryLen*n)
+	}
+	g.Entries = make([]schedule.Assignment, n)
+	for i := range g.Entries {
+		off := 10 + entryLen*i
+		g.Entries[i] = schedule.Assignment{
+			Link:    int(binary.LittleEndian.Uint16(payload[off:])),
+			Channel: int(payload[off+2]),
+			Level:   int(payload[off+3]),
+			Layer:   schedule.Layer(payload[off+4]),
+			Power:   math.Float64frombits(binary.LittleEndian.Uint64(payload[off+5:])),
+		}
+	}
+	return nil
+}
+
+// checkHeader validates a message's type byte and payload length and
+// returns the payload slice.
+func checkHeader(data []byte, want MsgType, wantLen int) ([]byte, error) {
+	if len(data) < headerLen {
+		return nil, errors.New("pnc: message shorter than header")
+	}
+	if MsgType(data[0]) != want {
+		return nil, fmt.Errorf("pnc: message type %v, want %v", MsgType(data[0]), want)
+	}
+	n := int(binary.LittleEndian.Uint16(data[1:]))
+	if n != wantLen || len(data) != headerLen+n {
+		return nil, fmt.Errorf("pnc: payload length %d (frame %d), want %d", n, len(data), wantLen)
+	}
+	return data[headerLen:], nil
+}
+
+// ControlChannel models the shared low-frequency control medium: a
+// fixed bitrate plus fixed per-message overhead (preamble, MAC). All
+// control traffic is serialized on it, so airtime adds up linearly.
+type ControlChannel struct {
+	BitrateBps         float64 // e.g. 54e6 for WiFi OFDM
+	PerMsgOverheadBits float64 // preamble + MAC header + ACK, in bit-times
+
+	bitsSent int64
+	msgsSent int64
+	airtime  float64
+}
+
+// DefaultControlChannel returns a WiFi-like control channel: 54 Mb/s
+// with 28 bytes of per-message MAC overhead.
+func DefaultControlChannel() *ControlChannel {
+	return &ControlChannel{BitrateBps: 54e6, PerMsgOverheadBits: 28 * 8}
+}
+
+// Send accounts one message of the given encoded length.
+func (c *ControlChannel) Send(encoded []byte) error {
+	if c.BitrateBps <= 0 {
+		return errors.New("pnc: control channel bitrate must be positive")
+	}
+	bits := float64(len(encoded))*8 + c.PerMsgOverheadBits
+	c.bitsSent += int64(len(encoded)) * 8
+	c.msgsSent++
+	c.airtime += bits / c.BitrateBps
+	return nil
+}
+
+// Airtime returns the total control airtime consumed, in seconds.
+func (c *ControlChannel) Airtime() float64 { return c.airtime }
+
+// Messages returns the number of messages sent.
+func (c *ControlChannel) Messages() int64 { return c.msgsSent }
+
+// Reset clears the accounting.
+func (c *ControlChannel) Reset() {
+	c.bitsSent, c.msgsSent, c.airtime = 0, 0, 0
+}
+
+// Coordinator is the PNC: it ingests per-epoch reports, re-solves P1,
+// and emits grants, accounting every byte on the control channel.
+type Coordinator struct {
+	Network *netmodel.Network
+	Control *ControlChannel
+	Solve   core.Options // solver options per epoch
+
+	demands []video.Demand
+	seen    []bool
+
+	// Epoch accounting window: control airtime/messages since the last
+	// RunEpoch (covers the uplink reports and this epoch's grants).
+	epochAirStart float64
+	epochMsgStart int64
+}
+
+// NewCoordinator returns a coordinator for the network. The network's
+// gain matrix is updated in place by channel updates.
+func NewCoordinator(nw *netmodel.Network, ctrl *ControlChannel, opts core.Options) (*Coordinator, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("pnc: %w", err)
+	}
+	if ctrl == nil {
+		ctrl = DefaultControlChannel()
+	}
+	return &Coordinator{
+		Network:       nw,
+		Control:       ctrl,
+		Solve:         opts,
+		demands:       make([]video.Demand, nw.NumLinks()),
+		seen:          make([]bool, nw.NumLinks()),
+		epochAirStart: ctrl.Airtime(),
+		epochMsgStart: ctrl.Messages(),
+	}, nil
+}
+
+// Ingest decodes one node→PNC message (demand report or channel
+// update), updating coordinator state and charging control airtime.
+func (c *Coordinator) Ingest(frame []byte) error {
+	if len(frame) < 1 {
+		return errors.New("pnc: empty frame")
+	}
+	if err := c.Control.Send(frame); err != nil {
+		return err
+	}
+	switch MsgType(frame[0]) {
+	case MsgDemandReport:
+		var r DemandReport
+		if err := r.UnmarshalBinary(frame); err != nil {
+			return err
+		}
+		if int(r.Link) >= c.Network.NumLinks() {
+			return fmt.Errorf("pnc: demand report for unknown link %d", r.Link)
+		}
+		c.demands[r.Link] = r.Demand
+		c.seen[r.Link] = true
+		return nil
+	case MsgChannelUpdate:
+		var u ChannelUpdate
+		if err := u.UnmarshalBinary(frame); err != nil {
+			return err
+		}
+		if int(u.Link) >= c.Network.NumLinks() {
+			return fmt.Errorf("pnc: channel update for unknown link %d", u.Link)
+		}
+		if len(u.Gains) != c.Network.NumChannels {
+			return fmt.Errorf("pnc: channel update has %d gains, want %d", len(u.Gains), c.Network.NumChannels)
+		}
+		for _, g := range u.Gains {
+			if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+				return errors.New("pnc: channel update carries invalid gain")
+			}
+		}
+		copy(c.Network.Gains.Direct[u.Link], u.Gains)
+		return nil
+	default:
+		return fmt.Errorf("pnc: unexpected uplink message type %v", MsgType(frame[0]))
+	}
+}
+
+// EpochResult is the outcome of one scheduling epoch.
+type EpochResult struct {
+	Plan            core.Plan
+	Solver          *core.Result
+	Grants          [][]byte // encoded downlink grants, one per plan schedule
+	ControlSeconds  float64  // control airtime consumed this epoch
+	ControlMessages int64
+}
+
+// RunEpoch solves P1 over the demands reported since the last epoch
+// and encodes the grants. Links that never reported are treated as
+// having zero demand (they stay idle). The per-epoch control airtime
+// covers both the ingested reports and the emitted grants.
+func (c *Coordinator) RunEpoch() (*EpochResult, error) {
+	demands := make([]video.Demand, len(c.demands))
+	for l := range demands {
+		if c.seen[l] {
+			demands[l] = c.demands[l]
+		}
+	}
+
+	solver, err := core.NewSolver(c.Network, demands, c.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
+	}
+	res, err := solver.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
+	}
+
+	grants := make([][]byte, len(res.Plan.Schedules))
+	for i, s := range res.Plan.Schedules {
+		g := ScheduleGrant{Seconds: res.Plan.Tau[i], Entries: s.Assignments}
+		frame, err := g.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Control.Send(frame); err != nil {
+			return nil, err
+		}
+		grants[i] = frame
+	}
+
+	// Epoch state resets: next epoch needs fresh reports, and the
+	// accounting window restarts.
+	for l := range c.seen {
+		c.seen[l] = false
+	}
+	out := &EpochResult{
+		Plan:            res.Plan,
+		Solver:          res,
+		Grants:          grants,
+		ControlSeconds:  c.Control.Airtime() - c.epochAirStart,
+		ControlMessages: c.Control.Messages() - c.epochMsgStart,
+	}
+	c.epochAirStart = c.Control.Airtime()
+	c.epochMsgStart = c.Control.Messages()
+	return out, nil
+}
+
+// DecodeGrants reassembles a schedule plan from encoded grants (the
+// node-side view): each grant becomes one schedule with its duration.
+func DecodeGrants(frames [][]byte) ([]*schedule.Schedule, []float64, error) {
+	schedules := make([]*schedule.Schedule, 0, len(frames))
+	taus := make([]float64, 0, len(frames))
+	for i, f := range frames {
+		var g ScheduleGrant
+		if err := g.UnmarshalBinary(f); err != nil {
+			return nil, nil, fmt.Errorf("pnc: grant %d: %w", i, err)
+		}
+		schedules = append(schedules, &schedule.Schedule{Assignments: g.Entries})
+		taus = append(taus, g.Seconds)
+	}
+	return schedules, taus, nil
+}

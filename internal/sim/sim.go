@@ -1,0 +1,353 @@
+// Package sim executes scheduling policies slot by slot on a network
+// instance and measures the metrics the paper reports: total
+// scheduling time, per-link delay (time until a link's demand is fully
+// served), and the inputs to the Jain fairness index.
+//
+// A Policy decides, each slot, which links transmit with which
+// channel/level/layer/power; the executor transfers bits against the
+// remaining per-link HP/LP demands and records completion times. The
+// proposed column-generation plan, the benchmark heuristics, and plain
+// TDMA all run through the same engine, so their metrics are directly
+// comparable.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mmwave/internal/netmodel"
+	"mmwave/internal/schedule"
+	"mmwave/internal/video"
+)
+
+// Remaining tracks the unserved portion of every link's demand during
+// a run. Policies receive it read-only each slot.
+type Remaining struct {
+	HP []float64 // unserved high-priority bits per link
+	LP []float64 // unserved low-priority bits per link
+
+	// eps is the per-link completion tolerance (a tiny fraction of the
+	// original demand), absorbing the roundoff of repeated bit
+	// subtraction over thousands of slots.
+	eps []float64
+}
+
+// Done reports whether link l has no bits left in either layer (up to
+// the accumulation tolerance).
+func (r *Remaining) Done(l int) bool {
+	var e float64
+	if l < len(r.eps) {
+		e = r.eps[l]
+	}
+	return r.HP[l] <= e && r.LP[l] <= e
+}
+
+// AllDone reports whether every link is fully served.
+func (r *Remaining) AllDone() bool {
+	for l := range r.HP {
+		if !r.Done(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the unserved bits across all links and layers.
+func (r *Remaining) Total() float64 {
+	var v float64
+	for l := range r.HP {
+		if r.HP[l] > 0 {
+			v += r.HP[l]
+		}
+		if r.LP[l] > 0 {
+			v += r.LP[l]
+		}
+	}
+	return v
+}
+
+// Policy decides the transmissions of each slot.
+type Policy interface {
+	// Name labels the policy in experiment output.
+	Name() string
+	// Decide returns the schedule for the next slot. Returning an
+	// empty (or nil) schedule when demand remains means the policy is
+	// stuck; the executor stops and reports ErrStalled.
+	Decide(nw *netmodel.Network, rem *Remaining, slot int) (*schedule.Schedule, error)
+}
+
+// Execution is the measured outcome of one run.
+type Execution struct {
+	Policy     string
+	TotalTime  float64   // seconds until the last link finished
+	Slots      int       // slots consumed
+	Completion []float64 // per-link completion time in seconds (delay)
+	ServedHP   []float64 // bits actually delivered per link
+	ServedLP   []float64
+}
+
+// AverageDelay returns the mean per-link completion time.
+func (e *Execution) AverageDelay() float64 {
+	if len(e.Completion) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range e.Completion {
+		sum += c
+	}
+	return sum / float64(len(e.Completion))
+}
+
+// Options tunes a run.
+type Options struct {
+	// SlotDuration in seconds; zero means 1 ms.
+	SlotDuration float64
+	// MaxSlots aborts runaway runs; zero means 10 million.
+	MaxSlots int
+	// Validate re-checks every slot's schedule against the network
+	// (slower; on by default in tests).
+	Validate bool
+	// Deadline, when positive, stops the run gracefully after this
+	// many seconds of air time even if demand remains: the execution
+	// reports the bits actually served (real-time delivery with a hard
+	// period boundary). Unserved links' completion times are clamped
+	// to the deadline.
+	Deadline float64
+}
+
+// ErrStalled reports a policy that returned an empty schedule while
+// demand remained.
+var ErrStalled = errors.New("sim: policy stalled with unserved demand")
+
+// ErrSlotLimit reports a run that exceeded MaxSlots.
+var ErrSlotLimit = errors.New("sim: slot limit exceeded")
+
+// Run executes the policy until all demands are served.
+func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Options) (*Execution, error) {
+	if len(demands) != nw.NumLinks() {
+		return nil, fmt.Errorf("sim: %d demands for %d links", len(demands), nw.NumLinks())
+	}
+	slotDur := opt.SlotDuration
+	if slotDur <= 0 {
+		slotDur = 1e-3
+	}
+	maxSlots := opt.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 10_000_000
+	}
+
+	L := nw.NumLinks()
+	rem := &Remaining{
+		HP:  make([]float64, L),
+		LP:  make([]float64, L),
+		eps: make([]float64, L),
+	}
+	for l, d := range demands {
+		rem.HP[l] = d.HP
+		rem.LP[l] = d.LP
+		rem.eps[l] = 1e-9 * d.Total()
+	}
+	exec := &Execution{
+		Policy:     policy.Name(),
+		Completion: make([]float64, L),
+		ServedHP:   make([]float64, L),
+		ServedLP:   make([]float64, L),
+	}
+	for l := range exec.Completion {
+		if rem.Done(l) {
+			exec.Completion[l] = 0
+		} else {
+			exec.Completion[l] = -1 // pending
+		}
+	}
+
+	deadlineSlots := maxSlots
+	if opt.Deadline > 0 {
+		if d := int(opt.Deadline/slotDur + 1e-9); d < deadlineSlots {
+			deadlineSlots = d
+		}
+	}
+
+	slot := 0
+	for !rem.AllDone() {
+		if opt.Deadline > 0 && slot >= deadlineSlots {
+			break // period boundary: deliver what fits, drop the rest
+		}
+		if slot >= maxSlots {
+			return exec, fmt.Errorf("%w at slot %d with %.3g bits unserved", ErrSlotLimit, slot, rem.Total())
+		}
+		s, err := policy.Decide(nw, rem, slot)
+		if err != nil {
+			return exec, fmt.Errorf("sim: policy %q failed at slot %d: %w", policy.Name(), slot, err)
+		}
+		if s == nil || len(s.Assignments) == 0 {
+			if opt.Deadline > 0 {
+				break // plan exhausted inside the period: drop the rest
+			}
+			return exec, fmt.Errorf("%w (policy %q, slot %d)", ErrStalled, policy.Name(), slot)
+		}
+		if opt.Validate {
+			if err := s.Validate(nw); err != nil {
+				return exec, fmt.Errorf("sim: policy %q emitted invalid schedule at slot %d: %w", policy.Name(), slot, err)
+			}
+		}
+		for _, a := range s.Assignments {
+			bits := nw.Rates.Rates[a.Level] * slotDur
+			if a.Layer == schedule.HP {
+				served := minFloat(bits, maxFloat(rem.HP[a.Link], 0))
+				rem.HP[a.Link] -= bits
+				exec.ServedHP[a.Link] += served
+			} else {
+				served := minFloat(bits, maxFloat(rem.LP[a.Link], 0))
+				rem.LP[a.Link] -= bits
+				exec.ServedLP[a.Link] += served
+			}
+		}
+		slot++
+		for l := 0; l < L; l++ {
+			if exec.Completion[l] < 0 && rem.Done(l) {
+				exec.Completion[l] = float64(slot) * slotDur
+			}
+		}
+	}
+	exec.Slots = slot
+	exec.TotalTime = float64(slot) * slotDur
+	for l := range exec.Completion {
+		if exec.Completion[l] < 0 {
+			exec.Completion[l] = exec.TotalTime
+		}
+	}
+	return exec, nil
+}
+
+// PlanPolicy replays a column-generation plan slot by slot: each plan
+// schedule runs for ceil(τ/slot) slots, in plan order. Slots whose
+// schedule serves only finished links are skipped in favor of the next
+// plan entry, which tightens the measured delay without changing
+// feasibility.
+type PlanPolicy struct {
+	Schedules []*schedule.Schedule
+	Tau       []float64 // seconds per schedule
+	Label     string    // policy name; empty means "proposed"
+
+	slotsLeft []int
+	cursor    int
+	slotDur   float64
+}
+
+// NewPlanPolicy builds a replay policy for the plan with the given
+// slot duration. Plan entries are replayed in descending parallelism
+// (then aggregate-rate) order: the choice does not affect the total
+// scheduling time (any order sums to Σ τ) but running the widest
+// schedules first completes most links early, which is the natural
+// reading of the paper's per-link delay metric.
+func NewPlanPolicy(schedules []*schedule.Schedule, tau []float64, slotDur float64) (*PlanPolicy, error) {
+	if len(schedules) != len(tau) {
+		return nil, fmt.Errorf("sim: %d schedules but %d durations", len(schedules), len(tau))
+	}
+	if slotDur <= 0 {
+		return nil, fmt.Errorf("sim: slot duration %g must be positive", slotDur)
+	}
+	order := make([]int, len(schedules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := schedules[order[a]], schedules[order[b]]
+		if len(sa.Assignments) != len(sb.Assignments) {
+			return len(sa.Assignments) > len(sb.Assignments)
+		}
+		return order[a] < order[b]
+	})
+	p := &PlanPolicy{
+		Schedules: make([]*schedule.Schedule, len(schedules)),
+		Tau:       make([]float64, len(tau)),
+		slotDur:   slotDur,
+		slotsLeft: make([]int, len(tau)),
+	}
+	for pos, idx := range order {
+		p.Schedules[pos] = schedules[idx]
+		p.Tau[pos] = tau[idx]
+		p.slotsLeft[pos] = int(ceilDiv(tau[idx], slotDur))
+	}
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *PlanPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "proposed"
+}
+
+// Decide implements Policy.
+func (p *PlanPolicy) Decide(nw *netmodel.Network, rem *Remaining, slot int) (*schedule.Schedule, error) {
+	for p.cursor < len(p.Schedules) {
+		if p.slotsLeft[p.cursor] <= 0 || !servesPending(p.Schedules[p.cursor], rem) {
+			p.cursor++
+			continue
+		}
+		p.slotsLeft[p.cursor]--
+		// Trim assignments of already-finished layers so the executor's
+		// served accounting stays tight; interference-wise the trimmed
+		// schedule is only easier.
+		return trimSchedule(p.Schedules[p.cursor], rem), nil
+	}
+	return nil, nil // plan exhausted
+}
+
+// servesPending reports whether the schedule delivers bits some link
+// still needs.
+func servesPending(s *schedule.Schedule, rem *Remaining) bool {
+	for _, a := range s.Assignments {
+		if a.Layer == schedule.HP && rem.HP[a.Link] > 0 {
+			return true
+		}
+		if a.Layer == schedule.LP && rem.LP[a.Link] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// trimSchedule drops assignments whose layer demand is already served.
+func trimSchedule(s *schedule.Schedule, rem *Remaining) *schedule.Schedule {
+	out := &schedule.Schedule{}
+	for _, a := range s.Assignments {
+		if a.Layer == schedule.HP && rem.HP[a.Link] <= 0 {
+			continue
+		}
+		if a.Layer == schedule.LP && rem.LP[a.Link] <= 0 {
+			continue
+		}
+		out.Assignments = append(out.Assignments, a)
+	}
+	return out
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b, tolerant of roundoff.
+func ceilDiv(a, b float64) float64 {
+	q := a / b
+	f := float64(int(q))
+	if q-f > 1e-9 {
+		return f + 1
+	}
+	return f
+}
+
+// minFloat and maxFloat avoid math.Min/Max NaN handling in hot loops.
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d, want 8", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Variance() != 0 || s.Stddev() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Error("empty summary should have zero spread statistics")
+	}
+	s.Add(3.5)
+	if s.Mean != 3.5 || s.N != 1 {
+		t.Errorf("single observation summary wrong: %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Error("CI95 of one observation should be 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=10, sd=1 → CI = t(9)·1/√10 = 2.262/3.1623 ≈ 0.7153.
+	var s Summary
+	s.N = 10
+	s.M2 = 9 // variance 1
+	want := 2.262 / math.Sqrt(10)
+	if got := s.CI95(); math.Abs(got-want) > 1e-3 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+	if got := tCritical95(1); math.Abs(got-12.706) > 1e-3 {
+		t.Errorf("t(1) = %v, want 12.706", got)
+	}
+	// Large df should converge to the normal quantile 1.96.
+	if got := tCritical95(1000); math.Abs(got-1.962) > 1e-2 {
+		t.Errorf("t(1000) = %v, want ≈1.96", got)
+	}
+	// 49 df (the paper's 50 repetitions): t ≈ 2.0096.
+	if got := tCritical95(49); math.Abs(got-2.0096) > 5e-3 {
+		t.Errorf("t(49) = %v, want ≈2.0096", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	tests := []struct {
+		name   string
+		sample []float64
+		want   float64
+	}{
+		{"empty", nil, 1},
+		{"all zero", []float64{0, 0}, 1},
+		{"equal", []float64{3, 3, 3, 3}, 1},
+		{"one dominant", []float64{1, 0, 0, 0}, 0.25},
+		{"two of four", []float64{1, 1, 0, 0}, 0.5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Jain(tc.sample); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Jain(%v) = %v, want %v", tc.sample, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJainPropertyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(uint32) bool {
+		n := 1 + rng.Intn(20)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+		}
+		j := Jain(sample)
+		return j >= 1/float64(n)-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	check := func(uint32) bool {
+		n := 2 + rng.Intn(10)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.Float64() + 0.01
+		}
+		scaled := make([]float64, n)
+		c := rng.Float64()*10 + 0.1
+		for i := range sample {
+			scaled[i] = sample[i] * c
+		}
+		return math.Abs(Jain(sample)-Jain(scaled)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(uint32) bool {
+		n := 2 + rng.Intn(50)
+		sample := make([]float64, n)
+		var sum float64
+		for i := range sample {
+			sample[i] = rng.NormFloat64()*10 + 5
+			sum += sample[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range sample {
+			m2 += (x - mean) * (x - mean)
+		}
+		s := Summarize(sample)
+		return math.Abs(s.Mean-mean) < 1e-9 && math.Abs(s.Variance()-m2/float64(n-1)) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForkDeterminismAndIndependence(t *testing.T) {
+	a1 := Fork(42, 0)
+	a2 := Fork(42, 0)
+	b := Fork(42, 1)
+	c := Fork(43, 0)
+
+	var sameAB, sameAC int
+	for i := 0; i < 100; i++ {
+		v1, v2 := a1.Int63(), a2.Int63()
+		if v1 != v2 {
+			t.Fatal("same (seed, stream) must reproduce the same sequence")
+		}
+		if v1 == b.Int63() {
+			sameAB++
+		}
+		if v1 == c.Int63() {
+			sameAC++
+		}
+	}
+	if sameAB > 0 || sameAC > 0 {
+		t.Errorf("streams collide: %d/%d matches", sameAB, sameAC)
+	}
+}
+
+func TestForkStreamDecorrelation(t *testing.T) {
+	// Adjacent streams should produce roughly uniform values (a weak
+	// but meaningful smoke test of the mixing function).
+	var s Summary
+	for stream := int64(0); stream < 1000; stream++ {
+		s.Add(Fork(1, stream).Float64())
+	}
+	if s.Mean < 0.45 || s.Mean > 0.55 {
+		t.Errorf("stream-0th-draw mean = %v, want ≈0.5", s.Mean)
+	}
+}

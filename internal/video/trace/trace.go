@@ -1,0 +1,271 @@
+// Package trace generates synthetic H.264 video traces. The paper
+// drives its simulation from HD traces published at
+// trace.eas.asu.edu (4096×1744 @ 24 fps, ≈171.44 Mb/s); those traces
+// are not redistributable, so this package synthesizes statistically
+// similar ones: GOP-structured frame sequences (I/P/B) with
+// heavy-tailed per-frame size variation calibrated to a target mean
+// bitrate. The optimizer consumes only per-GOP HP/LP bit volumes, so
+// matching the trace's rate statistics preserves the experiment.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mmwave/internal/video"
+)
+
+// FrameType labels a frame's coding type.
+type FrameType uint8
+
+// Frame coding types in an H.264 GOP.
+const (
+	FrameI FrameType = iota
+	FrameP
+	FrameB
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// Frame is one encoded video frame.
+type Frame struct {
+	Type FrameType
+	Bits float64 // encoded size in bits
+}
+
+// Config parameterizes the synthetic encoder.
+type Config struct {
+	Width, Height int     // resolution (metadata only)
+	FPS           float64 // frames per second
+	MeanRate      float64 // target mean bitrate, bits/s
+	GOPLength     int     // frames per GOP (one I frame per GOP)
+	BFrames       int     // consecutive B frames between anchors
+	CoV           float64 // coefficient of variation of frame sizes within type
+	IPRatio       float64 // mean I-frame size / mean P-frame size
+	PBRatio       float64 // mean P-frame size / mean B-frame size
+}
+
+// DefaultConfig matches the paper's trace: 4096×1744 @ 24 fps at
+// 171.44 Mb/s with a 12-frame IBBP GOP.
+func DefaultConfig() Config {
+	return Config{
+		Width:     4096,
+		Height:    1744,
+		FPS:       24,
+		MeanRate:  171.44e6,
+		GOPLength: 12,
+		BFrames:   2,
+		CoV:       0.25,
+		IPRatio:   4,
+		PBRatio:   2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.FPS <= 0:
+		return fmt.Errorf("trace: FPS must be positive, got %g", c.FPS)
+	case c.MeanRate <= 0:
+		return fmt.Errorf("trace: MeanRate must be positive, got %g", c.MeanRate)
+	case c.GOPLength < 1:
+		return fmt.Errorf("trace: GOPLength must be ≥ 1, got %d", c.GOPLength)
+	case c.BFrames < 0:
+		return fmt.Errorf("trace: BFrames must be ≥ 0, got %d", c.BFrames)
+	case c.CoV < 0:
+		return fmt.Errorf("trace: CoV must be ≥ 0, got %g", c.CoV)
+	case c.IPRatio <= 0 || c.PBRatio <= 0:
+		return fmt.Errorf("trace: frame size ratios must be positive")
+	}
+	return nil
+}
+
+// GOPDuration returns the wall-clock duration of one GOP in seconds.
+func (c Config) GOPDuration() float64 { return float64(c.GOPLength) / c.FPS }
+
+// pattern returns the frame-type sequence of one GOP, starting with the
+// I frame, e.g. I B B P B B P ... for BFrames=2.
+func (c Config) pattern() []FrameType {
+	p := make([]FrameType, 0, c.GOPLength)
+	p = append(p, FrameI)
+	b := 0
+	for len(p) < c.GOPLength {
+		if b < c.BFrames {
+			p = append(p, FrameB)
+			b++
+		} else {
+			p = append(p, FrameP)
+			b = 0
+		}
+	}
+	return p
+}
+
+// meanSizes returns the mean frame size in bits per type so that the
+// GOP mean rate hits MeanRate exactly.
+func (c Config) meanSizes() (i, p, b float64) {
+	pat := c.pattern()
+	var nI, nP, nB float64
+	for _, t := range pat {
+		switch t {
+		case FrameI:
+			nI++
+		case FrameP:
+			nP++
+		case FrameB:
+			nB++
+		}
+	}
+	// Sizes in units of a B frame: I = IPRatio·PBRatio, P = PBRatio, B = 1.
+	unitBits := nI*c.IPRatio*c.PBRatio + nP*c.PBRatio + nB
+	gopBits := c.MeanRate * c.GOPDuration()
+	b = gopBits / unitBits
+	p = b * c.PBRatio
+	i = p * c.IPRatio
+	return i, p, b
+}
+
+// Generator produces frames and GOPs of a synthetic trace. It is not
+// safe for concurrent use; create one per goroutine.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	pattern []FrameType
+	meanI   float64
+	meanP   float64
+	meanB   float64
+	sigma   float64 // lognormal σ reproducing the configured CoV
+}
+
+// NewGenerator returns a trace generator for cfg, drawing randomness
+// from rng. It returns an error if cfg is invalid.
+func NewGenerator(cfg Config, rng *rand.Rand) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mi, mp, mb := cfg.meanSizes()
+	// For lognormal X with E[X]=m and CoV=c: σ² = ln(1+c²).
+	sigma := math.Sqrt(math.Log(1 + cfg.CoV*cfg.CoV))
+	return &Generator{
+		cfg:     cfg,
+		rng:     rng,
+		pattern: cfg.pattern(),
+		meanI:   mi,
+		meanP:   mp,
+		meanB:   mb,
+		sigma:   sigma,
+	}, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// frameBits draws one frame size with the type's mean and the
+// configured CoV, lognormally distributed.
+func (g *Generator) frameBits(mean float64) float64 {
+	if g.sigma == 0 {
+		return mean
+	}
+	// E[lognormal(μ,σ)] = exp(μ+σ²/2) = mean  ⇒  μ = ln(mean) − σ²/2.
+	mu := math.Log(mean) - g.sigma*g.sigma/2
+	return math.Exp(mu + g.sigma*g.rng.NormFloat64())
+}
+
+// NextGOP generates the frames of the next GOP.
+func (g *Generator) NextGOP() []Frame {
+	frames := make([]Frame, len(g.pattern))
+	for i, t := range g.pattern {
+		var mean float64
+		switch t {
+		case FrameI:
+			mean = g.meanI
+		case FrameP:
+			mean = g.meanP
+		default:
+			mean = g.meanB
+		}
+		frames[i] = Frame{Type: t, Bits: g.frameBits(mean)}
+	}
+	return frames
+}
+
+// NextDemand generates the next GOP and converts it into a layered
+// HP/LP demand using the session's MGS split: I frames (plus the HP
+// share of the enhancement data in P/B frames) map to HP, the rest to
+// LP. The split is volume-preserving: HP+LP equals the GOP bit count.
+func (g *Generator) NextDemand(s video.Session) video.Demand {
+	var iBits, otherBits float64
+	for _, f := range g.NextGOP() {
+		if f.Type == FrameI {
+			iBits += f.Bits
+		} else {
+			otherBits += f.Bits
+		}
+	}
+	total := iBits + otherBits
+	hp := iBits
+	if want := total * clamp01(s.HPShare); want > hp {
+		hp = want
+	}
+	if hp > total {
+		hp = total
+	}
+	return video.Demand{HP: hp, LP: total - hp}
+}
+
+// Stats accumulates trace statistics over n GOPs: mean bitrate and
+// per-type frame counts, for calibration tests.
+type Stats struct {
+	GOPs      int
+	Frames    int
+	TotalBits float64
+	ByType    map[FrameType]int
+	Duration  float64 // seconds covered
+}
+
+// MeanRate returns the observed mean bitrate in bits/s.
+func (s Stats) MeanRate() float64 {
+	if s.Duration == 0 {
+		return 0
+	}
+	return s.TotalBits / s.Duration
+}
+
+// Collect runs the generator for n GOPs and accumulates statistics.
+func (g *Generator) Collect(n int) Stats {
+	st := Stats{ByType: make(map[FrameType]int)}
+	for i := 0; i < n; i++ {
+		for _, f := range g.NextGOP() {
+			st.Frames++
+			st.TotalBits += f.Bits
+			st.ByType[f.Type]++
+		}
+		st.GOPs++
+		st.Duration += g.cfg.GOPDuration()
+	}
+	return st
+}
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

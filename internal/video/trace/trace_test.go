@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmwave/internal/video"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"default", func(*Config) {}, false},
+		{"zero fps", func(c *Config) { c.FPS = 0 }, true},
+		{"zero rate", func(c *Config) { c.MeanRate = 0 }, true},
+		{"zero gop", func(c *Config) { c.GOPLength = 0 }, true},
+		{"negative b-frames", func(c *Config) { c.BFrames = -1 }, true},
+		{"negative cov", func(c *Config) { c.CoV = -0.1 }, true},
+		{"zero ip ratio", func(c *Config) { c.IPRatio = 0 }, true},
+		{"zero pb ratio", func(c *Config) { c.PBRatio = 0 }, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGOPDuration(t *testing.T) {
+	cfg := DefaultConfig() // 12 frames @ 24 fps
+	if d := cfg.GOPDuration(); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("GOPDuration = %v, want 0.5", d)
+	}
+}
+
+func TestPatternStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	pat := cfg.pattern()
+	if len(pat) != cfg.GOPLength {
+		t.Fatalf("pattern length %d, want %d", len(pat), cfg.GOPLength)
+	}
+	if pat[0] != FrameI {
+		t.Error("GOP must start with an I frame")
+	}
+	// With BFrames=2: I B B P B B P B B P B B.
+	nI, nP, nB := 0, 0, 0
+	for _, f := range pat {
+		switch f {
+		case FrameI:
+			nI++
+		case FrameP:
+			nP++
+		case FrameB:
+			nB++
+		}
+	}
+	if nI != 1 {
+		t.Errorf("I frames = %d, want 1", nI)
+	}
+	if nP+nB != cfg.GOPLength-1 {
+		t.Errorf("P+B = %d, want %d", nP+nB, cfg.GOPLength-1)
+	}
+}
+
+func TestMeanRateCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	gen, err := NewGenerator(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := gen.Collect(400)
+	got := st.MeanRate()
+	if math.Abs(got-cfg.MeanRate)/cfg.MeanRate > 0.05 {
+		t.Errorf("mean rate %v deviates >5%% from target %v", got, cfg.MeanRate)
+	}
+	if st.Frames != 400*cfg.GOPLength {
+		t.Errorf("frames = %d, want %d", st.Frames, 400*cfg.GOPLength)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	g1, _ := NewGenerator(cfg, rand.New(rand.NewSource(7)))
+	g2, _ := NewGenerator(cfg, rand.New(rand.NewSource(7)))
+	for i := 0; i < 5; i++ {
+		a := g1.NextGOP()
+		b := g2.NextGOP()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("same seed produced different traces")
+			}
+		}
+	}
+}
+
+func TestFrameSizeOrdering(t *testing.T) {
+	// On average, I frames are bigger than P frames, which beat B
+	// frames (by the configured ratios).
+	cfg := DefaultConfig()
+	gen, _ := NewGenerator(cfg, rand.New(rand.NewSource(2)))
+	sums := map[FrameType]float64{}
+	counts := map[FrameType]int{}
+	for i := 0; i < 300; i++ {
+		for _, f := range gen.NextGOP() {
+			sums[f.Type] += f.Bits
+			counts[f.Type]++
+		}
+	}
+	meanI := sums[FrameI] / float64(counts[FrameI])
+	meanP := sums[FrameP] / float64(counts[FrameP])
+	meanB := sums[FrameB] / float64(counts[FrameB])
+	if !(meanI > meanP && meanP > meanB) {
+		t.Errorf("frame size ordering violated: I=%v P=%v B=%v", meanI, meanP, meanB)
+	}
+	if r := meanI / meanP; math.Abs(r-cfg.IPRatio)/cfg.IPRatio > 0.15 {
+		t.Errorf("I/P ratio = %v, want ≈%v", r, cfg.IPRatio)
+	}
+}
+
+func TestZeroCoVIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoV = 0
+	gen, _ := NewGenerator(cfg, rand.New(rand.NewSource(3)))
+	a := gen.NextGOP()
+	b := gen.NextGOP()
+	for i := range a {
+		if a[i].Bits != b[i].Bits {
+			t.Fatal("zero CoV should produce identical GOPs")
+		}
+	}
+	// And the GOP rate should be exact.
+	var bits float64
+	for _, f := range a {
+		bits += f.Bits
+	}
+	want := cfg.MeanRate * cfg.GOPDuration()
+	if math.Abs(bits-want)/want > 1e-9 {
+		t.Errorf("deterministic GOP bits = %v, want %v", bits, want)
+	}
+}
+
+func TestNextDemandSplit(t *testing.T) {
+	cfg := DefaultConfig()
+	gen, _ := NewGenerator(cfg, rand.New(rand.NewSource(4)))
+	sess := video.Session{HPShare: 1.0 / 3}
+	d := gen.NextDemand(sess)
+	if !d.Valid() || d.Total() <= 0 {
+		t.Fatalf("invalid demand %+v", d)
+	}
+	// HP share must be at least the session share (I frames can push
+	// it higher but never lower).
+	if share := d.HP / d.Total(); share < 1.0/3-1e-9 {
+		t.Errorf("HP share %v below session share", share)
+	}
+}
+
+func TestNextDemandPropertyConserves(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	gen, _ := NewGenerator(cfg, rng)
+	check := func(uint32) bool {
+		sess := video.Session{HPShare: rng.Float64()}
+		d := gen.NextDemand(sess)
+		if !d.Valid() {
+			return false
+		}
+		// HP+LP must equal the GOP volume: positive and finite.
+		return d.Total() > 0 && d.HP <= d.Total()+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGeneratorRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FPS = -1
+	if _, err := NewGenerator(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameI.String() != "I" || FrameP.String() != "P" || FrameB.String() != "B" {
+		t.Error("FrameType String mismatch")
+	}
+	if FrameType(9).String() != "FrameType(9)" {
+		t.Error("unknown FrameType String mismatch")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var st Stats
+	if st.MeanRate() != 0 {
+		t.Error("empty stats mean rate should be 0")
+	}
+}
+
+func TestSingleFrameGOP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GOPLength = 1 // I-only stream
+	gen, err := NewGenerator(cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gop := gen.NextGOP()
+	if len(gop) != 1 || gop[0].Type != FrameI {
+		t.Fatalf("GOP = %v, want single I frame", gop)
+	}
+}

@@ -1,0 +1,96 @@
+// Package video models the scalable video sessions carried by the
+// mmWave links. Following the paper, each video is encoded into
+// High-Priority (HP) and Low-Priority (LP) layers (Medium-Grain
+// Scalable coding), the reconstructed quality follows the linear model
+// PSNR = α + β·(r_hp + r_lp) (eq. 1), and the traffic demand of a link
+// is the HP/LP data volume of the next GOP period.
+package video
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quality holds the MGS rate-quality model parameters of one encoded
+// sequence: PSNR = Alpha + Beta·r_sum with r_sum in Mb/s.
+type Quality struct {
+	Alpha float64 // PSNR offset, dB
+	Beta  float64 // PSNR slope, dB per Mb/s
+}
+
+// PSNR returns the reconstructed quality (dB) at total received rate
+// rSum (Mb/s), clamped below at 0 for rates too low to decode anything.
+func (q Quality) PSNR(rSum float64) float64 {
+	v := q.Alpha + q.Beta*rSum
+	return math.Max(v, 0)
+}
+
+// RateFor returns the total rate (Mb/s) needed to reach the target
+// PSNR (dB). It returns 0 when the target is below Alpha.
+func (q Quality) RateFor(psnr float64) float64 {
+	if q.Beta <= 0 {
+		return 0
+	}
+	return math.Max(0, (psnr-q.Alpha)/q.Beta)
+}
+
+// Demand is one link's traffic demand for the upcoming scheduling
+// period, in bits, split into HP and LP layers. Demands stay constant
+// for the whole scheduling period (the paper's §III note), and a new
+// Demand is issued per GOP.
+type Demand struct {
+	HP float64 // high-priority bits
+	LP float64 // low-priority bits
+}
+
+// Total returns HP + LP bits.
+func (d Demand) Total() float64 { return d.HP + d.LP }
+
+// Scale returns the demand multiplied by factor c, used by the
+// traffic-demand sweep of Fig. 2.
+func (d Demand) Scale(c float64) Demand { return Demand{HP: d.HP * c, LP: d.LP * c} }
+
+// Valid reports whether both layers are non-negative and finite.
+func (d Demand) Valid() bool {
+	return d.HP >= 0 && d.LP >= 0 &&
+		!math.IsInf(d.HP, 0) && !math.IsInf(d.LP, 0) &&
+		!math.IsNaN(d.HP) && !math.IsNaN(d.LP)
+}
+
+// String renders the demand in Mb.
+func (d Demand) String() string {
+	return fmt.Sprintf("hp=%.2fMb lp=%.2fMb", d.HP/1e6, d.LP/1e6)
+}
+
+// Session describes one video session: its rate-quality model and the
+// fraction of the stream bits placed in the HP layer. The split follows
+// the MGS layering of [17]/[18]: the base layer plus high-priority
+// enhancement (I frames, motion info) goes to HP, the remainder to LP.
+type Session struct {
+	Quality Quality
+	HPShare float64 // fraction of bits in HP layer, in [0, 1]
+}
+
+// DemandForBits converts a GOP's total bit volume into a layered
+// Demand using the session's HP share.
+func (s Session) DemandForBits(totalBits float64) Demand {
+	share := s.HPShare
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	return Demand{HP: totalBits * share, LP: totalBits * (1 - share)}
+}
+
+// DefaultSession returns session parameters matching the paper's
+// evaluation: an HD sequence (4096×1744 @ 24 fps, ≈171.44 Mb/s) with a
+// one-third HP share and an MGS rate-quality curve in the typical range
+// reported for high-rate HD content.
+func DefaultSession() Session {
+	return Session{
+		Quality: Quality{Alpha: 30, Beta: 0.05},
+		HPShare: 1.0 / 3.0,
+	}
+}

@@ -1,0 +1,123 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSNRModel(t *testing.T) {
+	q := Quality{Alpha: 30, Beta: 0.05}
+	if got := q.PSNR(0); got != 30 {
+		t.Errorf("PSNR(0) = %v, want 30", got)
+	}
+	if got := q.PSNR(100); math.Abs(got-35) > 1e-12 {
+		t.Errorf("PSNR(100) = %v, want 35", got)
+	}
+	// Negative alpha regime clamps at 0.
+	neg := Quality{Alpha: -10, Beta: 0.05}
+	if got := neg.PSNR(0); got != 0 {
+		t.Errorf("clamped PSNR = %v, want 0", got)
+	}
+}
+
+func TestRateFor(t *testing.T) {
+	q := Quality{Alpha: 30, Beta: 0.05}
+	if got := q.RateFor(35); math.Abs(got-100) > 1e-12 {
+		t.Errorf("RateFor(35) = %v, want 100", got)
+	}
+	if got := q.RateFor(20); got != 0 {
+		t.Errorf("RateFor below alpha = %v, want 0", got)
+	}
+	z := Quality{Alpha: 30, Beta: 0}
+	if got := z.RateFor(40); got != 0 {
+		t.Errorf("zero-beta RateFor = %v, want 0", got)
+	}
+}
+
+func TestPSNRRateForRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(uint32) bool {
+		q := Quality{Alpha: 20 + rng.Float64()*20, Beta: 0.01 + rng.Float64()*0.1}
+		target := q.Alpha + rng.Float64()*20
+		r := q.RateFor(target)
+		return math.Abs(q.PSNR(r)-target) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemand(t *testing.T) {
+	d := Demand{HP: 10, LP: 20}
+	if d.Total() != 30 {
+		t.Errorf("Total = %v, want 30", d.Total())
+	}
+	s := d.Scale(2)
+	if s.HP != 20 || s.LP != 40 {
+		t.Errorf("Scale = %+v, want {20 40}", s)
+	}
+	if !d.Valid() {
+		t.Error("valid demand rejected")
+	}
+	for _, bad := range []Demand{
+		{HP: -1, LP: 0},
+		{HP: 0, LP: -1},
+		{HP: math.NaN(), LP: 0},
+		{HP: 0, LP: math.Inf(1)},
+	} {
+		if bad.Valid() {
+			t.Errorf("invalid demand accepted: %+v", bad)
+		}
+	}
+}
+
+func TestDemandString(t *testing.T) {
+	d := Demand{HP: 20e6, LP: 40e6}
+	s := d.String()
+	if !strings.Contains(s, "hp=20.00Mb") || !strings.Contains(s, "lp=40.00Mb") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSessionSplit(t *testing.T) {
+	s := Session{HPShare: 0.25}
+	d := s.DemandForBits(100)
+	if math.Abs(d.HP-25) > 1e-12 || math.Abs(d.LP-75) > 1e-12 {
+		t.Errorf("split = %+v, want {25 75}", d)
+	}
+	// Clamping.
+	over := Session{HPShare: 1.5}
+	if d := over.DemandForBits(100); d.HP != 100 || d.LP != 0 {
+		t.Errorf("over-share split = %+v", d)
+	}
+	under := Session{HPShare: -0.5}
+	if d := under.DemandForBits(100); d.HP != 0 || d.LP != 100 {
+		t.Errorf("under-share split = %+v", d)
+	}
+}
+
+func TestSessionSplitPropertyConserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(uint32) bool {
+		s := Session{HPShare: rng.Float64()}
+		bits := rng.Float64() * 1e9
+		d := s.DemandForBits(bits)
+		return d.Valid() && math.Abs(d.Total()-bits) < 1e-6*(1+bits)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultSession(t *testing.T) {
+	s := DefaultSession()
+	if s.HPShare <= 0 || s.HPShare >= 1 {
+		t.Errorf("HPShare = %v, want in (0,1)", s.HPShare)
+	}
+	if s.Quality.Beta <= 0 {
+		t.Error("non-positive quality slope")
+	}
+}

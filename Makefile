@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench fuzz figures examples clean
+.PHONY: all build test race vet cover bench fuzz figures examples clean
 
 all: build vet test
 
@@ -16,6 +16,9 @@ vet:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 cover:
 	$(GO) test -cover ./...
 
@@ -23,11 +26,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz passes over the control-plane wire decoders.
+# Short fuzz passes over the control-plane wire decoders and the
+# fault-event wire/spec decoders.
 fuzz:
 	$(GO) test -fuzz FuzzDemandReportUnmarshal -fuzztime 20s ./internal/pnc
 	$(GO) test -fuzz FuzzChannelUpdateUnmarshal -fuzztime 20s ./internal/pnc
 	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime 20s ./internal/pnc
+	$(GO) test -fuzz FuzzFailureDecoders -fuzztime 20s ./internal/faults
 
 # Regenerate every figure of EXPERIMENTS.md into results/ (slow: the
 # paper's full 50-seed sweeps).

@@ -12,6 +12,7 @@
 //	mmwavesim -fig blockage          # re-optimization under link blockage
 //	mmwavesim -fig relay             # dual-hop recovery of blocked sessions
 //	mmwavesim -fig streaming         # multi-GOP stall/quality trade-off
+//	mmwavesim -fig faultsweep        # served demand vs control-frame loss
 //	mmwavesim -print-config          # echo Table I parameters
 //
 // Scale knobs (-links, -channels, -seeds, -budget, …) override the
@@ -27,6 +28,7 @@ import (
 
 	"mmwave/internal/core"
 	"mmwave/internal/experiment"
+	"mmwave/internal/faults"
 	"mmwave/internal/session"
 	"mmwave/internal/stats"
 )
@@ -60,6 +62,9 @@ func run(args []string) int {
 		pmax         = fs.Float64("pmax", 0, "transmit power cap in W (0 = Table I default of 1 W)")
 		sweep        = fs.String("sweep", "", "comma-separated sweep values overriding the default x-axis")
 		rep          = fs.Int("rep", 0, "repetition index for -fig 4")
+		epochs       = fs.Int("epochs", 0, "scheduling epochs for -fig faultsweep (0 = default)")
+		retries      = fs.Int("retries", -1, "control-frame retry budget for -fig faultsweep (-1 = policy default)")
+		failSpec     = fs.String("fail", "", "injected link outages for -fig faultsweep, e.g. \"100@3+50,400@7+25\" (slot@link+duration)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -124,6 +129,46 @@ func run(args []string) int {
 		case "quality":
 			fig, err = experiment.FigQuality(cfg, xs)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
+			return 1
+		}
+		if *csv {
+			err = experiment.RenderCSV(os.Stdout, fig)
+		} else {
+			err = experiment.Render(os.Stdout, fig)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
+			return 1
+		}
+	case "faultsweep":
+		fc := experiment.DefaultFaultSweepConfig()
+		fc.Net = cfg
+		if *links == 0 {
+			fc.Net.NumLinks = 10 // full scale × epochs × rates is slow; override with -links
+		}
+		if *seeds == 0 {
+			fc.Net.Seeds = 10
+		}
+		if *epochs > 0 {
+			fc.Epochs = *epochs
+		}
+		if *retries >= 0 {
+			fc.Policy.MaxRetries = *retries
+		}
+		if xs != nil {
+			fc.Rates = xs
+		}
+		if *failSpec != "" {
+			evs, err := faults.ParseFailures(*failSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmwavesim: bad -fail spec: %v\n", err)
+				return 2
+			}
+			fc.Failures = evs
+		}
+		fig, err := experiment.FaultSweep(fc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
 			return 1

@@ -83,3 +83,20 @@ func TestRunAblationTiny(t *testing.T) {
 		t.Errorf("exit code = %d, want 0", code)
 	}
 }
+
+func TestRunFaultSweepTiny(t *testing.T) {
+	args := []string{"-fig", "faultsweep", "-links", "4", "-channels", "2", "-seeds", "2",
+		"-epochs", "2", "-sweep", "0,0.2", "-budget", "500", "-fail", "0@0+3"}
+	if code := run(args); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if code := run(append(args, "-csv")); code != 0 {
+		t.Errorf("csv exit code = %d, want 0", code)
+	}
+}
+
+func TestRunFaultSweepBadFailSpec(t *testing.T) {
+	if code := run([]string{"-fig", "faultsweep", "-links", "4", "-fail", "banana"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}

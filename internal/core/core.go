@@ -21,7 +21,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +41,16 @@ type Pricer interface {
 	Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
 	// String names the pricer for telemetry.
 	String() string
+}
+
+// ContextPricer is implemented by pricers that can be canceled
+// mid-search. PriceContext with a never-canceled context must behave
+// exactly like Price; with a canceled/expired context it returns the
+// best schedule found so far (Exact=false) and a still-valid
+// RelaxValue, so the solver can form an anytime Theorem-1 bound.
+type ContextPricer interface {
+	Pricer
+	PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
 }
 
 // PriceResult is the outcome of one pricing round.
@@ -75,6 +85,16 @@ type Result struct {
 	LowerBound float64         // best proven lower bound on the P1 optimum, seconds
 	Converged  bool            // true when Φ ≥ −tolerance with exact pricing
 	Duals      Duals           // final simplex multipliers
+
+	// Truncated reports an anytime result: the solve stopped on a
+	// canceled/expired context or the iteration budget rather than by
+	// convergence. The plan is still feasible and LowerBound still
+	// valid (Theorem 1 holds for any Φ′ ≤ Φ*).
+	Truncated bool
+	// Stop is nil for a converged solve; on truncation it wraps
+	// ErrBudgetExceeded with the cause, so callers can branch with
+	// errors.Is(res.Stop, ErrBudgetExceeded).
+	Stop error
 }
 
 // Gap returns the relative optimality gap (UB−LB)/UB of the result, 0
@@ -151,10 +171,6 @@ type Solver struct {
 	// primal feasible and the re-solve skips phase 1 entirely.
 	warmBasis []lp.BasisVar
 }
-
-// ErrUnservable reports links whose demand can never be served (no
-// rate level reachable even transmitting alone at full power).
-var ErrUnservable = errors.New("core: demand unservable")
 
 // NewSolver validates the instance and seeds the column pool with the
 // paper's TDMA initialization (§IV-B).
@@ -245,6 +261,19 @@ func (s *Solver) SetDemands(demands []video.Demand) error {
 // Solve runs column generation to convergence (or the configured
 // iteration/gap limits) and returns the best plan.
 func (s *Solver) Solve() (*Result, error) {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext runs column generation under a per-solve budget carried
+// by ctx (a deadline, a timeout, or explicit cancellation). With a
+// never-canceled context it is byte-identical to Solve. When the
+// budget expires mid-solve, the context-aware pricer is canceled
+// mid-search, the cheap GreedyPricer supplies a final valid bound if
+// the configured pricer could not, and the best-so-far feasible plan
+// is returned with Truncated set and Stop wrapping ErrBudgetExceeded —
+// never a bare error: by Theorem 1 any Φ′ ≤ Φ* still bounds P1, so an
+// anytime plan plus its proven gap is always available.
+func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 	res := &Result{LowerBound: 0}
 	bestLower := 0.0
 
@@ -255,25 +284,24 @@ func (s *Solver) Solve() (*Result, error) {
 		}
 		lambdaHP, lambdaLP := s.extractDuals(mpSol)
 
-		pr, err := s.opts.Pricer.Price(s.nw, lambdaHP, lambdaLP)
+		pr, err := s.price(ctx, lambdaHP, lambdaLP)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The pricer died on cancellation before producing a
+				// result: fall back to the greedy pricer, whose
+				// interference-free relaxation is still a valid Φ′.
+				if g, gerr := (GreedyPricer{}).Price(s.nw, lambdaHP, lambdaLP); gerr == nil {
+					if lower := pricingLowerBound(mpSol.Objective, g); lower > bestLower {
+						bestLower = lower
+					}
+				}
+				return s.finishTruncated(res, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
+			}
 			return nil, fmt.Errorf("core: pricing failed at iteration %d: %w", iter, err)
 		}
 
 		phi := 1 - pr.Value // reduced cost of the best found column
-		// A valid lower bound needs Φ' ≤ Φ*; with truncated pricing use
-		// the relaxation value.
-		phiForBound := 1 - pr.RelaxValue
-		if pr.Exact {
-			phiForBound = phi
-		}
-		lower := 0.0
-		if denom := 1 - phiForBound; denom > 0 {
-			lower = mpSol.Objective / denom // UB = λᵀd by strong duality
-		}
-		if phiForBound >= 0 {
-			lower = mpSol.Objective
-		}
+		lower := pricingLowerBound(mpSol.Objective, pr)
 		if lower > bestLower {
 			bestLower = lower
 		}
@@ -288,6 +316,12 @@ func (s *Solver) Solve() (*Result, error) {
 			PricerNode: pr.Nodes,
 			Exact:      pr.Exact,
 		})
+
+		if ctx.Err() != nil {
+			// Budget expired during pricing: mpSol is the best-so-far
+			// feasible plan and pr's relaxation already fed bestLower.
+			return s.finishTruncated(res, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
+		}
 
 		converged := pr.Exact && phi >= -s.opts.Tolerance
 		gapMet := s.opts.GapTarget > 0 && mpSol.Objective > 0 &&
@@ -311,7 +345,8 @@ func (s *Solver) Solve() (*Result, error) {
 		}
 	}
 
-	// Iteration limit: return the last master solution.
+	// Iteration limit: return the last master solution as an anytime
+	// result.
 	mpSol, err := s.solveMaster()
 	if err != nil {
 		return nil, err
@@ -320,7 +355,46 @@ func (s *Solver) Solve() (*Result, error) {
 	res.Plan = s.extractPlan(mpSol)
 	res.LowerBound = bestLower
 	res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
+	res.Truncated = true
+	res.Stop = fmt.Errorf("%w: iteration limit %d", ErrBudgetExceeded, s.opts.MaxIterations)
 	return res, nil
+}
+
+// price dispatches one pricing round, using the context-aware path
+// when the pricer supports cancellation.
+func (s *Solver) price(ctx context.Context, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	if cp, ok := s.opts.Pricer.(ContextPricer); ok {
+		return cp.PriceContext(ctx, s.nw, lambdaHP, lambdaLP)
+	}
+	return s.opts.Pricer.Price(s.nw, lambdaHP, lambdaLP)
+}
+
+// pricingLowerBound forms the Theorem-1 lower bound from one pricing
+// round: a valid bound needs Φ′ ≤ Φ*, so truncated pricing uses the
+// relaxation value.
+func pricingLowerBound(upper float64, pr *PriceResult) float64 {
+	phiForBound := 1 - pr.RelaxValue
+	if pr.Exact {
+		phiForBound = 1 - pr.Value
+	}
+	lower := 0.0
+	if denom := 1 - phiForBound; denom > 0 {
+		lower = upper / denom // UB = λᵀd by strong duality
+	}
+	if phiForBound >= 0 {
+		lower = upper
+	}
+	return lower
+}
+
+// finishTruncated assembles the anytime result for a canceled solve.
+func (s *Solver) finishTruncated(res *Result, mpSol *lp.Solution, lambdaHP, lambdaLP []float64, bestLower float64, ctx context.Context) *Result {
+	res.Plan = s.extractPlan(mpSol)
+	res.LowerBound = bestLower
+	res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
+	res.Truncated = true
+	res.Stop = fmt.Errorf("%w: %v", ErrBudgetExceeded, context.Cause(ctx))
+	return res
 }
 
 // solveMaster builds and solves the MP over the current pool.
@@ -367,7 +441,7 @@ func (s *Solver) solveMaster() (*lp.Solution, error) {
 		s.warmBasis = sol.Basis
 		return sol, nil
 	case lp.StatusInfeasible:
-		return nil, fmt.Errorf("core: master problem infeasible (TDMA initialization should prevent this)")
+		return nil, fmt.Errorf("%w (TDMA initialization should prevent this)", ErrInfeasible)
 	default:
 		return nil, fmt.Errorf("core: master problem ended with status %v", sol.Status)
 	}

@@ -1,0 +1,23 @@
+package core
+
+import "errors"
+
+// Sentinel errors callers branch on with errors.Is. They form the
+// solver half of the repo's error taxonomy; the control-plane half
+// (ErrControlLoss, ErrStaleState) lives in internal/pnc.
+var (
+	// ErrUnservable reports links whose demand can never be served (no
+	// rate level reachable even transmitting alone at full power).
+	ErrUnservable = errors.New("core: demand unservable")
+
+	// ErrBudgetExceeded reports a solve truncated by its context
+	// deadline/cancellation or iteration budget. It is carried in
+	// Result.Stop — the solve still returns the feasible best-so-far
+	// plan and its valid Theorem-1 lower bound, never a bare error.
+	ErrBudgetExceeded = errors.New("core: solve budget exceeded")
+
+	// ErrInfeasible reports a master problem with no feasible point —
+	// impossible after the TDMA initialization unless demands were
+	// mutated behind the solver's back.
+	ErrInfeasible = errors.New("core: master problem infeasible")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/milp"
@@ -34,13 +35,24 @@ type MILPPricer struct {
 	MaxNodes int
 }
 
-var _ Pricer = (*MILPPricer)(nil)
+var _ ContextPricer = (*MILPPricer)(nil)
 
 // String implements Pricer.
 func (p *MILPPricer) String() string { return "milp" }
 
 // Price implements Pricer.
 func (p *MILPPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	return p.price(nil, nw, lambdaHP, lambdaLP)
+}
+
+// PriceContext implements ContextPricer: the branch and bound is
+// canceled mid-search when ctx expires, returning the incumbent found
+// so far (possibly none) with the valid best-first dual bound.
+func (p *MILPPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP)
+}
+
+func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
 	L := nw.NumLinks()
 	K := nw.NumChannels
 	Q := nw.Rates.Levels()
@@ -196,12 +208,12 @@ func (p *MILPPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (
 		}
 	}
 
-	sol, err := milp.SolveWith(prob, milp.Options{MaxNodes: p.MaxNodes})
+	sol, err := milp.SolveWith(prob, milp.Options{MaxNodes: p.MaxNodes, Cancel: cancel})
 	if err != nil {
 		return nil, fmt.Errorf("core: milp pricer: %w", err)
 	}
 	switch sol.Status {
-	case milp.StatusOptimal, milp.StatusNodeLimit:
+	case milp.StatusOptimal, milp.StatusNodeLimit, milp.StatusCanceled:
 	default:
 		return nil, fmt.Errorf("core: milp pricer ended with status %v", sol.Status)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,7 +36,7 @@ type BranchBoundPricer struct {
 	FixedPower bool
 }
 
-var _ Pricer = (*BranchBoundPricer)(nil)
+var _ ContextPricer = (*BranchBoundPricer)(nil)
 
 // defaultPricerBudget bounds pricing feasibility probes per call. Each
 // probe is one power-control feasibility test, the unit of real work
@@ -94,6 +95,12 @@ type pricerState struct {
 	halted     bool
 	fixedPower bool
 
+	// done, when non-nil, is polled periodically so an expired solve
+	// budget halts the search mid-tree; the best-so-far incumbent and
+	// the upfront relaxation bound stay valid.
+	done     <-chan struct{}
+	lastPoll int
+
 	// Scratch buffers reused across feasibility probes.
 	scratchLinks  []int
 	scratchChans  []int
@@ -109,6 +116,18 @@ type assignChoice struct {
 
 // Price implements Pricer.
 func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	return p.price(nil, nw, lambdaHP, lambdaLP)
+}
+
+// PriceContext implements ContextPricer: the search polls ctx and
+// halts mid-tree on cancellation, returning the best schedule found so
+// far with Exact=false and the valid interference-free relaxation
+// bound.
+func (p *BranchBoundPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP)
+}
+
+func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
 	L := nw.NumLinks()
 	if len(lambdaHP) != L || len(lambdaLP) != L {
 		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
@@ -202,6 +221,7 @@ func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []flo
 		assign:     make([]assignChoice, len(cands)),
 		budget:     p.nodeBudget,
 		fixedPower: p.FixedPower,
+		done:       done,
 	}
 	for i := range st.assign {
 		st.assign[i] = assignChoice{channel: -1}
@@ -270,6 +290,18 @@ func (st *pricerState) dfs(i int, value float64) {
 	if st.checks > st.budget {
 		st.halted = true
 		return
+	}
+	// Poll the cancellation channel every few dozen probes: cheap
+	// enough to be invisible, frequent enough that an expired solve
+	// budget stops the search within microseconds.
+	if st.done != nil && st.checks-st.lastPoll >= 64 {
+		st.lastPoll = st.checks
+		select {
+		case <-st.done:
+			st.halted = true
+			return
+		default:
+		}
 	}
 	if value > st.bestVal {
 		st.bestVal = value

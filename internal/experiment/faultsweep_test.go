@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"testing"
+
+	"mmwave/internal/faults"
+)
+
+// smallFaultSweep returns a fast reduced-scale sweep config.
+func smallFaultSweep() FaultSweepConfig {
+	fc := DefaultFaultSweepConfig()
+	fc.Net.NumLinks = 6
+	fc.Net.Seeds = 3
+	fc.Net.Seed = 1
+	fc.Epochs = 4
+	return fc
+}
+
+// TestFaultSweepAcceptance is the PR's acceptance criterion: at 20%
+// control-frame loss the degradation policy must still serve ≥ 90% of
+// the HP demand, and a clean channel must serve everything.
+func TestFaultSweepAcceptance(t *testing.T) {
+	fc := smallFaultSweep()
+	fc.Rates = []float64{0, 0.2}
+	fig, err := FaultSweep(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	hp := fig.Series[0]
+	if hp.Name != "hp-served" {
+		t.Fatalf("series 0 = %q, want hp-served", hp.Name)
+	}
+	clean, lossy := hp.Points[0], hp.Points[1]
+	if clean.Mean < 1-1e-6 {
+		t.Errorf("clean channel served %.4f of HP, want 1", clean.Mean)
+	}
+	if lossy.Mean < 0.90 {
+		t.Errorf("20%% loss served %.4f of HP, want >= 0.90", lossy.Mean)
+	}
+	lp := fig.Series[1]
+	if lp.Points[0].Mean < 1-1e-6 {
+		t.Errorf("clean channel served %.4f of LP, want 1", lp.Points[0].Mean)
+	}
+	deg := fig.Series[2]
+	if deg.Points[0].Mean != 0 {
+		t.Errorf("clean channel degraded %.4f of links, want 0", deg.Points[0].Mean)
+	}
+}
+
+// TestFaultSweepMonotoneSetup sanity-checks validation and the failure
+// injection path through the executor.
+func TestFaultSweepMonotoneSetup(t *testing.T) {
+	fc := smallFaultSweep()
+	fc.Epochs = 0
+	if _, err := FaultSweep(fc); err == nil {
+		t.Error("zero epochs accepted")
+	}
+
+	fc = smallFaultSweep()
+	fc.Net.Seeds = 2
+	fc.Epochs = 2
+	fc.Rates = []float64{0.1}
+	fc.Failures = []faults.LinkFailure{{Slot: 0, Link: 0, Duration: 3}}
+	fig, err := FaultSweep(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series[0].Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(fig.Series[0].Points))
+	}
+}

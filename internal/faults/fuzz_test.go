@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFailureDecoders drives both fault-event decoders — the binary
+// wire format and the CLI text spec — with arbitrary bytes. Neither
+// may panic, and anything either accepts must survive a canonical
+// re-encode/re-decode round trip.
+func FuzzFailureDecoders(f *testing.F) {
+	seed, _ := EncodeFailures([]LinkFailure{{Slot: 100, Link: 3, Duration: 50}})
+	f.Add(seed)
+	f.Add([]byte("100@3+50,400@7+25"))
+	f.Add([]byte{failureMagic, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if evs, err := DecodeFailures(data); err == nil {
+			out, err := EncodeFailures(evs)
+			if err != nil {
+				t.Fatalf("accepted frame failed to re-encode: %v", err)
+			}
+			if string(out) != string(data) {
+				t.Fatalf("wire round trip mismatch: %x vs %x", out, data)
+			}
+		}
+		if evs, err := ParseFailures(string(data)); err == nil && len(evs) > 0 {
+			for i, e := range evs {
+				if !e.Valid() {
+					t.Fatalf("text decoder accepted invalid event %d: %+v", i, e)
+				}
+			}
+			// The formatted spec is canonical: parsing it again must
+			// reproduce the same events.
+			back, err := ParseFailures(FormatFailures(evs))
+			if err != nil {
+				t.Fatalf("canonical spec failed to re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(back, evs) {
+				t.Fatalf("text round trip mismatch: %v vs %v", back, evs)
+			}
+		}
+	})
+}

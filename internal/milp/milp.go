@@ -80,6 +80,7 @@ const (
 	StatusInfeasible               // no integral feasible point
 	StatusNodeLimit                // node budget exhausted; incumbent may exist
 	StatusUnbounded                // LP relaxation unbounded
+	StatusCanceled                 // Options.Cancel fired; incumbent may exist
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +94,8 @@ func (s Status) String() string {
 		return "node-limit"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int8(s))
 	}
@@ -119,6 +122,11 @@ type Options struct {
 	// Gap is the relative optimality gap at which search stops early;
 	// zero means prove optimality exactly (gap 1e-9).
 	Gap float64
+	// Cancel, when non-nil, stops the search as soon as the channel is
+	// closed (e.g. ctx.Done() of an expired solve budget). The solve
+	// returns StatusCanceled with the best incumbent and the valid
+	// best-first bound accumulated so far.
+	Cancel <-chan struct{}
 	// LP passes options through to the LP relaxation solves.
 	LP lp.Options
 }
@@ -202,6 +210,15 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 			sol.Status = StatusNodeLimit
 			sol.Nodes = nodes
 			return sol, nil
+		}
+		if opt.Cancel != nil {
+			select {
+			case <-opt.Cancel:
+				sol.Status = StatusCanceled
+				sol.Nodes = nodes
+				return sol, nil
+			default:
+			}
 		}
 		// Best-first: the head's bound is the global lower bound.
 		sol.Bound = math.Max(sol.Bound, math.Min(nd.bound, incumbent))

@@ -1,0 +1,387 @@
+package pnc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"mmwave/internal/core"
+	"mmwave/internal/faults"
+	"mmwave/internal/video"
+)
+
+// Sentinel errors callers branch on with errors.Is — the control-plane
+// half of the repo's error taxonomy (the solver half lives in
+// internal/core).
+var (
+	// ErrControlLoss reports a control frame that stayed undelivered
+	// after the policy's bounded retries.
+	ErrControlLoss = errors.New("pnc: control frame lost")
+
+	// ErrStaleState reports coordinator state older than the policy's
+	// staleness limit — the last-known-good fallback has expired and
+	// the affected links were dropped from the epoch.
+	ErrStaleState = errors.New("pnc: state stale beyond policy limit")
+)
+
+// DegradePolicy tunes how the coordinator degrades under faults. The
+// zero value disables every degradation path: no retries, no
+// last-known-good fallback, no load shedding, no solve budget —
+// exactly the original fail-hard epoch behavior.
+type DegradePolicy struct {
+	// MaxRetries bounds control-frame retransmissions after a lost or
+	// corrupted attempt.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between
+	// retransmissions, in seconds; attempt k waits 2^(k-1)·RetryBackoff.
+	// Backoff is idle time, not airtime — it is reported separately.
+	RetryBackoff float64
+	// StalenessLimit is how many epochs a link's last-known-good demand
+	// may stand in for a missing report. Beyond it the link is dropped
+	// from the epoch (ErrStaleState). Zero disables the fallback.
+	StalenessLimit int
+	// StalenessDecay multiplies the substituted demand once per stale
+	// epoch (confidence decay); zero means 1 (no decay).
+	StalenessDecay float64
+	// EpochBudget caps the air time of the epoch's plan, in seconds.
+	// When the optimal plan overruns it, demand is shed — LP before
+	// HP — until the plan fits. Zero means unlimited.
+	EpochBudget float64
+	// SolveBudget caps the wall-clock time of each P1 solve; the solver
+	// is canceled mid-search and returns its anytime plan. Zero means
+	// solve to convergence.
+	SolveBudget time.Duration
+}
+
+// DefaultDegradePolicy returns the production posture: three retries
+// with 2 ms backoff, a four-epoch staleness window decaying 20% per
+// epoch, no epoch budget, and no solve budget.
+func DefaultDegradePolicy() DegradePolicy {
+	return DegradePolicy{
+		MaxRetries:     3,
+		RetryBackoff:   2e-3,
+		StalenessLimit: 4,
+		StalenessDecay: 0.8,
+	}
+}
+
+// EpochResult is the outcome of one scheduling epoch.
+type EpochResult struct {
+	Plan            core.Plan
+	Solver          *core.Result
+	Grants          [][]byte // encoded downlink grants actually delivered
+	ControlSeconds  float64  // control airtime consumed this epoch
+	ControlMessages int64
+
+	// Degradation telemetry — all zero on a fault-free epoch.
+	Demands        []video.Demand // demand vector actually scheduled
+	Degraded       bool           // demand was load-shed to fit the epoch budget
+	ShedLPBits     float64        // LP bits shed by the budget policy
+	ShedHPBits     float64        // HP bits shed (only after all LP was shed)
+	StaleLinks     []int          // links scheduled from decayed last-known-good demand
+	ExpiredLinks   []int          // links dropped because their fallback aged out
+	DeferredLinks  []int          // links deferred as unservable (blocked or dropped out)
+	DroppedGrants  int            // grants lost on the downlink despite retries
+	Retries        int64          // control retransmissions in this epoch's window
+	LostFrames     int64          // uplink frames lost for good in this window
+	BackoffSeconds float64        // idle backoff accumulated by retries
+	TruncatedSolve bool           // the P1 solve hit its budget; Plan is anytime
+}
+
+// StalenessError returns an errors.Is-able ErrStaleState describing
+// the links whose last-known-good fallback expired this epoch, or nil.
+func (r *EpochResult) StalenessError() error {
+	if len(r.ExpiredLinks) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: links %v exceeded the staleness limit and were dropped", ErrStaleState, r.ExpiredLinks)
+}
+
+// IngestLossy routes one node→PNC frame through the fault injector
+// with the policy's bounded retry: each attempt is charged on the
+// control channel, lost and corrupted attempts are retried with
+// exponential backoff, and delayed frames are applied at the next
+// epoch boundary. Without an injector it is plain Ingest. A frame
+// still undelivered after the retry budget returns an errors.Is-able
+// ErrControlLoss; the coordinator then falls back to last-known-good
+// state at the next RunEpochContext.
+func (c *Coordinator) IngestLossy(frame []byte) error {
+	if c.Faults == nil {
+		return c.Ingest(frame)
+	}
+	if len(frame) < 1 {
+		return errors.New("pnc: empty frame")
+	}
+	attempts := 1 + c.Policy.MaxRetries
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.retries++
+			c.backoffSec += c.Policy.RetryBackoff * float64(int64(1)<<(a-1))
+		}
+		// Silent CSI staleness: the update is swallowed but its sender
+		// believes it delivered, so there is no retry — the coordinator
+		// keeps scheduling on epoch-old gains.
+		if MsgType(frame[0]) == MsgChannelUpdate && c.Faults.DropCSI() {
+			return c.Control.Send(frame)
+		}
+		switch c.Faults.FrameFate() {
+		case faults.FrameDelivered:
+			return c.Ingest(frame)
+		case faults.FrameDelayed:
+			if err := c.Control.Send(frame); err != nil {
+				return err
+			}
+			c.delayed = append(c.delayed, append([]byte(nil), frame...))
+			return nil
+		case faults.FrameLost:
+			// The transmission still burned airtime; retry.
+			if err := c.Control.Send(frame); err != nil {
+				return err
+			}
+		case faults.FrameCorrupted:
+			// A corrupted frame that still decodes is delivered-wrong
+			// (the wire format carries no checksum); one the decoder
+			// rejects is retried like a loss.
+			if err := c.Ingest(c.Faults.Corrupt(frame)); err == nil {
+				return nil
+			}
+		}
+	}
+	c.lostFrames++
+	return fmt.Errorf("%w: gave up after %d attempts", ErrControlLoss, attempts)
+}
+
+// RunEpoch solves P1 over the demands reported since the last epoch
+// and encodes the grants. Links that never reported are treated per
+// the degradation policy (zero demand under the zero-value policy).
+// The per-epoch control airtime covers both the ingested reports and
+// the emitted grants.
+func (c *Coordinator) RunEpoch() (*EpochResult, error) {
+	return c.RunEpochContext(context.Background())
+}
+
+// RunEpochContext runs one scheduling epoch under the coordinator's
+// degradation policy:
+//
+//   - links that reported refresh their last-known-good demand; links
+//     that did not are scheduled from that fallback, decayed per stale
+//     epoch, until the staleness limit drops them (ErrStaleState via
+//     EpochResult.StalenessError);
+//   - links that cannot reach any rate level (blocked or dropped out)
+//     have their demand deferred, the paper's §III update rule;
+//   - each P1 solve runs under the policy's solve budget via
+//     core.SolveContext and may return an anytime plan;
+//   - when the plan overruns the epoch budget, demand is shed LP
+//     before HP until it fits;
+//   - grants ride the lossy downlink with bounded retry; undelivered
+//     ones are dropped from Grants and counted;
+//   - frames the injector delayed are delivered after the boundary,
+//     feeding the next epoch.
+//
+// With a nil injector and the zero-value policy this is byte-identical
+// to the original RunEpoch.
+func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error) {
+	out := &EpochResult{}
+
+	// Demand assembly: fresh reports refresh last-known-good; missing
+	// reports fall back to it with staleness decay until the limit.
+	demands := make([]video.Demand, len(c.demands))
+	decay := c.Policy.StalenessDecay
+	if decay == 0 {
+		decay = 1
+	}
+	for l := range demands {
+		switch {
+		case c.seen[l]:
+			demands[l] = c.demands[l]
+			c.lastGood[l] = c.demands[l]
+			c.lastAge[l] = 0
+		case c.Policy.StalenessLimit > 0 && c.lastAge[l] < c.Policy.StalenessLimit && c.lastGood[l].Total() > 0:
+			c.lastAge[l]++
+			demands[l] = c.lastGood[l].Scale(math.Pow(decay, float64(c.lastAge[l])))
+			out.StaleLinks = append(out.StaleLinks, l)
+		default:
+			if c.Policy.StalenessLimit > 0 && c.lastGood[l].Total() > 0 {
+				out.ExpiredLinks = append(out.ExpiredLinks, l)
+			}
+			c.lastAge[l]++
+		}
+	}
+
+	// Defer demand of links that cannot reach any rate level alone at
+	// PMax (blockage, dropout): P1 would be infeasible for them.
+	for l := range demands {
+		if demands[l].Total() <= 0 {
+			continue
+		}
+		_, sinr := c.Network.BestSingleLinkChannel(l)
+		if c.Network.Rates.BestLevel(sinr) < 0 {
+			demands[l] = video.Demand{}
+			out.DeferredLinks = append(out.DeferredLinks, l)
+		}
+	}
+
+	res, err := c.solveEpoch(ctx, demands)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load shedding against the epoch budget: LP sheds before HP.
+	if b := c.Policy.EpochBudget; b > 0 && res.Plan.Objective > b {
+		out.Degraded = true
+		demands, res, out.ShedLPBits, out.ShedHPBits, err = c.shedToBudget(ctx, demands, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.TruncatedSolve = res.Truncated
+
+	// Downlink: grants ride the same lossy channel with bounded retry.
+	grants := make([][]byte, 0, len(res.Plan.Schedules))
+	for i, s := range res.Plan.Schedules {
+		g := ScheduleGrant{Seconds: res.Plan.Tau[i], Entries: s.Assignments}
+		frame, err := g.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		delivered, err := c.sendDownlink(frame)
+		if err != nil {
+			return nil, err
+		}
+		if delivered {
+			grants = append(grants, frame)
+		} else {
+			out.DroppedGrants++
+		}
+	}
+
+	// Epoch state resets: next epoch needs fresh reports, and the
+	// accounting windows restart.
+	for l := range c.seen {
+		c.seen[l] = false
+	}
+	// Frames the injector delayed land after this boundary: they feed
+	// the NEXT epoch. Their airtime was charged at transmission time.
+	// Decode failures are unrecoverable here (the sender long moved
+	// on), so they count against the next window's lost frames.
+	if len(c.delayed) > 0 {
+		delayed := c.delayed
+		c.delayed = nil
+		for _, f := range delayed {
+			if err := c.apply(f); err != nil {
+				c.lostFrames++
+			}
+		}
+	}
+	out.Plan = res.Plan
+	out.Solver = res
+	out.Grants = grants
+	out.Demands = demands
+	out.ControlSeconds = c.Control.Airtime() - c.epochAirStart
+	out.ControlMessages = c.Control.Messages() - c.epochMsgStart
+	out.Retries = c.retries
+	out.LostFrames = c.lostFrames
+	out.BackoffSeconds = c.backoffSec
+	c.epochAirStart = c.Control.Airtime()
+	c.epochMsgStart = c.Control.Messages()
+	c.retries, c.lostFrames, c.backoffSec = 0, 0, 0
+	return out, nil
+}
+
+// solveEpoch runs one P1 solve under the policy's solve budget.
+func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*core.Result, error) {
+	solver, err := core.NewSolver(c.Network, demands, c.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
+	}
+	sctx := ctx
+	if c.Policy.SolveBudget > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, c.Policy.SolveBudget)
+		defer cancel()
+	}
+	res, err := solver.SolveContext(sctx)
+	if err != nil {
+		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
+	}
+	return res, nil
+}
+
+// shedToBudget sheds demand until the plan fits the epoch budget, LP
+// strictly before HP: first the largest LP fraction that still fits is
+// kept (one interpolation solve — the optimal time is monotone in
+// demand), and only if HP alone already overruns is HP scaled down.
+// Returns the shed demand vector, its plan, and the shed LP/HP bits.
+func (c *Coordinator) shedToBudget(ctx context.Context, demands []video.Demand, full *core.Result) ([]video.Demand, *core.Result, float64, float64, error) {
+	b := c.Policy.EpochBudget
+
+	hpOnly := make([]video.Demand, len(demands))
+	var lpTotal float64
+	for l, d := range demands {
+		hpOnly[l] = video.Demand{HP: d.HP}
+		lpTotal += d.LP
+	}
+	hpRes, err := c.solveEpoch(ctx, hpOnly)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+
+	if hpRes.Plan.Objective <= b {
+		// HP fits: restore the largest LP fraction the budget allows.
+		if lpTotal > 0 && full.Plan.Objective > hpRes.Plan.Objective {
+			f := (b - hpRes.Plan.Objective) / (full.Plan.Objective - hpRes.Plan.Objective)
+			if f > 1e-3 {
+				mixed := make([]video.Demand, len(demands))
+				for l, d := range demands {
+					mixed[l] = video.Demand{HP: d.HP, LP: d.LP * f}
+				}
+				if mres, err := c.solveEpoch(ctx, mixed); err == nil && mres.Plan.Objective <= b*(1+1e-6) {
+					return mixed, mres, lpTotal * (1 - f), 0, nil
+				}
+			}
+		}
+		return hpOnly, hpRes, lpTotal, 0, nil
+	}
+
+	// Even HP alone overruns: all LP is shed and HP scales to the
+	// budget ratio (optimal time scales at most linearly in demand).
+	scale := b / hpRes.Plan.Objective
+	scaled := make([]video.Demand, len(demands))
+	var shedHP float64
+	for l, d := range demands {
+		scaled[l] = video.Demand{HP: d.HP * scale}
+		shedHP += d.HP * (1 - scale)
+	}
+	sres, err := c.solveEpoch(ctx, scaled)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return scaled, sres, lpTotal, shedHP, nil
+}
+
+// sendDownlink transmits one grant frame, retrying per policy when the
+// injector interferes. It reports whether the frame was delivered in
+// time to be used this epoch (a grant delayed past the boundary is as
+// good as lost and is retried).
+func (c *Coordinator) sendDownlink(frame []byte) (bool, error) {
+	if c.Faults == nil {
+		return true, c.Control.Send(frame)
+	}
+	attempts := 1 + c.Policy.MaxRetries
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.retries++
+			c.backoffSec += c.Policy.RetryBackoff * float64(int64(1)<<(a-1))
+		}
+		if err := c.Control.Send(frame); err != nil {
+			return false, err
+		}
+		if c.Faults.FrameFate() == faults.FrameDelivered {
+			return true, nil
+		}
+	}
+	c.lostFrames++
+	return false, nil
+}

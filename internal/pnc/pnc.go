@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"mmwave/internal/core"
+	"mmwave/internal/faults"
 	"mmwave/internal/netmodel"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
@@ -255,8 +256,30 @@ type Coordinator struct {
 	Control *ControlChannel
 	Solve   core.Options // solver options per epoch
 
+	// Policy governs graceful degradation under faults: bounded retry
+	// with backoff, last-known-good fallback with staleness decay, and
+	// LP-before-HP load shedding against the epoch budget. The zero
+	// value disables every degradation path, reproducing the original
+	// fail-hard behavior.
+	Policy DegradePolicy
+	// Faults, when non-nil, routes control frames through the fault
+	// injector (IngestLossy, grant delivery). Nil means a perfect
+	// control channel.
+	Faults *faults.Injector
+
 	demands []video.Demand
 	seen    []bool
+
+	// Degradation state: last-known-good demand per link, its age in
+	// epochs, and frames the injector delayed past an epoch boundary.
+	lastGood []video.Demand
+	lastAge  []int
+	delayed  [][]byte
+
+	// Per-epoch fault/retry accounting (reset each RunEpoch).
+	retries    int64
+	lostFrames int64
+	backoffSec float64
 
 	// Epoch accounting window: control airtime/messages since the last
 	// RunEpoch (covers the uplink reports and this epoch's grants).
@@ -279,6 +302,8 @@ func NewCoordinator(nw *netmodel.Network, ctrl *ControlChannel, opts core.Option
 		Solve:         opts,
 		demands:       make([]video.Demand, nw.NumLinks()),
 		seen:          make([]bool, nw.NumLinks()),
+		lastGood:      make([]video.Demand, nw.NumLinks()),
+		lastAge:       make([]int, nw.NumLinks()),
 		epochAirStart: ctrl.Airtime(),
 		epochMsgStart: ctrl.Messages(),
 	}, nil
@@ -293,6 +318,13 @@ func (c *Coordinator) Ingest(frame []byte) error {
 	if err := c.Control.Send(frame); err != nil {
 		return err
 	}
+	return c.apply(frame)
+}
+
+// apply decodes and applies an already-delivered uplink frame without
+// charging airtime (used for frames whose transmission was accounted
+// when the fault injector delayed them).
+func (c *Coordinator) apply(frame []byte) error {
 	switch MsgType(frame[0]) {
 	case MsgDemandReport:
 		var r DemandReport
@@ -326,66 +358,6 @@ func (c *Coordinator) Ingest(frame []byte) error {
 	default:
 		return fmt.Errorf("pnc: unexpected uplink message type %v", MsgType(frame[0]))
 	}
-}
-
-// EpochResult is the outcome of one scheduling epoch.
-type EpochResult struct {
-	Plan            core.Plan
-	Solver          *core.Result
-	Grants          [][]byte // encoded downlink grants, one per plan schedule
-	ControlSeconds  float64  // control airtime consumed this epoch
-	ControlMessages int64
-}
-
-// RunEpoch solves P1 over the demands reported since the last epoch
-// and encodes the grants. Links that never reported are treated as
-// having zero demand (they stay idle). The per-epoch control airtime
-// covers both the ingested reports and the emitted grants.
-func (c *Coordinator) RunEpoch() (*EpochResult, error) {
-	demands := make([]video.Demand, len(c.demands))
-	for l := range demands {
-		if c.seen[l] {
-			demands[l] = c.demands[l]
-		}
-	}
-
-	solver, err := core.NewSolver(c.Network, demands, c.Solve)
-	if err != nil {
-		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
-	}
-	res, err := solver.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
-	}
-
-	grants := make([][]byte, len(res.Plan.Schedules))
-	for i, s := range res.Plan.Schedules {
-		g := ScheduleGrant{Seconds: res.Plan.Tau[i], Entries: s.Assignments}
-		frame, err := g.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		if err := c.Control.Send(frame); err != nil {
-			return nil, err
-		}
-		grants[i] = frame
-	}
-
-	// Epoch state resets: next epoch needs fresh reports, and the
-	// accounting window restarts.
-	for l := range c.seen {
-		c.seen[l] = false
-	}
-	out := &EpochResult{
-		Plan:            res.Plan,
-		Solver:          res,
-		Grants:          grants,
-		ControlSeconds:  c.Control.Airtime() - c.epochAirStart,
-		ControlMessages: c.Control.Messages() - c.epochMsgStart,
-	}
-	c.epochAirStart = c.Control.Airtime()
-	c.epochMsgStart = c.Control.Messages()
-	return out, nil
 }
 
 // DecodeGrants reassembles a schedule plan from encoded grants (the

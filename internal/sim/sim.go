@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mmwave/internal/faults"
 	"mmwave/internal/netmodel"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
@@ -29,18 +30,48 @@ type Remaining struct {
 
 	// eps is the per-link completion tolerance (a tiny fraction of the
 	// original demand), absorbing the roundoff of repeated bit
-	// subtraction over thousands of slots.
+	// subtraction over thousands of slots. When Options.Original is
+	// set, the tolerance derives from the ORIGINAL demand, so a link
+	// whose demand was load-shed upstream keeps a meaningful epsilon
+	// instead of one scaled to the shrunken (possibly zero) input.
 	eps []float64
+
+	// shedHP/shedLP are the bits dropped upstream (load shedding)
+	// before the run: original demand minus the demand actually
+	// scheduled. A link can only ever be "served degraded" when these
+	// are non-zero.
+	shedHP []float64
+	shedLP []float64
 }
 
 // Done reports whether link l has no bits left in either layer (up to
-// the accumulation tolerance).
+// the accumulation tolerance). Done answers "is the SCHEDULED demand
+// served" — a link whose demand was shed upstream can be Done yet
+// still degraded; see ServedDegraded.
 func (r *Remaining) Done(l int) bool {
 	var e float64
 	if l < len(r.eps) {
 		e = r.eps[l]
 	}
 	return r.HP[l] <= e && r.LP[l] <= e
+}
+
+// ServedDegraded reports whether link l finished its scheduled demand
+// but only because bits were shed upstream: the user saw degraded
+// video even though the scheduler calls the link done.
+func (r *Remaining) ServedDegraded(l int) bool {
+	if l >= len(r.shedHP) {
+		return false
+	}
+	return r.Done(l) && r.shedHP[l]+r.shedLP[l] > 0
+}
+
+// Shed returns the bits dropped upstream for link l (HP, LP).
+func (r *Remaining) Shed(l int) (hp, lp float64) {
+	if l >= len(r.shedHP) {
+		return 0, 0
+	}
+	return r.shedHP[l], r.shedLP[l]
 }
 
 // AllDone reports whether every link is fully served.
@@ -85,6 +116,28 @@ type Execution struct {
 	Completion []float64 // per-link completion time in seconds (delay)
 	ServedHP   []float64 // bits actually delivered per link
 	ServedLP   []float64
+
+	// Degradation accounting. A link is Degraded when its user saw
+	// less than the original demand: bits were load-shed upstream
+	// (Options.Original), or the run ended (deadline) with demand
+	// unserved. A link shed to zero demand is Degraded, never
+	// silently "complete".
+	Degraded    []bool
+	ShedHP      []float64 // bits shed upstream per link (original − scheduled)
+	ShedLP      []float64
+	FailedSlots int // assignment-slots suppressed by injected link failures
+	Replans     int // replanning rounds triggered by failure onsets
+}
+
+// DegradedCount returns how many links finished degraded.
+func (e *Execution) DegradedCount() int {
+	n := 0
+	for _, d := range e.Degraded {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // AverageDelay returns the mean per-link completion time.
@@ -114,6 +167,23 @@ type Options struct {
 	// period boundary). Unserved links' completion times are clamped
 	// to the deadline.
 	Deadline float64
+
+	// Original, when non-nil, is the pre-shedding demand vector. It
+	// anchors the completion epsilon and classifies shed links as
+	// served-degraded instead of complete. Must match the link count.
+	Original []video.Demand
+
+	// Failures injects link outages: during [Slot, Slot+Duration) the
+	// failed link's transmissions deliver zero bits (a blockage the
+	// plan did not anticipate). Windows may overlap.
+	Failures []faults.LinkFailure
+
+	// Replan, when non-nil, is invoked once at the first slot of each
+	// failure onset with the currently-failed link set and the live
+	// remaining demand. It may return a replacement policy for the
+	// rest of the run (nil, nil keeps the current one) — the hook that
+	// lets a coordinator re-solve around a mid-run outage.
+	Replan func(failed []bool, rem *Remaining) (Policy, error)
 }
 
 // ErrStalled reports a policy that returned an empty schedule while
@@ -139,20 +209,38 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 
 	L := nw.NumLinks()
 	rem := &Remaining{
-		HP:  make([]float64, L),
-		LP:  make([]float64, L),
-		eps: make([]float64, L),
+		HP:     make([]float64, L),
+		LP:     make([]float64, L),
+		eps:    make([]float64, L),
+		shedHP: make([]float64, L),
+		shedLP: make([]float64, L),
 	}
 	for l, d := range demands {
 		rem.HP[l] = d.HP
 		rem.LP[l] = d.LP
 		rem.eps[l] = 1e-9 * d.Total()
 	}
+	if opt.Original != nil {
+		if len(opt.Original) != L {
+			return nil, fmt.Errorf("sim: %d original demands for %d links", len(opt.Original), L)
+		}
+		for l, o := range opt.Original {
+			// Epsilon anchors to the pre-shed demand: a link shed to
+			// zero must not inherit a zero tolerance and then flip
+			// between done/undone on roundoff.
+			rem.eps[l] = 1e-9 * o.Total()
+			rem.shedHP[l] = maxFloat(o.HP-demands[l].HP, 0)
+			rem.shedLP[l] = maxFloat(o.LP-demands[l].LP, 0)
+		}
+	}
 	exec := &Execution{
 		Policy:     policy.Name(),
 		Completion: make([]float64, L),
 		ServedHP:   make([]float64, L),
 		ServedLP:   make([]float64, L),
+		Degraded:   make([]bool, L),
+		ShedHP:     append([]float64(nil), rem.shedHP...),
+		ShedLP:     append([]float64(nil), rem.shedLP...),
 	}
 	for l := range exec.Completion {
 		if rem.Done(l) {
@@ -169,6 +257,7 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 		}
 	}
 
+	failed := make([]bool, L)
 	slot := 0
 	for !rem.AllDone() {
 		if opt.Deadline > 0 && slot >= deadlineSlots {
@@ -176,6 +265,33 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 		}
 		if slot >= maxSlots {
 			return exec, fmt.Errorf("%w at slot %d with %.3g bits unserved", ErrSlotLimit, slot, rem.Total())
+		}
+		if len(opt.Failures) > 0 {
+			onset := false
+			for l := range failed {
+				failed[l] = false
+			}
+			for _, f := range opt.Failures {
+				if f.Link >= L {
+					return nil, fmt.Errorf("sim: failure targets link %d of %d", f.Link, L)
+				}
+				if slot >= f.Slot && slot < f.Slot+f.Duration {
+					failed[f.Link] = true
+					if slot == f.Slot {
+						onset = true
+					}
+				}
+			}
+			if onset && opt.Replan != nil {
+				next, err := opt.Replan(failed, rem)
+				if err != nil {
+					return exec, fmt.Errorf("sim: replan at slot %d: %w", slot, err)
+				}
+				if next != nil {
+					policy = next
+					exec.Replans++
+				}
+			}
 		}
 		s, err := policy.Decide(nw, rem, slot)
 		if err != nil {
@@ -193,6 +309,12 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 			}
 		}
 		for _, a := range s.Assignments {
+			if failed[a.Link] {
+				// The outage swallows the transmission: airtime is
+				// spent, no bits land, demand stays.
+				exec.FailedSlots++
+				continue
+			}
 			bits := nw.Rates.Rates[a.Level] * slotDur
 			if a.Layer == schedule.HP {
 				served := minFloat(bits, maxFloat(rem.HP[a.Link], 0))
@@ -217,6 +339,11 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 		if exec.Completion[l] < 0 {
 			exec.Completion[l] = exec.TotalTime
 		}
+	}
+	// Degraded = the user saw less than the original demand: bits shed
+	// upstream, or the run ended with scheduled demand unserved.
+	for l := 0; l < L; l++ {
+		exec.Degraded[l] = rem.ServedDegraded(l) || !rem.Done(l)
 	}
 	return exec, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mmwave/internal/channel"
+	"mmwave/internal/faults"
 	"mmwave/internal/geom"
 	"mmwave/internal/netmodel"
 	"mmwave/internal/schedule"
@@ -388,5 +389,133 @@ func TestDeadlineEarlyFinishUnaffected(t *testing.T) {
 	}
 	if exec.Slots != 3 {
 		t.Errorf("slots = %d, want 3 (demand completes first)", exec.Slots)
+	}
+}
+
+// TestShedLinkServedDegraded: a link whose demand was load-shed to
+// zero upstream is reported degraded, not silently complete, and its
+// epsilon derives from the original demand.
+func TestShedLinkServedDegraded(t *testing.T) {
+	nw := testNetwork(2, 1)
+	rate := nw.Rates.Rates[1]
+	original := []video.Demand{{HP: rate * 0.01}, {HP: rate * 0.01, LP: rate * 0.005}}
+	shed := []video.Demand{{HP: rate * 0.01}, {}} // link 1 shed to zero
+	s := &schedule.Schedule{Assignments: []schedule.Assignment{
+		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+	}}
+	exec, err := Run(nw, shed, fixedPolicy{s}, Options{SlotDuration: 1e-3, Original: original})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Degraded[0] {
+		t.Error("fully served link flagged degraded")
+	}
+	if !exec.Degraded[1] {
+		t.Error("shed-to-zero link reported complete, want degraded")
+	}
+	if exec.DegradedCount() != 1 {
+		t.Errorf("degraded count = %d, want 1", exec.DegradedCount())
+	}
+	if exec.ShedHP[1] != original[1].HP || exec.ShedLP[1] != original[1].LP {
+		t.Errorf("shed accounting = %v/%v, want %v/%v", exec.ShedHP[1], exec.ShedLP[1], original[1].HP, original[1].LP)
+	}
+}
+
+// TestPartialShedDegraded: shedding only LP still marks the link
+// degraded even though its scheduled demand completes.
+func TestPartialShedDegraded(t *testing.T) {
+	nw := testNetwork(1, 1)
+	rate := nw.Rates.Rates[1]
+	original := []video.Demand{{HP: rate * 0.01, LP: rate * 0.01}}
+	shed := []video.Demand{{HP: rate * 0.01}}
+	s := &schedule.Schedule{Assignments: []schedule.Assignment{
+		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+	}}
+	exec, err := Run(nw, shed, fixedPolicy{s}, Options{SlotDuration: 1e-3, Original: original})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.Degraded[0] {
+		t.Error("LP-shed link not flagged degraded")
+	}
+	if exec.ServedHP[0] < original[0].HP*(1-1e-6) {
+		t.Errorf("HP under-served: %v of %v", exec.ServedHP[0], original[0].HP)
+	}
+}
+
+// TestLinkFailureSuppressesDelivery: during an injected outage the
+// failed link's slots deliver nothing, stretching its completion.
+func TestLinkFailureSuppressesDelivery(t *testing.T) {
+	nw := testNetwork(1, 1)
+	rate := nw.Rates.Rates[1]
+	demands := []video.Demand{{HP: rate * 0.01}} // 10 clean slots
+	s := &schedule.Schedule{Assignments: []schedule.Assignment{
+		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+	}}
+	exec, err := Run(nw, demands, fixedPolicy{s}, Options{
+		SlotDuration: 1e-3,
+		Failures:     []faults.LinkFailure{{Slot: 2, Link: 0, Duration: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Slots != 15 {
+		t.Errorf("slots = %d, want 15 (10 useful + 5 failed)", exec.Slots)
+	}
+	if exec.FailedSlots != 5 {
+		t.Errorf("failed slots = %d, want 5", exec.FailedSlots)
+	}
+	if exec.Degraded[0] {
+		t.Error("link that eventually completed flagged degraded")
+	}
+}
+
+// TestFailureTriggersReplan: the replan hook fires once per failure
+// onset and can swap the policy mid-run.
+func TestFailureTriggersReplan(t *testing.T) {
+	nw := testNetwork(2, 1)
+	rate := nw.Rates.Rates[1]
+	demands := []video.Demand{{HP: rate * 0.01}, {HP: rate * 0.01}}
+	// The initial policy serves only link 0; the replacement serves both.
+	only0 := &schedule.Schedule{Assignments: []schedule.Assignment{
+		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+	}}
+	both := &schedule.Schedule{Assignments: []schedule.Assignment{
+		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+		{Link: 1, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
+	}}
+	var sawFailed []bool
+	exec, err := Run(nw, demands, fixedPolicy{only0}, Options{
+		SlotDuration: 1e-3,
+		Failures:     []faults.LinkFailure{{Slot: 3, Link: 0, Duration: 2}},
+		Replan: func(failed []bool, rem *Remaining) (Policy, error) {
+			sawFailed = append([]bool(nil), failed...)
+			return fixedPolicy{both}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Replans != 1 {
+		t.Errorf("replans = %d, want 1", exec.Replans)
+	}
+	if len(sawFailed) != 2 || !sawFailed[0] || sawFailed[1] {
+		t.Errorf("replan saw failed=%v, want [true false]", sawFailed)
+	}
+	if exec.ServedHP[1] < demands[1].HP*(1-1e-6) {
+		t.Errorf("replanned policy never served link 1: %v", exec.ServedHP[1])
+	}
+}
+
+// TestFailureBeyondLinksRejected: malformed failure events error out
+// instead of panicking.
+func TestFailureBeyondLinksRejected(t *testing.T) {
+	nw := testNetwork(1, 1)
+	demands := []video.Demand{{HP: 1}}
+	_, err := Run(nw, demands, fixedPolicy{nil}, Options{
+		Failures: []faults.LinkFailure{{Slot: 0, Link: 9, Duration: 1}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range failure link accepted")
 	}
 }

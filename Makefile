@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench fuzz figures examples clean
+.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz figures examples clean
 
 all: build vet test
 
@@ -22,8 +22,22 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One benchmark point per paper figure plus solver micro-benchmarks.
+# Regenerate the tracked benchmark baseline: the root suite (one
+# benchmark point per paper figure plus solver micro-benchmarks with
+# probe counters) rendered to BENCH_baseline.json via cmd/benchjson.
 bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_baseline.json
+
+# Compare the current tree against the committed baseline.
+bench-diff:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
+
+# Single-iteration smoke over every package (CI).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Full multi-iteration benchmark run over every package.
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzz passes over the control-plane wire decoders and the

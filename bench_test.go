@@ -44,6 +44,7 @@ func BenchmarkFig1SchedulingTime(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/links=%d", algo, links), func(b *testing.B) {
 				cfg := benchConfig()
 				cfg.NumLinks = links
+				b.ReportAllocs()
 				var total float64
 				for i := 0; i < b.N; i++ {
 					res := runPoint(b, cfg, algo, i)
@@ -217,19 +218,36 @@ func BenchmarkRelayRecovery(b *testing.B) {
 }
 
 // BenchmarkSolveProposed measures the optimizer alone (no slot replay)
-// at the paper's full scale.
+// at the paper's full scale, reporting the feasibility-probe count and
+// master-solve count per solve alongside time and allocations. The
+// cached variant runs the same solves through the feasibility-probe
+// cache (core.Options.CacheProbes) so the benchmark trajectory tracks
+// both paths; plans are byte-identical between them.
 func BenchmarkSolveProposed(b *testing.B) {
-	for _, links := range []int{10, 30} {
-		b.Run(fmt.Sprintf("links=%d", links), func(b *testing.B) {
+	for _, bench := range []struct {
+		name   string
+		cached bool
+	}{{"links=10", false}, {"links=30", false}, {"links=30/cached", true}} {
+		links := 10
+		if bench.name != "links=10" {
+			links = 30
+		}
+		b.Run(bench.name, func(b *testing.B) {
 			cfg := benchConfig()
 			cfg.NumLinks = links
+			cfg.CacheProbes = bench.cached
 			b.ReportAllocs()
+			var probes, masters float64
 			for i := 0; i < b.N; i++ {
 				res := runPoint(b, cfg, experiment.Proposed, i)
 				if res.Solver.Plan.Objective <= 0 {
 					b.Fatal("empty plan")
 				}
+				probes += float64(res.Solver.Probes)
+				masters += float64(res.Solver.MasterSolves)
 			}
+			b.ReportMetric(probes/float64(b.N), "probes/op")
+			b.ReportMetric(masters/float64(b.N), "masters/op")
 		})
 	}
 }

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable, diff-friendly JSON document so benchmark baselines can be
+// committed and compared across changes (the tracked trajectory in
+// BENCH_baseline.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem . | go run ./cmd/benchjson -out BENCH_baseline.json
+//	go test -bench=. ... | go run ./cmd/benchjson -diff BENCH_baseline.json
+//
+// With -diff, the tool compares the incoming run against a stored
+// baseline and prints per-benchmark deltas for the metrics both runs
+// share; it exits non-zero only on I/O or parse errors, never on
+// regressions (the numbers are for humans and CI logs, not a gate —
+// single-iteration CI runs are far too noisy to fail a build on).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mmwave/internal/benchparse"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out  = fs.String("out", "", "write the JSON document to this file instead of stdout")
+		diff = fs.String("diff", "", "compare the incoming run against this stored baseline JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	doc, err := benchparse.Parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+
+	if *diff != "" {
+		base, err := readBaseline(*diff)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		printDiff(stdout, base, doc)
+		return 0
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if _, err := stdout.Write(enc); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func readBaseline(path string) (*benchparse.Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchparse.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// printDiff reports, per benchmark present in both runs, the relative
+// change of every shared metric.
+func printDiff(w io.Writer, base, cur *benchparse.Document) {
+	byName := make(map[string]benchparse.Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		ref, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s: new benchmark\n", b.Name)
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if _, shared := ref.Metrics[unit]; shared {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			old, now := ref.Metrics[unit], b.Metrics[unit]
+			switch {
+			case old == now:
+				fmt.Fprintf(w, "%s %s: %g (unchanged)\n", b.Name, unit, now)
+			case old == 0:
+				fmt.Fprintf(w, "%s %s: %g (was 0)\n", b.Name, unit, now)
+			default:
+				fmt.Fprintf(w, "%s %s: %g → %g (%+.1f%%)\n", b.Name, unit, old, now, 100*(now-old)/old)
+			}
+		}
+	}
+	for _, ref := range base.Benchmarks {
+		found := false
+		for _, b := range cur.Benchmarks {
+			if b.Name == ref.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%s: missing from this run\n", ref.Name)
+		}
+	}
+}

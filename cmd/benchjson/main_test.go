@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmwave/internal/benchparse"
+)
+
+const runA = `goos: linux
+pkg: mmwave
+BenchmarkSolve/links=10-8   3   100000 ns/op   500 B/op
+BenchmarkOld-8              2   50000 ns/op
+PASS
+`
+
+const runB = `goos: linux
+pkg: mmwave
+BenchmarkSolve/links=10-8   3   120000 ns/op   500 B/op
+BenchmarkNew-8              1   7 ns/op
+PASS
+`
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "base.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out}, strings.NewReader(runA), &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchparse.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 2 || doc.Goos != "linux" {
+		t.Errorf("round-tripped document: %+v", doc)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	if code := run([]string{"-out", base}, strings.NewReader(runA), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("baseline write failed")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base}, strings.NewReader(runB), &stdout, &stderr); code != 0 {
+		t.Fatalf("diff run = %d, stderr: %s", code, stderr.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{"+20.0%", "BenchmarkNew-8: new benchmark", "BenchmarkOld-8: missing from this run", "(unchanged)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("PASS\n"), &bytes.Buffer{}, &stderr); code == 0 {
+		t.Fatal("empty benchmark input accepted")
+	}
+	if !strings.Contains(stderr.String(), "no benchmark lines") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

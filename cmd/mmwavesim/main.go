@@ -65,6 +65,10 @@ func run(args []string) int {
 		epochs       = fs.Int("epochs", 0, "scheduling epochs for -fig faultsweep (0 = default)")
 		retries      = fs.Int("retries", -1, "control-frame retry budget for -fig faultsweep (-1 = policy default)")
 		failSpec     = fs.String("fail", "", "injected link outages for -fig faultsweep, e.g. \"100@3+50,400@7+25\" (slot@link+duration)")
+		workers      = fs.Int("workers", 0, "goroutines for independent sweep cells (0 = one per CPU, 1 = sequential reference; output is identical either way)")
+		priceWorkers = fs.Int("pricer-workers", 0, "goroutines per pricing search (0 or 1 = serial exact pricer)")
+		probeCache   = fs.Bool("probe-cache", false, "memoize pricing feasibility probes across iterations (identical output; see DESIGN.md §9 for when this pays)")
+		verbose      = fs.Bool("v", false, "print solver telemetry (probes, master solves, cache hit rate) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +94,14 @@ func run(args []string) int {
 	cfg.RateModel = *rateModel
 	if *pmax > 0 {
 		cfg.PMax = *pmax
+	}
+	cfg.Workers = *workers
+	cfg.PricerWorkers = *priceWorkers
+	cfg.CacheProbes = *probeCache
+	var tel *experiment.Telemetry
+	if *verbose {
+		tel = &experiment.Telemetry{}
+		cfg.Telemetry = tel
 	}
 
 	if *printConfig {
@@ -278,6 +290,9 @@ func run(args []string) int {
 	default:
 		fmt.Fprintf(os.Stderr, "mmwavesim: unknown figure %q\n", *figure)
 		return 2
+	}
+	if tel != nil {
+		fmt.Fprintf(os.Stderr, "mmwavesim: telemetry: %s\n", tel)
 	}
 	return 0
 }

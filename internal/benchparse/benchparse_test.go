@@ -1,0 +1,86 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mmwave
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolveProposed/links=10-8         	       3	 303537967 ns/op	24922437 B/op	  467836 allocs/op
+BenchmarkSolveProposed/links=30-8         	       3	 916260521 ns/op	 333279 probes/op	101189856 B/op	 1451375 allocs/op
+BenchmarkFig4Convergence-8                	       1	  52034167 ns/op	        61.00 iters	         0 gap
+PASS
+ok  	mmwave	4.814s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "mmwave" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	// Sorted by name: Fig4 < links=10 < links=30.
+	if doc.Benchmarks[0].Name != "BenchmarkFig4Convergence-8" {
+		t.Errorf("first benchmark = %q, want the sorted order", doc.Benchmarks[0].Name)
+	}
+	b := doc.Benchmarks[2]
+	if b.Name != "BenchmarkSolveProposed/links=30-8" || b.Iterations != 3 {
+		t.Fatalf("unexpected benchmark %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":     916260521,
+		"probes/op": 333279,
+		"B/op":      101189856,
+		"allocs/op": 1451375,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+	if got := doc.Benchmarks[0].Metrics["iters"]; got != 61 {
+		t.Errorf("custom metric iters = %g, want 61", got)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := `Benchmark log chatter that is not a result
+BenchmarkReal-4   10   123 ns/op
+--- BENCH: BenchmarkReal-4
+    bench_test.go:10: note
+`
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkReal-4" {
+		t.Fatalf("parsed %+v, want only BenchmarkReal-4", doc.Benchmarks)
+	}
+}
+
+func TestParseRejectsBadMetricValue(t *testing.T) {
+	in := "BenchmarkBroken-2   5   xyz ns/op\n"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed metric value parsed without error")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok mmwave 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from empty run", len(doc.Benchmarks))
+	}
+}

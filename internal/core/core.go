@@ -53,6 +53,19 @@ type ContextPricer interface {
 	PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
 }
 
+// CachedPricer is implemented by pricers whose feasibility probes can
+// be served from a solver-owned cache. PriceWithCache must return the
+// same result as PriceContext — feasibility of an activation pattern
+// does not depend on the duals, so memoized answers are exact, and
+// cached probes still count against the search budget so the explored
+// tree is identical. The solver passes one cache per Solver lifetime;
+// the network must stay immutable while the Solver is in use (the
+// contract Solve already requires).
+type CachedPricer interface {
+	ContextPricer
+	PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error)
+}
+
 // PriceResult is the outcome of one pricing round.
 type PriceResult struct {
 	Schedule *schedule.Schedule // best schedule found (nil if none has value > 0)
@@ -63,6 +76,8 @@ type PriceResult struct {
 	// truncated pricing.
 	RelaxValue float64
 	Nodes      int // search nodes explored (telemetry)
+	Probes     int // feasibility probes consumed (the budget unit)
+	CacheHits  int // probes answered by the probe cache (telemetry)
 }
 
 // IterationStat records one column-generation iteration for the
@@ -86,6 +101,17 @@ type Result struct {
 	Converged  bool            // true when Φ ≥ −tolerance with exact pricing
 	Duals      Duals           // final simplex multipliers
 
+	// Probes counts pricing feasibility probes across all iterations
+	// of this solve — the unit of real work in the search, and the
+	// denominator of the cache hit rate.
+	Probes int
+	// MasterSolves counts master-LP solves performed by this solve.
+	MasterSolves int
+	// CacheHits and CacheMisses break Probes down by whether the
+	// probe cache answered from memory (hits cost no linear algebra).
+	CacheHits   int
+	CacheMisses int
+
 	// Truncated reports an anytime result: the solve stopped on a
 	// canceled/expired context or the iteration budget rather than by
 	// convergence. The plan is still feasible and LowerBound still
@@ -95,6 +121,15 @@ type Result struct {
 	// ErrBudgetExceeded with the cause, so callers can branch with
 	// errors.Is(res.Stop, ErrBudgetExceeded).
 	Stop error
+}
+
+// CacheHitRate returns the fraction of feasibility probes answered by
+// the probe cache, 0 when no probes ran.
+func (r *Result) CacheHitRate() float64 {
+	if r.Probes == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Probes)
 }
 
 // Gap returns the relative optimality gap (UB−LB)/UB of the result, 0
@@ -154,6 +189,16 @@ type Options struct {
 	// relative UB/LB gap falls below it (the paper's early-termination
 	// use of Theorem 1).
 	GapTarget float64
+	// CacheProbes memoizes pricing feasibility probes across column-
+	// generation iterations in a netmodel.ProbeCache (dominance
+	// frontiers over the monotone feasibility predicate; see DESIGN.md
+	// §9). The cache never changes results — hits still count against
+	// the pricer budget, so plans are byte-identical either way. Off by
+	// default: at Table-I scale a probe's Gauss-Jordan solve (~0.8µs)
+	// is barely above the cache's own per-probe cost (~0.5µs) and the
+	// measured cross-iteration hit rate (~6%) does not amortize it.
+	// Enable it for workloads with an expensive feasibility oracle.
+	CacheProbes bool
 	// LP passes options to the master problem solves.
 	LP lp.Options
 }
@@ -170,6 +215,24 @@ type Solver struct {
 	// iterations: the pool only appends columns, so the old basis stays
 	// primal feasible and the re-solve skips phase 1 entirely.
 	warmBasis []lp.BasisVar
+
+	// masterProb is the incrementally built master LP: the 2L demand
+	// rows are laid down once and each pooled schedule contributes one
+	// column, appended the first time a solve sees it. Only the
+	// right-hand sides are rewritten between solves (SetDemands), so
+	// per-iteration master cost is O(L·new columns), not O(L·pool).
+	// The lp solver never mutates a Problem (the tableau copies all
+	// data), so reuse across solves is safe.
+	masterProb *lp.Problem
+	masterCols int
+
+	// probeCache memoizes pricing feasibility probes for the Solver's
+	// (immutable) network; see netmodel.ProbeCache. It lives as long as
+	// the Solver: SetDemands changes only the master RHS, never probe
+	// feasibility.
+	probeCache *netmodel.ProbeCache
+
+	masterSolves int
 }
 
 // NewSolver validates the instance and seeds the column pool with the
@@ -197,6 +260,9 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 	}
 
 	s := &Solver{nw: nw, demands: demands, opts: opts, pool: schedule.NewPool()}
+	if opts.CacheProbes {
+		s.probeCache = netmodel.NewProbeCache()
+	}
 	for _, sc := range schedule.TDMA(nw) {
 		s.pool.Add(sc)
 	}
@@ -276,6 +342,11 @@ func (s *Solver) Solve() (*Result, error) {
 func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 	res := &Result{LowerBound: 0}
 	bestLower := 0.0
+	masterBefore := s.masterSolves
+	defer func() {
+		res.MasterSolves = s.masterSolves - masterBefore
+		res.CacheMisses = res.Probes - res.CacheHits
+	}()
 
 	for iter := 0; iter < s.opts.MaxIterations; iter++ {
 		mpSol, err := s.solveMaster()
@@ -299,6 +370,9 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 			}
 			return nil, fmt.Errorf("core: pricing failed at iteration %d: %w", iter, err)
 		}
+
+		res.Probes += pr.Probes
+		res.CacheHits += pr.CacheHits
 
 		phi := 1 - pr.Value // reduced cost of the best found column
 		lower := pricingLowerBound(mpSol.Objective, pr)
@@ -360,9 +434,12 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// price dispatches one pricing round, using the context-aware path
-// when the pricer supports cancellation.
+// price dispatches one pricing round, preferring the cached path, then
+// the context-aware path.
 func (s *Solver) price(ctx context.Context, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+	if cp, ok := s.opts.Pricer.(CachedPricer); ok && s.probeCache != nil {
+		return cp.PriceWithCache(ctx, s.nw, lambdaHP, lambdaLP, s.probeCache)
+	}
 	if cp, ok := s.opts.Pricer.(ContextPricer); ok {
 		return cp.PriceContext(ctx, s.nw, lambdaHP, lambdaLP)
 	}
@@ -397,37 +474,46 @@ func (s *Solver) finishTruncated(res *Result, mpSol *lp.Solution, lambdaHP, lamb
 	return res
 }
 
-// solveMaster builds and solves the MP over the current pool.
+// solveMaster solves the MP over the current pool. The problem is
+// built incrementally: rows (one GE per link per layer, in the order
+// HP 0..L-1 then LP 0..L-1) are laid down once, and only columns for
+// schedules pooled since the previous solve are appended; right-hand
+// sides are refreshed every call so SetDemands keeps working.
 func (s *Solver) solveMaster() (*lp.Solution, error) {
+	s.masterSolves++
 	n := s.pool.Len()
 	L := s.nw.NumLinks()
-	costs := make([]float64, n)
-	for j := range costs {
-		costs[j] = 1
-	}
-	p := lp.NewProblem(costs)
-
-	// Precompute each column's rate vectors once.
-	colHP := make([][]float64, n)
-	colLP := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		colHP[j], colLP[j] = s.pool.At(j).RateVectors(s.nw)
-	}
-
-	// Row order: HP rows for links 0..L-1, then LP rows.
-	for l := 0; l < L; l++ {
-		row := make([]float64, n)
-		for j := 0; j < n; j++ {
-			row[j] = colHP[j][l]
+	if s.masterProb == nil {
+		p := lp.NewProblem(nil)
+		for l := 0; l < L; l++ {
+			p.AddRow(nil, lp.GE, s.demands[l].HP)
 		}
-		p.AddRow(row, lp.GE, s.demands[l].HP)
-	}
-	for l := 0; l < L; l++ {
-		row := make([]float64, n)
-		for j := 0; j < n; j++ {
-			row[j] = colLP[j][l]
+		for l := 0; l < L; l++ {
+			p.AddRow(nil, lp.GE, s.demands[l].LP)
 		}
-		p.AddRow(row, lp.GE, s.demands[l].LP)
+		s.masterProb = p
+		s.masterCols = 0
+	}
+	p := s.masterProb
+
+	// Append columns for schedules added since the last solve (every
+	// schedule costs one unit of time per slot: c_j = 1).
+	col := make([]float64, 2*L)
+	for j := s.masterCols; j < n; j++ {
+		hpRates, lpRates := s.pool.At(j).RateVectors(s.nw)
+		copy(col[:L], hpRates)
+		copy(col[L:], lpRates)
+		if _, err := p.AddColumn(1, col); err != nil {
+			return nil, fmt.Errorf("core: master column %d: %w", j, err)
+		}
+	}
+	s.masterCols = n
+
+	// Refresh the right-hand sides: demands may have moved between
+	// solves (SetDemands), and columns are demand-independent.
+	for l := 0; l < L; l++ {
+		p.B[l] = s.demands[l].HP
+		p.B[L+l] = s.demands[l].LP
 	}
 
 	lpOpts := s.opts.LP

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mmwave/internal/channel"
+	"mmwave/internal/netmodel"
+)
+
+// pricingDuals draws a random positive dual vector pair, scaled so
+// that single-link schedules already price above the improvement
+// threshold of 1 — the search must then actually explore multi-link
+// combinations instead of pruning at the root.
+func pricingDuals(rng *rand.Rand, n int) (hp, lp []float64) {
+	hp = make([]float64, n)
+	lp = make([]float64, n)
+	for i := range hp {
+		hp[i] = (0.5 + rng.Float64()) * 1e-7
+		lp[i] = (0.5 + rng.Float64()) * 1e-7
+	}
+	return hp, lp
+}
+
+// TestParallelPricerValueMatchesSerial prices the same instances with
+// the serial search and the root-split parallel search. The parallel
+// search shares one probe budget and prunes against the same bound, so
+// when both complete exactly they must find the same optimal value —
+// the schedule may differ only among equal-value optima.
+func TestParallelPricerValueMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	searched := 0
+	for trial := 0; trial < 8; trial++ {
+		nw := servableNetwork(rng, 8, 2)
+		hp := make([]float64, 8)
+		lp := make([]float64, 8)
+		for i := range hp {
+			hp[i] = rng.Float64() * 2e-8
+			lp[i] = rng.Float64() * 2e-8
+		}
+
+		serial := NewBranchBoundPricer(500000)
+		sres, err := serial.Price(nw, hp, lp)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		par := NewBranchBoundPricer(500000)
+		par.Parallel = 4
+		pres, err := par.Price(nw, hp, lp)
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		if !sres.Exact || !pres.Exact {
+			t.Fatalf("trial %d: searches not exact (serial %v, parallel %v) — raise the budget", trial, sres.Exact, pres.Exact)
+		}
+		if sres.Value != pres.Value {
+			t.Errorf("trial %d: value %g (serial) vs %g (workers=4)", trial, sres.Value, pres.Value)
+		}
+		if sres.Probes > 0 {
+			searched++
+		}
+	}
+	// Greedy-optimal draws prune at the root without probing; the
+	// comparison only has teeth when some instances actually search.
+	if searched < 2 {
+		t.Fatalf("only %d/8 instances searched — regenerate the test seeds", searched)
+	}
+}
+
+// friendlyNetwork builds a network with negligible cross interference,
+// so every subset of links is concurrently feasible and the pricing
+// tree is deep (many probes, large activation patterns).
+func friendlyNetwork(nLinks, nChannels int) *netmodel.Network {
+	g := &channel.Gains{
+		Direct: make([][]float64, nLinks),
+		Cross:  make([][][]float64, nLinks),
+	}
+	links := make([]netmodel.Link, nLinks)
+	noise := make([]float64, nLinks)
+	for i := 0; i < nLinks; i++ {
+		g.Direct[i] = make([]float64, nChannels)
+		g.Cross[i] = make([][]float64, nLinks)
+		for k := 0; k < nChannels; k++ {
+			g.Direct[i][k] = 1
+		}
+		for j := 0; j < nLinks; j++ {
+			g.Cross[i][j] = make([]float64, nChannels)
+			if i != j {
+				for k := 0; k < nChannels; k++ {
+					g.Cross[i][j][k] = 1e-4
+				}
+			}
+		}
+		links[i] = netmodel.Link{TXNode: 2 * i, RXNode: 2*i + 1}
+		noise[i] = 0.1
+	}
+	return &netmodel.Network{
+		Links:       links,
+		NumChannels: nChannels,
+		Gains:       g,
+		Noise:       noise,
+		PMax:        1,
+		Rates:       rateTable5(),
+		BandwidthHz: 200e6,
+	}
+}
+
+// TestParallelPricerSharesBudget checks that an exhausted shared budget
+// marks the parallel result inexact, exactly like the serial pricer.
+func TestParallelPricerSharesBudget(t *testing.T) {
+	// This (seed, size) draw needs >10k probes to finish exactly.
+	rng := rand.New(rand.NewSource(5))
+	nw := servableNetwork(rng, 10, 2)
+	hp := make([]float64, 10)
+	lp := make([]float64, 10)
+	for i := range hp {
+		hp[i] = rng.Float64() * 2e-8
+		lp[i] = rng.Float64() * 2e-8
+	}
+
+	p := NewBranchBoundPricer(50) // far too small to finish
+	p.Parallel = 4
+	res, err := p.Price(nw, hp, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("budget of 50 probes reported an exact search")
+	}
+	if res.Schedule == nil {
+		t.Error("halted search returned no incumbent (greedy seed expected)")
+	}
+}
+
+// TestPricerWithCacheIdenticalSearch runs the same pricing problem
+// twice through one probe cache: the second pass must hit the cache,
+// report the SAME probe count (hits still count against the budget, so
+// the explored tree is identical) and the same optimal value. Small
+// random instances often prune at the root without probing, so the
+// test scans seeds and asserts over the instances that searched.
+func TestPricerWithCacheIdenticalSearch(t *testing.T) {
+	searched := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nw := servableNetwork(rng, 6, 2)
+		hp := make([]float64, 6)
+		lp := make([]float64, 6)
+		for i := range hp {
+			hp[i] = rng.Float64() * 2e-8
+			lp[i] = rng.Float64() * 2e-8
+		}
+
+		plain := NewBranchBoundPricer(200000)
+		want, err := plain.Price(nw, hp, lp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		cached := NewBranchBoundPricer(200000)
+		cache := netmodel.NewProbeCache()
+		first, err := cached.PriceWithCache(context.Background(), nw, hp, lp, cache)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := cached.PriceWithCache(context.Background(), nw, hp, lp, cache)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if first.Value != want.Value || second.Value != want.Value {
+			t.Errorf("seed %d: values %g/%g with cache, want %g", seed, first.Value, second.Value, want.Value)
+		}
+		if first.Probes != want.Probes || second.Probes != first.Probes {
+			t.Errorf("seed %d: probes %d (plain) / %d (cold) / %d (warm) — must be identical",
+				seed, want.Probes, first.Probes, second.Probes)
+		}
+		if second.CacheHits > second.Probes {
+			t.Errorf("seed %d: CacheHits %d > Probes %d", seed, second.CacheHits, second.Probes)
+		}
+		if first.Probes > 0 && second.CacheHits > 0 {
+			searched++
+		}
+	}
+	if searched < 2 {
+		t.Fatalf("only %d/12 instances exercised the cache — test lost its teeth", searched)
+	}
+}
+
+// TestPricerStringReportsWorkers pins the diagnostic string.
+func TestPricerStringReportsWorkers(t *testing.T) {
+	p := NewBranchBoundPricer(100)
+	p.Parallel = 4
+	if s := p.String(); !strings.Contains(s, "workers=4") {
+		t.Errorf("String() = %q, missing %q", s, "workers=4")
+	}
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mmwave/internal/netmodel"
 	"mmwave/internal/schedule"
@@ -25,7 +28,12 @@ import (
 // The search branches over candidate links in descending best-case
 // contribution order; each link either stays idle or picks a
 // (channel, level). Sub-trees are pruned by an optimistic suffix bound
-// and by per-channel power feasibility.
+// and by per-channel power feasibility. When the solver supplies a
+// probe cache (PriceWithCache), repeated feasibility questions — which
+// recur heavily across pricing iterations because feasibility does not
+// depend on the duals — are answered from memory; cached answers still
+// count against the probe budget so the explored tree is identical to
+// an uncached search.
 type BranchBoundPricer struct {
 	nodeBudget int
 
@@ -34,9 +42,22 @@ type BranchBoundPricer struct {
 	// at that fixed power. This reproduces the paper's power-adaptation
 	// ablation (Benchmark 2 lacks power control).
 	FixedPower bool
+
+	// Parallel, when > 1, splits the search at the root across this
+	// many goroutines sharing an atomic incumbent and one probe
+	// budget. The Theorem-1 bound and the Exact flag keep their exact
+	// semantics (the maximal pricing value is still proved when the
+	// search completes), but among schedules of exactly equal value the
+	// returned one may differ between runs, so the serial path
+	// (Parallel ≤ 1, the default) remains the reproducibility
+	// reference.
+	Parallel int
 }
 
-var _ ContextPricer = (*BranchBoundPricer)(nil)
+var (
+	_ ContextPricer = (*BranchBoundPricer)(nil)
+	_ CachedPricer  = (*BranchBoundPricer)(nil)
+)
 
 // defaultPricerBudget bounds pricing feasibility probes per call. Each
 // probe is one power-control feasibility test, the unit of real work
@@ -57,10 +78,14 @@ func NewBranchBoundPricer(nodeBudget int) *BranchBoundPricer {
 
 // String implements Pricer.
 func (p *BranchBoundPricer) String() string {
+	s := fmt.Sprintf("branch-bound(budget=%d", p.nodeBudget)
 	if p.FixedPower {
-		return fmt.Sprintf("branch-bound(budget=%d, fixed-power)", p.nodeBudget)
+		s += ", fixed-power"
 	}
-	return fmt.Sprintf("branch-bound(budget=%d)", p.nodeBudget)
+	if p.Parallel > 1 {
+		s += fmt.Sprintf(", workers=%d", p.Parallel)
+	}
+	return s + ")"
 }
 
 // candidate is one link the pricer may activate.
@@ -73,16 +98,52 @@ type candidate struct {
 	chOrder []int   // channels in descending direct-gain order
 }
 
-// pricerState is the mutable DFS state.
+// searchCtl is the control block shared by every worker of one pricing
+// call: the global incumbent value, the probe budget, and the halt
+// flag. The serial search uses it too (with exactly one worker), so
+// serial and parallel runs share one code path.
+type searchCtl struct {
+	budget int64
+	probes atomic.Int64  // feasibility probes consumed (budget unit)
+	best   atomic.Uint64 // Float64bits of the best value found anywhere
+	halt   atomic.Bool   // budget exhausted or context canceled
+
+	// done, when non-nil, is polled periodically so an expired solve
+	// budget halts the search mid-tree; the best-so-far incumbent and
+	// the upfront relaxation bound stay valid.
+	done <-chan struct{}
+}
+
+// bestVal returns the shared incumbent value (pricing values are
+// non-negative, so the zero bit pattern is a valid floor).
+func (ctl *searchCtl) bestVal() float64 { return math.Float64frombits(ctl.best.Load()) }
+
+// offer raises the shared incumbent to v if it improves it.
+func (ctl *searchCtl) offer(v float64) {
+	for {
+		cur := ctl.best.Load()
+		if math.Float64frombits(cur) >= v {
+			return
+		}
+		if ctl.best.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// pricerState is one worker's mutable DFS state.
 type pricerState struct {
 	nw         *netmodel.Network
 	cands      []candidate
 	suffixBest []float64 // suffixBest[i] = Σ_{j≥i} cands[j].best
+	ctl        *searchCtl
+	cache      *netmodel.ProbeCache // nil when probing uncached
 
-	chActive [][]int     // per channel: active candidate indices (into cands)
-	chLevels [][]float64 // per channel: γ thresholds parallel to chActive
-	usedNode map[int]int // node → owning link (half-duplex; a link's two layer-streams share its nodes)
-	sibling  []int       // per candidate: index of the same link's other-layer candidate, or -1
+	chActive   [][]int     // per channel: active candidate indices (into cands)
+	chLevels   [][]float64 // per channel: γ thresholds parallel to chActive
+	chLevelIdx [][]int     // per channel: rate-level indices parallel to chActive
+	usedNode   map[int]int // node → owning link (half-duplex; a link's two layer-streams share its nodes)
+	sibling    []int       // per candidate: index of the same link's other-layer candidate, or -1
 
 	assign []assignChoice // per candidate: current choice
 
@@ -90,20 +151,16 @@ type pricerState struct {
 	bestAssign []assignChoice
 
 	nodes      int // dfs nodes (telemetry)
-	checks     int // feasibility probes (budget unit)
-	budget     int
+	probes     int // this worker's feasibility probes (telemetry)
+	cacheHits  int // probes answered by the cache (telemetry)
+	lastPoll   int
 	halted     bool
 	fixedPower bool
-
-	// done, when non-nil, is polled periodically so an expired solve
-	// budget halts the search mid-tree; the best-so-far incumbent and
-	// the upfront relaxation bound stay valid.
-	done     <-chan struct{}
-	lastPoll int
 
 	// Scratch buffers reused across feasibility probes.
 	scratchLinks  []int
 	scratchChans  []int
+	scratchLevels []int
 	scratchGammas []float64
 }
 
@@ -116,7 +173,7 @@ type assignChoice struct {
 
 // Price implements Pricer.
 func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(nil, nw, lambdaHP, lambdaLP)
+	return p.price(nil, nw, lambdaHP, lambdaLP, nil)
 }
 
 // PriceContext implements ContextPricer: the search polls ctx and
@@ -124,13 +181,25 @@ func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []flo
 // far with Exact=false and the valid interference-free relaxation
 // bound.
 func (p *BranchBoundPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP)
+	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP, nil)
 }
 
-func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+// PriceWithCache implements CachedPricer: identical to PriceContext
+// but feasibility probes consult (and feed) the solver's per-solve
+// probe cache. Cached answers still consume probe budget, so the
+// search explores the same tree either way — the cache only removes
+// the linear-algebra cost of repeat probes.
+func (p *BranchBoundPricer) PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP, cache)
+}
+
+func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
 	L := nw.NumLinks()
 	if len(lambdaHP) != L || len(lambdaLP) != L {
 		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	}
+	if p.FixedPower {
+		cache = nil // cache entries encode the min-power test, not the PMax test
 	}
 
 	const lamTol = 1e-12
@@ -210,46 +279,53 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 		}
 	}
 
-	st := &pricerState{
-		nw:         nw,
-		cands:      cands,
-		suffixBest: suffix,
-		chActive:   make([][]int, nw.NumChannels),
-		chLevels:   make([][]float64, nw.NumChannels),
-		usedNode:   make(map[int]int),
-		sibling:    sibling,
-		assign:     make([]assignChoice, len(cands)),
-		budget:     p.nodeBudget,
-		fixedPower: p.FixedPower,
-		done:       done,
-	}
-	for i := range st.assign {
-		st.assign[i] = assignChoice{channel: -1}
-	}
+	ctl := &searchCtl{budget: int64(p.nodeBudget), done: done}
+
 	// Seed the incumbent with the greedy heuristic: a strong initial
 	// bound prunes most of the tree, and the exact search can only
 	// improve on it.
+	var seedVal float64
+	var seedAssign []assignChoice
 	if !p.FixedPower {
 		if seed, err := (GreedyPricer{}).Price(nw, lambdaHP, lambdaLP); err == nil && seed.Schedule != nil {
-			st.seedIncumbent(seed)
+			if assign, ok := seedAssignment(cands, seed.Schedule); ok {
+				seedVal, seedAssign = seed.Value, assign
+				ctl.offer(seedVal)
+			}
 		}
 	}
-	st.dfs(0, 0)
+
+	var bestVal float64
+	var bestAssign []assignChoice
+	var nodes, cacheHits int
+	halted := false
+
+	if p.Parallel > 1 {
+		bestVal, bestAssign, nodes, cacheHits, halted = p.searchParallel(ctl, nw, cands, suffix, sibling, cache, seedVal, seedAssign)
+	} else {
+		st := newPricerState(ctl, nw, cands, suffix, sibling, cache, p.FixedPower)
+		st.bestVal, st.bestAssign = seedVal, seedAssign
+		st.dfs(0, 0)
+		bestVal, bestAssign = st.bestVal, st.bestAssign
+		nodes, cacheHits, halted = st.nodes, st.cacheHits, st.halted
+	}
 
 	res := &PriceResult{
-		Value: st.bestVal,
-		Exact: !st.halted,
-		Nodes: st.nodes,
+		Value:     bestVal,
+		Exact:     !halted,
+		Nodes:     nodes,
+		Probes:    int(ctl.probes.Load()),
+		CacheHits: cacheHits,
 		// Under truncation the interference-free relaxation Σ best_l is
 		// a loose but valid upper bound on Ψ*; with an exhausted search
 		// the found value itself is the tight bound.
 		RelaxValue: relax,
 	}
-	if !st.halted {
-		res.RelaxValue = st.bestVal
+	if !halted {
+		res.RelaxValue = bestVal
 	}
-	if st.bestVal > 0 && st.bestAssign != nil {
-		sched, err := st.buildSchedule()
+	if bestVal > 0 && bestAssign != nil {
+		sched, err := buildSchedule(nw, cands, bestAssign, p.FixedPower)
 		if err != nil {
 			return nil, err
 		}
@@ -258,47 +334,179 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	return res, nil
 }
 
-// seedIncumbent installs a known feasible schedule (from the greedy
-// heuristic) as the initial incumbent.
-func (st *pricerState) seedIncumbent(seed *PriceResult) {
+// newPricerState allocates one worker's DFS state.
+func newPricerState(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache, fixedPower bool) *pricerState {
+	st := &pricerState{
+		nw:         nw,
+		cands:      cands,
+		suffixBest: suffix,
+		ctl:        ctl,
+		cache:      cache,
+		chActive:   make([][]int, nw.NumChannels),
+		chLevels:   make([][]float64, nw.NumChannels),
+		chLevelIdx: make([][]int, nw.NumChannels),
+		usedNode:   make(map[int]int),
+		sibling:    sibling,
+		assign:     make([]assignChoice, len(cands)),
+		fixedPower: fixedPower,
+	}
+	for i := range st.assign {
+		st.assign[i] = assignChoice{channel: -1}
+	}
+	return st
+}
+
+// searchParallel splits the DFS at the root: every (channel, level)
+// activation of the first candidate — plus its idle branch — becomes a
+// task, and p.Parallel workers drain the task queue sharing ctl's
+// incumbent and probe budget. Together the tasks cover exactly the
+// branches the serial root node iterates, so a completed search proves
+// the same maximal value.
+func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache, seedVal float64, seedAssign []assignChoice) (bestVal float64, bestAssign []assignChoice, nodes, cacheHits int, halted bool) {
+	c0 := &cands[0]
+	var tasks []assignChoice
+	for _, k := range c0.chOrder {
+		for q := c0.qmax[k]; q >= 0; q-- {
+			tasks = append(tasks, assignChoice{channel: k, level: q})
+		}
+	}
+	tasks = append(tasks, assignChoice{channel: -1}) // idle branch
+
+	workers := p.Parallel
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	type workerResult struct {
+		val       float64
+		assign    []assignChoice
+		task      int
+		nodes     int
+		cacheHits int
+		halted    bool
+	}
+	results := make([]workerResult, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				task := tasks[ti]
+				st := newPricerState(ctl, nw, cands, suffix, sibling, cache, p.fixedPowerFlag())
+				if seedAssign != nil {
+					st.bestVal = seedVal
+					st.bestAssign = append([]assignChoice(nil), seedAssign...)
+				}
+				if task.channel < 0 {
+					st.dfs(1, 0)
+				} else {
+					st.runRootTask(task)
+				}
+				results[ti] = workerResult{
+					val: st.bestVal, assign: st.bestAssign, task: ti,
+					nodes: st.nodes, cacheHits: st.cacheHits, halted: st.halted,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	bestVal, bestAssign = seedVal, seedAssign
+	bestTask := len(tasks)
+	for _, r := range results {
+		nodes += r.nodes
+		cacheHits += r.cacheHits
+		halted = halted || r.halted
+		// Deterministic tie-break: among equal values prefer the lowest
+		// task index.
+		if r.assign != nil && (r.val > bestVal || (r.val == bestVal && r.task < bestTask && r.val > seedVal)) {
+			bestVal, bestAssign, bestTask = r.val, r.assign, r.task
+		}
+	}
+	halted = halted || ctl.halt.Load()
+	return bestVal, bestAssign, nodes, cacheHits, halted
+}
+
+// fixedPowerFlag reads the ablation switch (helper for worker spawn).
+func (p *BranchBoundPricer) fixedPowerFlag() bool { return p.FixedPower }
+
+// runRootTask explores the subtree where candidate 0 takes the given
+// activation, mirroring the root iteration of the serial dfs.
+func (st *pricerState) runRootTask(task assignChoice) {
+	c := &st.cands[0]
+	target := st.ctl.bestVal()
+	if target < 1 {
+		target = 1 - 1e-12
+	}
+	val := c.lam * st.nw.Rates.Rates[task.level]
+	if val+st.suffixBest[1] <= target+1e-15 {
+		return // optimistic bound cannot beat the incumbent/threshold
+	}
+	lk := st.nw.Links[c.link]
+	st.usedNode[lk.TXNode] = c.link
+	st.usedNode[lk.RXNode] = c.link
+	if !st.feasibleWith(task.channel, 0, task.level) {
+		return
+	}
+	k := task.channel
+	st.chActive[k] = append(st.chActive[k], 0)
+	st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[task.level])
+	st.chLevelIdx[k] = append(st.chLevelIdx[k], task.level)
+	st.assign[0] = task
+	st.dfs(1, val)
+}
+
+// seedAssignment maps a known feasible schedule (from the greedy
+// heuristic) onto the candidate array as an initial incumbent.
+func seedAssignment(cands []candidate, sched *schedule.Schedule) ([]assignChoice, bool) {
 	type key struct {
 		link  int
 		layer schedule.Layer
 	}
-	byKey := make(map[key]int, len(st.cands))
-	for ci, c := range st.cands {
+	byKey := make(map[key]int, len(cands))
+	for ci, c := range cands {
 		byKey[key{c.link, c.layer}] = ci
 	}
-	assign := make([]assignChoice, len(st.cands))
+	assign := make([]assignChoice, len(cands))
 	for i := range assign {
 		assign[i] = assignChoice{channel: -1}
 	}
-	for _, a := range seed.Schedule.Assignments {
+	for _, a := range sched.Assignments {
 		ci, ok := byKey[key{a.Link, a.Layer}]
 		if !ok {
-			return // schedule references a non-candidate; skip seeding
+			return nil, false // schedule references a non-candidate; skip seeding
 		}
 		assign[ci] = assignChoice{channel: a.Channel, level: a.Level}
 	}
-	st.bestVal = seed.Value
-	st.bestAssign = assign
+	return assign, true
 }
 
 // dfs explores candidate i with accumulated value.
 func (st *pricerState) dfs(i int, value float64) {
 	st.nodes++
-	if st.checks > st.budget {
+	if st.ctl.probes.Load() > st.ctl.budget {
+		st.halted = true
+		st.ctl.halt.Store(true)
+		return
+	}
+	if st.ctl.halt.Load() {
 		st.halted = true
 		return
 	}
 	// Poll the cancellation channel every few dozen probes: cheap
 	// enough to be invisible, frequent enough that an expired solve
 	// budget stops the search within microseconds.
-	if st.done != nil && st.checks-st.lastPoll >= 64 {
-		st.lastPoll = st.checks
+	if st.ctl.done != nil && st.probes-st.lastPoll >= 64 {
+		st.lastPoll = st.probes
 		select {
-		case <-st.done:
+		case <-st.ctl.done:
 			st.halted = true
+			st.ctl.halt.Store(true)
 			return
 		default:
 		}
@@ -307,6 +515,7 @@ func (st *pricerState) dfs(i int, value float64) {
 		st.bestVal = value
 		st.bestAssign = append([]assignChoice(nil), st.assign...)
 	}
+	st.ctl.offer(value)
 	if i >= len(st.cands) {
 		return
 	}
@@ -314,7 +523,7 @@ func (st *pricerState) dfs(i int, value float64) {
 	// ≤ 1 have non-negative reduced cost and are useless to the master
 	// problem, so subtrees that cannot exceed 1 need no exploration —
 	// completing the search still proves Φ ≥ 0 (convergence).
-	target := st.bestVal
+	target := st.ctl.bestVal()
 	if target < 1 {
 		target = 1 - 1e-12
 	}
@@ -367,12 +576,14 @@ func (st *pricerState) dfs(i int, value float64) {
 				}
 				st.chActive[k] = append(st.chActive[k], i)
 				st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[q])
+				st.chLevelIdx[k] = append(st.chLevelIdx[k], q)
 				st.assign[i] = assignChoice{channel: k, level: q}
 
 				st.dfs(i+1, value+c.lam*st.nw.Rates.Rates[q])
 
 				st.chActive[k] = st.chActive[k][:len(st.chActive[k])-1]
 				st.chLevels[k] = st.chLevels[k][:len(st.chLevels[k])-1]
+				st.chLevelIdx[k] = st.chLevelIdx[k][:len(st.chLevelIdx[k])-1]
 				st.assign[i] = assignChoice{channel: -1}
 				if st.halted {
 					release()
@@ -391,17 +602,24 @@ func (st *pricerState) dfs(i int, value float64) {
 // candidate ci on channel k at level q admits a power assignment
 // within PMax. Under the per-channel interference model only channel
 // k's active set matters; under the global model the whole
-// cross-channel pattern is checked.
+// cross-channel pattern is checked. With a probe cache attached, the
+// answer comes from memory when the same physical pattern (or one it
+// dominates into infeasibility) was probed before; cache hits still
+// count against the probe budget so the search trajectory is
+// byte-identical with and without the cache.
 func (st *pricerState) feasibleWith(k, ci, q int) bool {
-	st.checks++
+	st.probes++
+	st.ctl.probes.Add(1)
 	active := st.scratchLinks[:0]
 	chans := st.scratchChans[:0]
+	levels := st.scratchLevels[:0]
 	gammas := st.scratchGammas[:0]
 	if st.nw.Interference == netmodel.Global {
 		for kk := range st.chActive {
 			for idx, cj := range st.chActive[kk] {
 				active = append(active, st.cands[cj].link)
 				chans = append(chans, kk)
+				levels = append(levels, st.chLevelIdx[kk][idx])
 				gammas = append(gammas, st.chLevels[kk][idx])
 			}
 		}
@@ -409,21 +627,41 @@ func (st *pricerState) feasibleWith(k, ci, q int) bool {
 		for idx, cj := range st.chActive[k] {
 			active = append(active, st.cands[cj].link)
 			chans = append(chans, k)
+			levels = append(levels, st.chLevelIdx[k][idx])
 			gammas = append(gammas, st.chLevels[k][idx])
 		}
 	}
 	active = append(active, st.cands[ci].link)
 	chans = append(chans, k)
+	levels = append(levels, q)
 	gammas = append(gammas, st.nw.Rates.Gammas[q])
 	st.scratchLinks = active
 	st.scratchChans = chans
+	st.scratchLevels = levels
 	st.scratchGammas = gammas
 	if st.fixedPower {
 		return fixedPowerFeasible(st.nw, active, chans, gammas)
 	}
+	// Only patterns of at least probeCacheMin links go through the
+	// cache: below that the Gauss-Jordan solve is as cheap as the
+	// lookup, so caching tiny patterns costs more than it saves.
+	if st.cache != nil && len(active) >= probeCacheMin {
+		if feas, known := st.cache.Lookup(active, chans, levels); known {
+			st.cacheHits++
+			return feas
+		}
+		_, ok := st.nw.MinPowersAssigned(active, chans, gammas)
+		st.cache.Record(active, chans, levels, ok)
+		return ok
+	}
 	_, ok := st.nw.MinPowersAssigned(active, chans, gammas)
 	return ok
 }
+
+// probeCacheMin is the smallest activation-pattern size worth caching:
+// a 1- or 2-link power solve is a couple of scalar divisions, cheaper
+// than the cache's canonicalization and dominance scans.
+const probeCacheMin = 3
 
 // fixedPowerFeasible checks the thresholds with every link at PMax.
 func fixedPowerFeasible(nw *netmodel.Network, active []int, chans []int, gammas []float64) bool {
@@ -441,30 +679,30 @@ func fixedPowerFeasible(nw *netmodel.Network, active []int, chans []int, gammas 
 
 // buildSchedule converts the best assignment into a schedule with
 // minimal feasible powers (PMax everywhere under FixedPower).
-func (st *pricerState) buildSchedule() (*schedule.Schedule, error) {
+func buildSchedule(nw *netmodel.Network, cands []candidate, bestAssign []assignChoice, fixedPower bool) (*schedule.Schedule, error) {
 	var cis, active, chans []int
 	var gammas []float64
-	for ci, a := range st.bestAssign {
+	for ci, a := range bestAssign {
 		if a.channel < 0 {
 			continue
 		}
 		cis = append(cis, ci)
-		active = append(active, st.cands[ci].link)
+		active = append(active, cands[ci].link)
 		chans = append(chans, a.channel)
-		gammas = append(gammas, st.nw.Rates.Gammas[a.level])
+		gammas = append(gammas, nw.Rates.Gammas[a.level])
 	}
 	var powers []float64
-	if st.fixedPower {
-		if !fixedPowerFeasible(st.nw, active, chans, gammas) {
+	if fixedPower {
+		if !fixedPowerFeasible(nw, active, chans, gammas) {
 			return nil, fmt.Errorf("core: internal: best fixed-power assignment infeasible")
 		}
 		powers = make([]float64, len(active))
 		for i := range powers {
-			powers[i] = st.nw.PMax
+			powers[i] = nw.PMax
 		}
 	} else {
 		var ok bool
-		powers, ok = st.nw.MinPowersAssigned(active, chans, gammas)
+		powers, ok = nw.MinPowersAssigned(active, chans, gammas)
 		if !ok {
 			return nil, fmt.Errorf("core: internal: best assignment infeasible")
 		}
@@ -472,10 +710,10 @@ func (st *pricerState) buildSchedule() (*schedule.Schedule, error) {
 	var out schedule.Schedule
 	for i, ci := range cis {
 		out.Assignments = append(out.Assignments, schedule.Assignment{
-			Link:    st.cands[ci].link,
+			Link:    cands[ci].link,
 			Channel: chans[i],
-			Level:   st.bestAssign[ci].level,
-			Layer:   st.cands[ci].layer,
+			Level:   bestAssign[ci].level,
+			Layer:   cands[ci].layer,
 			Power:   powers[i],
 		})
 	}

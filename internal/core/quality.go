@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,17 @@ type QualitySolver struct {
 	pool    *schedule.Pool
 
 	warmBasis []lp.BasisVar
+
+	// masterProb is the incrementally built master LP (see
+	// Solver.masterProb): rows and the y-variables are laid down once,
+	// τ columns are appended as the pool grows.
+	masterProb *lp.Problem
+	masterCols int
+
+	// probeCache memoizes pricing feasibility probes (see
+	// netmodel.ProbeCache); the network is immutable for the solver's
+	// lifetime.
+	probeCache *netmodel.ProbeCache
 }
 
 // QualityResult is the outcome of a quality-mode solve.
@@ -49,6 +61,12 @@ type QualityResult struct {
 	// Converged reports proven optimality (exact pricing and no
 	// improving column).
 	Converged bool
+	// Probes, MasterSolves, and CacheHits mirror the Result telemetry:
+	// feasibility probes consumed by pricing, master-LP solves, and
+	// probes answered by the probe cache.
+	Probes       int
+	MasterSolves int
+	CacheHits    int
 }
 
 // PSNR returns link l's reconstructed quality for a session with the
@@ -111,6 +129,9 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 		opts:    opts,
 		pool:    schedule.NewPool(),
 	}
+	if opts.CacheProbes {
+		s.probeCache = netmodel.NewProbeCache()
+	}
 	for _, sc := range schedule.TDMA(nw) {
 		s.pool.Add(sc)
 	}
@@ -130,6 +151,7 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 			return nil, err
 		}
 		res.Iterations = iter + 1
+		res.MasterSolves++
 
 		if iter >= s.opts.MaxIterations-1 {
 			s.extract(sol, res)
@@ -156,10 +178,12 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 			scaledLP[l] = alphaLP[l] / denom
 		}
 
-		pr, err := s.opts.Pricer.Price(s.nw, scaledHP, scaledLP)
+		pr, err := s.price(scaledHP, scaledLP)
 		if err != nil {
 			return nil, fmt.Errorf("core: quality pricing failed at iteration %d: %w", iter, err)
 		}
+		res.Probes += pr.Probes
+		res.CacheHits += pr.CacheHits
 		if pr.Schedule == nil || pr.Value <= 1+s.opts.Tolerance {
 			s.extract(sol, res)
 			res.Converged = pr.Exact
@@ -172,65 +196,78 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 	}
 }
 
-// solveMaster builds and solves the quality LP over the current pool.
+// price dispatches one pricing round, preferring the cached path.
+func (s *QualitySolver) price(scaledHP, scaledLP []float64) (*PriceResult, error) {
+	if cp, ok := s.opts.Pricer.(CachedPricer); ok && s.probeCache != nil {
+		return cp.PriceWithCache(context.Background(), s.nw, scaledHP, scaledLP, s.probeCache)
+	}
+	return s.opts.Pricer.Price(s.nw, scaledHP, scaledLP)
+}
+
+// solveMaster solves the quality LP over the current pool.
 // Variable layout: [y_hp (L)] [y_lp (L)] [τ_s (n)] — y first so that
 // variable indices (and therefore warm-start bases) stay valid as the
 // pool appends columns between iterations.
 // Row layout: delivery hp (L), delivery lp (L), caps hp (L), caps lp
 // (L), budget (1).
+//
+// The problem is built incrementally: the y variables and all rows are
+// laid down once, and only τ columns for schedules pooled since the
+// previous solve are appended (demands, weights, and the budget are
+// fixed for the solver's lifetime, so the rest never changes).
 func (s *QualitySolver) solveMaster() (*lp.Solution, error) {
 	n := s.pool.Len()
 	L := s.nw.NumLinks()
-	nVars := n + 2*L
 
-	costs := make([]float64, nVars)
-	for l := 0; l < L; l++ {
-		costs[l] = -s.weights[l] // maximize → minimize negative
-		costs[L+l] = -s.weights[l]
-	}
-	p := lp.NewProblem(costs)
-	tau := func(j int) int { return 2*L + j }
-
-	colHP := make([][]float64, n)
-	colLP := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		colHP[j], colLP[j] = s.pool.At(j).RateVectors(s.nw)
-	}
-
-	// Delivery rows: Σ_s r·τ − y ≥ 0.
-	for l := 0; l < L; l++ {
-		row := make([]float64, nVars)
-		for j := 0; j < n; j++ {
-			row[tau(j)] = colHP[j][l]
+	if s.masterProb == nil {
+		costs := make([]float64, 2*L)
+		for l := 0; l < L; l++ {
+			costs[l] = -s.weights[l] // maximize → minimize negative
+			costs[L+l] = -s.weights[l]
 		}
-		row[l] = -1
-		p.AddRow(row, lp.GE, 0)
-	}
-	for l := 0; l < L; l++ {
-		row := make([]float64, nVars)
-		for j := 0; j < n; j++ {
-			row[tau(j)] = colLP[j][l]
+		p := lp.NewProblem(costs)
+		// Delivery rows: Σ_s r·τ − y ≥ 0.
+		for l := 0; l < L; l++ {
+			row := make([]float64, 2*L)
+			row[l] = -1
+			p.AddRow(row, lp.GE, 0)
 		}
-		row[L+l] = -1
-		p.AddRow(row, lp.GE, 0)
+		for l := 0; l < L; l++ {
+			row := make([]float64, 2*L)
+			row[L+l] = -1
+			p.AddRow(row, lp.GE, 0)
+		}
+		// Caps: y ≤ d.
+		for l := 0; l < L; l++ {
+			row := make([]float64, 2*L)
+			row[l] = 1
+			p.AddRow(row, lp.LE, s.demands[l].HP)
+		}
+		for l := 0; l < L; l++ {
+			row := make([]float64, 2*L)
+			row[L+l] = 1
+			p.AddRow(row, lp.LE, s.demands[l].LP)
+		}
+		// Budget: Σ τ ≤ T.
+		p.AddRow(make([]float64, 2*L), lp.LE, s.budget)
+		s.masterProb = p
+		s.masterCols = 0
 	}
-	// Caps: y ≤ d.
-	for l := 0; l < L; l++ {
-		row := make([]float64, nVars)
-		row[l] = 1
-		p.AddRow(row, lp.LE, s.demands[l].HP)
+	p := s.masterProb
+
+	// Append a τ column per schedule pooled since the last solve:
+	// rates into its delivery rows, 1 into the budget row, zero cost.
+	col := make([]float64, 4*L+1)
+	for j := s.masterCols; j < n; j++ {
+		hpRates, lpRates := s.pool.At(j).RateVectors(s.nw)
+		copy(col[:L], hpRates)
+		copy(col[L:2*L], lpRates)
+		col[4*L] = 1
+		if _, err := p.AddColumn(0, col); err != nil {
+			return nil, fmt.Errorf("%w: column %d: %v", errQualityMaster, j, err)
+		}
 	}
-	for l := 0; l < L; l++ {
-		row := make([]float64, nVars)
-		row[L+l] = 1
-		p.AddRow(row, lp.LE, s.demands[l].LP)
-	}
-	// Budget: Σ τ ≤ T.
-	row := make([]float64, nVars)
-	for j := 0; j < n; j++ {
-		row[tau(j)] = 1
-	}
-	p.AddRow(row, lp.LE, s.budget)
+	s.masterCols = n
 
 	lpOpts := s.opts.LP
 	lpOpts.WarmBasis = s.warmBasis

@@ -58,27 +58,40 @@ func RunBlockage(bc BlockageConfig) (*BlockageResult, error) {
 		return nil, err
 	}
 
-	res := &BlockageResult{Epochs: bc.Epochs}
-	for rep := 0; rep < bc.Net.Seeds; rep++ {
+	// One cell per repetition: each rep's epoch chain is inherently
+	// sequential (the blockage process and plans evolve epoch to
+	// epoch), but reps are independent. Per-epoch values are collected
+	// per rep and folded below in the fixed sequential
+	// (rep, epoch, metric) order, so the result is bit-identical for
+	// any worker count.
+	type repValues struct {
+		blockedFrac []float64
+		reoptimized []float64
+		staticOK    []bool
+		staticTime  []float64
+	}
+	repVals := make([]repValues, bc.Net.Seeds)
+	err := runParallel(bc.Net.workerCount(), bc.Net.Seeds, func(rep int) error {
 		rng := stats.Fork(bc.Net.Seed, int64(rep))
 		inst, err := NewInstance(bc.Net, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		proc, err := blockage.NewProcess(bc.Model, inst.Network.NumLinks())
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Epoch-0 plan for the static arm (unblocked network).
 		basePlan, err := solvePlan(bc.Net, inst)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
+		rv := &repVals[rep]
 		for epoch := 0; epoch < bc.Epochs; epoch++ {
 			proc.Step(rng)
-			res.BlockedFrac.Add(float64(proc.NumBlocked()) / float64(inst.Network.NumLinks()))
+			rv.blockedFrac = append(rv.blockedFrac, float64(proc.NumBlocked())/float64(inst.Network.NumLinks()))
 			blockedNW := proc.ApplyTo(inst.Network)
 
 			// Demands of links that became unservable under blockage
@@ -96,13 +109,29 @@ func RunBlockage(bc BlockageConfig) (*BlockageResult, error) {
 			// Re-optimizing arm: solve against current gains.
 			rePlan, err := solvePlan(bc.Net, &Instance{Network: blockedNW, Demands: demands})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Reoptimized.Add(rePlan.Objective)
+			rv.reoptimized = append(rv.reoptimized, rePlan.Objective)
 
 			// Static arm: replay the epoch-0 plan under blocked gains.
-			if served, time := replayUnderGains(basePlan, blockedNW, demands, bc.Net.SlotDuration); served {
-				res.Static.Add(time)
+			served, time := replayUnderGains(basePlan, blockedNW, demands, bc.Net.SlotDuration)
+			rv.staticOK = append(rv.staticOK, served)
+			rv.staticTime = append(rv.staticTime, time)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BlockageResult{Epochs: bc.Epochs}
+	for rep := range repVals {
+		rv := &repVals[rep]
+		for epoch := 0; epoch < bc.Epochs; epoch++ {
+			res.BlockedFrac.Add(rv.blockedFrac[epoch])
+			res.Reoptimized.Add(rv.reoptimized[epoch])
+			if rv.staticOK[epoch] {
+				res.Static.Add(rv.staticTime[epoch])
 			} else {
 				res.Unserved++
 			}
@@ -118,6 +147,7 @@ func solvePlan(cfg Config, inst *Instance) (*core.Plan, error) {
 		Pricer:        cfg.pricer(),
 		MaxIterations: cfg.MaxIterations,
 		GapTarget:     cfg.GapTarget,
+		CacheProbes:   cfg.CacheProbes,
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +156,7 @@ func solvePlan(cfg Config, inst *Instance) (*core.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Telemetry.Record(res)
 	return &res.Plan, nil
 }
 

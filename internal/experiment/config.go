@@ -71,6 +71,31 @@ type Config struct {
 	// MultiChannel enables the §III extension: a link may carry HP and
 	// LP on different channels in the same slot.
 	MultiChannel bool
+
+	// Workers sets the experiment fan-out: independent (point, rep)
+	// cells of a sweep run on up to this many goroutines. 0 means one
+	// per available CPU; 1 is the sequential reference path. Output is
+	// bit-identical for any value: each cell forks its RNG from
+	// (Seed, rep) and aggregation happens in a fixed order.
+	Workers int
+
+	// CacheProbes memoizes pricing feasibility probes across iterations
+	// of each solve (core.Options.CacheProbes). Plans are byte-identical
+	// either way; off by default because at Table-I scale the cache
+	// costs more than the probes it saves (DESIGN.md §9).
+	CacheProbes bool
+
+	// PricerWorkers splits each exact pricing search at the root
+	// across this many goroutines sharing an atomic incumbent and one
+	// probe budget (core.BranchBoundPricer.Parallel). 0 or 1 keeps the
+	// serial pricer — the reference path, since parallel search may
+	// return a different schedule among exactly equal-value optima.
+	PricerWorkers int
+
+	// Telemetry, when non-nil, accumulates solver counters (probes,
+	// master solves, cache hit rate) across every proposed-scheme run
+	// of the campaign. Safe to share across workers.
+	Telemetry *Telemetry
 }
 
 // DefaultConfig returns the paper's Table I parameters: 30 links, 5
@@ -127,6 +152,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("experiment: unknown rate model %q", c.RateModel)
 	case c.Interference != "global" && c.Interference != "per-channel":
 		return fmt.Errorf("experiment: unknown interference model %q", c.Interference)
+	case c.Workers < 0:
+		return fmt.Errorf("experiment: Workers = %d, want ≥ 0", c.Workers)
+	case c.PricerWorkers < 0:
+		return fmt.Errorf("experiment: PricerWorkers = %d, want ≥ 0", c.PricerWorkers)
 	}
 	return c.Trace.Validate()
 }

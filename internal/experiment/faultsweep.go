@@ -71,16 +71,37 @@ func FaultSweep(fc FaultSweepConfig) (*Figure, error) {
 		YLabel: "fraction",
 		Series: []Series{{Name: "hp-served"}, {Name: "lp-served"}, {Name: "degraded-links"}},
 	}
+	// Fan the (rate, rep) cells out, then aggregate in the fixed
+	// sequential order (see sweepFigure).
+	type cellRef struct{ ri, rep int }
+	var cells []cellRef
+	for ri := range rates {
+		for rep := 0; rep < fc.Net.Seeds; rep++ {
+			cells = append(cells, cellRef{ri, rep})
+		}
+	}
+	type cellValues struct{ h, l, d float64 }
+	vals := make([]cellValues, len(cells))
+	err := runParallel(fc.Net.workerCount(), len(cells), func(i int) error {
+		c := cells[i]
+		h, l, d, err := faultRep(fc, rates[c.ri], c.rep)
+		if err != nil {
+			return fmt.Errorf("experiment: fault sweep rate=%g rep=%d: %w", rates[c.ri], c.rep, err)
+		}
+		vals[i] = cellValues{h, l, d}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
 	for _, rate := range rates {
 		var hp, lp, deg stats.Summary
 		for rep := 0; rep < fc.Net.Seeds; rep++ {
-			h, l, d, err := faultRep(fc, rate, rep)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: fault sweep rate=%g rep=%d: %w", rate, rep, err)
-			}
-			hp.Add(h)
-			lp.Add(l)
-			deg.Add(d)
+			hp.Add(vals[ci].h)
+			lp.Add(vals[ci].l)
+			deg.Add(vals[ci].d)
+			ci++
 		}
 		for si, s := range []*stats.Summary{&hp, &lp, &deg} {
 			fig.Series[si].Points = append(fig.Series[si].Points, Point{
@@ -121,6 +142,7 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 		Pricer:        cfg.pricer(),
 		MaxIterations: cfg.MaxIterations,
 		GapTarget:     cfg.GapTarget,
+		CacheProbes:   cfg.CacheProbes,
 	})
 	if err != nil {
 		return 0, 0, 0, err

@@ -35,30 +35,62 @@ type metric func(*RunResult) float64
 
 // sweepFigure runs every algorithm over every sweep value with
 // cfg.Seeds repetitions, aggregating the metric into series.
+//
+// The (point, rep) cells fan out across cfg.Workers goroutines: each
+// cell forks its own RNG from (Seed, rep) and writes only its own
+// result slot, and the Welford aggregation below walks the cells in
+// the fixed sequential (point, rep, algo) order — so the output is
+// bit-identical for any worker count.
 func sweepFigure(cfg Config, algos []Algorithm, xs []float64, apply func(Config, float64) Config, m metric) ([]Series, error) {
 	series := make([]Series, len(algos))
 	for i, a := range algos {
 		series[i].Name = string(a)
 	}
-	for _, x := range xs {
-		pointCfg := apply(cfg, x)
-		if err := pointCfg.Validate(); err != nil {
+	pointCfgs := make([]Config, len(xs))
+	for xi, x := range xs {
+		pointCfgs[xi] = apply(cfg, x)
+		if err := pointCfgs[xi].Validate(); err != nil {
 			return nil, err
 		}
-		sums := make([]stats.Summary, len(algos))
-		for rep := 0; rep < pointCfg.Seeds; rep++ {
-			rng := stats.Fork(pointCfg.Seed, int64(rep))
-			inst, err := NewInstance(pointCfg, rng)
+	}
+	type cellRef struct{ xi, rep int }
+	var cells []cellRef
+	for xi := range xs {
+		for rep := 0; rep < pointCfgs[xi].Seeds; rep++ {
+			cells = append(cells, cellRef{xi, rep})
+		}
+	}
+	vals := make([][]float64, len(cells))
+	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+		c := cells[i]
+		pointCfg := pointCfgs[c.xi]
+		rng := stats.Fork(pointCfg.Seed, int64(c.rep))
+		inst, err := NewInstance(pointCfg, rng)
+		if err != nil {
+			return err
+		}
+		v := make([]float64, len(algos))
+		for ai, algo := range algos {
+			res, err := RunOn(pointCfg, algo, inst)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("x=%g rep=%d: %w", xs[c.xi], c.rep, err)
 			}
-			for ai, algo := range algos {
-				res, err := RunOn(pointCfg, algo, inst)
-				if err != nil {
-					return nil, fmt.Errorf("x=%g rep=%d: %w", x, rep, err)
-				}
-				sums[ai].Add(m(res))
+			v[ai] = m(res)
+		}
+		vals[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for xi, x := range xs {
+		sums := make([]stats.Summary, len(algos))
+		for rep := 0; rep < pointCfgs[xi].Seeds; rep++ {
+			for ai := range algos {
+				sums[ai].Add(vals[ci][ai])
 			}
+			ci++
 		}
 		for ai := range algos {
 			series[ai].Points = append(series[ai].Points, Point{
@@ -197,7 +229,9 @@ func Ablation(cfg Config) (*Figure, error) {
 		XLabel: "repetition-aggregated",
 		YLabel: "scheduling time (s)",
 	}
-	for _, v := range AllAblations() {
+	variants := AllAblations()
+	vcfgs := make([]Config, len(variants))
+	for vi, v := range variants {
 		vcfg := cfg
 		switch v {
 		case AblationFixedPower:
@@ -211,13 +245,36 @@ func Ablation(cfg Config) (*Figure, error) {
 		case AblationMultiChan:
 			vcfg.MultiChannel = true
 		}
+		vcfgs[vi] = vcfg
+	}
+	// Fan the (variant, rep) cells out, then aggregate in the fixed
+	// sequential order (see sweepFigure).
+	type cellRef struct{ vi, rep int }
+	var cells []cellRef
+	for vi := range variants {
+		for rep := 0; rep < vcfgs[vi].Seeds; rep++ {
+			cells = append(cells, cellRef{vi, rep})
+		}
+	}
+	vals := make([]float64, len(cells))
+	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+		c := cells[i]
+		res, err := RunOnce(vcfgs[c.vi], Proposed, c.rep)
+		if err != nil {
+			return fmt.Errorf("ablation %s rep %d: %w", variants[c.vi], c.rep, err)
+		}
+		vals[i] = res.Exec.TotalTime
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for vi, v := range variants {
 		var sum stats.Summary
-		for rep := 0; rep < vcfg.Seeds; rep++ {
-			res, err := RunOnce(vcfg, Proposed, rep)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s rep %d: %w", v, rep, err)
-			}
-			sum.Add(res.Exec.TotalTime)
+		for rep := 0; rep < vcfgs[vi].Seeds; rep++ {
+			sum.Add(vals[ci])
+			ci++
 		}
 		fig.Series = append(fig.Series, Series{
 			Name:   string(v),

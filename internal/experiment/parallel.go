@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes fn(0..n-1) across up to workers goroutines.
+// Cells are claimed from a shared atomic counter, so scheduling order
+// is nondeterministic — callers must make each fn(i) independent
+// (per-cell RNG, writes only to slot i of a result slice) and
+// aggregate in a fixed order afterwards; that is what keeps campaign
+// output bit-identical for any worker count. workers ≤ 1 runs the
+// cells inline in index order (the sequential reference path).
+//
+// All cells run even if one fails; the error returned is the
+// lowest-index one, which is exactly the error the sequential path
+// would have surfaced first.
+func runParallel(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerCount resolves the configured experiment fan-out: 0 means one
+// worker per available CPU.
+func (c Config) workerCount() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}

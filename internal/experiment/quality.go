@@ -29,26 +29,50 @@ func FigQuality(cfg Config, demandScales []float64) (*Figure, error) {
 	}
 	gop := cfg.Trace.GOPDuration()
 
-	for _, scale := range demandScales {
-		pointCfg := cfg
-		pointCfg.DemandScale = scale
-		if err := pointCfg.Validate(); err != nil {
+	// Fan the (scale, rep) cells out across the worker pool, then
+	// aggregate in the fixed sequential order (see sweepFigure).
+	pointCfgs := make([]Config, len(demandScales))
+	for xi, scale := range demandScales {
+		pointCfgs[xi] = cfg
+		pointCfgs[xi].DemandScale = scale
+		if err := pointCfgs[xi].Validate(); err != nil {
 			return nil, err
 		}
+	}
+	type cellRef struct{ xi, rep int }
+	var cells []cellRef
+	for xi := range demandScales {
+		for rep := 0; rep < pointCfgs[xi].Seeds; rep++ {
+			cells = append(cells, cellRef{xi, rep})
+		}
+	}
+	cellVals := make([][]float64, len(cells))
+	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+		c := cells[i]
+		pointCfg := pointCfgs[c.xi]
+		rng := stats.Fork(pointCfg.Seed, int64(c.rep))
+		inst, err := NewInstance(pointCfg, rng)
+		if err != nil {
+			return err
+		}
+		vals, err := qualityPoint(pointCfg, inst, gop)
+		if err != nil {
+			return fmt.Errorf("quality x=%g rep=%d: %w", demandScales[c.xi], c.rep, err)
+		}
+		cellVals[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for xi, scale := range demandScales {
 		sums := make([]stats.Summary, len(series))
-		for rep := 0; rep < pointCfg.Seeds; rep++ {
-			rng := stats.Fork(pointCfg.Seed, int64(rep))
-			inst, err := NewInstance(pointCfg, rng)
-			if err != nil {
-				return nil, err
-			}
-			vals, err := qualityPoint(pointCfg, inst, gop)
-			if err != nil {
-				return nil, fmt.Errorf("quality x=%g rep=%d: %w", scale, rep, err)
-			}
-			for i, v := range vals {
+		for rep := 0; rep < pointCfgs[xi].Seeds; rep++ {
+			for i, v := range cellVals[ci] {
 				sums[i].Add(v)
 			}
+			ci++
 		}
 		for i := range series {
 			series[i].Points = append(series[i].Points, Point{
@@ -85,6 +109,7 @@ func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 	qs, err := core.NewQualitySolver(inst.Network, inst.Demands, gop, nil, core.Options{
 		Pricer:        cfg.pricer(),
 		MaxIterations: cfg.MaxIterations,
+		CacheProbes:   cfg.CacheProbes,
 	})
 	if err != nil {
 		return nil, err
@@ -93,6 +118,7 @@ func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Telemetry.RecordQuality(qres)
 	var sum float64
 	for l := 0; l < L; l++ {
 		sum += qres.PSNR(l, q, gop)

@@ -62,12 +62,19 @@ func RunRelay(rc RelayConfig) (*RelayResult, error) {
 		return nil, fmt.Errorf("experiment: Relays = %d, want ≥ 0", rc.Relays)
 	}
 
-	res := &RelayResult{}
-	for rep := 0; rep < rc.Net.Seeds; rep++ {
+	// One cell per repetition; per-rep values are folded below in the
+	// fixed sequential (rep, metric) order, so the result is
+	// bit-identical for any worker count. Each rep mutates only its own
+	// freshly drawn instance.
+	type repValues struct {
+		timeNoRelay, servedFrac, relayed, timeWithRelay float64
+	}
+	repVals := make([]repValues, rc.Net.Seeds)
+	err := runParallel(rc.Net.workerCount(), rc.Net.Seeds, func(rep int) error {
 		rng := stats.Fork(rc.Net.Seed, int64(rep))
 		inst, err := NewInstance(rc.Net, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Crush the direct path of the first ⌈frac·L⌉ sessions (the
 		// instance is random, so the choice is exchangeable).
@@ -95,34 +102,50 @@ func RunRelay(rc RelayConfig) (*RelayResult, error) {
 		}
 		plan, err := solvePlan(rc.Net, &Instance{Network: inst.Network, Demands: deferred})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.TimeNoRelay.Add(plan.Objective)
+		rv := &repVals[rep]
+		rv.timeNoRelay = plan.Objective
 		if totalDemand > 0 {
-			res.ServedFracNoRelay.Add((totalDemand - blockedDemand) / totalDemand)
+			rv.servedFrac = (totalDemand - blockedDemand) / totalDemand
 		} else {
-			res.ServedFracNoRelay.Add(1)
+			rv.servedFrac = 1
 		}
 
 		// Arm 2: route blocked sessions via relays.
 		grid := relayGrid(rc.Net.Room, rc.Relays)
 		exp, err := relay.Selector{}.Select(inst.Network, inst.Demands, grid, stats.Fork(rc.Net.Seed, int64(1000+rep)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Relayed.Add(float64(exp.NumRelayed()))
+		rv.relayed = float64(exp.NumRelayed())
 		solver, err := core.NewSolver(exp.Network, exp.Demands, core.Options{
 			Pricer:        rc.Net.pricer(),
 			MaxIterations: rc.Net.MaxIterations,
+			CacheProbes:   rc.Net.CacheProbes,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: relayed instance rep %d: %w", rep, err)
+			return fmt.Errorf("experiment: relayed instance rep %d: %w", rep, err)
 		}
 		sol, err := solver.Solve()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.TimeWithRelay.Add(sol.Plan.Objective)
+		rc.Net.Telemetry.Record(sol)
+		rv.timeWithRelay = sol.Plan.Objective
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RelayResult{}
+	for rep := range repVals {
+		rv := &repVals[rep]
+		res.TimeNoRelay.Add(rv.timeNoRelay)
+		res.ServedFracNoRelay.Add(rv.servedFrac)
+		res.Relayed.Add(rv.relayed)
+		res.TimeWithRelay.Add(rv.timeWithRelay)
 	}
 	return res, nil
 }

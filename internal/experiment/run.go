@@ -52,6 +52,7 @@ func RunOn(cfg Config, algo Algorithm, inst *Instance) (*RunResult, error) {
 			Pricer:        cfg.pricer(),
 			MaxIterations: cfg.MaxIterations,
 			GapTarget:     cfg.GapTarget,
+			CacheProbes:   cfg.CacheProbes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", algo, err)
@@ -60,6 +61,7 @@ func RunOn(cfg Config, algo Algorithm, inst *Instance) (*RunResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", algo, err)
 		}
+		cfg.Telemetry.Record(res)
 		policy, err := sim.NewPlanPolicy(res.Plan.Schedules, res.Plan.Tau, cfg.SlotDuration)
 		if err != nil {
 			return nil, err
@@ -100,5 +102,6 @@ func (c Config) pricer() core.Pricer {
 	}
 	p := core.NewBranchBoundPricer(c.PricerBudget)
 	p.FixedPower = c.FixedPower
+	p.Parallel = c.PricerWorkers
 	return p
 }

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mmwave/internal/core"
+)
+
+// Telemetry accumulates solver counters across every proposed-scheme
+// run of a campaign, so figure-level speedups are attributable to
+// probe counts and cache behavior. All fields are atomic: one
+// Telemetry may be shared by every worker of the parallel engine.
+type Telemetry struct {
+	Runs         atomic.Int64 // solves recorded
+	Iterations   atomic.Int64 // column-generation rounds
+	MasterSolves atomic.Int64 // master-LP solves
+	Probes       atomic.Int64 // pricing feasibility probes
+	CacheHits    atomic.Int64 // probes answered by the probe cache
+	CacheMisses  atomic.Int64 // probes that ran the linear algebra
+}
+
+// Record folds one column-generation result into the counters.
+func (t *Telemetry) Record(res *core.Result) {
+	if t == nil || res == nil {
+		return
+	}
+	t.Runs.Add(1)
+	t.Iterations.Add(int64(len(res.Iterations)))
+	t.MasterSolves.Add(int64(res.MasterSolves))
+	t.Probes.Add(int64(res.Probes))
+	t.CacheHits.Add(int64(res.CacheHits))
+	t.CacheMisses.Add(int64(res.CacheMisses))
+}
+
+// RecordQuality folds one quality-mode result into the counters.
+func (t *Telemetry) RecordQuality(res *core.QualityResult) {
+	if t == nil || res == nil {
+		return
+	}
+	t.Runs.Add(1)
+	t.Iterations.Add(int64(res.Iterations))
+	t.MasterSolves.Add(int64(res.MasterSolves))
+	t.Probes.Add(int64(res.Probes))
+	t.CacheHits.Add(int64(res.CacheHits))
+	t.CacheMisses.Add(int64(res.Probes - res.CacheHits))
+}
+
+// String renders the counters as one human-readable line.
+func (t *Telemetry) String() string {
+	probes := t.Probes.Load()
+	hits := t.CacheHits.Load()
+	rate := 0.0
+	if probes > 0 {
+		rate = float64(hits) / float64(probes)
+	}
+	return fmt.Sprintf("solves=%d iterations=%d master-solves=%d probes=%d cache-hits=%d (%.1f%%)",
+		t.Runs.Load(), t.Iterations.Load(), t.MasterSolves.Load(), probes, hits, 100*rate)
+}

@@ -1,0 +1,175 @@
+package netmodel
+
+import "sync"
+
+// ProbeCache memoizes the outcomes of MinPowersAssigned feasibility
+// probes for one fixed network. Probes are keyed by the canonical
+// multiset of (link, channel) activations, so the same physical
+// question asked through different search orders — or across pricing
+// iterations of one column-generation solve, where the duals change but
+// feasibility does not — is answered from memory instead of a fresh
+// Gauss-Jordan solve.
+//
+// The cache stores no exact outcomes at all; it exploits the
+// monotonicity of power-control feasibility (DESIGN.md §9) in both
+// directions. Raising any link's SINR threshold can only shrink the
+// feasible power region, so for a fixed activation set:
+//
+//   - a level vector componentwise ≤ a known-feasible one is feasible;
+//   - a level vector componentwise ≥ a known-infeasible one is
+//     infeasible.
+//
+// Each activation set therefore keeps two small antichains — maximal
+// known-feasible and minimal known-infeasible level vectors — and a
+// lookup is two dominance scans. Exact repeats are the equality case
+// of dominance, so this answers strictly more probes than an exact
+// memo while allocating only when a frontier actually advances.
+//
+// The cache is safe for concurrent use (the parallel pricer root search
+// shares one instance across workers). It must only ever see probes
+// against a single immutable network: callers create one cache per
+// solver and the network must not be mutated while the solver is in
+// use — the same contract the solver itself already requires.
+type ProbeCache struct {
+	mu     sync.Mutex
+	sets   map[string]*probeSet
+	hits   int64
+	misses int64
+
+	// Scratch buffers for canonical key construction, guarded by mu.
+	ord []int
+	sig []byte
+	lvl []byte
+}
+
+// maxAntichain bounds each frontier so degenerate instances cannot turn
+// lookups into long linear scans; once full, new frontier points that
+// would not evict anything are dropped (correctness is unaffected —
+// the cache just answers fewer probes).
+const maxAntichain = 128
+
+// probeSet holds the two dominance frontiers for one activation-set
+// signature (the sorted (link, channel) pairs).
+type probeSet struct {
+	feas   [][]byte // antichain of maximal known-feasible level vectors
+	infeas [][]byte // antichain of minimal known-infeasible level vectors
+}
+
+// NewProbeCache returns an empty cache.
+func NewProbeCache() *ProbeCache {
+	return &ProbeCache{sets: make(map[string]*probeSet)}
+}
+
+// canonical fills c.sig with the sorted (link, channel) signature and
+// c.lvl with the level vector in the same order. Caller holds c.mu.
+func (c *ProbeCache) canonical(active, chans, levels []int) {
+	m := len(active)
+	c.ord = c.ord[:0]
+	for i := 0; i < m; i++ {
+		c.ord = append(c.ord, i)
+	}
+	// Insertion sort by (link, channel): probe sets are small (at most
+	// one entry per link, two under multi-channel access).
+	for i := 1; i < m; i++ {
+		for j := i; j > 0; j-- {
+			a, b := c.ord[j], c.ord[j-1]
+			if active[a] > active[b] || (active[a] == active[b] && chans[a] >= chans[b]) {
+				break
+			}
+			c.ord[j], c.ord[j-1] = c.ord[j-1], c.ord[j]
+		}
+	}
+	c.sig = c.sig[:0]
+	c.lvl = c.lvl[:0]
+	for _, i := range c.ord {
+		c.sig = append(c.sig, byte(active[i]), byte(active[i]>>8), byte(chans[i]))
+		c.lvl = append(c.lvl, byte(levels[i]))
+	}
+}
+
+// dominates reports v ≤ u componentwise: every threshold of v is at
+// most the corresponding threshold of u, so feasibility of u implies
+// feasibility of v, and infeasibility of v implies infeasibility of u.
+func dominates(v, u []byte) bool {
+	for i := range v {
+		if v[i] > u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup consults the cache for the probe (active[i] on chans[i] at
+// rate level levels[i]). It returns the cached feasibility and whether
+// the cache could answer — the probe is dominance-comparable to a
+// known frontier point of its activation set.
+func (c *ProbeCache) Lookup(active, chans, levels []int) (feasible, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.canonical(active, chans, levels)
+	if ps, ok := c.sets[string(c.sig)]; ok {
+		for _, v := range ps.feas {
+			if dominates(c.lvl, v) {
+				c.hits++
+				return true, true
+			}
+		}
+		for _, v := range ps.infeas {
+			if dominates(v, c.lvl) {
+				c.hits++
+				return false, true
+			}
+		}
+	}
+	c.misses++
+	return false, false
+}
+
+// Record stores a freshly solved probe outcome, advancing the matching
+// frontier: dominated points are evicted, already-covered outcomes are
+// dropped.
+func (c *ProbeCache) Record(active, chans, levels []int, feasible bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.canonical(active, chans, levels)
+	ps, ok := c.sets[string(c.sig)]
+	if !ok {
+		ps = &probeSet{}
+		c.sets[string(c.sig)] = ps
+	}
+	if feasible {
+		ps.feas = frontierAdd(ps.feas, c.lvl, true)
+	} else {
+		ps.infeas = frontierAdd(ps.infeas, c.lvl, false)
+	}
+}
+
+// frontierAdd inserts lvl into an antichain: skipped when an existing
+// point already covers it, evicting the points it covers otherwise.
+// For the feasible frontier (maximal points) lvl is covered by any
+// v ≥ lvl; for the infeasible frontier (minimal points) by any v ≤ lvl.
+func frontierAdd(frontier [][]byte, lvl []byte, maximal bool) [][]byte {
+	for _, v := range frontier {
+		if maximal && dominates(lvl, v) || !maximal && dominates(v, lvl) {
+			return frontier
+		}
+	}
+	keep := frontier[:0]
+	for _, v := range frontier {
+		if maximal && dominates(v, lvl) || !maximal && dominates(lvl, v) {
+			continue
+		}
+		keep = append(keep, v)
+	}
+	if len(keep) >= maxAntichain {
+		return keep
+	}
+	return append(keep, append([]byte(nil), lvl...))
+}
+
+// Stats returns the cumulative lookup hit and miss counts.
+func (c *ProbeCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

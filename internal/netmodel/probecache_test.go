@@ -1,0 +1,142 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProbeCacheExactRecall(t *testing.T) {
+	c := NewProbeCache()
+	active := []int{2, 0, 5}
+	chans := []int{1, 0, 1}
+	levels := []int{3, 1, 2}
+
+	if _, known := c.Lookup(active, chans, levels); known {
+		t.Fatal("empty cache answered a probe")
+	}
+	c.Record(active, chans, levels, true)
+	feas, known := c.Lookup(active, chans, levels)
+	if !known || !feas {
+		t.Fatalf("Lookup after Record(feasible) = (%v, %v), want (true, true)", feas, known)
+	}
+
+	// The same physical pattern presented in a different order must hit.
+	if feas, known = c.Lookup([]int{0, 5, 2}, []int{0, 1, 1}, []int{1, 2, 3}); !known || !feas {
+		t.Fatalf("permuted Lookup = (%v, %v), want (true, true)", feas, known)
+	}
+
+	// A different level vector on the same set is unknown (it is above
+	// the feasible point in one coordinate).
+	if _, known = c.Lookup(active, chans, []int{4, 1, 2}); known {
+		t.Fatal("cache answered a level vector above its feasible frontier")
+	}
+
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("Stats() = (%d, %d), want (2, 2)", hits, misses)
+	}
+}
+
+func TestProbeCacheMonotoneDominance(t *testing.T) {
+	c := NewProbeCache()
+	active := []int{1, 2, 3}
+	chans := []int{0, 0, 1}
+
+	// Feasible at (3, 3, 3) ⇒ anything componentwise ≤ is feasible.
+	c.Record(active, chans, []int{3, 3, 3}, true)
+	if feas, known := c.Lookup(active, chans, []int{1, 3, 0}); !known || !feas {
+		t.Error("dominated level vector not answered feasible")
+	}
+	// Infeasible at (4, 4, 4) ⇒ anything componentwise ≥ is infeasible.
+	c.Record(active, chans, []int{4, 4, 4}, false)
+	if feas, known := c.Lookup(active, chans, []int{4, 5, 4}); !known || feas {
+		t.Error("dominating level vector not answered infeasible")
+	}
+	// Incomparable vectors stay unknown.
+	if _, known := c.Lookup(active, chans, []int{4, 0, 0}); known {
+		t.Error("cache answered a vector incomparable to both frontiers")
+	}
+	// Different activation sets never cross-talk.
+	if _, known := c.Lookup([]int{1, 2, 4}, chans, []int{0, 0, 0}); known {
+		t.Error("cache answered a different activation set")
+	}
+	if _, known := c.Lookup(active, []int{0, 1, 1}, []int{0, 0, 0}); known {
+		t.Error("cache answered a different channel pattern")
+	}
+}
+
+func TestProbeCacheFrontierEviction(t *testing.T) {
+	c := NewProbeCache()
+	active := []int{0, 1}
+	chans := []int{0, 1}
+
+	c.Record(active, chans, []int{1, 1}, true)
+	c.Record(active, chans, []int{2, 2}, true) // covers (1,1): evicts it
+	ps := c.sets[string(c.sig)]
+	if len(ps.feas) != 1 {
+		t.Fatalf("feasible frontier has %d points after eviction, want 1", len(ps.feas))
+	}
+	c.Record(active, chans, []int{0, 3}, true) // incomparable: frontier grows
+	if len(ps.feas) != 2 {
+		t.Fatalf("feasible frontier has %d points, want 2", len(ps.feas))
+	}
+	c.Record(active, chans, []int{1, 2}, true) // covered by (2,2): dropped
+	if len(ps.feas) != 2 {
+		t.Fatalf("feasible frontier has %d points after covered insert, want 2", len(ps.feas))
+	}
+
+	c.Record(active, chans, []int{5, 5}, false)
+	c.Record(active, chans, []int{4, 4}, false) // minimal: evicts (5,5)
+	if len(ps.infeas) != 1 {
+		t.Fatalf("infeasible frontier has %d points, want 1", len(ps.infeas))
+	}
+	if feas, known := c.Lookup(active, chans, []int{5, 5}); !known || feas {
+		t.Error("evicted infeasible point no longer answered via its evictor")
+	}
+}
+
+func TestProbeCacheFrontierBound(t *testing.T) {
+	c := NewProbeCache()
+	active := []int{0, 1}
+	chans := []int{0, 1}
+	// Pairwise-incomparable points (i, bound+10-i) grow the frontier to
+	// the cap and then stop.
+	for i := 0; i < maxAntichain+10; i++ {
+		c.Record(active, chans, []int{i, maxAntichain + 10 - i}, false)
+	}
+	ps := c.sets[string(c.sig)]
+	if len(ps.infeas) != maxAntichain {
+		t.Errorf("infeasible frontier has %d points, want the %d cap", len(ps.infeas), maxAntichain)
+	}
+}
+
+// TestProbeCacheNeverLies replays random probes against a reference
+// predicate that is monotone by construction: the cache may decline to
+// answer but must never contradict the predicate.
+func TestProbeCacheNeverLies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Feasible iff the level sum stays under a threshold — monotone in
+	// every coordinate, like the power-control predicate.
+	feasible := func(levels []int) bool {
+		sum := 0
+		for _, q := range levels {
+			sum += q
+		}
+		return sum <= 7
+	}
+	c := NewProbeCache()
+	active := []int{3, 1, 4}
+	chans := []int{0, 1, 1}
+	for trial := 0; trial < 5000; trial++ {
+		levels := []int{rng.Intn(6), rng.Intn(6), rng.Intn(6)}
+		want := feasible(levels)
+		if got, known := c.Lookup(active, chans, levels); known && got != want {
+			t.Fatalf("trial %d: cache says %v for %v, predicate says %v", trial, got, levels, want)
+		}
+		c.Record(active, chans, levels, want)
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("degenerate replay: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz figures examples clean
+.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz trace-smoke figures examples clean
 
 all: build vet test
 
@@ -47,6 +47,17 @@ fuzz:
 	$(GO) test -fuzz FuzzChannelUpdateUnmarshal -fuzztime 20s ./internal/pnc
 	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime 20s ./internal/pnc
 	$(GO) test -fuzz FuzzFailureDecoders -fuzztime 20s ./internal/faults
+
+# Trace-enabled smoke: run one tiny fig1 point with -trace and
+# -metrics attached and validate the artifacts — the trace must be
+# non-empty valid JSONL (cmd/tracecheck) and the exposition must
+# contain the solver counters.
+trace-smoke:
+	$(GO) run ./cmd/mmwavesim -fig 1 -seeds 1 -sweep 3 -channels 2 -budget 500 \
+		-trace /tmp/trace-smoke.jsonl -metrics /tmp/trace-smoke.metrics > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/trace-smoke.jsonl
+	grep -q core_master_solves_total /tmp/trace-smoke.metrics
+	grep -q experiment_cell_seconds_count /tmp/trace-smoke.metrics
 
 # Regenerate every figure of EXPERIMENTS.md into results/ (slow: the
 # paper's full 50-seed sweeps).

@@ -13,10 +13,16 @@
 //	mmwavesim -fig relay             # dual-hop recovery of blocked sessions
 //	mmwavesim -fig streaming         # multi-GOP stall/quality trade-off
 //	mmwavesim -fig faultsweep        # served demand vs control-frame loss
+//	mmwavesim -fig help              # list every registered figure
 //	mmwavesim -print-config          # echo Table I parameters
 //
 // Scale knobs (-links, -channels, -seeds, -budget, …) override the
-// paper's Table I defaults; -csv switches the output format.
+// paper's Table I defaults; -csv switches the output format. The
+// observability flags capture a campaign's internals without changing
+// its output: -trace FILE records structured solver events as JSONL,
+// -metrics FILE dumps the campaign's counter/histogram exposition,
+// -pprof ADDR serves net/http/pprof for the run's duration, and
+// -cpuprofile/-heapprofile write pprof captures of the whole campaign.
 package main
 
 import (
@@ -26,18 +32,10 @@ import (
 	"strconv"
 	"strings"
 
-	"mmwave/internal/core"
 	"mmwave/internal/experiment"
 	"mmwave/internal/faults"
-	"mmwave/internal/session"
-	"mmwave/internal/stats"
+	"mmwave/internal/obs"
 )
-
-// withLinks returns the config with the link count overridden.
-func withLinks(cfg experiment.Config, links int) experiment.Config {
-	cfg.NumLinks = links
-	return cfg
-}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -47,7 +45,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("mmwavesim", flag.ContinueOnError)
 	var (
-		figure       = fs.String("fig", "", "figure to reproduce: 1, 2, 3, 4, ablation, quality, blockage, relay, or streaming")
+		figure       = fs.String("fig", "", "figure to reproduce (\"help\" lists all)")
 		printConfig  = fs.Bool("print-config", false, "print the simulation parameters (Table I) and exit")
 		csv          = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		links        = fs.Int("links", 0, "number of links ‖L‖ (0 = Table I default)")
@@ -69,6 +67,11 @@ func run(args []string) int {
 		priceWorkers = fs.Int("pricer-workers", 0, "goroutines per pricing search (0 or 1 = serial exact pricer)")
 		probeCache   = fs.Bool("probe-cache", false, "memoize pricing feasibility probes across iterations (identical output; see DESIGN.md §9 for when this pays)")
 		verbose      = fs.Bool("v", false, "print solver telemetry (probes, master solves, cache hit rate) to stderr")
+		traceFile    = fs.String("trace", "", "record structured solver trace events (JSONL) to this file")
+		metricsFile  = fs.String("metrics", "", "dump the campaign's metrics exposition to this file after the run (\"-\" = stderr)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		heapProfile  = fs.String("heapprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,7 +112,19 @@ func run(args []string) int {
 		return 0
 	}
 	if *figure == "" {
-		fmt.Fprintln(os.Stderr, "mmwavesim: pass -fig 1|2|3|4|ablation (or -print-config); see -h")
+		fmt.Fprintln(os.Stderr, "mmwavesim: pass -fig NAME (-fig help lists figures) or -print-config; see -h")
+		return 2
+	}
+	if *figure == "help" {
+		fmt.Println("figures:")
+		for _, d := range experiment.Drivers() {
+			fmt.Printf("  %-10s  %s\n", d.Name, d.Synopsis)
+		}
+		return 0
+	}
+	driver, ok := experiment.Lookup(*figure)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmwavesim: unknown figure %q (-fig help lists figures)\n", *figure)
 		return 2
 	}
 
@@ -124,175 +139,116 @@ func run(args []string) int {
 			xs = append(xs, v)
 		}
 	}
+	var failures []faults.LinkFailure
+	if *failSpec != "" {
+		evs, err := faults.ParseFailures(*failSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: bad -fail spec: %v\n", err)
+			return 2
+		}
+		failures = evs
+	}
 
-	switch *figure {
-	case "1", "2", "3", "ablation", "quality":
-		var fig *experiment.Figure
-		var err error
-		switch *figure {
-		case "1":
-			fig, err = experiment.Fig1(cfg, xs)
-		case "2":
-			fig, err = experiment.Fig2(cfg, xs)
-		case "3":
-			fig, err = experiment.Fig3(cfg, xs)
-		case "ablation":
-			fig, err = experiment.Ablation(cfg)
-		case "quality":
-			fig, err = experiment.FigQuality(cfg, xs)
+	// Observability: everything below is attach-only — the campaign's
+	// figures are byte-identical with or without it.
+	var traceSink *obs.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: -trace: %v\n", err)
+			return 1
 		}
+		traceSink = obs.NewJSONLSink(f)
+		cfg.Tracer = obs.New(traceSink)
+	}
+	if *metricsFile != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
 			return 1
 		}
-		if *csv {
-			err = experiment.RenderCSV(os.Stdout, fig)
-		} else {
-			err = experiment.Render(os.Stdout, fig)
+		defer shutdown() //nolint:errcheck // best-effort teardown on exit
+		fmt.Fprintf(os.Stderr, "mmwavesim: pprof listening on http://%s/debug/pprof/\n", bound)
+	}
+	prof, err := obs.StartProfiles(*cpuProfile, *heapProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
+		return 1
+	}
+
+	env := &experiment.RunEnv{
+		Cfg:      cfg,
+		XS:       xs,
+		CSV:      *csv,
+		Out:      os.Stdout,
+		Rep:      *rep,
+		Epochs:   *epochs,
+		Retries:  *retries,
+		Failures: failures,
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "links":
+			env.LinksSet = true
+		case "seeds":
+			env.SeedsSet = true
+		case "budget":
+			env.BudgetSet = true
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-	case "faultsweep":
-		fc := experiment.DefaultFaultSweepConfig()
-		fc.Net = cfg
-		if *links == 0 {
-			fc.Net.NumLinks = 10 // full scale × epochs × rates is slow; override with -links
-		}
-		if *seeds == 0 {
-			fc.Net.Seeds = 10
-		}
-		if *epochs > 0 {
-			fc.Epochs = *epochs
-		}
-		if *retries >= 0 {
-			fc.Policy.MaxRetries = *retries
-		}
-		if xs != nil {
-			fc.Rates = xs
-		}
-		if *failSpec != "" {
-			evs, err := faults.ParseFailures(*failSpec)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mmwavesim: bad -fail spec: %v\n", err)
-				return 2
+	})
+
+	runErr := driver.Run(env)
+
+	// Finish the captures before reporting, so a completed process
+	// always leaves complete artifacts even when the driver failed.
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "mmwavesim: profile capture: %v\n", err)
+	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: -trace: %v\n", err)
+			if runErr == nil {
+				runErr = err
 			}
-			fc.Failures = evs
+		} else if *verbose {
+			fmt.Fprintf(os.Stderr, "mmwavesim: trace: %d events to %s\n", traceSink.Events(), *traceFile)
 		}
-		fig, err := experiment.FaultSweep(fc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-		if *csv {
-			err = experiment.RenderCSV(os.Stdout, fig)
-		} else {
-			err = experiment.Render(os.Stdout, fig)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-	case "streaming":
-		nLinks := cfg.NumLinks
-		if *links == 0 {
-			nLinks = 8
-		}
-		inst, err := experiment.NewInstance(withLinks(cfg, nLinks), stats.Fork(cfg.Seed, 0))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-		fmt.Printf("STREAMING — %d GOPs over %d links, %d channels (demand ×%g)\n",
-			16, nLinks, cfg.NumChannels, cfg.DemandScale)
-		for _, mode := range []session.Mode{session.MinTime, session.Quality} {
-			scfg := session.Config{
-				Network: inst.Network,
-				Session: cfg.Video,
-				Trace:   cfg.Trace,
-				Mode:    mode,
-				GOPs:    16,
-				Solver:  core.Options{Pricer: core.NewBranchBoundPricer(cfg.PricerBudget)},
-				Seed:    cfg.Seed,
+	}
+	if cfg.Metrics != nil {
+		if err := writeMetrics(cfg.Metrics, *metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "mmwavesim: -metrics: %v\n", err)
+			if runErr == nil {
+				runErr = err
 			}
-			scfg.Trace.MeanRate *= cfg.DemandScale
-			m, err := session.Run(scfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-				return 1
-			}
-			fmt.Printf("  %-8s: on-time %2d/%d, stalls %.3f s, mean PSNR %.1f dB, delivered %.1f%%\n",
-				mode, m.OnTime, m.GOPs, m.StallSeconds, m.PSNR.Mean, 100*m.DeliveredFraction.Mean)
 		}
-	case "relay":
-		rc := experiment.DefaultRelayConfig()
-		rc.Net = cfg
-		if *links == 0 {
-			rc.Net.NumLinks = 10
-		}
-		if *seeds == 0 {
-			rc.Net.Seeds = 10
-		}
-		res, err := experiment.RunRelay(rc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-		fmt.Printf("RELAY — dual-hop recovery of blocked sessions (%d%% blocked, %d relay candidates)\n",
-			int(rc.BlockedFrac*100), rc.Relays)
-		fmt.Printf("  deferred (no relays): served %.1f%% of demand in %s s\n",
-			100*res.ServedFracNoRelay.Mean, res.TimeNoRelay.String())
-		fmt.Printf("  relayed (two hops):   served 100%% of demand in %s s (%.1f sessions relayed on average)\n",
-			res.TimeWithRelay.String(), res.Relayed.Mean)
-	case "blockage":
-		bc := experiment.DefaultBlockageConfig()
-		bc.Net = cfg
-		if *links == 0 {
-			bc.Net.NumLinks = 10 // full scale is slow ×epochs; override with -links
-		}
-		if *seeds == 0 {
-			bc.Net.Seeds = 10
-		}
-		res, err := experiment.RunBlockage(bc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-		fmt.Printf("BLOCKAGE — per-epoch scheduling time under link churn (%d epochs × %d reps)\n",
-			bc.Epochs, bc.Net.Seeds)
-		fmt.Printf("  re-optimized each epoch: %s s\n", res.Reoptimized.String())
-		fmt.Printf("  static epoch-0 plan:     %s s (+%d epochs unserved)\n", res.Static.String(), res.Unserved)
-		fmt.Printf("  mean blocked fraction:   %.3f\n", res.BlockedFrac.Mean)
-	case "4":
-		// Fig. 4 needs a provably convergent run: default to a scale
-		// where exact pricing completes unless the user overrode it.
-		if *links == 0 {
-			cfg.NumLinks = 8
-		}
-		if *budget == 0 {
-			cfg.PricerBudget = 100_000_000
-		}
-		conv, err := experiment.Fig4(cfg, *rep)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-		if *csv {
-			err = experiment.RenderConvergenceCSV(os.Stdout, conv)
-		} else {
-			err = experiment.RenderConvergence(os.Stdout, conv)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", err)
-			return 1
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "mmwavesim: unknown figure %q\n", *figure)
-		return 2
+	}
+
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", runErr)
+		return 1
 	}
 	if tel != nil {
 		fmt.Fprintf(os.Stderr, "mmwavesim: telemetry: %s\n", tel)
 	}
 	return 0
+}
+
+// writeMetrics dumps the registry's text exposition to path ("-" means
+// stderr, so -csv output on stdout stays clean).
+func writeMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteText(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmwave/internal/obs"
+)
 
 func TestRunPrintConfig(t *testing.T) {
 	if code := run([]string{"-print-config"}); code != 0 {
@@ -98,5 +105,66 @@ func TestRunFaultSweepTiny(t *testing.T) {
 func TestRunFaultSweepBadFailSpec(t *testing.T) {
 	if code := run([]string{"-fig", "faultsweep", "-links", "4", "-fail", "banana"}); code != 2 {
 		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunFigHelp(t *testing.T) {
+	if code := run([]string{"-fig", "help"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestRunBadFailSpecAnyFigure(t *testing.T) {
+	if code := run([]string{"-fig", "1", "-fail", "banana"}); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	args := []string{"-fig", "1", "-seeds", "1", "-sweep", "3", "-channels", "2",
+		"-budget", "500", "-trace", tracePath, "-metrics", metricsPath}
+	if code := run(args); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace is empty")
+	}
+	iters := 0
+	for _, e := range events {
+		if e.Name == "cg.iteration" {
+			iters++
+		}
+	}
+	if iters == 0 {
+		t.Error("trace has no cg.iteration events")
+	}
+
+	exp, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core_master_solves_total", "experiment_cell_seconds_count"} {
+		if !strings.Contains(string(exp), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+func TestRunBadTracePath(t *testing.T) {
+	if code := run([]string{"-fig", "1", "-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
 	}
 }

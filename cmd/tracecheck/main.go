@@ -1,0 +1,62 @@
+// Command tracecheck validates a JSONL trace produced by mmwavesim
+// -trace: every line must decode as an obs event, and the file must be
+// non-empty. It prints a one-line summary (event count, span count,
+// cg.iteration count) and exits non-zero on an empty or malformed
+// trace, which is exactly what the trace-smoke CI step needs.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl
+//	mmwavesim -fig 1 ... -trace /dev/stdout | tracecheck -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mmwave/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+// run validates one trace and returns the process exit code.
+func run(args []string, stdin io.Reader, stdout io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE (or - for stdin)")
+		return 2
+	}
+	r := stdin
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.DecodeJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: trace is empty")
+		return 1
+	}
+	spans, iters := 0, 0
+	for _, e := range events {
+		switch e.Name {
+		case "span.start":
+			spans++
+		case "cg.iteration":
+			iters++
+		}
+	}
+	fmt.Fprintf(stdout, "tracecheck: ok: %d events, %d spans, %d cg iterations\n",
+		len(events), spans, iters)
+	return 0
+}

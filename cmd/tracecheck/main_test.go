@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mmwave/internal/obs"
+)
+
+func TestTraceCheckValid(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	tr := obs.New(sink)
+	sp := tr.StartSpan("test")
+	sp.Emit(obs.Event{Name: "cg.iteration", Iter: 1})
+	sp.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := run([]string{p}, nil, &out); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "1 cg iterations") {
+		t.Errorf("summary = %q, want cg iteration count", out.String())
+	}
+}
+
+func TestTraceCheckStdin(t *testing.T) {
+	in := strings.NewReader(`{"t":1,"ev":"span.start"}` + "\n")
+	var out bytes.Buffer
+	if code := run([]string{"-"}, in, &out); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+}
+
+func TestTraceCheckEmpty(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{p}, nil, &out); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestTraceCheckMalformed(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(p, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{p}, nil, &out); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestTraceCheckUsage(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, nil, &out); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+func TestTraceCheckMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}, nil, &out); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 		if err := solver.SetDemands(demands); err != nil {
 			log.Fatalf("gop %d: %v", g, err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			log.Fatalf("gop %d: %v", g, err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("min-time solver: %v", err)
 	}
-	minRes, err := minSolver.Solve()
+	minRes, err := minSolver.Solve(context.Background())
 	if err != nil {
 		log.Fatalf("min-time solve: %v", err)
 	}
@@ -56,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("quality solver: %v", err)
 		}
-		res, err := qs.Solve()
+		res, err := qs.Solve(context.Background())
 		if err != nil {
 			log.Fatalf("quality solve: %v", err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("building solver: %v", err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		log.Fatalf("solving: %v", err)
 	}

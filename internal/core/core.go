@@ -27,6 +27,7 @@ import (
 
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
+	"mmwave/internal/obs"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
 )
@@ -101,16 +102,11 @@ type Result struct {
 	Converged  bool            // true when Φ ≥ −tolerance with exact pricing
 	Duals      Duals           // final simplex multipliers
 
-	// Probes counts pricing feasibility probes across all iterations
-	// of this solve — the unit of real work in the search, and the
-	// denominator of the cache hit rate.
-	Probes int
-	// MasterSolves counts master-LP solves performed by this solve.
-	MasterSolves int
-	// CacheHits and CacheMisses break Probes down by whether the
-	// probe cache answered from memory (hits cost no linear algebra).
-	CacheHits   int
-	CacheMisses int
+	// Stats holds the solve's work counters (probes, master solves,
+	// cache hits/misses, pricer nodes, LP pivots); embedding keeps the
+	// historical field names (res.Probes, res.MasterSolves, …) reading
+	// through promotion.
+	Stats
 
 	// Truncated reports an anytime result: the solve stopped on a
 	// canceled/expired context or the iteration budget rather than by
@@ -199,8 +195,21 @@ type Options struct {
 	// measured cross-iteration hit rate (~6%) does not amortize it.
 	// Enable it for workloads with an expensive feasibility oracle.
 	CacheProbes bool
+	// PricerWorkers sets the parallel root-split width of the default
+	// branch-and-bound pricer constructed when Pricer is nil (0 means
+	// sequential). Explicit pricers carry their own parallelism.
+	PricerWorkers int
 	// LP passes options to the master problem solves.
 	LP lp.Options
+	// Tracer, when non-nil, receives structured trace events for every
+	// column-generation iteration (see obs.Event). Nil means the
+	// allocation-free no-op tracer; Solve also consults the context via
+	// obs.FromContext when this field is nil. Tracing never changes
+	// results: plans are byte-identical with and without a tracer.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates the solve's Stats as "core_*"
+	// counters.
+	Metrics *obs.Registry
 }
 
 // Solver runs column generation on one network instance with fixed
@@ -232,7 +241,9 @@ type Solver struct {
 	// feasibility.
 	probeCache *netmodel.ProbeCache
 
-	masterSolves int
+	// stats accumulates work counters over the Solver's lifetime; each
+	// Solve reports the delta it contributed (see Result.Stats).
+	stats Stats
 }
 
 // NewSolver validates the instance and seeds the column pool with the
@@ -256,7 +267,9 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 		opts.Tolerance = 1e-7
 	}
 	if opts.Pricer == nil {
-		opts.Pricer = NewBranchBoundPricer(0)
+		p := NewBranchBoundPricer(0)
+		p.Parallel = opts.PricerWorkers
+		opts.Pricer = p
 	}
 
 	s := &Solver{nw: nw, demands: demands, opts: opts, pool: schedule.NewPool()}
@@ -325,28 +338,37 @@ func (s *Solver) SetDemands(demands []video.Demand) error {
 }
 
 // Solve runs column generation to convergence (or the configured
-// iteration/gap limits) and returns the best plan.
-func (s *Solver) Solve() (*Result, error) {
-	return s.SolveContext(context.Background())
-}
-
-// SolveContext runs column generation under a per-solve budget carried
-// by ctx (a deadline, a timeout, or explicit cancellation). With a
-// never-canceled context it is byte-identical to Solve. When the
-// budget expires mid-solve, the context-aware pricer is canceled
-// mid-search, the cheap GreedyPricer supplies a final valid bound if
-// the configured pricer could not, and the best-so-far feasible plan
-// is returned with Truncated set and Stop wrapping ErrBudgetExceeded —
-// never a bare error: by Theorem 1 any Φ′ ≤ Φ* still bounds P1, so an
-// anytime plan plus its proven gap is always available.
-func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
+// iteration/gap limits) under a per-solve budget carried by ctx (a
+// deadline, a timeout, or explicit cancellation) and returns the best
+// plan. With a never-canceled context the walk is fully deterministic.
+// When the budget expires mid-solve, the context-aware pricer is
+// canceled mid-search, the cheap GreedyPricer supplies a final valid
+// bound if the configured pricer could not, and the best-so-far
+// feasible plan is returned with Truncated set and Stop wrapping
+// ErrBudgetExceeded — never a bare error: by Theorem 1 any Φ′ ≤ Φ*
+// still bounds P1, so an anytime plan plus its proven gap is always
+// available.
+//
+// Each iteration emits a "cg.iteration" trace event (iteration index,
+// Φ, Theorem-1 lower bound, pool size, probe count) through
+// Options.Tracer, falling back to the tracer carried by ctx
+// (obs.NewContext). Tracing never changes the plan.
+func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 	res := &Result{LowerBound: 0}
 	bestLower := 0.0
-	masterBefore := s.masterSolves
+	before := s.stats
+	metrics := s.opts.Metrics
 	defer func() {
-		res.MasterSolves = s.masterSolves - masterBefore
-		res.CacheMisses = res.Probes - res.CacheHits
+		res.Stats = s.stats.delta(before)
+		res.Stats.Publish(metrics, "core")
 	}()
+
+	tracer := s.opts.Tracer
+	if tracer == nil {
+		tracer = obs.FromContext(ctx)
+	}
+	span := tracer.StartSpan("core.solve")
+	defer span.End()
 
 	for iter := 0; iter < s.opts.MaxIterations; iter++ {
 		mpSol, err := s.solveMaster()
@@ -356,6 +378,7 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 		lambdaHP, lambdaLP := s.extractDuals(mpSol)
 
 		pr, err := s.price(ctx, lambdaHP, lambdaLP)
+		s.stats.Rounds++
 		if err != nil {
 			if ctx.Err() != nil {
 				// The pricer died on cancellation before producing a
@@ -371,8 +394,10 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("core: pricing failed at iteration %d: %w", iter, err)
 		}
 
-		res.Probes += pr.Probes
-		res.CacheHits += pr.CacheHits
+		s.stats.Probes += pr.Probes
+		s.stats.CacheHits += pr.CacheHits
+		s.stats.CacheMisses += pr.Probes - pr.CacheHits
+		s.stats.PricerNodes += pr.Nodes
 
 		phi := 1 - pr.Value // reduced cost of the best found column
 		lower := pricingLowerBound(mpSol.Objective, pr)
@@ -389,6 +414,16 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 			PoolSize:   s.pool.Len(),
 			PricerNode: pr.Nodes,
 			Exact:      pr.Exact,
+		})
+		span.Emit(obs.Event{
+			Name:   "cg.iteration",
+			Iter:   iter,
+			Phi:    phi,
+			Upper:  mpSol.Objective,
+			Lower:  lower,
+			Pool:   s.pool.Len(),
+			Probes: pr.Probes,
+			Nodes:  pr.Nodes,
 		})
 
 		if ctx.Err() != nil {
@@ -432,6 +467,21 @@ func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
 	res.Truncated = true
 	res.Stop = fmt.Errorf("%w: iteration limit %d", ErrBudgetExceeded, s.opts.MaxIterations)
 	return res, nil
+}
+
+// SolveBackground runs Solve with a background context.
+//
+// Deprecated: call Solve(context.Background()) directly. Kept for one
+// release to ease migration from the old no-argument Solve.
+func (s *Solver) SolveBackground() (*Result, error) {
+	return s.Solve(context.Background())
+}
+
+// SolveContext is the former name of Solve.
+//
+// Deprecated: Solve now takes the context itself; call Solve(ctx).
+func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
+	return s.Solve(ctx)
 }
 
 // price dispatches one pricing round, preferring the cached path, then
@@ -480,7 +530,7 @@ func (s *Solver) finishTruncated(res *Result, mpSol *lp.Solution, lambdaHP, lamb
 // schedules pooled since the previous solve are appended; right-hand
 // sides are refreshed every call so SetDemands keeps working.
 func (s *Solver) solveMaster() (*lp.Solution, error) {
-	s.masterSolves++
+	s.stats.MasterSolves++
 	n := s.pool.Len()
 	L := s.nw.NumLinks()
 	if s.masterProb == nil {
@@ -522,6 +572,8 @@ func (s *Solver) solveMaster() (*lp.Solution, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: master LP: %w", err)
 	}
+	s.stats.LPPivots += sol.Iterations
+	s.stats.LPRefactorizations += sol.Refactorizations
 	switch sol.Status {
 	case lp.StatusOptimal:
 		s.warmBasis = sol.Basis

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -203,7 +204,7 @@ func TestSolverMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Solve()
+		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func TestSolverPlanFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestSolverBeatsOrMatchesTDMA(t *testing.T) {
 		}
 		tdmaObj := mp.Objective
 
-		res, err := s.Solve()
+		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func TestSolverConvergenceTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestSolverZeroDemand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +562,7 @@ func TestSolverWithGreedyPricerStillFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := exact.Solve()
+	eres, err := exact.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +571,7 @@ func TestSolverWithGreedyPricerStillFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gres, err := greedy.Solve()
+	gres, err := greedy.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -598,7 +599,7 @@ func TestDualsNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -663,7 +664,7 @@ func TestSolverWithMILPPricerMatchesBranchBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bres, err := bb.Solve()
+		bres, err := bb.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -672,7 +673,7 @@ func TestSolverWithMILPPricerMatchesBranchBound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mres, err := ml.Solve()
+		mres, err := ml.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

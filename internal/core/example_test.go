@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/channel"
@@ -45,7 +46,7 @@ func ExampleSolver() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		panic(err)
 	}
@@ -68,7 +69,7 @@ func ExampleQualitySolver() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := qs.Solve()
+	res, err := qs.Solve(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -222,6 +222,9 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 		Exact:      sol.Status == milp.StatusOptimal,
 		RelaxValue: -sol.Bound, // lower bound of min → upper bound of Ψ
 		Nodes:      sol.Nodes,
+		// The MILP's unit of real work is the LP relaxation solve, the
+		// closest analogue of the combinatorial pricer's probe.
+		Probes: sol.LPSolves,
 	}
 	if !sol.HasIncumbent {
 		return res, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -161,7 +162,7 @@ func TestMultiChannelSolverEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestMultiChannelSolverEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := s2.Solve()
+	res2, err := s2.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

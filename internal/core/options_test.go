@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +19,7 @@ func TestSolverMaxIterations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSolverGapTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fres, err := full.Solve()
+	fres, err := full.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSolverGapTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lres, err := loose.Solve()
+	lres, err := loose.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFixedPowerNeverBeatsAdaptive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ares, err := adaptive.Solve()
+		ares, err := adaptive.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestFixedPowerNeverBeatsAdaptive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fres, err := fixed.Solve()
+		fres, err := fixed.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func TestSolverSingleLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestSetDemandsReusesPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fres, err := fresh.Solve()
+	fres, err := fresh.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,13 +198,13 @@ func TestSetDemandsReusesPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Solve(); err != nil {
+	if _, err := s.Solve(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetDemands(d2); err != nil {
 		t.Fatal(err)
 	}
-	warm, err := s.Solve()
+	warm, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestSetDemandsValidation(t *testing.T) {
 	if err := s.SetDemands(uniformDemands(3, 0, 0)); err != nil {
 		t.Errorf("zero demands rejected: %v", err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

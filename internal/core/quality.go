@@ -8,6 +8,7 @@ import (
 
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
+	"mmwave/internal/obs"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
 )
@@ -61,12 +62,10 @@ type QualityResult struct {
 	// Converged reports proven optimality (exact pricing and no
 	// improving column).
 	Converged bool
-	// Probes, MasterSolves, and CacheHits mirror the Result telemetry:
-	// feasibility probes consumed by pricing, master-LP solves, and
-	// probes answered by the probe cache.
-	Probes       int
-	MasterSolves int
-	CacheHits    int
+	// Stats holds the solve's work counters (probes, master solves,
+	// cache hits, LP pivots, …), promoted so res.Probes etc. keep
+	// reading as before.
+	Stats
 }
 
 // PSNR returns link l's reconstructed quality for a session with the
@@ -119,7 +118,9 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 		opts.Tolerance = 1e-7
 	}
 	if opts.Pricer == nil {
-		opts.Pricer = NewBranchBoundPricer(0)
+		p := NewBranchBoundPricer(0)
+		p.Parallel = opts.PricerWorkers
+		opts.Pricer = p
 	}
 	s := &QualitySolver{
 		nw:      nw,
@@ -142,9 +143,23 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 var errQualityMaster = errors.New("core: quality master problem")
 
 // Solve runs column generation to convergence or the iteration cap.
-func (s *QualitySolver) Solve() (*QualityResult, error) {
+// The ctx cancels pricing between (and inside) iterations: on expiry
+// the current master solution is extracted as an anytime result with
+// Converged false. Each iteration emits a "cg.iteration" trace event
+// through Options.Tracer (or the tracer carried by ctx); tracing never
+// changes the plan.
+func (s *QualitySolver) Solve(ctx context.Context) (*QualityResult, error) {
 	L := s.nw.NumLinks()
 	res := &QualityResult{}
+	defer func() { res.Stats.Publish(s.opts.Metrics, "core") }()
+
+	tracer := s.opts.Tracer
+	if tracer == nil {
+		tracer = obs.FromContext(ctx)
+	}
+	span := tracer.StartSpan("core.quality_solve")
+	defer span.End()
+
 	for iter := 0; ; iter++ {
 		sol, err := s.solveMaster()
 		if err != nil {
@@ -152,6 +167,8 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 		}
 		res.Iterations = iter + 1
 		res.MasterSolves++
+		res.LPPivots += sol.Iterations
+		res.LPRefactorizations += sol.Refactorizations
 
 		if iter >= s.opts.MaxIterations-1 {
 			s.extract(sol, res)
@@ -178,12 +195,30 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 			scaledLP[l] = alphaLP[l] / denom
 		}
 
-		pr, err := s.price(scaledHP, scaledLP)
+		pr, err := s.price(ctx, scaledHP, scaledLP)
+		res.Rounds++
 		if err != nil {
+			if ctx.Err() != nil {
+				// Budget expired mid-pricing: the current master
+				// solution is feasible — return it as an anytime result.
+				s.extract(sol, res)
+				return res, nil
+			}
 			return nil, fmt.Errorf("core: quality pricing failed at iteration %d: %w", iter, err)
 		}
 		res.Probes += pr.Probes
 		res.CacheHits += pr.CacheHits
+		res.CacheMisses += pr.Probes - pr.CacheHits
+		res.PricerNodes += pr.Nodes
+		span.Emit(obs.Event{
+			Name:   "cg.iteration",
+			Iter:   iter,
+			Phi:    1 - pr.Value,
+			Upper:  -sol.Objective, // maximization solved as min of the negative
+			Pool:   s.pool.Len(),
+			Probes: pr.Probes,
+			Nodes:  pr.Nodes,
+		})
 		if pr.Schedule == nil || pr.Value <= 1+s.opts.Tolerance {
 			s.extract(sol, res)
 			res.Converged = pr.Exact
@@ -193,13 +228,29 @@ func (s *QualitySolver) Solve() (*QualityResult, error) {
 			s.extract(sol, res) // numerical stall: accept current solution
 			return res, nil
 		}
+		if ctx.Err() != nil {
+			s.extract(sol, res)
+			return res, nil
+		}
 	}
 }
 
-// price dispatches one pricing round, preferring the cached path.
-func (s *QualitySolver) price(scaledHP, scaledLP []float64) (*PriceResult, error) {
+// SolveBackground runs Solve with a background context.
+//
+// Deprecated: call Solve(context.Background()) directly. Kept for one
+// release to ease migration from the old no-argument Solve.
+func (s *QualitySolver) SolveBackground() (*QualityResult, error) {
+	return s.Solve(context.Background())
+}
+
+// price dispatches one pricing round, preferring the cached path, then
+// the context-aware path.
+func (s *QualitySolver) price(ctx context.Context, scaledHP, scaledLP []float64) (*PriceResult, error) {
 	if cp, ok := s.opts.Pricer.(CachedPricer); ok && s.probeCache != nil {
-		return cp.PriceWithCache(context.Background(), s.nw, scaledHP, scaledLP, s.probeCache)
+		return cp.PriceWithCache(ctx, s.nw, scaledHP, scaledLP, s.probeCache)
+	}
+	if cp, ok := s.opts.Pricer.(ContextPricer); ok {
+		return cp.PriceContext(ctx, s.nw, scaledHP, scaledLP)
 	}
 	return s.opts.Pricer.Price(s.nw, scaledHP, scaledLP)
 }

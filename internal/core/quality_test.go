@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func TestQualityGenerousBudgetDeliversEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := mins.Solve()
+	mres, err := mins.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestQualityGenerousBudgetDeliversEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qres, err := qs.Solve()
+	qres, err := qs.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestQualityZeroBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := qs.Solve()
+	res, err := qs.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestQualityMonotoneInBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := qs.Solve()
+		res, err := qs.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func TestQualityMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := qs.Solve()
+		res, err := qs.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func TestQualityWeightsSteerAllocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := qs.Solve()
+	res, err := qs.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestQualityPropertyBudgetRespected(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := qs.Solve()
+		res, err := qs.Solve(context.Background())
 		if err != nil {
 			return false
 		}

@@ -24,7 +24,7 @@ func TestSolveContextBackgroundIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resA, err := a.Solve()
+		resA, err := a.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestErrorTaxonomy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Solve()
+	res, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+package core
+
+import "mmwave/internal/obs"
+
+// Stats consolidates the work counters of one column-generation solve.
+// It is embedded in Result and QualityResult (so `res.Probes` keeps
+// reading naturally) and is the single shape the observability layer
+// consumes: Publish folds a Stats into an obs.Registry under a
+// component prefix.
+type Stats struct {
+	// Rounds counts column-generation rounds (pricing calls).
+	Rounds int
+	// Probes counts pricing feasibility probes — the unit of real work
+	// in the search, and the denominator of the cache hit rate.
+	Probes int
+	// MasterSolves counts master-LP solves.
+	MasterSolves int
+	// CacheHits and CacheMisses break Probes down by whether the probe
+	// cache answered from memory (hits cost no linear algebra).
+	CacheHits   int
+	CacheMisses int
+	// PricerNodes counts branch-and-bound nodes explored by pricing.
+	PricerNodes int
+	// LPPivots and LPRefactorizations aggregate the master simplex's
+	// pivot count and basis-inverse rebuilds across MasterSolves.
+	LPPivots           int
+	LPRefactorizations int
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Probes += o.Probes
+	s.MasterSolves += o.MasterSolves
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.PricerNodes += o.PricerNodes
+	s.LPPivots += o.LPPivots
+	s.LPRefactorizations += o.LPRefactorizations
+}
+
+// delta returns s − prev, the per-solve slice of a lifetime-cumulative
+// Stats.
+func (s Stats) delta(prev Stats) Stats {
+	return Stats{
+		Rounds:             s.Rounds - prev.Rounds,
+		Probes:             s.Probes - prev.Probes,
+		MasterSolves:       s.MasterSolves - prev.MasterSolves,
+		CacheHits:          s.CacheHits - prev.CacheHits,
+		CacheMisses:        s.CacheMisses - prev.CacheMisses,
+		PricerNodes:        s.PricerNodes - prev.PricerNodes,
+		LPPivots:           s.LPPivots - prev.LPPivots,
+		LPRefactorizations: s.LPRefactorizations - prev.LPRefactorizations,
+	}
+}
+
+// Publish folds the stats into the registry as `<prefix>_*_total`
+// counters. A nil registry is a no-op, so callers publish
+// unconditionally.
+func (s Stats) Publish(m *obs.Registry, prefix string) {
+	if m == nil {
+		return
+	}
+	m.Counter(prefix + "_cg_rounds_total").Add(int64(s.Rounds))
+	m.Counter(prefix + "_probes_total").Add(int64(s.Probes))
+	m.Counter(prefix + "_master_solves_total").Add(int64(s.MasterSolves))
+	m.Counter(prefix + "_probe_cache_hits_total").Add(int64(s.CacheHits))
+	m.Counter(prefix + "_probe_cache_misses_total").Add(int64(s.CacheMisses))
+	m.Counter(prefix + "_pricer_nodes_total").Add(int64(s.PricerNodes))
+	m.Counter(prefix + "_lp_pivots_total").Add(int64(s.LPPivots))
+	m.Counter(prefix + "_lp_refactorizations_total").Add(int64(s.LPRefactorizations))
+}

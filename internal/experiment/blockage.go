@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/blockage"
@@ -71,7 +72,7 @@ func RunBlockage(bc BlockageConfig) (*BlockageResult, error) {
 		staticTime  []float64
 	}
 	repVals := make([]repValues, bc.Net.Seeds)
-	err := runParallel(bc.Net.workerCount(), bc.Net.Seeds, func(rep int) error {
+	err := runCells(bc.Net, bc.Net.Seeds, func(rep int) error {
 		rng := stats.Fork(bc.Net.Seed, int64(rep))
 		inst, err := NewInstance(bc.Net, rng)
 		if err != nil {
@@ -143,16 +144,11 @@ func RunBlockage(bc BlockageConfig) (*BlockageResult, error) {
 // solvePlan runs the column-generation solver on an instance and
 // returns the plan.
 func solvePlan(cfg Config, inst *Instance) (*core.Plan, error) {
-	solver, err := core.NewSolver(inst.Network, inst.Demands, core.Options{
-		Pricer:        cfg.pricer(),
-		MaxIterations: cfg.MaxIterations,
-		GapTarget:     cfg.GapTarget,
-		CacheProbes:   cfg.CacheProbes,
-	})
+	solver, err := core.NewSolver(inst.Network, inst.Demands, cfg.solverOptions())
 	if err != nil {
 		return nil, err
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		return nil, err
 	}

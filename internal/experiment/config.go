@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mmwave/internal/geom"
+	"mmwave/internal/obs"
 	"mmwave/internal/video"
 	"mmwave/internal/video/trace"
 )
@@ -96,6 +97,18 @@ type Config struct {
 	// master solves, cache hit rate) across every proposed-scheme run
 	// of the campaign. Safe to share across workers.
 	Telemetry *Telemetry
+
+	// Tracer, when non-nil, is attached to every solver the campaign
+	// builds (core.Options.Tracer): each solve emits its span and
+	// per-iteration cg.iteration events. Plans and campaign output are
+	// byte-identical with or without it.
+	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, receives every solver's counters (the
+	// core_* and pnc_* families) plus the campaign's own per-cell
+	// timing histogram, experiment_cell_seconds. Safe to share across
+	// workers; purely observational.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's Table I parameters: 30 links, 5

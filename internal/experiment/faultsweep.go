@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"mmwave/internal/core"
 	"mmwave/internal/faults"
 	"mmwave/internal/pnc"
 	"mmwave/internal/sim"
@@ -82,7 +81,7 @@ func FaultSweep(fc FaultSweepConfig) (*Figure, error) {
 	}
 	type cellValues struct{ h, l, d float64 }
 	vals := make([]cellValues, len(cells))
-	err := runParallel(fc.Net.workerCount(), len(cells), func(i int) error {
+	err := runCells(fc.Net, len(cells), func(i int) error {
 		c := cells[i]
 		h, l, d, err := faultRep(fc, rates[c.ri], c.rep)
 		if err != nil {
@@ -138,17 +137,14 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 		}
 	}
 
-	coord, err := pnc.NewCoordinator(inst.Network, nil, core.Options{
-		Pricer:        cfg.pricer(),
-		MaxIterations: cfg.MaxIterations,
-		GapTarget:     cfg.GapTarget,
-		CacheProbes:   cfg.CacheProbes,
-	})
+	coord, err := pnc.NewCoordinator(inst.Network, nil, cfg.solverOptions())
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	coord.Policy = fc.Policy
 	coord.Faults = inj
+	coord.Tracer = cfg.Tracer
+	coord.Metrics = cfg.Metrics
 
 	gens := make([]*trace.Generator, L)
 	for l := 0; l < L; l++ {

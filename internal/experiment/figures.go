@@ -61,7 +61,7 @@ func sweepFigure(cfg Config, algos []Algorithm, xs []float64, apply func(Config,
 		}
 	}
 	vals := make([][]float64, len(cells))
-	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+	err := runCells(cfg, len(cells), func(i int) error {
 		c := cells[i]
 		pointCfg := pointCfgs[c.xi]
 		rng := stats.Fork(pointCfg.Seed, int64(c.rep))
@@ -257,7 +257,7 @@ func Ablation(cfg Config) (*Figure, error) {
 		}
 	}
 	vals := make([]float64, len(cells))
-	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+	err := runCells(cfg, len(cells), func(i int) error {
 		c := cells[i]
 		res, err := RunOnce(vcfgs[c.vi], Proposed, c.rep)
 		if err != nil {

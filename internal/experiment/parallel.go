@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // runParallel executes fn(0..n-1) across up to workers goroutines.
@@ -55,6 +56,31 @@ func runParallel(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runCells is runParallel with per-cell observability: when the config
+// carries a metrics registry, every cell's wall-clock time lands in
+// the experiment_cell_seconds histogram, experiment_cells_total counts
+// completions, and experiment_cell_errors_total counts failures. The
+// timing never feeds back into the computation, so campaign output
+// stays bit-identical with metrics on or off, for any worker count.
+func runCells(c Config, n int, fn func(i int) error) error {
+	if c.Metrics == nil {
+		return runParallel(c.workerCount(), n, fn)
+	}
+	hist := c.Metrics.Histogram("experiment_cell_seconds")
+	cells := c.Metrics.Counter("experiment_cells_total")
+	fails := c.Metrics.Counter("experiment_cell_errors_total")
+	return runParallel(c.workerCount(), n, func(i int) error {
+		start := time.Now()
+		err := fn(i)
+		hist.Observe(time.Since(start).Seconds())
+		cells.Inc()
+		if err != nil {
+			fails.Inc()
+		}
+		return err
+	})
 }
 
 // workerCount resolves the configured experiment fan-out: 0 means one

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/baseline"
@@ -47,7 +48,7 @@ func FigQuality(cfg Config, demandScales []float64) (*Figure, error) {
 		}
 	}
 	cellVals := make([][]float64, len(cells))
-	err := runParallel(cfg.workerCount(), len(cells), func(i int) error {
+	err := runCells(cfg, len(cells), func(i int) error {
 		c := cells[i]
 		pointCfg := pointCfgs[c.xi]
 		rng := stats.Fork(pointCfg.Seed, int64(c.rep))
@@ -106,15 +107,11 @@ func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 	out := make([]float64, 4)
 
 	// Proposed, quality mode.
-	qs, err := core.NewQualitySolver(inst.Network, inst.Demands, gop, nil, core.Options{
-		Pricer:        cfg.pricer(),
-		MaxIterations: cfg.MaxIterations,
-		CacheProbes:   cfg.CacheProbes,
-	})
+	qs, err := core.NewQualitySolver(inst.Network, inst.Demands, gop, nil, cfg.solverOptions())
 	if err != nil {
 		return nil, err
 	}
-	qres, err := qs.Solve()
+	qres, err := qs.Solve(context.Background())
 	if err != nil {
 		return nil, err
 	}

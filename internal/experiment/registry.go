@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"mmwave/internal/faults"
+)
+
+// RunEnv carries the CLI-resolved inputs a figure driver needs: the
+// scale-adjusted base config, the output stream, and the handful of
+// figure-specific flags. Drivers that run at a reduced default scale
+// (blockage, relay, faultsweep, fig 4, streaming) consult the *Set
+// provenance bits so an explicit -links/-seeds/-budget always wins.
+type RunEnv struct {
+	Cfg Config    // base campaign config after the scale-flag overrides
+	XS  []float64 // -sweep values (nil = the driver's default x-axis)
+	CSV bool      // -csv: render figures as CSV instead of a table
+	Out io.Writer // destination for the rendered figure
+
+	Rep      int                  // -rep: repetition index (fig 4)
+	Epochs   int                  // -epochs: scheduling epochs (faultsweep; 0 = default)
+	Retries  int                  // -retries: control retry budget (faultsweep; -1 = policy default)
+	Failures []faults.LinkFailure // -fail: injected link outages (faultsweep)
+
+	// Flag-provenance bits: true when the user passed the flag
+	// explicitly, so per-figure scale defaults must not override it.
+	LinksSet  bool
+	SeedsSet  bool
+	BudgetSet bool
+}
+
+// renderFigure writes a figure to env.Out in the configured format.
+func (env *RunEnv) renderFigure(fig *Figure) error {
+	if env.CSV {
+		return RenderCSV(env.Out, fig)
+	}
+	return Render(env.Out, fig)
+}
+
+// Driver reproduces one figure of the evaluation. Drivers register
+// themselves at package init, so the CLI's -fig dispatch and its help
+// listing are both derived from the registry.
+type Driver struct {
+	Name     string // the -fig argument
+	Synopsis string // one-line description for -fig help
+	Run      func(env *RunEnv) error
+}
+
+var (
+	driverMu sync.RWMutex
+	drivers  = map[string]Driver{}
+)
+
+// Register adds a figure driver. It panics on a duplicate or empty
+// name — both are programmer errors caught at init.
+func Register(d Driver) {
+	if d.Name == "" || d.Run == nil {
+		panic("experiment: Register needs a name and a Run func")
+	}
+	driverMu.Lock()
+	defer driverMu.Unlock()
+	if _, dup := drivers[d.Name]; dup {
+		panic(fmt.Sprintf("experiment: duplicate driver %q", d.Name))
+	}
+	drivers[d.Name] = d
+}
+
+// Lookup returns the driver registered under name.
+func Lookup(name string) (Driver, bool) {
+	driverMu.RLock()
+	defer driverMu.RUnlock()
+	d, ok := drivers[name]
+	return d, ok
+}
+
+// Drivers lists every registered driver sorted by name.
+func Drivers() []Driver {
+	driverMu.RLock()
+	defer driverMu.RUnlock()
+	out := make([]Driver, 0, len(drivers))
+	for _, d := range drivers {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

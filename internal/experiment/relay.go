@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/core"
@@ -70,7 +71,7 @@ func RunRelay(rc RelayConfig) (*RelayResult, error) {
 		timeNoRelay, servedFrac, relayed, timeWithRelay float64
 	}
 	repVals := make([]repValues, rc.Net.Seeds)
-	err := runParallel(rc.Net.workerCount(), rc.Net.Seeds, func(rep int) error {
+	err := runCells(rc.Net, rc.Net.Seeds, func(rep int) error {
 		rng := stats.Fork(rc.Net.Seed, int64(rep))
 		inst, err := NewInstance(rc.Net, rng)
 		if err != nil {
@@ -119,15 +120,11 @@ func RunRelay(rc RelayConfig) (*RelayResult, error) {
 			return err
 		}
 		rv.relayed = float64(exp.NumRelayed())
-		solver, err := core.NewSolver(exp.Network, exp.Demands, core.Options{
-			Pricer:        rc.Net.pricer(),
-			MaxIterations: rc.Net.MaxIterations,
-			CacheProbes:   rc.Net.CacheProbes,
-		})
+		solver, err := core.NewSolver(exp.Network, exp.Demands, rc.Net.solverOptions())
 		if err != nil {
 			return fmt.Errorf("experiment: relayed instance rep %d: %w", rep, err)
 		}
-		sol, err := solver.Solve()
+		sol, err := solver.Solve(context.Background())
 		if err != nil {
 			return err
 		}

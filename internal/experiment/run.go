@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/baseline"
@@ -48,16 +49,11 @@ func RunOn(cfg Config, algo Algorithm, inst *Instance) (*RunResult, error) {
 	opt := sim.Options{SlotDuration: cfg.SlotDuration}
 	switch algo {
 	case Proposed:
-		solver, err := core.NewSolver(inst.Network, inst.Demands, core.Options{
-			Pricer:        cfg.pricer(),
-			MaxIterations: cfg.MaxIterations,
-			GapTarget:     cfg.GapTarget,
-			CacheProbes:   cfg.CacheProbes,
-		})
+		solver, err := core.NewSolver(inst.Network, inst.Demands, cfg.solverOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", algo, err)
 		}
-		res, err := solver.Solve()
+		res, err := solver.Solve(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", algo, err)
 		}
@@ -104,4 +100,19 @@ func (c Config) pricer() core.Pricer {
 	p.FixedPower = c.FixedPower
 	p.Parallel = c.PricerWorkers
 	return p
+}
+
+// solverOptions builds the core.Options every proposed-scheme solve of
+// the campaign shares, including the campaign's tracer and metrics
+// registry. (The quality solver ignores GapTarget, so one helper serves
+// both modes.)
+func (c Config) solverOptions() core.Options {
+	return core.Options{
+		Pricer:        c.pricer(),
+		MaxIterations: c.MaxIterations,
+		GapTarget:     c.GapTarget,
+		CacheProbes:   c.CacheProbes,
+		Tracer:        c.Tracer,
+		Metrics:       c.Metrics,
+	}
 }

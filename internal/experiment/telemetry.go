@@ -11,6 +11,10 @@ import (
 // run of a campaign, so figure-level speedups are attributable to
 // probe counts and cache behavior. All fields are atomic: one
 // Telemetry may be shared by every worker of the parallel engine.
+//
+// It folds each solve's core.Stats delta — the same record the solver
+// publishes to an obs.Registry — so the stderr summary and a campaign's
+// -metrics exposition always agree.
 type Telemetry struct {
 	Runs         atomic.Int64 // solves recorded
 	Iterations   atomic.Int64 // column-generation rounds
@@ -18,6 +22,23 @@ type Telemetry struct {
 	Probes       atomic.Int64 // pricing feasibility probes
 	CacheHits    atomic.Int64 // probes answered by the probe cache
 	CacheMisses  atomic.Int64 // probes that ran the linear algebra
+	PricerNodes  atomic.Int64 // branch-and-bound nodes expanded
+	LPPivots     atomic.Int64 // simplex pivots across master solves
+}
+
+// RecordStats folds one solve's counter delta into the telemetry.
+func (t *Telemetry) RecordStats(st core.Stats) {
+	if t == nil {
+		return
+	}
+	t.Runs.Add(1)
+	t.Iterations.Add(int64(st.Rounds))
+	t.MasterSolves.Add(int64(st.MasterSolves))
+	t.Probes.Add(int64(st.Probes))
+	t.CacheHits.Add(int64(st.CacheHits))
+	t.CacheMisses.Add(int64(st.CacheMisses))
+	t.PricerNodes.Add(int64(st.PricerNodes))
+	t.LPPivots.Add(int64(st.LPPivots))
 }
 
 // Record folds one column-generation result into the counters.
@@ -25,12 +46,7 @@ func (t *Telemetry) Record(res *core.Result) {
 	if t == nil || res == nil {
 		return
 	}
-	t.Runs.Add(1)
-	t.Iterations.Add(int64(len(res.Iterations)))
-	t.MasterSolves.Add(int64(res.MasterSolves))
-	t.Probes.Add(int64(res.Probes))
-	t.CacheHits.Add(int64(res.CacheHits))
-	t.CacheMisses.Add(int64(res.CacheMisses))
+	t.RecordStats(res.Stats)
 }
 
 // RecordQuality folds one quality-mode result into the counters.
@@ -38,12 +54,7 @@ func (t *Telemetry) RecordQuality(res *core.QualityResult) {
 	if t == nil || res == nil {
 		return
 	}
-	t.Runs.Add(1)
-	t.Iterations.Add(int64(res.Iterations))
-	t.MasterSolves.Add(int64(res.MasterSolves))
-	t.Probes.Add(int64(res.Probes))
-	t.CacheHits.Add(int64(res.CacheHits))
-	t.CacheMisses.Add(int64(res.Probes - res.CacheHits))
+	t.RecordStats(res.Stats)
 }
 
 // String renders the counters as one human-readable line.
@@ -54,6 +65,7 @@ func (t *Telemetry) String() string {
 	if probes > 0 {
 		rate = float64(hits) / float64(probes)
 	}
-	return fmt.Sprintf("solves=%d iterations=%d master-solves=%d probes=%d cache-hits=%d (%.1f%%)",
-		t.Runs.Load(), t.Iterations.Load(), t.MasterSolves.Load(), probes, hits, 100*rate)
+	return fmt.Sprintf("solves=%d iterations=%d master-solves=%d probes=%d cache-hits=%d (%.1f%%) pricer-nodes=%d lp-pivots=%d",
+		t.Runs.Load(), t.Iterations.Load(), t.MasterSolves.Load(), probes, hits, 100*rate,
+		t.PricerNodes.Load(), t.LPPivots.Load())
 }

@@ -199,6 +199,10 @@ type Solution struct {
 	Objective  float64   // cᵀx at the returned point (valid when optimal)
 	Dual       []float64 // simplex multipliers, one per row (valid when optimal)
 	Iterations int       // total simplex pivots across both phases
+	// Refactorizations counts the basis-inverse rebuilds performed during
+	// the solve (periodic numerical-hygiene refreshes plus the final
+	// pre-extraction refresh); exposed for observability.
+	Refactorizations int
 	// Basis is the optimal basis (one entry per row), reusable as
 	// Options.WarmBasis on a later solve of the same problem — possibly
 	// with columns appended.

@@ -49,19 +49,19 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		iters1 = it
 		switch st {
 		case StatusIterLimit:
-			return &Solution{Status: StatusIterLimit, Iterations: iters1}, nil
+			return &Solution{Status: StatusIterLimit, Iterations: iters1, Refactorizations: t.refactorizations}, nil
 		case StatusInfeasible:
-			return &Solution{Status: StatusInfeasible, Iterations: iters1}, nil
+			return &Solution{Status: StatusInfeasible, Iterations: iters1, Refactorizations: t.refactorizations}, nil
 		}
 	default:
 		// Phase 1: minimize the sum of artificial variables.
 		var st Status
 		st, iters1 = t.run(t.phase1Costs(), maxIter, true)
 		if st == StatusIterLimit {
-			return &Solution{Status: StatusIterLimit, Iterations: iters1}, nil
+			return &Solution{Status: StatusIterLimit, Iterations: iters1, Refactorizations: t.refactorizations}, nil
 		}
 		if t.objective(t.phase1Costs()) > 1e-6 {
-			return &Solution{Status: StatusInfeasible, Iterations: iters1}, nil
+			return &Solution{Status: StatusInfeasible, Iterations: iters1, Refactorizations: t.refactorizations}, nil
 		}
 		t.driveOutArtificials()
 	}
@@ -71,20 +71,21 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	iters := iters1 + iters2
 	switch st {
 	case StatusUnbounded:
-		return &Solution{Status: StatusUnbounded, Iterations: iters}, nil
+		return &Solution{Status: StatusUnbounded, Iterations: iters, Refactorizations: t.refactorizations}, nil
 	case StatusIterLimit:
-		return &Solution{Status: StatusIterLimit, Iterations: iters}, nil
+		return &Solution{Status: StatusIterLimit, Iterations: iters, Refactorizations: t.refactorizations}, nil
 	}
 
 	// Refresh the factorization once before extraction so the reported
 	// point is exactly B⁻¹b for the final basis.
 	t.refactorize()
 	sol := &Solution{
-		Status:     StatusOptimal,
-		X:          t.primal(p.NumVars()),
-		Dual:       t.duals(t.phase2Costs()),
-		Iterations: iters,
-		Basis:      t.encodeBasis(),
+		Status:           StatusOptimal,
+		X:                t.primal(p.NumVars()),
+		Dual:             t.duals(t.phase2Costs()),
+		Iterations:       iters,
+		Refactorizations: t.refactorizations,
+		Basis:            t.encodeBasis(),
 	}
 	sol.Objective = p.Objective(sol.X)
 	// Undo the equilibration and row sign flips applied during
@@ -124,8 +125,9 @@ type tableau struct {
 	xB     []float64 // current basic values
 	barred []bool    // columns that may not enter (artificials in phase 2)
 
-	tol           float64
-	pivotsSinceLU int
+	tol              float64
+	pivotsSinceLU    int
+	refactorizations int
 }
 
 // newTableau standardizes the problem: flips rows to make b ≥ 0, adds a
@@ -472,6 +474,7 @@ func (t *tableau) pivot(enter, leaveRow int, u []float64) {
 // reports whether the basis was factorable.
 func (t *tableau) refactorize() bool {
 	t.pivotsSinceLU = 0
+	t.refactorizations++
 	mat := make([][]float64, t.m)
 	for i := 0; i < t.m; i++ {
 		mat[i] = make([]float64, t.m)

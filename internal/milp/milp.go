@@ -108,6 +108,8 @@ type Solution struct {
 	Objective float64   // incumbent objective
 	Bound     float64   // proven lower bound on the optimum (min sense)
 	Nodes     int       // branch-and-bound nodes explored
+	LPSolves  int       // LP relaxations solved across the tree
+	LPPivots  int       // simplex pivots summed over those relaxations
 	// HasIncumbent reports whether X/Objective hold a feasible integral
 	// point (always true for StatusOptimal).
 	HasIncumbent bool
@@ -183,16 +185,26 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	sol := &Solution{Status: StatusInfeasible, Bound: math.Inf(-1)}
 	incumbent := math.Inf(1)
 
+	// solveRel wraps the relaxation solve with LP work accounting.
+	solveRel := func(nd *node) (*lp.Solution, error) {
+		rel, err := p.solveRelaxation(nd, opt.LP)
+		if rel != nil {
+			sol.LPSolves++
+			sol.LPPivots += rel.Iterations
+		}
+		return rel, err
+	}
+
 	// Solve the root relaxation first to classify unboundedness.
-	rootLP, err := p.solveRelaxation(root, opt.LP)
+	rootLP, err := solveRel(root)
 	if err != nil {
 		return nil, err
 	}
 	switch rootLP.Status {
 	case lp.StatusUnbounded:
-		return &Solution{Status: StatusUnbounded, Nodes: 1}, nil
+		return &Solution{Status: StatusUnbounded, Nodes: 1, LPSolves: sol.LPSolves, LPPivots: sol.LPPivots}, nil
 	case lp.StatusInfeasible:
-		return &Solution{Status: StatusInfeasible, Nodes: 1}, nil
+		return &Solution{Status: StatusInfeasible, Nodes: 1, LPSolves: sol.LPSolves, LPPivots: sol.LPPivots}, nil
 	case lp.StatusIterLimit:
 		return nil, fmt.Errorf("milp: root LP hit iteration limit")
 	}
@@ -230,7 +242,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		rel := relaxations[nd]
 		delete(relaxations, nd)
 		if rel == nil {
-			rel, err = p.solveRelaxation(nd, opt.LP)
+			rel, err = solveRel(nd)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +272,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		up := childNode(nd)
 		up.lower[branchVar] = math.Ceil(val)
 		for _, child := range []*node{down, up} {
-			childRel, err := p.solveRelaxation(child, opt.LP)
+			childRel, err := solveRel(child)
 			if err != nil {
 				return nil, err
 			}

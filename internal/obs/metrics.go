@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry: named counters, gauges,
+// and histograms with a deterministic text exposition. The nil
+// *Registry is the valid no-op default — it hands out nil instruments,
+// which are themselves no-op receivers — so instrumented code resolves
+// its instruments once and never branches on enablement.
+//
+// Get-or-create lookups take a mutex; the instruments themselves are
+// lock-free atomics, so hot paths should resolve instruments up front
+// (the pattern used by core.Solver and the pnc coordinator).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns the nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns the nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A
+// nil registry returns the nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (no-op on the nil counter).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric supporting both Set (last value wins)
+// and Add (atomic accumulation, e.g. shed bits or backoff seconds).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (no-op on the nil gauge).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically accumulates v into the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on the nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets are the fixed exponential bucket upper bounds shared by
+// every histogram: powers of two from 1µ-scale to 1M-scale, wide enough
+// for both second-valued timings and dimensionless counts. A fixed
+// layout keeps the exposition deterministic and the Observe path
+// allocation-free.
+var histBuckets = func() []float64 {
+	var b []float64
+	for e := -20; e <= 20; e++ {
+		b = append(b, math.Ldexp(1, e))
+	}
+	return b
+}()
+
+// Histogram accumulates float observations into fixed exponential
+// buckets with a running count and sum.
+type Histogram struct {
+	counts []atomic.Int64 // one per bucket plus the +Inf overflow
+	count  atomic.Int64
+	sum    Gauge
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(histBuckets)+1)}
+}
+
+// Observe records one value (no-op on the nil histogram).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(histBuckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on the nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on the nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// WriteText renders every metric in a deterministic text exposition:
+// one `name value` line per counter and gauge, and per histogram the
+// cumulative non-empty buckets (`name_bucket{le="…"}`), `name_count`,
+// and `name_sum`. Lines are sorted by metric name; numbers use the
+// shortest round-tripping decimal form, so two registries that observed
+// the same values expose identical bytes. A nil registry writes
+// nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type entry struct {
+		name  string
+		lines []string
+	}
+	var entries []entry
+	for name, c := range r.counters {
+		entries = append(entries, entry{name, []string{name + " " + strconv.FormatInt(c.Value(), 10)}})
+	}
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name, []string{name + " " + formatFloat(g.Value())}})
+	}
+	for name, h := range r.hists {
+		var lines []string
+		cum := int64(0)
+		for i := range h.counts {
+			n := h.counts[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			le := "+Inf"
+			if i < len(histBuckets) {
+				le = formatFloat(histBuckets[i])
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, le, cum))
+		}
+		lines = append(lines,
+			name+"_count "+strconv.FormatInt(h.count.Load(), 10),
+			name+"_sum "+formatFloat(h.sum.Value()))
+		entries = append(entries, entry{name, lines})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		for _, line := range e.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders v in the shortest decimal form that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"time"
+)
+
+// ServePprof serves the net/http/pprof handlers on addr (e.g.
+// "localhost:6060") on a dedicated mux, so importing this package never
+// mutates http.DefaultServeMux. It returns the bound address (useful
+// with a ":0" port) and a shutdown function that stops the listener.
+func ServePprof(addr string) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), func() error {
+		err := srv.Close()
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}, nil
+}
+
+// ProfileCapture is an in-flight CPU/heap profile pair wrapped around a
+// region of work (typically one solve or one experiment campaign).
+type ProfileCapture struct {
+	cpu      *os.File
+	heapPath string
+}
+
+// StartProfiles begins CPU profiling into cpuPath (when non-empty) and
+// arms a heap snapshot into heapPath (when non-empty) for Stop. Either
+// path may be empty; with both empty the capture is a no-op.
+func StartProfiles(cpuPath, heapPath string) (*ProfileCapture, error) {
+	p := &ProfileCapture{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finishes the capture: it stops the CPU profile and writes the
+// heap snapshot. Safe on a nil capture and idempotent enough for a
+// defer.
+func (p *ProfileCapture) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpu != nil {
+		rpprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			first = err
+		}
+		p.cpu = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := rpprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		p.heapPath = ""
+	}
+	return first
+}

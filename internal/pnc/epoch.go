@@ -9,6 +9,7 @@ import (
 
 	"mmwave/internal/core"
 	"mmwave/internal/faults"
+	"mmwave/internal/obs"
 	"mmwave/internal/video"
 )
 
@@ -171,8 +172,8 @@ func (c *Coordinator) RunEpoch() (*EpochResult, error) {
 //     EpochResult.StalenessError);
 //   - links that cannot reach any rate level (blocked or dropped out)
 //     have their demand deferred, the paper's §III update rule;
-//   - each P1 solve runs under the policy's solve budget via
-//     core.SolveContext and may return an anytime plan;
+//   - each P1 solve runs under the policy's solve budget via the
+//     solver's context and may return an anytime plan;
 //   - when the plan overruns the epoch budget, demand is shed LP
 //     before HP until it fits;
 //   - grants ride the lossy downlink with bounded retry; undelivered
@@ -184,6 +185,8 @@ func (c *Coordinator) RunEpoch() (*EpochResult, error) {
 // to the original RunEpoch.
 func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error) {
 	out := &EpochResult{}
+	span := c.Tracer.StartSpan("pnc.epoch")
+	defer span.End()
 
 	// Demand assembly: fresh reports refresh last-known-good; missing
 	// reports fall back to it with staleness decay until the limit.
@@ -223,6 +226,16 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 		}
 	}
 
+	if len(out.StaleLinks) > 0 {
+		span.Emit(obs.Event{Name: "epoch.stale_fallback", N: float64(len(out.StaleLinks))})
+	}
+	if len(out.ExpiredLinks) > 0 {
+		span.Emit(obs.Event{Name: "epoch.staleness_expired", N: float64(len(out.ExpiredLinks))})
+	}
+	if len(out.DeferredLinks) > 0 {
+		span.Emit(obs.Event{Name: "epoch.demand_deferred", N: float64(len(out.DeferredLinks))})
+	}
+
 	res, err := c.solveEpoch(ctx, demands)
 	if err != nil {
 		return nil, err
@@ -235,8 +248,12 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 		if err != nil {
 			return nil, err
 		}
+		span.Emit(obs.Event{Name: "epoch.shed", N: out.ShedLPBits + out.ShedHPBits, Msg: "lp-before-hp"})
 	}
 	out.TruncatedSolve = res.Truncated
+	if res.Truncated {
+		span.Emit(obs.Event{Name: "epoch.solve_truncated"})
+	}
 
 	// Downlink: grants ride the same lossy channel with bounded retry.
 	grants := make([][]byte, 0, len(res.Plan.Schedules))
@@ -287,12 +304,49 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 	c.epochAirStart = c.Control.Airtime()
 	c.epochMsgStart = c.Control.Messages()
 	c.retries, c.lostFrames, c.backoffSec = 0, 0, 0
+	c.publishEpoch(out)
 	return out, nil
 }
 
-// solveEpoch runs one P1 solve under the policy's solve budget.
+// publishEpoch folds one epoch's telemetry into the metrics registry
+// (free on a nil registry).
+func (c *Coordinator) publishEpoch(out *EpochResult) {
+	m := c.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("pnc_epochs_total").Inc()
+	m.Counter("pnc_control_messages_total").Add(out.ControlMessages)
+	m.Counter("pnc_retries_total").Add(out.Retries)
+	m.Counter("pnc_lost_frames_total").Add(out.LostFrames)
+	m.Counter("pnc_dropped_grants_total").Add(int64(out.DroppedGrants))
+	m.Counter("pnc_stale_links_total").Add(int64(len(out.StaleLinks)))
+	m.Counter("pnc_expired_links_total").Add(int64(len(out.ExpiredLinks)))
+	m.Counter("pnc_deferred_links_total").Add(int64(len(out.DeferredLinks)))
+	if out.Degraded {
+		m.Counter("pnc_shed_epochs_total").Inc()
+	}
+	if out.TruncatedSolve {
+		m.Counter("pnc_truncated_solves_total").Inc()
+	}
+	m.Gauge("pnc_shed_lp_bits").Add(out.ShedLPBits)
+	m.Gauge("pnc_shed_hp_bits").Add(out.ShedHPBits)
+	m.Gauge("pnc_backoff_seconds").Add(out.BackoffSeconds)
+	m.Histogram("pnc_control_airtime_seconds").Observe(out.ControlSeconds)
+}
+
+// solveEpoch runs one P1 solve under the policy's solve budget,
+// threading the coordinator's tracer and metrics into the solver
+// options when they carry none of their own.
 func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*core.Result, error) {
-	solver, err := core.NewSolver(c.Network, demands, c.Solve)
+	opts := c.Solve
+	if opts.Tracer == nil {
+		opts.Tracer = c.Tracer
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = c.Metrics
+	}
+	solver, err := core.NewSolver(c.Network, demands, opts)
 	if err != nil {
 		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
 	}
@@ -302,7 +356,7 @@ func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*
 		sctx, cancel = context.WithTimeout(ctx, c.Policy.SolveBudget)
 		defer cancel()
 	}
-	res, err := solver.SolveContext(sctx)
+	res, err := solver.Solve(sctx)
 	if err != nil {
 		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
 	}

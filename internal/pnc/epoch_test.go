@@ -294,7 +294,7 @@ func TestShedLPBeforeHP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Solve()
+		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

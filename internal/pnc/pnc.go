@@ -18,6 +18,7 @@ import (
 	"mmwave/internal/core"
 	"mmwave/internal/faults"
 	"mmwave/internal/netmodel"
+	"mmwave/internal/obs"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
 )
@@ -266,6 +267,16 @@ type Coordinator struct {
 	// injector (IngestLossy, grant delivery). Nil means a perfect
 	// control channel.
 	Faults *faults.Injector
+
+	// Tracer, when non-nil, wraps every epoch in a "pnc.epoch" span and
+	// emits events for shed decisions, staleness fallbacks, and dropped
+	// grants; it is also threaded into the per-epoch solves unless
+	// Solve.Tracer is set. Nil is the free no-op default.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates epoch counters (retries, lost
+	// frames, shed bits, truncated solves, …) under the "pnc" prefix and
+	// receives the solver's "core_*" stats via the per-epoch options.
+	Metrics *obs.Registry
 
 	demands []video.Demand
 	seen    []bool

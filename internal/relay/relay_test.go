@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -147,7 +148,7 @@ func TestRelayedInstanceSolvesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("expanded instance unservable: %v", err)
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,7 +146,7 @@ func Run(cfg Config) (*Metrics, error) {
 			if cfg.SolveBudget > 0 {
 				ctx, cancel = context.WithTimeout(ctx, cfg.SolveBudget)
 			}
-			res, err := solver.SolveContext(ctx)
+			res, err := solver.Solve(ctx)
 			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("session: gop %d: %w", g, err)
@@ -173,7 +173,7 @@ func Run(cfg Config) (*Metrics, error) {
 			if err != nil {
 				return nil, fmt.Errorf("session: gop %d: %w", g, err)
 			}
-			res, err := qs.Solve()
+			res, err := qs.Solve(context.Background())
 			if err != nil {
 				return nil, fmt.Errorf("session: gop %d: %w", g, err)
 			}

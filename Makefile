@@ -1,9 +1,10 @@
 # Development entry points. Everything is stdlib Go; no external tools
-# beyond the Go toolchain are required.
+# beyond the Go toolchain are required (staticcheck/govulncheck are
+# used by `make lint` when installed, and skipped otherwise).
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz trace-smoke figures examples clean
+.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz trace-smoke figures examples lint check-deprecated clean
 
 all: build vet test
 
@@ -12,6 +13,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet + the deprecated-API guard always run;
+# staticcheck and govulncheck run when present on PATH (CI installs
+# them — see .github/workflows/ci.yml).
+lint: vet check-deprecated
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi
+
+# The deprecated SolveBackground/SolveContext wrappers were removed in
+# favor of Solve(ctx); fail if anything reintroduces a call.
+check-deprecated:
+	@if grep -rn --include='*.go' -e 'SolveBackground(' -e 'SolveContext(' . ; then \
+		echo "error: deprecated SolveBackground/SolveContext API used (call Solve(ctx) instead)"; exit 1; \
+	else echo "deprecated-API check passed"; fi
 
 test:
 	$(GO) test ./...

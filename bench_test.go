@@ -217,6 +217,39 @@ func BenchmarkRelayRecovery(b *testing.B) {
 	b.ReportMetric(t/float64(b.N), "relayed_s")
 }
 
+// BenchmarkWarmEpochReuse measures the cross-epoch warm-reuse study:
+// a multi-epoch demand sequence on one instance, each epoch solved
+// both on the persistent warm solver (pool + basis carried over) and
+// TDMA-cold. The reported metrics are the per-epoch means; warm must
+// be strictly below cold on both (asserted, not just reported).
+func BenchmarkWarmEpochReuse(b *testing.B) {
+	wc := experiment.DefaultWarmReuseConfig()
+	wc.Net.NumLinks = 10
+	wc.Net.Seeds = 2
+	wc.Epochs = 6
+	b.ReportAllocs()
+	var warmIters, coldIters, warmPivots, coldPivots float64
+	for i := 0; i < b.N; i++ {
+		wc.Net.Seed = int64(i + 1)
+		res, err := experiment.RunWarmReuse(wc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WarmIters.Mean >= res.ColdIters.Mean || res.WarmPivots.Mean >= res.ColdPivots.Mean {
+			b.Fatalf("warm not cheaper than cold: iters %.2f/%.2f pivots %.2f/%.2f",
+				res.WarmIters.Mean, res.ColdIters.Mean, res.WarmPivots.Mean, res.ColdPivots.Mean)
+		}
+		warmIters += res.WarmIters.Mean
+		coldIters += res.ColdIters.Mean
+		warmPivots += res.WarmPivots.Mean
+		coldPivots += res.ColdPivots.Mean
+	}
+	b.ReportMetric(warmIters/float64(b.N), "warm_iters/epoch")
+	b.ReportMetric(coldIters/float64(b.N), "cold_iters/epoch")
+	b.ReportMetric(warmPivots/float64(b.N), "warm_pivots/epoch")
+	b.ReportMetric(coldPivots/float64(b.N), "cold_pivots/epoch")
+}
+
 // BenchmarkSolveProposed measures the optimizer alone (no slot replay)
 // at the paper's full scale, reporting the feasibility-probe count and
 // master-solve count per solve alongside time and allocations. The

@@ -1,12 +1,12 @@
-package core
+package cg
 
 import "mmwave/internal/obs"
 
 // Stats consolidates the work counters of one column-generation solve.
-// It is embedded in Result and QualityResult (so `res.Probes` keeps
-// reading naturally) and is the single shape the observability layer
-// consumes: Publish folds a Stats into an obs.Registry under a
-// component prefix.
+// internal/core embeds it (via a type alias) in Result and
+// QualityResult, so `res.Probes` keeps reading naturally, and it is
+// the single shape the observability layer consumes: Publish folds a
+// Stats into an obs.Registry under a component prefix.
 type Stats struct {
 	// Rounds counts column-generation rounds (pricing calls).
 	Rounds int
@@ -25,18 +25,12 @@ type Stats struct {
 	// pivot count and basis-inverse rebuilds across MasterSolves.
 	LPPivots           int
 	LPRefactorizations int
-}
-
-// add accumulates o into s.
-func (s *Stats) add(o Stats) {
-	s.Rounds += o.Rounds
-	s.Probes += o.Probes
-	s.MasterSolves += o.MasterSolves
-	s.CacheHits += o.CacheHits
-	s.CacheMisses += o.CacheMisses
-	s.PricerNodes += o.PricerNodes
-	s.LPPivots += o.LPPivots
-	s.LPRefactorizations += o.LPRefactorizations
+	// WarmMasters counts master solves that started from a usable
+	// previous basis (phase 1 skipped, or repaired by the dual simplex).
+	WarmMasters int
+	// EvictedColumns counts pool columns dropped by the garbage
+	// collector.
+	EvictedColumns int
 }
 
 // delta returns s − prev, the per-solve slice of a lifetime-cumulative
@@ -51,6 +45,8 @@ func (s Stats) delta(prev Stats) Stats {
 		PricerNodes:        s.PricerNodes - prev.PricerNodes,
 		LPPivots:           s.LPPivots - prev.LPPivots,
 		LPRefactorizations: s.LPRefactorizations - prev.LPRefactorizations,
+		WarmMasters:        s.WarmMasters - prev.WarmMasters,
+		EvictedColumns:     s.EvictedColumns - prev.EvictedColumns,
 	}
 }
 

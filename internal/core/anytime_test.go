@@ -11,10 +11,11 @@ import (
 	"mmwave/internal/video"
 )
 
-// TestSolveContextBackgroundIdentical: with a never-canceled context,
-// SolveContext must walk exactly the same path as Solve — identical
-// plan, bounds, and telemetry.
-func TestSolveContextBackgroundIdentical(t *testing.T) {
+// TestSolveBackgroundIdentical: two fresh solvers over the same
+// instance with a never-canceled context must walk exactly the same
+// path — identical plan, bounds, and telemetry (cold-solve
+// determinism).
+func TestSolveBackgroundIdentical(t *testing.T) {
 	for _, nLinks := range []int{4, 6, 8} {
 		rng := rand.New(rand.NewSource(int64(nLinks)))
 		nw := servableNetwork(rng, nLinks, 3)
@@ -33,7 +34,7 @@ func TestSolveContextBackgroundIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resB, err := b.SolveContext(context.Background())
+		resB, err := b.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,10 +68,10 @@ func TestSolveContextBackgroundIdentical(t *testing.T) {
 	}
 }
 
-// TestSolveContextCanceledAnytime: a pre-canceled context must still
-// return a feasible best-so-far plan with a valid lower bound, flagged
+// TestSolveCanceledAnytime: a pre-canceled context must still return
+// a feasible best-so-far plan with a valid lower bound, flagged
 // Truncated with Stop wrapping ErrBudgetExceeded — never a bare error.
-func TestSolveContextCanceledAnytime(t *testing.T) {
+func TestSolveCanceledAnytime(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	nw := servableNetwork(rng, 8, 3)
 	demands := uniformDemands(8, 4e6, 2e6)
@@ -81,7 +82,7 @@ func TestSolveContextCanceledAnytime(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := s.SolveContext(ctx)
+	res, err := s.Solve(ctx)
 	if err != nil {
 		t.Fatalf("canceled solve returned error %v, want anytime result", err)
 	}
@@ -115,10 +116,10 @@ func TestSolveContextCanceledAnytime(t *testing.T) {
 	}
 }
 
-// TestSolveContextDeadlineMidSolve: an aggressive deadline expiring
-// during pricing must cancel the search mid-tree and still produce a
-// feasible anytime plan with a valid bound, for both pricer families.
-func TestSolveContextDeadlineMidSolve(t *testing.T) {
+// TestSolveDeadlineMidSolve: an aggressive deadline expiring during
+// pricing must cancel the search mid-tree and still produce a feasible
+// anytime plan with a valid bound, for both pricer families.
+func TestSolveDeadlineMidSolve(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	nw := servableNetwork(rng, 10, 3)
 	demands := uniformDemands(10, 6e6, 3e6)
@@ -132,7 +133,7 @@ func TestSolveContextDeadlineMidSolve(t *testing.T) {
 			t.Fatal(err)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
-		res, err := s.SolveContext(ctx)
+		res, err := s.Solve(ctx)
 		cancel()
 		if err != nil {
 			t.Fatalf("%v: deadline solve returned error %v", pricer, err)

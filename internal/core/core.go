@@ -3,7 +3,7 @@
 // the total scheduling time of multi-user video sessions over a mmWave
 // network (problem P1).
 //
-// The solver alternates between:
+// The method alternates between:
 //
 //   - the master problem (MP) — a linear program over the current
 //     schedule pool S′ choosing fractional slot counts τ^s (eqs. 14–17),
@@ -15,9 +15,11 @@
 //     bound (pricer.go) or by a generic MILP on the literal
 //     formulation (milppricer.go).
 //
-// At every iteration the Theorem-1 lower bound UB/(1−Φ) is tracked, so
-// the solver can stop at a proven optimality gap; with exact pricing
-// and Φ ≥ 0 the MP optimum is the P1 optimum.
+// The loop itself — iteration stats, the Theorem-1 lower bound
+// UB/(1−Φ), anytime truncation, and trace/metric emission — lives in
+// internal/cg and is shared with the quality-mode solver; this package
+// contributes the P1 master formulation (demand-cover rows, unit
+// column costs) and the public solver API.
 package core
 
 import (
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"mmwave/internal/cg"
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
 	"mmwave/internal/obs"
@@ -32,67 +35,24 @@ import (
 	"mmwave/internal/video"
 )
 
-// Pricer finds a high-value feasible schedule under dual prices. It
-// returns the best schedule found, its pricing value Ψ = Σ_l λ_l·r_l^s,
-// and whether the search was exact (proved Ψ maximal). A nil schedule
-// means no positive-value schedule exists.
-type Pricer interface {
-	// Price searches for the schedule maximizing Σ λ·r over feasible
-	// schedules of nw.
-	Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
-	// String names the pricer for telemetry.
-	String() string
-}
-
-// ContextPricer is implemented by pricers that can be canceled
-// mid-search. PriceContext with a never-canceled context must behave
-// exactly like Price; with a canceled/expired context it returns the
-// best schedule found so far (Exact=false) and a still-valid
-// RelaxValue, so the solver can form an anytime Theorem-1 bound.
-type ContextPricer interface {
-	Pricer
-	PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
-}
-
-// CachedPricer is implemented by pricers whose feasibility probes can
-// be served from a solver-owned cache. PriceWithCache must return the
-// same result as PriceContext — feasibility of an activation pattern
-// does not depend on the duals, so memoized answers are exact, and
-// cached probes still count against the search budget so the explored
-// tree is identical. The solver passes one cache per Solver lifetime;
-// the network must stay immutable while the Solver is in use (the
-// contract Solve already requires).
-type CachedPricer interface {
-	ContextPricer
-	PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error)
-}
-
-// PriceResult is the outcome of one pricing round.
-type PriceResult struct {
-	Schedule *schedule.Schedule // best schedule found (nil if none has value > 0)
-	Value    float64            // Ψ of the returned schedule (0 if nil)
-	Exact    bool               // true when Value is proved maximal
-	// RelaxValue upper-bounds the true maximal Ψ (≥ Value). When Exact,
-	// it may simply equal Value. Used for valid Theorem-1 bounds under
-	// truncated pricing.
-	RelaxValue float64
-	Nodes      int // search nodes explored (telemetry)
-	Probes     int // feasibility probes consumed (the budget unit)
-	CacheHits  int // probes answered by the probe cache (telemetry)
-}
-
-// IterationStat records one column-generation iteration for the
-// convergence analysis of Fig. 4.
-type IterationStat struct {
-	Iter       int
-	Upper      float64 // MP objective (upper bound on P1 optimum), seconds
-	Lower      float64 // Theorem-1 lower bound at this iteration, seconds
-	BestLower  float64 // running maximum of Lower
-	Phi        float64 // most negative reduced cost found (≤ 0 until convergence)
-	PoolSize   int     // columns in the MP
-	PricerNode int     // pricing search nodes
-	Exact      bool    // pricing was exact this iteration
-}
+// The pricer family and the per-solve record types are defined in
+// internal/cg (the engine consumes them); the historical core names
+// remain the canonical public surface.
+type (
+	// Pricer finds a high-value feasible schedule under dual prices.
+	Pricer = cg.Pricer
+	// ContextPricer is a Pricer cancelable mid-search.
+	ContextPricer = cg.ContextPricer
+	// CachedPricer is a ContextPricer whose feasibility probes can be
+	// served from a solver-owned cache.
+	CachedPricer = cg.CachedPricer
+	// PriceResult is the outcome of one pricing round.
+	PriceResult = cg.PriceResult
+	// IterationStat records one column-generation iteration.
+	IterationStat = cg.IterationStat
+	// Stats consolidates the work counters of one solve.
+	Stats = cg.Stats
+)
 
 // Result is the outcome of a column-generation solve.
 type Result struct {
@@ -101,6 +61,11 @@ type Result struct {
 	LowerBound float64         // best proven lower bound on the P1 optimum, seconds
 	Converged  bool            // true when Φ ≥ −tolerance with exact pricing
 	Duals      Duals           // final simplex multipliers
+
+	// Warm reports that the solve reused the pool and basis of a
+	// previous solve on the same solver (SetDemands re-solve, PNC
+	// cross-epoch reuse) instead of starting TDMA-cold.
+	Warm bool
 
 	// Stats holds the solve's work counters (probes, master solves,
 	// cache hits/misses, pricer nodes, LP pivots); embedding keeps the
@@ -195,6 +160,14 @@ type Options struct {
 	// measured cross-iteration hit rate (~6%) does not amortize it.
 	// Enable it for workloads with an expensive feasibility oracle.
 	CacheProbes bool
+	// ColumnGC bounds pool growth across re-solves of the same solver
+	// (the PNC cross-epoch pattern): when the pool exceeds
+	// ColumnGC.MaxColumns at the start of a solve, columns that stayed
+	// out of every optimal basis for ColumnGC.MinAge solves are
+	// dropped. The TDMA seed columns are never collected, so master
+	// feasibility is preserved. The zero value disables collection —
+	// single-shot solves never need it.
+	ColumnGC cg.GCPolicy
 	// PricerWorkers sets the parallel root-split width of the default
 	// branch-and-bound pricer constructed when Pricer is nil (0 means
 	// sequential). Explicit pricers carry their own parallelism.
@@ -208,42 +181,37 @@ type Options struct {
 	// results: plans are byte-identical with and without a tracer.
 	Tracer *obs.Tracer
 	// Metrics, when non-nil, accumulates the solve's Stats as "core_*"
-	// counters.
+	// counters plus the engine's cg_warm_*/cg_gc_* reuse counters.
 	Metrics *obs.Registry
 }
 
-// Solver runs column generation on one network instance with fixed
-// per-link demands.
+// engineOptions lowers solver options onto the shared engine. The
+// greedy pricer rides along as the cancellation fallback: its
+// interference-free relaxation is always a valid Φ′ for the final
+// anytime bound.
+func (o Options) engineOptions(prefix string) cg.Options {
+	return cg.Options{
+		Pricer:        o.Pricer,
+		Fallback:      GreedyPricer{},
+		MaxIterations: o.MaxIterations,
+		Tolerance:     o.Tolerance,
+		GapTarget:     o.GapTarget,
+		GC:            o.ColumnGC,
+		LP:            o.LP,
+		Tracer:        o.Tracer,
+		Metrics:       o.Metrics,
+		MetricsPrefix: prefix,
+	}
+}
+
+// Solver runs column generation on one network instance, holding the
+// P1 master formulation over a durable cg.State (schedule pool, warm
+// simplex basis, probe cache) that survives demand changes.
 type Solver struct {
 	nw      *netmodel.Network
 	demands []video.Demand
 	opts    Options
-	pool    *schedule.Pool
-
-	// warmBasis carries the previous master optimal basis between
-	// iterations: the pool only appends columns, so the old basis stays
-	// primal feasible and the re-solve skips phase 1 entirely.
-	warmBasis []lp.BasisVar
-
-	// masterProb is the incrementally built master LP: the 2L demand
-	// rows are laid down once and each pooled schedule contributes one
-	// column, appended the first time a solve sees it. Only the
-	// right-hand sides are rewritten between solves (SetDemands), so
-	// per-iteration master cost is O(L·new columns), not O(L·pool).
-	// The lp solver never mutates a Problem (the tableau copies all
-	// data), so reuse across solves is safe.
-	masterProb *lp.Problem
-	masterCols int
-
-	// probeCache memoizes pricing feasibility probes for the Solver's
-	// (immutable) network; see netmodel.ProbeCache. It lives as long as
-	// the Solver: SetDemands changes only the master RHS, never probe
-	// feasibility.
-	probeCache *netmodel.ProbeCache
-
-	// stats accumulates work counters over the Solver's lifetime; each
-	// Solve reports the delta it contributed (see Result.Stats).
-	stats Stats
+	engine  *cg.Engine
 }
 
 // NewSolver validates the instance and seeds the column pool with the
@@ -260,30 +228,31 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
 		}
 	}
-	if opts.MaxIterations <= 0 {
-		opts.MaxIterations = 500
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 1e-7
-	}
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
 		p.Parallel = opts.PricerWorkers
 		opts.Pricer = p
 	}
 
-	s := &Solver{nw: nw, demands: demands, opts: opts, pool: schedule.NewPool()}
-	if opts.CacheProbes {
-		s.probeCache = netmodel.NewProbeCache()
-	}
-	for _, sc := range schedule.TDMA(nw) {
-		s.pool.Add(sc)
-	}
+	s := &Solver{nw: nw, demands: append([]video.Demand(nil), demands...), opts: opts}
+	state := cg.NewState(opts.CacheProbes)
+	state.Seed(schedule.TDMA(nw))
+	s.engine = cg.NewEngine(nw, &p1Model{s: s}, state, opts.engineOptions("core"))
 
 	// Every link with positive demand must be coverable by some column.
-	covered := make([]bool, nw.NumLinks())
-	for i := 0; i < s.pool.Len(); i++ {
-		for _, a := range s.pool.At(i).Assignments {
+	if err := s.checkCoverage(demands); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkCoverage rejects demand vectors with positive demand on links
+// no pooled column can serve (the master would be infeasible).
+func (s *Solver) checkCoverage(demands []video.Demand) error {
+	pool := s.engine.State().Pool()
+	covered := make([]bool, s.nw.NumLinks())
+	for i := 0; i < pool.Len(); i++ {
+		for _, a := range pool.At(i).Assignments {
 			covered[a.Link] = true
 		}
 	}
@@ -294,16 +263,16 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 		}
 	}
 	if len(unservable) > 0 {
-		return nil, fmt.Errorf("%w: links %v cannot reach any rate level alone at PMax", ErrUnservable, unservable)
+		return fmt.Errorf("%w: links %v cannot reach any rate level alone at PMax", ErrUnservable, unservable)
 	}
-	return s, nil
+	return nil
 }
 
 // Pool exposes the current column pool (read-only use).
-func (s *Solver) Pool() *schedule.Pool { return s.pool }
+func (s *Solver) Pool() *schedule.Pool { return s.engine.State().Pool() }
 
-// SetDemands replaces the per-link demand vector and keeps the column
-// pool: the paper's §III update rule ("if the traffic demand changes,
+// SetDemands replaces the per-link demand vector and keeps the engine
+// state: the paper's §III update rule ("if the traffic demand changes,
 // we just need to update ... the constraint matrix ... and solve the
 // updated problem using the same method"). Every previously generated
 // schedule remains feasible — only the right-hand sides move — so a
@@ -322,16 +291,8 @@ func (s *Solver) SetDemands(demands []video.Demand) error {
 	}
 	// Unservable links with new positive demand would make the master
 	// infeasible; the TDMA initialization covered every servable link.
-	covered := make([]bool, s.nw.NumLinks())
-	for i := 0; i < s.pool.Len(); i++ {
-		for _, a := range s.pool.At(i).Assignments {
-			covered[a.Link] = true
-		}
-	}
-	for l, d := range demands {
-		if d.Total() > 0 && !covered[l] {
-			return fmt.Errorf("%w: link %d cannot reach any rate level alone at PMax", ErrUnservable, l)
-		}
+	if err := s.checkCoverage(demands); err != nil {
+		return err
 	}
 	s.demands = append(s.demands[:0], demands...)
 	return nil
@@ -354,242 +315,83 @@ func (s *Solver) SetDemands(demands []video.Demand) error {
 // Options.Tracer, falling back to the tracer carried by ctx
 // (obs.NewContext). Tracing never changes the plan.
 func (s *Solver) Solve(ctx context.Context) (*Result, error) {
-	res := &Result{LowerBound: 0}
-	bestLower := 0.0
-	before := s.stats
-	metrics := s.opts.Metrics
-	defer func() {
-		res.Stats = s.stats.delta(before)
-		res.Stats.Publish(metrics, "core")
-	}()
-
-	tracer := s.opts.Tracer
-	if tracer == nil {
-		tracer = obs.FromContext(ctx)
-	}
-	span := tracer.StartSpan("core.solve")
-	defer span.End()
-
-	for iter := 0; iter < s.opts.MaxIterations; iter++ {
-		mpSol, err := s.solveMaster()
-		if err != nil {
-			return nil, err
-		}
-		lambdaHP, lambdaLP := s.extractDuals(mpSol)
-
-		pr, err := s.price(ctx, lambdaHP, lambdaLP)
-		s.stats.Rounds++
-		if err != nil {
-			if ctx.Err() != nil {
-				// The pricer died on cancellation before producing a
-				// result: fall back to the greedy pricer, whose
-				// interference-free relaxation is still a valid Φ′.
-				if g, gerr := (GreedyPricer{}).Price(s.nw, lambdaHP, lambdaLP); gerr == nil {
-					if lower := pricingLowerBound(mpSol.Objective, g); lower > bestLower {
-						bestLower = lower
-					}
-				}
-				return s.finishTruncated(res, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
-			}
-			return nil, fmt.Errorf("core: pricing failed at iteration %d: %w", iter, err)
-		}
-
-		s.stats.Probes += pr.Probes
-		s.stats.CacheHits += pr.CacheHits
-		s.stats.CacheMisses += pr.Probes - pr.CacheHits
-		s.stats.PricerNodes += pr.Nodes
-
-		phi := 1 - pr.Value // reduced cost of the best found column
-		lower := pricingLowerBound(mpSol.Objective, pr)
-		if lower > bestLower {
-			bestLower = lower
-		}
-
-		res.Iterations = append(res.Iterations, IterationStat{
-			Iter:       iter,
-			Upper:      mpSol.Objective,
-			Lower:      lower,
-			BestLower:  bestLower,
-			Phi:        phi,
-			PoolSize:   s.pool.Len(),
-			PricerNode: pr.Nodes,
-			Exact:      pr.Exact,
-		})
-		span.Emit(obs.Event{
-			Name:   "cg.iteration",
-			Iter:   iter,
-			Phi:    phi,
-			Upper:  mpSol.Objective,
-			Lower:  lower,
-			Pool:   s.pool.Len(),
-			Probes: pr.Probes,
-			Nodes:  pr.Nodes,
-		})
-
-		if ctx.Err() != nil {
-			// Budget expired during pricing: mpSol is the best-so-far
-			// feasible plan and pr's relaxation already fed bestLower.
-			return s.finishTruncated(res, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
-		}
-
-		converged := pr.Exact && phi >= -s.opts.Tolerance
-		gapMet := s.opts.GapTarget > 0 && mpSol.Objective > 0 &&
-			(mpSol.Objective-bestLower)/mpSol.Objective <= s.opts.GapTarget
-		if converged || gapMet || pr.Schedule == nil || phi >= -s.opts.Tolerance {
-			res.Plan = s.extractPlan(mpSol)
-			res.LowerBound = bestLower
-			res.Converged = converged
-			res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
-			return res, nil
-		}
-
-		if _, added := s.pool.Add(pr.Schedule); !added {
-			// The pricer returned a column already in the pool with
-			// apparently negative reduced cost: numerical stall. Treat
-			// the current solution as final rather than looping.
-			res.Plan = s.extractPlan(mpSol)
-			res.LowerBound = bestLower
-			res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
-			return res, nil
-		}
-	}
-
-	// Iteration limit: return the last master solution as an anytime
-	// result.
-	mpSol, err := s.solveMaster()
+	out, err := s.engine.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	lambdaHP, lambdaLP := s.extractDuals(mpSol)
-	res.Plan = s.extractPlan(mpSol)
-	res.LowerBound = bestLower
-	res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
-	res.Truncated = true
-	res.Stop = fmt.Errorf("%w: iteration limit %d", ErrBudgetExceeded, s.opts.MaxIterations)
+	res := &Result{
+		Plan:       s.extractPlan(out.Sol),
+		Iterations: out.Iterations,
+		LowerBound: out.LowerBound,
+		Converged:  out.Converged,
+		Duals:      Duals{HP: out.DualsHP, LP: out.DualsLP},
+		Warm:       out.Warm,
+		Truncated:  out.Truncated,
+		Stop:       out.Stop,
+	}
+	res.Stats = out.Stats
 	return res, nil
 }
 
-// SolveBackground runs Solve with a background context.
-//
-// Deprecated: call Solve(context.Background()) directly. Kept for one
-// release to ease migration from the old no-argument Solve.
-func (s *Solver) SolveBackground() (*Result, error) {
-	return s.Solve(context.Background())
-}
-
-// SolveContext is the former name of Solve.
-//
-// Deprecated: Solve now takes the context itself; call Solve(ctx).
-func (s *Solver) SolveContext(ctx context.Context) (*Result, error) {
-	return s.Solve(ctx)
-}
-
-// price dispatches one pricing round, preferring the cached path, then
-// the context-aware path.
-func (s *Solver) price(ctx context.Context, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	if cp, ok := s.opts.Pricer.(CachedPricer); ok && s.probeCache != nil {
-		return cp.PriceWithCache(ctx, s.nw, lambdaHP, lambdaLP, s.probeCache)
-	}
-	if cp, ok := s.opts.Pricer.(ContextPricer); ok {
-		return cp.PriceContext(ctx, s.nw, lambdaHP, lambdaLP)
-	}
-	return s.opts.Pricer.Price(s.nw, lambdaHP, lambdaLP)
-}
-
-// pricingLowerBound forms the Theorem-1 lower bound from one pricing
-// round: a valid bound needs Φ′ ≤ Φ*, so truncated pricing uses the
-// relaxation value.
-func pricingLowerBound(upper float64, pr *PriceResult) float64 {
-	phiForBound := 1 - pr.RelaxValue
-	if pr.Exact {
-		phiForBound = 1 - pr.Value
-	}
-	lower := 0.0
-	if denom := 1 - phiForBound; denom > 0 {
-		lower = upper / denom // UB = λᵀd by strong duality
-	}
-	if phiForBound >= 0 {
-		lower = upper
-	}
-	return lower
-}
-
-// finishTruncated assembles the anytime result for a canceled solve.
-func (s *Solver) finishTruncated(res *Result, mpSol *lp.Solution, lambdaHP, lambdaLP []float64, bestLower float64, ctx context.Context) *Result {
-	res.Plan = s.extractPlan(mpSol)
-	res.LowerBound = bestLower
-	res.Duals = Duals{HP: lambdaHP, LP: lambdaLP}
-	res.Truncated = true
-	res.Stop = fmt.Errorf("%w: %v", ErrBudgetExceeded, context.Cause(ctx))
-	return res
-}
-
-// solveMaster solves the MP over the current pool. The problem is
-// built incrementally: rows (one GE per link per layer, in the order
-// HP 0..L-1 then LP 0..L-1) are laid down once, and only columns for
-// schedules pooled since the previous solve are appended; right-hand
-// sides are refreshed every call so SetDemands keeps working.
-func (s *Solver) solveMaster() (*lp.Solution, error) {
-	s.stats.MasterSolves++
-	n := s.pool.Len()
-	L := s.nw.NumLinks()
-	if s.masterProb == nil {
-		p := lp.NewProblem(nil)
-		for l := 0; l < L; l++ {
-			p.AddRow(nil, lp.GE, s.demands[l].HP)
-		}
-		for l := 0; l < L; l++ {
-			p.AddRow(nil, lp.GE, s.demands[l].LP)
-		}
-		s.masterProb = p
-		s.masterCols = 0
-	}
-	p := s.masterProb
-
-	// Append columns for schedules added since the last solve (every
-	// schedule costs one unit of time per slot: c_j = 1).
-	col := make([]float64, 2*L)
-	for j := s.masterCols; j < n; j++ {
-		hpRates, lpRates := s.pool.At(j).RateVectors(s.nw)
-		copy(col[:L], hpRates)
-		copy(col[L:], lpRates)
-		if _, err := p.AddColumn(1, col); err != nil {
-			return nil, fmt.Errorf("core: master column %d: %w", j, err)
+// extractPlan reads the nonzero τ^s out of an MP solution.
+func (s *Solver) extractPlan(sol *lp.Solution) Plan {
+	var plan Plan
+	pool := s.engine.State().Pool()
+	for j, tau := range sol.X {
+		if tau > 1e-9 {
+			plan.Schedules = append(plan.Schedules, pool.At(j))
+			plan.Tau = append(plan.Tau, tau)
 		}
 	}
-	s.masterCols = n
+	plan.Objective = sol.Objective
+	return plan
+}
 
-	// Refresh the right-hand sides: demands may have moved between
-	// solves (SetDemands), and columns are demand-independent.
+// p1Model is the P1 master formulation: 2L demand-cover GE rows (HP
+// then LP), one unit-cost column per pooled schedule carrying its rate
+// vectors, no fixed variables.
+type p1Model struct{ s *Solver }
+
+// NewMaster lays down the demand rows (RHS refreshed per solve).
+func (m *p1Model) NewMaster() *lp.Problem {
+	L := m.s.nw.NumLinks()
+	p := lp.NewProblem(nil)
 	for l := 0; l < L; l++ {
-		p.B[l] = s.demands[l].HP
-		p.B[L+l] = s.demands[l].LP
+		p.AddRow(nil, lp.GE, m.s.demands[l].HP)
 	}
+	for l := 0; l < L; l++ {
+		p.AddRow(nil, lp.GE, m.s.demands[l].LP)
+	}
+	return p
+}
 
-	lpOpts := s.opts.LP
-	lpOpts.WarmBasis = s.warmBasis
-	sol, err := lp.SolveWith(p, lpOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: master LP: %w", err)
-	}
-	s.stats.LPPivots += sol.Iterations
-	s.stats.LPRefactorizations += sol.Refactorizations
-	switch sol.Status {
-	case lp.StatusOptimal:
-		s.warmBasis = sol.Basis
-		return sol, nil
-	case lp.StatusInfeasible:
-		return nil, fmt.Errorf("%w (TDMA initialization should prevent this)", ErrInfeasible)
-	default:
-		return nil, fmt.Errorf("core: master problem ended with status %v", sol.Status)
+// AppendColumn adds one schedule column (every schedule costs one unit
+// of time per slot: c_j = 1).
+func (m *p1Model) AppendColumn(p *lp.Problem, sc *schedule.Schedule) error {
+	L := m.s.nw.NumLinks()
+	col := make([]float64, 2*L)
+	hpRates, lpRates := sc.RateVectors(m.s.nw)
+	copy(col[:L], hpRates)
+	copy(col[L:], lpRates)
+	_, err := p.AddColumn(1, col)
+	return err
+}
+
+// RefreshRHS rewrites the demand rows: demands may have moved between
+// solves (SetDemands), and columns are demand-independent.
+func (m *p1Model) RefreshRHS(p *lp.Problem) {
+	L := m.s.nw.NumLinks()
+	for l := 0; l < L; l++ {
+		p.B[l] = m.s.demands[l].HP
+		p.B[L+l] = m.s.demands[l].LP
 	}
 }
 
-// extractDuals splits the MP dual vector into λ(hp) and λ(lp),
-// clamping tiny negatives from roundoff (duals of GE rows in a min LP
-// are non-negative).
-func (s *Solver) extractDuals(sol *lp.Solution) (hp, lpDuals []float64) {
-	L := s.nw.NumLinks()
+// Duals splits the MP dual vector into λ(hp) and λ(lp), clamping tiny
+// negatives from roundoff (duals of GE rows in a min LP are
+// non-negative).
+func (m *p1Model) Duals(sol *lp.Solution) (hp, lpDuals []float64) {
+	L := m.s.nw.NumLinks()
 	hp = make([]float64, L)
 	lpDuals = make([]float64, L)
 	for l := 0; l < L; l++ {
@@ -599,18 +401,19 @@ func (s *Solver) extractDuals(sol *lp.Solution) (hp, lpDuals []float64) {
 	return hp, lpDuals
 }
 
-// extractPlan reads the nonzero τ^s out of an MP solution.
-func (s *Solver) extractPlan(sol *lp.Solution) Plan {
-	var plan Plan
-	for j, tau := range sol.X {
-		if tau > 1e-9 {
-			plan.Schedules = append(plan.Schedules, s.pool.At(j))
-			plan.Tau = append(plan.Tau, tau)
-		}
-	}
-	plan.Objective = sol.Objective
-	return plan
+// Upper is the MP objective: Σ τ, an upper bound on the P1 optimum.
+func (m *p1Model) Upper(sol *lp.Solution) float64 { return sol.Objective }
+
+// Bound forms the Theorem-1 lower bound from one pricing round.
+func (m *p1Model) Bound(upper float64, pr *PriceResult) (float64, bool) {
+	return cg.TheoremBound(upper, pr), true
 }
+
+// ColumnOffset: P1 has no fixed variables before the τ columns.
+func (m *p1Model) ColumnOffset() int { return 0 }
+
+// SpanName implements cg.MasterModel.
+func (m *p1Model) SpanName() string { return "core.solve" }
 
 // RateVectorsValue recomputes Ψ = Σ λ·r for a schedule; exported for
 // tests and benchmark cross-checks.

@@ -282,17 +282,16 @@ func TestSolverBeatsOrMatchesTDMA(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// TDMA-only objective: solve the MP over the initial pool.
-		mp, err := s.solveMaster()
-		if err != nil {
-			t.Fatal(err)
-		}
-		tdmaObj := mp.Objective
-
 		res, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
+		// TDMA-only objective: iteration 0's upper bound is the master
+		// solved over the initial (TDMA) pool, before any pricing.
+		if len(res.Iterations) == 0 {
+			t.Fatal("no iteration telemetry")
+		}
+		tdmaObj := res.Iterations[0].Upper
 		if res.Plan.Objective > tdmaObj*(1+1e-9) {
 			t.Errorf("trial %d: colgen %v worse than TDMA %v", trial, res.Plan.Objective, tdmaObj)
 		}

@@ -1,10 +1,17 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"mmwave/internal/cg"
+)
 
 // Sentinel errors callers branch on with errors.Is. They form the
 // solver half of the repo's error taxonomy; the control-plane half
-// (ErrControlLoss, ErrStaleState) lives in internal/pnc.
+// (ErrControlLoss, ErrStaleState) lives in internal/pnc. The budget
+// and infeasibility sentinels are defined by the shared engine in
+// internal/cg and re-exported here under their historical names, so
+// existing errors.Is call sites keep working.
 var (
 	// ErrUnservable reports links whose demand can never be served (no
 	// rate level reachable even transmitting alone at full power).
@@ -14,10 +21,10 @@ var (
 	// deadline/cancellation or iteration budget. It is carried in
 	// Result.Stop — the solve still returns the feasible best-so-far
 	// plan and its valid Theorem-1 lower bound, never a bare error.
-	ErrBudgetExceeded = errors.New("core: solve budget exceeded")
+	ErrBudgetExceeded = cg.ErrBudgetExceeded
 
 	// ErrInfeasible reports a master problem with no feasible point —
 	// impossible after the TDMA initialization unless demands were
 	// mutated behind the solver's back.
-	ErrInfeasible = errors.New("core: master problem infeasible")
+	ErrInfeasible = cg.ErrInfeasible
 )

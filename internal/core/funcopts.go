@@ -1,6 +1,7 @@
 package core
 
 import (
+	"mmwave/internal/cg"
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
 	"mmwave/internal/obs"
@@ -40,6 +41,11 @@ func WithGapTarget(gap float64) Option { return func(o *Options) { o.GapTarget =
 // WithProbeCache toggles cross-iteration memoization of pricing
 // feasibility probes (see Options.CacheProbes for the trade-off).
 func WithProbeCache(on bool) Option { return func(o *Options) { o.CacheProbes = on } }
+
+// WithColumnGC bounds pool growth across re-solves of the same solver
+// (see Options.ColumnGC): pools past policy.MaxColumns drop columns
+// that stayed nonbasic for policy.MinAge solves.
+func WithColumnGC(policy cg.GCPolicy) Option { return func(o *Options) { o.ColumnGC = policy } }
 
 // WithPricerWorkers sets the parallel root-split width used when the
 // solver constructs its default branch-and-bound pricer (ignored for

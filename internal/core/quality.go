@@ -2,13 +2,12 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
+	"mmwave/internal/cg"
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
-	"mmwave/internal/obs"
 	"mmwave/internal/schedule"
 	"mmwave/internal/video"
 )
@@ -27,29 +26,18 @@ import (
 //	     τ, y ≥ 0
 //
 // over the same exponential schedule space as P1, solved by the same
-// column generation: the pricing sub-problem maximizes Σ α·r with the
-// delivery-row duals α, and a column improves iff its value exceeds
-// the budget row's dual magnitude |μ|.
+// column-generation engine (internal/cg): the pricing sub-problem
+// maximizes Σ α·r with the delivery-row duals α, and a column improves
+// iff its value exceeds the budget row's dual magnitude |μ| — the
+// formulation scales the duals by |μ| so the engine's Φ ≥ −tol stop
+// rule applies unchanged.
 type QualitySolver struct {
 	nw      *netmodel.Network
 	demands []video.Demand
 	budget  float64
 	weights []float64
 	opts    Options
-	pool    *schedule.Pool
-
-	warmBasis []lp.BasisVar
-
-	// masterProb is the incrementally built master LP (see
-	// Solver.masterProb): rows and the y-variables are laid down once,
-	// τ columns are appended as the pool grows.
-	masterProb *lp.Problem
-	masterCols int
-
-	// probeCache memoizes pricing feasibility probes (see
-	// netmodel.ProbeCache); the network is immutable for the solver's
-	// lifetime.
-	probeCache *netmodel.ProbeCache
+	engine  *cg.Engine
 }
 
 // QualityResult is the outcome of a quality-mode solve.
@@ -62,6 +50,9 @@ type QualityResult struct {
 	// Converged reports proven optimality (exact pricing and no
 	// improving column).
 	Converged bool
+	// Warm reports that the solve reused a previous solve's pool and
+	// basis on the same solver.
+	Warm bool
 	// Stats holds the solve's work counters (probes, master solves,
 	// cache hits, LP pivots, …), promoted so res.Probes etc. keep
 	// reading as before.
@@ -111,12 +102,6 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 			return nil, fmt.Errorf("core: invalid weight %g on link %d", w, l)
 		}
 	}
-	if opts.MaxIterations <= 0 {
-		opts.MaxIterations = 500
-	}
-	if opts.Tolerance <= 0 {
-		opts.Tolerance = 1e-7
-	}
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
 		p.Parallel = opts.PricerWorkers
@@ -124,23 +109,16 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 	}
 	s := &QualitySolver{
 		nw:      nw,
-		demands: demands,
+		demands: append([]video.Demand(nil), demands...),
 		budget:  budgetSeconds,
 		weights: append([]float64(nil), weights...),
 		opts:    opts,
-		pool:    schedule.NewPool(),
 	}
-	if opts.CacheProbes {
-		s.probeCache = netmodel.NewProbeCache()
-	}
-	for _, sc := range schedule.TDMA(nw) {
-		s.pool.Add(sc)
-	}
+	state := cg.NewState(opts.CacheProbes)
+	state.Seed(schedule.TDMA(nw))
+	s.engine = cg.NewEngine(nw, &p2Model{s: s}, state, opts.engineOptions("core"))
 	return s, nil
 }
-
-// errQualityMaster wraps master-LP failures with context.
-var errQualityMaster = errors.New("core: quality master problem")
 
 // Solve runs column generation to convergence or the iteration cap.
 // The ctx cancels pricing between (and inside) iterations: on expiry
@@ -149,199 +127,29 @@ var errQualityMaster = errors.New("core: quality master problem")
 // through Options.Tracer (or the tracer carried by ctx); tracing never
 // changes the plan.
 func (s *QualitySolver) Solve(ctx context.Context) (*QualityResult, error) {
-	L := s.nw.NumLinks()
-	res := &QualityResult{}
-	defer func() { res.Stats.Publish(s.opts.Metrics, "core") }()
-
-	tracer := s.opts.Tracer
-	if tracer == nil {
-		tracer = obs.FromContext(ctx)
-	}
-	span := tracer.StartSpan("core.quality_solve")
-	defer span.End()
-
-	for iter := 0; ; iter++ {
-		sol, err := s.solveMaster()
-		if err != nil {
-			return nil, err
-		}
-		res.Iterations = iter + 1
-		res.MasterSolves++
-		res.LPPivots += sol.Iterations
-		res.LPRefactorizations += sol.Refactorizations
-
-		if iter >= s.opts.MaxIterations-1 {
-			s.extract(sol, res)
-			return res, nil
-		}
-
-		// Duals: rows 0..2L-1 are delivery rows (GE → α ≥ 0); the
-		// budget row is the last (LE → μ ≤ 0).
-		alphaHP := make([]float64, L)
-		alphaLP := make([]float64, L)
-		for l := 0; l < L; l++ {
-			alphaHP[l] = math.Max(0, sol.Dual[l])
-			alphaLP[l] = math.Max(0, sol.Dual[L+l])
-		}
-		mu := math.Min(0, sol.Dual[4*L])
-
-		// Scale so the pricer's improvement threshold of 1 corresponds
-		// to |μ|: a column improves iff Σ α·r > |μ|.
-		denom := math.Max(-mu, 1e-18)
-		scaledHP := make([]float64, L)
-		scaledLP := make([]float64, L)
-		for l := 0; l < L; l++ {
-			scaledHP[l] = alphaHP[l] / denom
-			scaledLP[l] = alphaLP[l] / denom
-		}
-
-		pr, err := s.price(ctx, scaledHP, scaledLP)
-		res.Rounds++
-		if err != nil {
-			if ctx.Err() != nil {
-				// Budget expired mid-pricing: the current master
-				// solution is feasible — return it as an anytime result.
-				s.extract(sol, res)
-				return res, nil
-			}
-			return nil, fmt.Errorf("core: quality pricing failed at iteration %d: %w", iter, err)
-		}
-		res.Probes += pr.Probes
-		res.CacheHits += pr.CacheHits
-		res.CacheMisses += pr.Probes - pr.CacheHits
-		res.PricerNodes += pr.Nodes
-		span.Emit(obs.Event{
-			Name:   "cg.iteration",
-			Iter:   iter,
-			Phi:    1 - pr.Value,
-			Upper:  -sol.Objective, // maximization solved as min of the negative
-			Pool:   s.pool.Len(),
-			Probes: pr.Probes,
-			Nodes:  pr.Nodes,
-		})
-		if pr.Schedule == nil || pr.Value <= 1+s.opts.Tolerance {
-			s.extract(sol, res)
-			res.Converged = pr.Exact
-			return res, nil
-		}
-		if _, added := s.pool.Add(pr.Schedule); !added {
-			s.extract(sol, res) // numerical stall: accept current solution
-			return res, nil
-		}
-		if ctx.Err() != nil {
-			s.extract(sol, res)
-			return res, nil
-		}
-	}
-}
-
-// SolveBackground runs Solve with a background context.
-//
-// Deprecated: call Solve(context.Background()) directly. Kept for one
-// release to ease migration from the old no-argument Solve.
-func (s *QualitySolver) SolveBackground() (*QualityResult, error) {
-	return s.Solve(context.Background())
-}
-
-// price dispatches one pricing round, preferring the cached path, then
-// the context-aware path.
-func (s *QualitySolver) price(ctx context.Context, scaledHP, scaledLP []float64) (*PriceResult, error) {
-	if cp, ok := s.opts.Pricer.(CachedPricer); ok && s.probeCache != nil {
-		return cp.PriceWithCache(ctx, s.nw, scaledHP, scaledLP, s.probeCache)
-	}
-	if cp, ok := s.opts.Pricer.(ContextPricer); ok {
-		return cp.PriceContext(ctx, s.nw, scaledHP, scaledLP)
-	}
-	return s.opts.Pricer.Price(s.nw, scaledHP, scaledLP)
-}
-
-// solveMaster solves the quality LP over the current pool.
-// Variable layout: [y_hp (L)] [y_lp (L)] [τ_s (n)] — y first so that
-// variable indices (and therefore warm-start bases) stay valid as the
-// pool appends columns between iterations.
-// Row layout: delivery hp (L), delivery lp (L), caps hp (L), caps lp
-// (L), budget (1).
-//
-// The problem is built incrementally: the y variables and all rows are
-// laid down once, and only τ columns for schedules pooled since the
-// previous solve are appended (demands, weights, and the budget are
-// fixed for the solver's lifetime, so the rest never changes).
-func (s *QualitySolver) solveMaster() (*lp.Solution, error) {
-	n := s.pool.Len()
-	L := s.nw.NumLinks()
-
-	if s.masterProb == nil {
-		costs := make([]float64, 2*L)
-		for l := 0; l < L; l++ {
-			costs[l] = -s.weights[l] // maximize → minimize negative
-			costs[L+l] = -s.weights[l]
-		}
-		p := lp.NewProblem(costs)
-		// Delivery rows: Σ_s r·τ − y ≥ 0.
-		for l := 0; l < L; l++ {
-			row := make([]float64, 2*L)
-			row[l] = -1
-			p.AddRow(row, lp.GE, 0)
-		}
-		for l := 0; l < L; l++ {
-			row := make([]float64, 2*L)
-			row[L+l] = -1
-			p.AddRow(row, lp.GE, 0)
-		}
-		// Caps: y ≤ d.
-		for l := 0; l < L; l++ {
-			row := make([]float64, 2*L)
-			row[l] = 1
-			p.AddRow(row, lp.LE, s.demands[l].HP)
-		}
-		for l := 0; l < L; l++ {
-			row := make([]float64, 2*L)
-			row[L+l] = 1
-			p.AddRow(row, lp.LE, s.demands[l].LP)
-		}
-		// Budget: Σ τ ≤ T.
-		p.AddRow(make([]float64, 2*L), lp.LE, s.budget)
-		s.masterProb = p
-		s.masterCols = 0
-	}
-	p := s.masterProb
-
-	// Append a τ column per schedule pooled since the last solve:
-	// rates into its delivery rows, 1 into the budget row, zero cost.
-	col := make([]float64, 4*L+1)
-	for j := s.masterCols; j < n; j++ {
-		hpRates, lpRates := s.pool.At(j).RateVectors(s.nw)
-		copy(col[:L], hpRates)
-		copy(col[L:2*L], lpRates)
-		col[4*L] = 1
-		if _, err := p.AddColumn(0, col); err != nil {
-			return nil, fmt.Errorf("%w: column %d: %v", errQualityMaster, j, err)
-		}
-	}
-	s.masterCols = n
-
-	lpOpts := s.opts.LP
-	lpOpts.WarmBasis = s.warmBasis
-	sol, err := lp.SolveWith(p, lpOpts)
+	out, err := s.engine.Run(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errQualityMaster, err)
+		return nil, err
 	}
-	if sol.Status != lp.StatusOptimal {
-		return nil, fmt.Errorf("%w: status %v", errQualityMaster, sol.Status)
+	res := &QualityResult{
+		Iterations: len(out.Iterations),
+		Converged:  out.Converged,
+		Warm:       out.Warm,
 	}
-	s.warmBasis = sol.Basis
-	return sol, nil
+	res.Stats = out.Stats
+	s.extract(out.Sol, res)
+	return res, nil
 }
 
 // extract reads the plan and delivered volumes out of a master
-// solution. Structural variables: τ first, then y.
+// solution. Structural variables: y first (2L), then τ.
 func (s *QualitySolver) extract(sol *lp.Solution, res *QualityResult) {
-	n := s.pool.Len()
 	L := s.nw.NumLinks()
+	pool := s.engine.State().Pool()
 	res.Plan = Plan{}
-	for j := 0; j < n; j++ {
+	for j := 0; j < pool.Len(); j++ {
 		if v := sol.X[2*L+j]; v > 1e-9 {
-			res.Plan.Schedules = append(res.Plan.Schedules, s.pool.At(j))
+			res.Plan.Schedules = append(res.Plan.Schedules, pool.At(j))
 			res.Plan.Tau = append(res.Plan.Tau, v)
 			res.Plan.Objective += v
 		}
@@ -353,3 +161,101 @@ func (s *QualitySolver) extract(sol *lp.Solution, res *QualityResult) {
 		res.Quality += s.weights[l] * res.Delivered[l].Total()
 	}
 }
+
+// p2Model is the quality-mode master formulation. Variable layout:
+// [y_hp (L)] [y_lp (L)] [τ_s (n)] — y first so that variable indices
+// (and therefore warm-start bases) stay valid as the pool appends
+// columns between iterations. Row layout: delivery hp (L), delivery lp
+// (L), caps hp (L), caps lp (L), budget (1).
+type p2Model struct{ s *QualitySolver }
+
+// NewMaster lays down the y variables and all rows once; τ columns are
+// appended as the pool grows.
+func (m *p2Model) NewMaster() *lp.Problem {
+	L := m.s.nw.NumLinks()
+	costs := make([]float64, 2*L)
+	for l := 0; l < L; l++ {
+		costs[l] = -m.s.weights[l] // maximize → minimize negative
+		costs[L+l] = -m.s.weights[l]
+	}
+	p := lp.NewProblem(costs)
+	// Delivery rows: Σ_s r·τ − y ≥ 0.
+	for l := 0; l < L; l++ {
+		row := make([]float64, 2*L)
+		row[l] = -1
+		p.AddRow(row, lp.GE, 0)
+	}
+	for l := 0; l < L; l++ {
+		row := make([]float64, 2*L)
+		row[L+l] = -1
+		p.AddRow(row, lp.GE, 0)
+	}
+	// Caps: y ≤ d.
+	for l := 0; l < L; l++ {
+		row := make([]float64, 2*L)
+		row[l] = 1
+		p.AddRow(row, lp.LE, m.s.demands[l].HP)
+	}
+	for l := 0; l < L; l++ {
+		row := make([]float64, 2*L)
+		row[L+l] = 1
+		p.AddRow(row, lp.LE, m.s.demands[l].LP)
+	}
+	// Budget: Σ τ ≤ T.
+	p.AddRow(make([]float64, 2*L), lp.LE, m.s.budget)
+	return p
+}
+
+// AppendColumn adds a τ column: rates into its delivery rows, 1 into
+// the budget row, zero cost.
+func (m *p2Model) AppendColumn(p *lp.Problem, sc *schedule.Schedule) error {
+	L := m.s.nw.NumLinks()
+	col := make([]float64, 4*L+1)
+	hpRates, lpRates := sc.RateVectors(m.s.nw)
+	copy(col[:L], hpRates)
+	copy(col[L:2*L], lpRates)
+	col[4*L] = 1
+	_, err := p.AddColumn(0, col)
+	return err
+}
+
+// RefreshRHS rewrites the cap and budget rows (delivery rows are
+// structurally zero).
+func (m *p2Model) RefreshRHS(p *lp.Problem) {
+	L := m.s.nw.NumLinks()
+	for l := 0; l < L; l++ {
+		p.B[2*L+l] = m.s.demands[l].HP
+		p.B[3*L+l] = m.s.demands[l].LP
+	}
+	p.B[4*L] = m.s.budget
+}
+
+// Duals extracts the delivery-row duals α (GE → α ≥ 0) and the budget
+// row's μ (LE → μ ≤ 0), scaled so the pricer's improvement threshold
+// of 1 corresponds to |μ|: a column improves iff Σ α·r > |μ|.
+func (m *p2Model) Duals(sol *lp.Solution) (hp, lpDuals []float64) {
+	L := m.s.nw.NumLinks()
+	mu := math.Min(0, sol.Dual[4*L])
+	denom := math.Max(-mu, 1e-18)
+	hp = make([]float64, L)
+	lpDuals = make([]float64, L)
+	for l := 0; l < L; l++ {
+		hp[l] = math.Max(0, sol.Dual[l]) / denom
+		lpDuals[l] = math.Max(0, sol.Dual[L+l]) / denom
+	}
+	return hp, lpDuals
+}
+
+// Upper is the delivered quality (the maximization is solved as a min
+// of the negative).
+func (m *p2Model) Upper(sol *lp.Solution) float64 { return -sol.Objective }
+
+// Bound: quality mode has no Theorem-1 analogue (the bound is a ratio
+// of time bounds, not quality bounds).
+func (m *p2Model) Bound(upper float64, pr *PriceResult) (float64, bool) { return 0, false }
+
+// ColumnOffset: the 2L y variables precede the τ columns.
+func (m *p2Model) ColumnOffset() int { return 2 * m.s.nw.NumLinks() }
+
+// SpanName implements cg.MasterModel.
+func (m *p2Model) SpanName() string { return "core.quality_solve" }

@@ -207,6 +207,10 @@ type Solution struct {
 	// Options.WarmBasis on a later solve of the same problem — possibly
 	// with columns appended.
 	Basis []BasisVar
+	// Warm reports that the caller-provided WarmBasis was usable: the
+	// solve skipped phase 1 (primal-feasible basis) or repaired the
+	// basis with the dual simplex after a right-hand-side change.
+	Warm bool
 }
 
 // Options tunes the solver.
@@ -225,6 +229,33 @@ type Options struct {
 
 // Solve optimizes the problem with default options.
 func Solve(p *Problem) (*Solution, error) { return SolveWith(p, Options{}) }
+
+// RemapStructurals rewrites the structural indices of a basis after
+// the caller removed columns (the column-GC pattern): structural
+// indices at or above offset are schedule columns and are remapped
+// through colMap (old column → new column, -1 for removed ones);
+// indices below offset are fixed variables and pass through, as do
+// auxiliary entries (they are row-addressed and rows never move). It
+// reports false — and the basis must be discarded — if any basis
+// member was removed or maps out of range.
+func RemapStructurals(basis []BasisVar, offset int, colMap []int) ([]BasisVar, bool) {
+	out := make([]BasisVar, len(basis))
+	for i, bv := range basis {
+		if bv.Kind == BasisStructural && bv.Index >= offset {
+			old := bv.Index - offset
+			if old >= len(colMap) {
+				return nil, false
+			}
+			nj := colMap[old]
+			if nj < 0 {
+				return nil, false
+			}
+			bv.Index = offset + nj
+		}
+		out[i] = bv
+	}
+	return out, true
+}
 
 // Objective evaluates cᵀx for the problem (a convenience for tests and
 // bound computations).

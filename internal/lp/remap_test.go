@@ -1,0 +1,112 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRemapStructurals(t *testing.T) {
+	basis := []BasisVar{
+		{Kind: BasisAux, Index: 2},        // row-addressed: passes through
+		{Kind: BasisStructural, Index: 1}, // below offset (fixed var): passes through
+		{Kind: BasisStructural, Index: 5}, // column 5−3=2 → remapped
+		{Kind: BasisStructural, Index: 7}, // column 4 → remapped
+	}
+	colMap := []int{0, -1, 1, -1, 2} // columns 1 and 3 removed
+	out, ok := RemapStructurals(basis, 3, colMap)
+	if !ok {
+		t.Fatal("remap failed although no basis member was removed")
+	}
+	want := []BasisVar{
+		{Kind: BasisAux, Index: 2},
+		{Kind: BasisStructural, Index: 1},
+		{Kind: BasisStructural, Index: 3 + 1},
+		{Kind: BasisStructural, Index: 3 + 2},
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+	// The input basis must be untouched (remap returns a copy).
+	if basis[2].Index != 5 {
+		t.Error("RemapStructurals mutated its input")
+	}
+}
+
+func TestRemapStructuralsDetectsRemovedMember(t *testing.T) {
+	basis := []BasisVar{{Kind: BasisStructural, Index: 1}}
+	if _, ok := RemapStructurals(basis, 0, []int{0, -1}); ok {
+		t.Error("remap succeeded although the basis member was removed")
+	}
+	if _, ok := RemapStructurals(basis, 0, []int{0}); ok {
+		t.Error("remap succeeded although the index is out of the map's range")
+	}
+}
+
+func TestSolutionWarmFlag(t *testing.T) {
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 0}, GE, 4)
+	p.AddRow([]float64{0, 3}, GE, 6)
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm {
+		t.Error("cold solve flagged Warm")
+	}
+	warm, err := SolveWith(p, Options{WarmBasis: cold.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Error("warm-started solve not flagged Warm")
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+
+	// An unusable basis silently falls back to a cold start — and must
+	// not claim warmth.
+	garbage := []BasisVar{{Kind: BasisStructural, Index: 0}, {Kind: BasisStructural, Index: 0}}
+	fell, err := SolveWith(p, Options{WarmBasis: garbage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fell.Status != StatusOptimal {
+		t.Fatalf("fallback status %v", fell.Status)
+	}
+	if fell.Warm {
+		t.Error("cold fallback flagged Warm")
+	}
+}
+
+// TestWarmFlagAfterRHSChange: a basis repaired by the dual simplex
+// after a right-hand-side move still counts as warm.
+func TestWarmFlagAfterRHSChange(t *testing.T) {
+	p := NewProblem([]float64{1, 1})
+	p.AddRow([]float64{2, 1}, GE, 4)
+	p.AddRow([]float64{1, 3}, GE, 6)
+	first, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.B[0], p.B[1] = 8, 3
+	warm, err := SolveWith(p, Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != StatusOptimal || cold.Status != StatusOptimal {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if !warm.Warm {
+		t.Error("dual-repaired solve not flagged Warm")
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+}

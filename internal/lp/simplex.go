@@ -38,10 +38,13 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	t := newTableau(p, tol)
 
 	iters1 := 0
+	warmUsed := false
 	switch t.tryWarmStart(opt.WarmBasis) {
 	case warmPrimalFeasible:
 		// Straight to phase 2.
+		warmUsed = true
 	case warmDualFeasible:
+		warmUsed = true
 		// The basis factorizes and prices out non-negatively (typical
 		// after a right-hand-side change, e.g. a demand update): the
 		// dual simplex restores primal feasibility without phase 1.
@@ -86,6 +89,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		Iterations:       iters,
 		Refactorizations: t.refactorizations,
 		Basis:            t.encodeBasis(),
+		Warm:             warmUsed,
 	}
 	sol.Objective = p.Objective(sol.X)
 	// Undo the equilibration and row sign flips applied during

@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"mmwave/internal/cg"
 	"mmwave/internal/core"
 	"mmwave/internal/faults"
 	"mmwave/internal/obs"
@@ -89,6 +90,7 @@ type EpochResult struct {
 	LostFrames     int64          // uplink frames lost for good in this window
 	BackoffSeconds float64        // idle backoff accumulated by retries
 	TruncatedSolve bool           // the P1 solve hit its budget; Plan is anytime
+	WarmSolve      bool           // the P1 solve reused the previous epoch's pool and basis
 }
 
 // StalenessError returns an errors.Is-able ErrStaleState describing
@@ -254,6 +256,10 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 	if res.Truncated {
 		span.Emit(obs.Event{Name: "epoch.solve_truncated"})
 	}
+	out.WarmSolve = res.Warm
+	if res.Warm {
+		span.Emit(obs.Event{Name: "epoch.warm_solve"})
+	}
 
 	// Downlink: grants ride the same lossy channel with bounded retry.
 	grants := make([][]byte, 0, len(res.Plan.Schedules))
@@ -337,8 +343,37 @@ func (c *Coordinator) publishEpoch(out *EpochResult) {
 
 // solveEpoch runs one P1 solve under the policy's solve budget,
 // threading the coordinator's tracer and metrics into the solver
-// options when they carry none of their own.
+// options when they carry none of their own. It reuses the persistent
+// cross-epoch solver whenever the CSI regime is unchanged (same gains
+// fingerprint): the solve then warm-starts from the previous epoch's
+// schedule pool and simplex basis via SetDemands, typically needing
+// far fewer pricing rounds and LP pivots. Load-shedding sub-solves
+// within one epoch share the same warm state. On any warm-path error
+// (e.g. new demand on a link no pooled column serves) the coordinator
+// falls back to a cold solver rather than failing the epoch.
 func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*core.Result, error) {
+	sctx := ctx
+	if c.Policy.SolveBudget > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, c.Policy.SolveBudget)
+		defer cancel()
+	}
+
+	if c.solver != nil && c.solverFP == c.gainsFingerprint() {
+		if err := c.solver.SetDemands(demands); err == nil {
+			res, err := c.solver.Solve(sctx)
+			if err == nil {
+				if c.Metrics != nil {
+					c.Metrics.Counter("pnc_warm_solves_total").Inc()
+				}
+				return res, nil
+			}
+		}
+		// Warm path unusable (uncovered demand, master failure): drop
+		// the state and solve cold below.
+		c.InvalidateSolverState()
+	}
+
 	opts := c.Solve
 	if opts.Tracer == nil {
 		opts.Tracer = c.Tracer
@@ -346,19 +381,28 @@ func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*
 	if opts.Metrics == nil {
 		opts.Metrics = c.Metrics
 	}
+	// A solver that lives across epochs accumulates columns without
+	// bound; default a GC policy scaled to the instance when the caller
+	// set none.
+	if opts.ColumnGC.MaxColumns == 0 {
+		n := 32 * c.Network.NumLinks()
+		if n < 256 {
+			n = 256
+		}
+		opts.ColumnGC = cg.GCPolicy{MaxColumns: n}
+	}
 	solver, err := core.NewSolver(c.Network, demands, opts)
 	if err != nil {
 		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
 	}
-	sctx := ctx
-	if c.Policy.SolveBudget > 0 {
-		var cancel context.CancelFunc
-		sctx, cancel = context.WithTimeout(ctx, c.Policy.SolveBudget)
-		defer cancel()
-	}
 	res, err := solver.Solve(sctx)
 	if err != nil {
 		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
+	}
+	c.solver = solver
+	c.solverFP = c.gainsFingerprint()
+	if c.Metrics != nil {
+		c.Metrics.Counter("pnc_cold_solves_total").Inc()
 	}
 	return res, nil
 }

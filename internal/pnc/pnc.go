@@ -296,6 +296,17 @@ type Coordinator struct {
 	// RunEpoch (covers the uplink reports and this epoch's grants).
 	epochAirStart float64
 	epochMsgStart int64
+
+	// Cross-epoch solver reuse: one core.Solver (and its cg engine
+	// state — schedule pool, warm simplex basis, probe cache) persists
+	// across epochs, so each re-solve starts from the previous epoch's
+	// columns and basis instead of TDMA-cold. The state is dropped when
+	// the CSI regime changes: a channel update carrying genuinely new
+	// gains invalidates it in apply, and solverFP (a fingerprint of the
+	// gain matrices at solver construction) catches out-of-band
+	// mutations of Network.Gains (blockage sweeps, experiment drivers).
+	solver   *core.Solver
+	solverFP uint64
 }
 
 // NewCoordinator returns a coordinator for the network. The network's
@@ -364,11 +375,71 @@ func (c *Coordinator) apply(frame []byte) error {
 				return errors.New("pnc: channel update carries invalid gain")
 			}
 		}
-		copy(c.Network.Gains.Direct[u.Link], u.Gains)
+		// Only a genuine CSI change invalidates the warm solver state:
+		// nodes re-reporting unchanged gains (a common keepalive pattern)
+		// must not force a cold start. Pooled schedules embed powers and
+		// SINR-feasible levels for the old gains, so after a real change
+		// they may be infeasible and the whole pool is dropped.
+		changed := false
+		for k, g := range u.Gains {
+			if c.Network.Gains.Direct[u.Link][k] != g {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			copy(c.Network.Gains.Direct[u.Link], u.Gains)
+			c.InvalidateSolverState()
+		}
 		return nil
 	default:
 		return fmt.Errorf("pnc: unexpected uplink message type %v", MsgType(frame[0]))
 	}
+}
+
+// InvalidateSolverState drops the coordinator's persistent solver
+// state (schedule pool, warm basis, probe cache): the next epoch
+// starts TDMA-cold. Called automatically when a channel update carries
+// changed gains; call it directly after mutating the network out of
+// band (topology edits, blockage toggles) if you bypass the control
+// channel.
+func (c *Coordinator) InvalidateSolverState() {
+	c.solver = nil
+	c.solverFP = 0
+}
+
+// gainsFingerprint hashes the current gain matrices (FNV-1a over the
+// IEEE-754 bits of every direct and cross gain). It is the cheap
+// defense against out-of-band CSI mutation: solveEpoch compares it to
+// the fingerprint taken at solver construction and cold-starts on
+// mismatch.
+func (c *Coordinator) gainsFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v float64) {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= prime64
+			b >>= 8
+		}
+	}
+	for _, row := range c.Network.Gains.Direct {
+		for _, g := range row {
+			mix(g)
+		}
+	}
+	for _, m := range c.Network.Gains.Cross {
+		for _, row := range m {
+			for _, g := range row {
+				mix(g)
+			}
+		}
+	}
+	return h
 }
 
 // DecodeGrants reassembles a schedule plan from encoded grants (the

@@ -1,0 +1,168 @@
+package pnc
+
+import (
+	"reflect"
+	"testing"
+
+	"mmwave/internal/core"
+	"mmwave/internal/obs"
+	"mmwave/internal/video"
+)
+
+// reportAll sends one demand report per link.
+func reportAll(t *testing.T, c *Coordinator, n int, d video.Demand) {
+	t.Helper()
+	for l := 0; l < n; l++ {
+		frame, err := DemandReport{Link: uint16(l), Demand: d}.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ingest(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEpochWarmReuse: with an unchanged CSI regime, every epoch after
+// the first reuses the previous epoch's solver state — flagged on the
+// EpochResult, counted in the metrics, and (for identical demands)
+// producing a byte-identical plan.
+func TestEpochWarmReuse(t *testing.T) {
+	nw := testNetwork(t, 5, 5, 3)
+	coord, err := NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	coord.Metrics = reg
+	d := video.Demand{HP: 5e6, LP: 1e7}
+
+	reportAll(t, coord, 5, d)
+	ep1, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1.WarmSolve {
+		t.Error("first epoch flagged WarmSolve")
+	}
+
+	reportAll(t, coord, 5, d)
+	ep2, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep2.WarmSolve {
+		t.Error("second epoch with unchanged CSI not flagged WarmSolve")
+	}
+	if ep2.Plan.Objective != ep1.Plan.Objective {
+		t.Errorf("warm epoch objective %v != cold %v", ep2.Plan.Objective, ep1.Plan.Objective)
+	}
+	if !reflect.DeepEqual(ep2.Plan.Tau, ep1.Plan.Tau) {
+		t.Errorf("warm epoch tau %v != cold %v", ep2.Plan.Tau, ep1.Plan.Tau)
+	}
+	for i := range ep1.Plan.Schedules {
+		if !reflect.DeepEqual(ep1.Plan.Schedules[i].Assignments, ep2.Plan.Schedules[i].Assignments) {
+			t.Errorf("schedule %d differs between epochs", i)
+		}
+	}
+	// The warm solve must do strictly less work than the cold one.
+	if ep1.Solver.LPPivots > 0 && ep2.Solver.LPPivots >= ep1.Solver.LPPivots {
+		t.Errorf("warm epoch pivots %d not below cold %d", ep2.Solver.LPPivots, ep1.Solver.LPPivots)
+	}
+	if len(ep2.Solver.Iterations) > len(ep1.Solver.Iterations) {
+		t.Errorf("warm epoch iterations %d above cold %d", len(ep2.Solver.Iterations), len(ep1.Solver.Iterations))
+	}
+
+	if got := reg.Counter("pnc_cold_solves_total").Value(); got != 1 {
+		t.Errorf("pnc_cold_solves_total = %d, want 1", got)
+	}
+	if got := reg.Counter("pnc_warm_solves_total").Value(); got != 1 {
+		t.Errorf("pnc_warm_solves_total = %d, want 1", got)
+	}
+}
+
+// TestChannelUpdateInvalidation: a channel update carrying genuinely
+// new gains drops the warm state (pooled schedules may be infeasible
+// under the new CSI); re-reporting identical gains must NOT.
+func TestChannelUpdateInvalidation(t *testing.T) {
+	nw := testNetwork(t, 6, 4, 2)
+	coord, err := NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := video.Demand{HP: 4e6, LP: 8e6}
+
+	reportAll(t, coord, 4, d)
+	if _, err := coord.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keepalive: identical gains, warm state survives.
+	same := ChannelUpdate{Link: 0, Gains: append([]float64(nil), nw.Gains.Direct[0]...)}
+	frame, _ := same.MarshalBinary()
+	if err := coord.Ingest(frame); err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, coord, 4, d)
+	ep, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.WarmSolve {
+		t.Error("identical-gains keepalive invalidated the warm state")
+	}
+
+	// Real CSI change: cold start.
+	changed := ChannelUpdate{Link: 0, Gains: append([]float64(nil), nw.Gains.Direct[0]...)}
+	changed.Gains[0] *= 0.5
+	frame, _ = changed.MarshalBinary()
+	if err := coord.Ingest(frame); err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, coord, 4, d)
+	ep, err = coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.WarmSolve {
+		t.Error("changed gains did not invalidate the warm state")
+	}
+
+	// And the epoch after the cold restart is warm again.
+	reportAll(t, coord, 4, d)
+	ep, err = coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.WarmSolve {
+		t.Error("epoch after cold restart not warm")
+	}
+}
+
+// TestOutOfBandMutationInvalidates: gains mutated without a control
+// message (blockage sweeps, experiment drivers poking the network) are
+// caught by the fingerprint check and force a cold start.
+func TestOutOfBandMutationInvalidates(t *testing.T) {
+	nw := testNetwork(t, 9, 4, 2)
+	coord, err := NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := video.Demand{HP: 4e6, LP: 8e6}
+
+	reportAll(t, coord, 4, d)
+	if _, err := coord.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	nw.Gains.Direct[1][0] *= 2 // behind the coordinator's back
+
+	reportAll(t, coord, 4, d)
+	ep, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.WarmSolve {
+		t.Error("out-of-band gain mutation not detected by the fingerprint")
+	}
+}

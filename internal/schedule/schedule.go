@@ -302,3 +302,32 @@ func (p *Pool) Contains(s *Schedule) bool {
 	_, ok := p.index[s.Key()]
 	return ok
 }
+
+// Compact retains only the schedules keep selects, preserving their
+// relative order, and rebuilds the dedup index. It returns the old→new
+// index mapping (-1 for removed entries), which callers use to remap
+// anything addressed by pool index (master columns, warm bases). This
+// is the column-GC entry point: the engine drops long-nonbasic columns
+// so the pool stays bounded across epoch re-solves.
+func (p *Pool) Compact(keep func(i int, s *Schedule) bool) []int {
+	mapping := make([]int, len(p.schedules))
+	kept := p.schedules[:0]
+	for i, s := range p.schedules {
+		if keep(i, s) {
+			mapping[i] = len(kept)
+			kept = append(kept, s)
+		} else {
+			mapping[i] = -1
+			delete(p.index, s.Key())
+		}
+	}
+	// Zero the tail so dropped schedules are collectable.
+	for i := len(kept); i < len(p.schedules); i++ {
+		p.schedules[i] = nil
+	}
+	p.schedules = kept
+	for i, s := range p.schedules {
+		p.index[s.Key()] = i
+	}
+	return mapping
+}

@@ -321,3 +321,56 @@ func TestPropertyKeyCloneStable(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoolCompact(t *testing.T) {
+	p := NewPool()
+	scheds := make([]*Schedule, 5)
+	for i := range scheds {
+		scheds[i] = &Schedule{Assignments: []Assignment{{Link: i, Channel: 0, Level: 1, Layer: HP}}}
+		p.Add(scheds[i])
+	}
+
+	mapping := p.Compact(func(i int, _ *Schedule) bool { return i%2 == 0 })
+	want := []int{0, -1, 1, -1, 2}
+	for i := range want {
+		if mapping[i] != want[i] {
+			t.Errorf("mapping[%d] = %d, want %d", i, mapping[i], want[i])
+		}
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d after compact, want 3", p.Len())
+	}
+	// Survivors keep their relative order.
+	for newIdx, oldIdx := range []int{0, 2, 4} {
+		if p.At(newIdx).Assignments[0].Link != oldIdx {
+			t.Errorf("position %d holds link %d, want %d", newIdx, p.At(newIdx).Assignments[0].Link, oldIdx)
+		}
+	}
+	// The dedup index follows: removed schedules are re-addable, kept
+	// ones still dedup to their new index.
+	if p.Contains(scheds[1]) {
+		t.Error("Contains still true for an evicted schedule")
+	}
+	if i, added := p.Add(scheds[2]); added || i != 1 {
+		t.Errorf("re-Add of survivor = (%d, %v), want (1, false)", i, added)
+	}
+	if i, added := p.Add(scheds[3]); !added || i != 3 {
+		t.Errorf("re-Add of evictee = (%d, %v), want (3, true)", i, added)
+	}
+}
+
+func TestPoolCompactKeepAll(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 3; i++ {
+		p.Add(&Schedule{Assignments: []Assignment{{Link: i}}})
+	}
+	mapping := p.Compact(func(int, *Schedule) bool { return true })
+	for i, m := range mapping {
+		if m != i {
+			t.Errorf("identity compact moved %d → %d", i, m)
+		}
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+}

@@ -40,12 +40,23 @@ cover:
 # Regenerate the tracked benchmark baseline: the root suite (one
 # benchmark point per paper figure plus solver micro-benchmarks with
 # probe counters) rendered to BENCH_baseline.json via cmd/benchjson.
+# min-of-3 filters scheduler noise out of the recorded wall clocks so
+# the bench-diff gate compares against real compute time.
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -out BENCH_baseline.json
+	$(GO) test -bench=. -benchtime=1x -count=3 -benchmem -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -reduce min -out BENCH_baseline.json
 
-# Compare the current tree against the committed baseline.
+# Compare the current tree against the committed baseline: first a
+# report-only diff of the whole suite, then the regression gate — the
+# ablation and Fig-1 benchmarks re-run with -count=3 and fail the
+# build (exit 3) when their min-of-3 ns/op regresses more than 20%.
+# Other benchmarks stay report-only: at -benchtime=1x their noise
+# floor is above any sane threshold.
 bench-diff:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
+	$(GO) test -bench='BenchmarkAblation|BenchmarkFig1' -benchtime=1x -count=3 -benchmem -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -reduce min -diff BENCH_baseline.json \
+		-gate 20 -match 'BenchmarkAblation|BenchmarkFig1'
 
 # Single-iteration smoke over every package (CI).
 bench-smoke:

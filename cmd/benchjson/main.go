@@ -10,9 +10,21 @@
 //
 // With -diff, the tool compares the incoming run against a stored
 // baseline and prints per-benchmark deltas for the metrics both runs
-// share; it exits non-zero only on I/O or parse errors, never on
-// regressions (the numbers are for humans and CI logs, not a gate —
-// single-iteration CI runs are far too noisy to fail a build on).
+// share; by default it exits non-zero only on I/O or parse errors,
+// never on regressions (the numbers are for humans and CI logs).
+//
+// With -gate N (requires -diff), the tool additionally fails — exit
+// code 3 — when any benchmark's ns/op regresses by more than N percent
+// against the baseline. -match restricts the gate to benchmarks whose
+// name matches a regular expression (micro-benchmarks too noisy for a
+// single-iteration CI run stay report-only). -reduce min collapses
+// duplicate benchmark names from a `-count=N` run into the per-metric
+// minimum — min-of-N filters scheduler interference out of wall-clock
+// numbers, which is what makes a percentage gate usable on shared
+// runners:
+//
+//	go test -bench='BenchmarkAblation|BenchmarkFig1' -count=3 ... | go run ./cmd/benchjson \
+//	    -reduce min -diff BENCH_baseline.json -gate 20 -match 'BenchmarkAblation|BenchmarkFig1'
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 
 	"mmwave/internal/benchparse"
@@ -34,11 +47,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out  = fs.String("out", "", "write the JSON document to this file instead of stdout")
-		diff = fs.String("diff", "", "compare the incoming run against this stored baseline JSON")
+		out    = fs.String("out", "", "write the JSON document to this file instead of stdout")
+		diff   = fs.String("diff", "", "compare the incoming run against this stored baseline JSON")
+		gate   = fs.Float64("gate", 0, "with -diff: fail (exit 3) on ns/op regressions above this percentage")
+		match  = fs.String("match", "", "with -diff: restrict the diff report and the gate to benchmarks matching this regexp")
+		reduce = fs.String("reduce", "", "collapse duplicate benchmark names (-count>1 runs): 'min' keeps the per-metric minimum")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *gate < 0 || (*gate > 0 && *diff == "") {
+		fmt.Fprintln(stderr, "benchjson: -gate requires -diff and a positive percentage")
+		return 2
+	}
+	var gateRE *regexp.Regexp
+	if *match != "" {
+		var err error
+		if gateRE, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(stderr, "benchjson: -match: %v\n", err)
+			return 2
+		}
 	}
 
 	doc, err := benchparse.Parse(stdin)
@@ -50,6 +78,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
 		return 1
 	}
+	switch *reduce {
+	case "":
+	case "min":
+		reduceMin(doc)
+	default:
+		fmt.Fprintf(stderr, "benchjson: unknown -reduce mode %q (only 'min')\n", *reduce)
+		return 2
+	}
 
 	if *diff != "" {
 		base, err := readBaseline(*diff)
@@ -57,7 +93,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "benchjson: %v\n", err)
 			return 1
 		}
-		printDiff(stdout, base, doc)
+		if *reduce == "min" {
+			reduceMin(base) // tolerate an un-reduced multi-count baseline
+		}
+		printDiff(stdout, base, doc, gateRE)
+		if *gate > 0 {
+			if failures := gateRegressions(stdout, base, doc, *gate, gateRE); failures > 0 {
+				fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed more than %g%% in ns/op\n", failures, *gate)
+				return 3
+			}
+		}
 		return 0
 	}
 
@@ -80,6 +125,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// reduceMin collapses duplicate benchmark names — the shape of a
+// `go test -bench -count=N` run — keeping the minimum of every metric.
+// Deterministic counters (allocs/op, probes/op, sched_s) are identical
+// across repetitions, so only wall-clock metrics actually reduce.
+func reduceMin(doc *benchparse.Document) {
+	index := make(map[string]int, len(doc.Benchmarks))
+	out := doc.Benchmarks[:0]
+	for _, b := range doc.Benchmarks {
+		i, seen := index[b.Name]
+		if !seen {
+			index[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		for unit, v := range b.Metrics {
+			if old, ok := out[i].Metrics[unit]; !ok || v < old {
+				out[i].Metrics[unit] = v
+			}
+		}
+	}
+	doc.Benchmarks = out
+}
+
 func readBaseline(path string) (*benchparse.Document, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -93,13 +161,18 @@ func readBaseline(path string) (*benchparse.Document, error) {
 }
 
 // printDiff reports, per benchmark present in both runs, the relative
-// change of every shared metric.
-func printDiff(w io.Writer, base, cur *benchparse.Document) {
+// change of every shared metric. A non-nil re restricts the report to
+// matching names, so a gated-subset run against a full baseline does
+// not drown the log in "missing from this run" lines.
+func printDiff(w io.Writer, base, cur *benchparse.Document, re *regexp.Regexp) {
 	byName := make(map[string]benchparse.Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
 	}
 	for _, b := range cur.Benchmarks {
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
 		ref, ok := byName[b.Name]
 		if !ok {
 			fmt.Fprintf(w, "%s: new benchmark\n", b.Name)
@@ -125,6 +198,9 @@ func printDiff(w io.Writer, base, cur *benchparse.Document) {
 		}
 	}
 	for _, ref := range base.Benchmarks {
+		if re != nil && !re.MatchString(ref.Name) {
+			continue
+		}
 		found := false
 		for _, b := range cur.Benchmarks {
 			if b.Name == ref.Name {
@@ -136,4 +212,35 @@ func printDiff(w io.Writer, base, cur *benchparse.Document) {
 			fmt.Fprintf(w, "%s: missing from this run\n", ref.Name)
 		}
 	}
+}
+
+// gateRegressions applies the CI regression gate: any benchmark shared
+// with the baseline (and matching re, when given) whose ns/op grew by
+// more than pct percent counts as a failure.
+func gateRegressions(w io.Writer, base, cur *benchparse.Document, pct float64, re *regexp.Regexp) int {
+	byName := make(map[string]benchparse.Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	failures := 0
+	for _, b := range cur.Benchmarks {
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		ref, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		old, hasOld := ref.Metrics["ns/op"]
+		now, hasNow := b.Metrics["ns/op"]
+		if !hasOld || !hasNow || old <= 0 {
+			continue
+		}
+		if now > old*(1+pct/100) {
+			fmt.Fprintf(w, "GATE %s ns/op: %g → %g (%+.1f%% > +%g%% allowed)\n",
+				b.Name, old, now, 100*(now-old)/old, pct)
+			failures++
+		}
+	}
+	return failures
 }

@@ -61,6 +61,90 @@ func TestRunDiff(t *testing.T) {
 	}
 }
 
+func TestRunGate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	if code := run([]string{"-out", base}, strings.NewReader(runA), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("baseline write failed")
+	}
+
+	// runB regresses BenchmarkSolve by +20%: a 25% gate passes, a 10%
+	// gate fails with exit code 3 and a GATE line naming the benchmark.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base, "-gate", "25"}, strings.NewReader(runB), &stdout, &stderr); code != 0 {
+		t.Fatalf("25%% gate = %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-diff", base, "-gate", "10"}, strings.NewReader(runB), &stdout, &stderr); code != 3 {
+		t.Fatalf("10%% gate = %d, want 3; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "GATE BenchmarkSolve/links=10-8 ns/op") {
+		t.Errorf("gate output missing GATE line:\n%s", stdout.String())
+	}
+
+	// A -match excluding the regressed benchmark passes the gate.
+	if code := run([]string{"-diff", base, "-gate", "10", "-match", "BenchmarkNew"}, strings.NewReader(runB), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("match-excluded regression still failed the gate")
+	}
+
+	// -gate without -diff is a usage error.
+	if code := run([]string{"-gate", "10"}, strings.NewReader(runB), &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Fatal("-gate without -diff accepted")
+	}
+}
+
+// A -count=3 style run: BenchmarkSolve repeats with one noisy outlier
+// (300000 ns/op). min-of-N keeps the 101000 floor — within a 10% gate
+// of runA's 100000 baseline — while gating the raw run would fail.
+const runCount = `goos: linux
+pkg: mmwave
+BenchmarkSolve/links=10-8   3   300000 ns/op   500 B/op
+BenchmarkSolve/links=10-8   3   101000 ns/op   500 B/op
+BenchmarkSolve/links=10-8   3   150000 ns/op   500 B/op
+PASS
+`
+
+func TestRunReduceMin(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	if code := run([]string{"-out", base}, strings.NewReader(runA), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("baseline write failed")
+	}
+
+	// Without reduction the first (outlier) repetition trips the gate.
+	if code := run([]string{"-diff", base, "-gate", "10"}, strings.NewReader(runCount), &bytes.Buffer{}, &bytes.Buffer{}); code != 3 {
+		t.Fatalf("unreduced noisy run = %d, want 3", code)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-reduce", "min", "-diff", base, "-gate", "10"}, strings.NewReader(runCount), &stdout, &stderr); code != 0 {
+		t.Fatalf("min-reduced gate = %d, stderr: %s\n%s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "100000 → 101000") {
+		t.Errorf("diff should compare against the per-run minimum:\n%s", stdout.String())
+	}
+
+	// -out with -reduce min writes a single collapsed entry.
+	reduced := filepath.Join(t.TempDir(), "reduced.json")
+	if code := run([]string{"-reduce", "min", "-out", reduced}, strings.NewReader(runCount), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("reduced baseline write failed")
+	}
+	data, err := os.ReadFile(reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchparse.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Metrics["ns/op"] != 101000 {
+		t.Errorf("reduced document: %+v", doc.Benchmarks)
+	}
+
+	// Unknown reduce mode is a usage error.
+	if code := run([]string{"-reduce", "median"}, strings.NewReader(runCount), &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+		t.Fatal("unknown -reduce mode accepted")
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var stderr bytes.Buffer
 	if code := run(nil, strings.NewReader("PASS\n"), &bytes.Buffer{}, &stderr); code == 0 {

@@ -302,6 +302,7 @@ func (e *Engine) solveMaster() (*lp.Solution, error) {
 	st.stats.MasterSolves++
 	if st.prob == nil {
 		st.prob = e.model.NewMaster()
+		st.solver = lp.NewSolver(st.prob)
 		st.cols = 0
 	}
 	p := st.prob
@@ -316,7 +317,7 @@ func (e *Engine) solveMaster() (*lp.Solution, error) {
 
 	lpOpts := e.opts.LP
 	lpOpts.WarmBasis = st.warmBasis
-	sol, err := lp.SolveWith(p, lpOpts)
+	sol, err := st.solver.Solve(lpOpts)
 	if err != nil {
 		return nil, fmt.Errorf("cg: master LP: %w", err)
 	}

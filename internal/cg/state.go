@@ -38,6 +38,12 @@ type State struct {
 	prob *lp.Problem
 	cols int
 
+	// solver is the reusable simplex engine bound to prob: it keeps its
+	// tableau and pivot scratch across master solves, so a steady-state
+	// re-solve allocates only its Solution. It is replaced together with
+	// prob whenever the GC forces a master rebuild.
+	solver *lp.Solver
+
 	// probeCache memoizes pricing feasibility probes for the State's
 	// (immutable) network; see netmodel.ProbeCache. Demand changes never
 	// touch probe feasibility, so it lives as long as the State.
@@ -167,6 +173,7 @@ func (st *State) gc(policy GCPolicy, model MasterModel) int {
 	// solveMaster re-appends every surviving column) and remap the warm
 	// basis onto the new indices.
 	st.prob = nil
+	st.solver = nil
 	st.cols = 0
 	if remapped, ok := lp.RemapStructurals(st.warmBasis, offset, colMap); ok {
 		st.warmBasis = remapped

@@ -33,6 +33,18 @@ type MILPPricer struct {
 	// MaxNodes caps branch-and-bound nodes per pricing call; zero
 	// means the milp package default.
 	MaxNodes int
+
+	// lastBasis is the previous call's root-relaxation basis. Across
+	// column-generation iterations only the duals (objective
+	// coefficients) change, so the old root basis stays primal feasible
+	// and the next root relaxation skips phase 1 entirely. The basis is
+	// validated against the current problem by the LP layer, which
+	// silently falls back to a cold start if the instance changed shape
+	// or feasibility — correctness never depends on it. The cache makes
+	// the pricer stateful: one MILPPricer must not be shared between
+	// concurrent solves.
+	lastBasis []lppkg.BasisVar
+	lastShape [2]int // (vars, rows) the cached basis belongs to
 }
 
 var _ ContextPricer = (*MILPPricer)(nil)
@@ -208,9 +220,18 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 		}
 	}
 
-	sol, err := milp.SolveWith(prob, milp.Options{MaxNodes: p.MaxNodes, Cancel: cancel})
+	shape := [2]int{base.NumVars(), base.NumRows()}
+	opt := milp.Options{MaxNodes: p.MaxNodes, Cancel: cancel}
+	if p.lastBasis != nil && p.lastShape == shape {
+		opt.LP.WarmBasis = p.lastBasis
+	}
+	sol, err := milp.SolveWith(prob, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: milp pricer: %w", err)
+	}
+	if sol.RootBasis != nil {
+		p.lastBasis = sol.RootBasis
+		p.lastShape = shape
 	}
 	switch sol.Status {
 	case milp.StatusOptimal, milp.StatusNodeLimit, milp.StatusCanceled:

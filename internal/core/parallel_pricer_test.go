@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"mmwave/internal/channel"
@@ -185,6 +188,106 @@ func TestPricerWithCacheIdenticalSearch(t *testing.T) {
 	}
 	if searched < 2 {
 		t.Fatalf("only %d/12 instances exercised the cache — test lost its teeth", searched)
+	}
+}
+
+// TestParallelPricerDeterministicSchedules requires byte-identical
+// schedules from serial and root-split parallel pricing, across
+// repeated parallel runs: with generically unique optima the shared
+// incumbent and the lowest-task-index tie-break make the parallel
+// merge deterministic, and the goroutine-local pooled probe solvers
+// must not perturb the search. Both single- and multi-channel access
+// modes are covered.
+func TestParallelPricerDeterministicSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	searched := 0
+	for trial := 0; trial < 6; trial++ {
+		nw := servableNetwork(rng, 8, 2)
+		nw.MultiChannel = trial%2 == 1
+		hp, lp := pricingDuals(rng, 8)
+
+		serial := NewBranchBoundPricer(500000)
+		want, err := serial.Price(nw, hp, lp)
+		if err != nil {
+			t.Fatalf("trial %d serial: %v", trial, err)
+		}
+		par := NewBranchBoundPricer(500000)
+		par.Parallel = 4
+		for rep := 0; rep < 3; rep++ {
+			got, err := par.Price(nw, hp, lp)
+			if err != nil {
+				t.Fatalf("trial %d rep %d: %v", trial, rep, err)
+			}
+			if got.Value != want.Value {
+				t.Fatalf("trial %d rep %d: value %g (parallel) != %g (serial)", trial, rep, got.Value, want.Value)
+			}
+			if !reflect.DeepEqual(got.Schedule, want.Schedule) {
+				t.Fatalf("trial %d rep %d: schedules differ:\nparallel: %+v\nserial: %+v",
+					trial, rep, got.Schedule, want.Schedule)
+			}
+		}
+		if want.Probes > 0 {
+			searched++
+		}
+	}
+	if searched < 2 {
+		t.Fatalf("only %d/6 instances searched — regenerate the test seeds", searched)
+	}
+}
+
+// TestPooledPricerConcurrentRace hammers one shared BranchBoundPricer
+// from many goroutines, each itself running a root-split parallel
+// search, so the sync.Pool of pricer states (and their goroutine-local
+// probe solvers) is churned under maximum contention. Run under
+// `go test -race` this is the pooled solver's race test; in any mode
+// every concurrent result must equal the serial reference.
+func TestPooledPricerConcurrentRace(t *testing.T) {
+	const goroutines = 8
+	type instance struct {
+		nw     *netmodel.Network
+		hp, lp []float64
+		want   *PriceResult
+	}
+	rng := rand.New(rand.NewSource(37))
+	insts := make([]instance, goroutines)
+	for i := range insts {
+		nw := servableNetwork(rng, 7, 2)
+		nw.MultiChannel = i%2 == 1
+		hp, lp := pricingDuals(rng, 7)
+		want, err := NewBranchBoundPricer(500000).Price(nw, hp, lp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = instance{nw: nw, hp: hp, lp: lp, want: want}
+	}
+
+	shared := NewBranchBoundPricer(500000)
+	shared.Parallel = 2
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in := insts[g]
+			for rep := 0; rep < 5; rep++ {
+				got, err := shared.Price(in.nw, in.hp, in.lp)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got.Value != in.want.Value || !reflect.DeepEqual(got.Schedule, in.want.Schedule) {
+					errs[g] = fmt.Errorf("goroutine %d rep %d: result diverged from serial reference", g, rep)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
 	}
 }
 

@@ -52,6 +52,17 @@ type BranchBoundPricer struct {
 	// (Parallel ≤ 1, the default) remains the reproducibility
 	// reference.
 	Parallel int
+
+	// referenceProbes (test-only) answers every feasibility probe with
+	// the full pivoted solve instead of the incremental bordered-LU
+	// probe solver, for fast-vs-reference equivalence tests.
+	referenceProbes bool
+
+	// statePool recycles worker DFS states (incl. their probe solvers
+	// and scratch) across pricing calls and root-split tasks. States
+	// are goroutine-local while checked out, which keeps the parallel
+	// pricer race-free and byte-identical to the serial one.
+	statePool sync.Pool
 }
 
 var (
@@ -156,12 +167,24 @@ type pricerState struct {
 	lastPoll   int
 	halted     bool
 	fixedPower bool
+	reference  bool // test-only: answer probes with the full pivoted solve
 
-	// Scratch buffers reused across feasibility probes.
+	// probe answers feasibility questions incrementally: the committed
+	// activation pattern mirrors the DFS path (pushed/popped alongside
+	// chActive), so each probe is one O(m²) bordered solve instead of
+	// an O(m³) rebuild. One solver covers both interference models —
+	// the PerChannel masking zeroes cross-channel matrix entries, and
+	// since the committed blocks are always feasible, the full-pattern
+	// verdict equals the probed channel's block verdict.
+	probe *netmodel.ProbeSolver
+
+	// Scratch buffers reused across feasibility probes (assembled-path
+	// probes only: fixed power, probe cache, or reference mode).
 	scratchLinks  []int
 	scratchChans  []int
 	scratchLevels []int
 	scratchGammas []float64
+	scratchPowers []float64
 }
 
 // assignChoice is a candidate's decision: idle (channel == -1) or an
@@ -303,11 +326,12 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	if p.Parallel > 1 {
 		bestVal, bestAssign, nodes, cacheHits, halted = p.searchParallel(ctl, nw, cands, suffix, sibling, cache, seedVal, seedAssign)
 	} else {
-		st := newPricerState(ctl, nw, cands, suffix, sibling, cache, p.FixedPower)
+		st := p.getState(ctl, nw, cands, suffix, sibling, cache)
 		st.bestVal, st.bestAssign = seedVal, seedAssign
 		st.dfs(0, 0)
 		bestVal, bestAssign = st.bestVal, st.bestAssign
 		nodes, cacheHits, halted = st.nodes, st.cacheHits, st.halted
+		p.putState(st)
 	}
 
 	res := &PriceResult{
@@ -334,26 +358,66 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	return res, nil
 }
 
-// newPricerState allocates one worker's DFS state.
-func newPricerState(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache, fixedPower bool) *pricerState {
-	st := &pricerState{
-		nw:         nw,
-		cands:      cands,
-		suffixBest: suffix,
-		ctl:        ctl,
-		cache:      cache,
-		chActive:   make([][]int, nw.NumChannels),
-		chLevels:   make([][]float64, nw.NumChannels),
-		chLevelIdx: make([][]int, nw.NumChannels),
-		usedNode:   make(map[int]int),
-		sibling:    sibling,
-		assign:     make([]assignChoice, len(cands)),
-		fixedPower: fixedPower,
+// getState checks a worker DFS state out of the pricer's pool and
+// re-arms it for the given search. Pool reuse keeps the per-call and
+// per-task allocation cost near zero; a state is owned by exactly one
+// goroutine between getState and putState.
+func (p *BranchBoundPricer) getState(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache) *pricerState {
+	st, _ := p.statePool.Get().(*pricerState)
+	if st == nil {
+		st = &pricerState{}
 	}
+	st.ctl = ctl
+	st.cands = cands
+	st.suffixBest = suffix
+	st.sibling = sibling
+	st.cache = cache
+	st.fixedPower = p.FixedPower
+	st.reference = p.referenceProbes
+	st.bestVal, st.bestAssign = 0, nil
+	st.nodes, st.probes, st.cacheHits, st.lastPoll = 0, 0, 0, 0
+	st.halted = false
+
+	if st.nw != nw || len(st.chActive) < nw.NumChannels {
+		st.nw = nw
+		st.chActive = make([][]int, nw.NumChannels)
+		st.chLevels = make([][]float64, nw.NumChannels)
+		st.chLevelIdx = make([][]int, nw.NumChannels)
+		st.probe = nil
+	}
+	for k := 0; k < nw.NumChannels; k++ {
+		st.chActive[k] = st.chActive[k][:0]
+		st.chLevels[k] = st.chLevels[k][:0]
+		st.chLevelIdx[k] = st.chLevelIdx[k][:0]
+	}
+	if st.usedNode == nil {
+		st.usedNode = make(map[int]int)
+	} else {
+		clear(st.usedNode)
+	}
+	if cap(st.assign) < len(cands) {
+		st.assign = make([]assignChoice, len(cands))
+	}
+	st.assign = st.assign[:len(cands)]
 	for i := range st.assign {
 		st.assign[i] = assignChoice{channel: -1}
 	}
+	if !st.fixedPower && !st.reference {
+		if st.probe == nil || st.probe.Cap() < len(cands) {
+			st.probe = netmodel.NewProbeSolver(nw, len(cands))
+		} else {
+			st.probe.Reset()
+		}
+	}
 	return st
+}
+
+// putState returns a state to the pool. The caller must have copied
+// out bestAssign/counters it still needs (bestAssign slices are fresh
+// per improvement, so references remain valid after recycling).
+func (p *BranchBoundPricer) putState(st *pricerState) {
+	st.bestAssign = nil
+	p.statePool.Put(st)
 }
 
 // searchParallel splits the DFS at the root: every (channel, level)
@@ -397,7 +461,7 @@ func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network,
 					return
 				}
 				task := tasks[ti]
-				st := newPricerState(ctl, nw, cands, suffix, sibling, cache, p.fixedPowerFlag())
+				st := p.getState(ctl, nw, cands, suffix, sibling, cache)
 				if seedAssign != nil {
 					st.bestVal = seedVal
 					st.bestAssign = append([]assignChoice(nil), seedAssign...)
@@ -411,6 +475,7 @@ func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network,
 					val: st.bestVal, assign: st.bestAssign, task: ti,
 					nodes: st.nodes, cacheHits: st.cacheHits, halted: st.halted,
 				}
+				p.putState(st)
 			}
 		}()
 	}
@@ -432,8 +497,29 @@ func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network,
 	return bestVal, bestAssign, nodes, cacheHits, halted
 }
 
-// fixedPowerFlag reads the ablation switch (helper for worker spawn).
-func (p *BranchBoundPricer) fixedPowerFlag() bool { return p.FixedPower }
+// activate commits candidate ci on channel k at level q: per-channel
+// lists, the assignment, and the probe solver's committed pattern all
+// advance together.
+func (st *pricerState) activate(k, ci, q int) {
+	st.chActive[k] = append(st.chActive[k], ci)
+	st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[q])
+	st.chLevelIdx[k] = append(st.chLevelIdx[k], q)
+	st.assign[ci] = assignChoice{channel: k, level: q}
+	if st.probe != nil {
+		st.probe.PushCommitted(st.cands[ci].link, k, st.nw.Rates.Gammas[q])
+	}
+}
+
+// deactivate undoes the matching activate (LIFO along the DFS path).
+func (st *pricerState) deactivate(k, ci int) {
+	st.chActive[k] = st.chActive[k][:len(st.chActive[k])-1]
+	st.chLevels[k] = st.chLevels[k][:len(st.chLevels[k])-1]
+	st.chLevelIdx[k] = st.chLevelIdx[k][:len(st.chLevelIdx[k])-1]
+	st.assign[ci] = assignChoice{channel: -1}
+	if st.probe != nil {
+		st.probe.Pop()
+	}
+}
 
 // runRootTask explores the subtree where candidate 0 takes the given
 // activation, mirroring the root iteration of the serial dfs.
@@ -453,11 +539,7 @@ func (st *pricerState) runRootTask(task assignChoice) {
 	if !st.feasibleWith(task.channel, 0, task.level) {
 		return
 	}
-	k := task.channel
-	st.chActive[k] = append(st.chActive[k], 0)
-	st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[task.level])
-	st.chLevelIdx[k] = append(st.chLevelIdx[k], task.level)
-	st.assign[0] = task
+	st.activate(task.channel, 0, task.level)
 	st.dfs(1, val)
 }
 
@@ -574,17 +656,9 @@ func (st *pricerState) dfs(i int, value float64) {
 				if !st.feasibleWith(k, i, q) {
 					continue
 				}
-				st.chActive[k] = append(st.chActive[k], i)
-				st.chLevels[k] = append(st.chLevels[k], st.nw.Rates.Gammas[q])
-				st.chLevelIdx[k] = append(st.chLevelIdx[k], q)
-				st.assign[i] = assignChoice{channel: k, level: q}
-
+				st.activate(k, i, q)
 				st.dfs(i+1, value+c.lam*st.nw.Rates.Rates[q])
-
-				st.chActive[k] = st.chActive[k][:len(st.chActive[k])-1]
-				st.chLevels[k] = st.chLevels[k][:len(st.chLevels[k])-1]
-				st.chLevelIdx[k] = st.chLevelIdx[k][:len(st.chLevelIdx[k])-1]
-				st.assign[i] = assignChoice{channel: -1}
+				st.deactivate(k, i)
 				if st.halted {
 					release()
 					return
@@ -610,6 +684,12 @@ func (st *pricerState) dfs(i int, value float64) {
 func (st *pricerState) feasibleWith(k, ci, q int) bool {
 	st.probes++
 	st.ctl.probes.Add(1)
+	// Fast path: the probe solver already holds the committed pattern's
+	// factorization, so the question costs one O(m²) bordered solve and
+	// zero allocations.
+	if st.probe != nil && st.cache == nil {
+		return st.probe.Probe(st.cands[ci].link, k, st.nw.Rates.Gammas[q])
+	}
 	active := st.scratchLinks[:0]
 	chans := st.scratchChans[:0]
 	levels := st.scratchLevels[:0]
@@ -640,22 +720,32 @@ func (st *pricerState) feasibleWith(k, ci, q int) bool {
 	st.scratchLevels = levels
 	st.scratchGammas = gammas
 	if st.fixedPower {
-		return fixedPowerFeasible(st.nw, active, chans, gammas)
+		return st.fixedPowerFeasible(active, chans, gammas)
 	}
 	// Only patterns of at least probeCacheMin links go through the
-	// cache: below that the Gauss-Jordan solve is as cheap as the
-	// lookup, so caching tiny patterns costs more than it saves.
+	// cache: below that the direct solve is as cheap as the lookup, so
+	// caching tiny patterns costs more than it saves. Misses are
+	// answered by the incremental solver so that cached and uncached
+	// searches stay byte-identical.
 	if st.cache != nil && len(active) >= probeCacheMin {
 		if feas, known := st.cache.Lookup(active, chans, levels); known {
 			st.cacheHits++
 			return feas
 		}
-		_, ok := st.nw.MinPowersAssigned(active, chans, gammas)
+		ok := st.probeVerdict(k, ci, q, active, chans, gammas)
 		st.cache.Record(active, chans, levels, ok)
 		return ok
 	}
-	_, ok := st.nw.MinPowersAssigned(active, chans, gammas)
-	return ok
+	return st.probeVerdict(k, ci, q, active, chans, gammas)
+}
+
+// probeVerdict answers one assembled-pattern feasibility question,
+// preferring the incremental solver when it is armed.
+func (st *pricerState) probeVerdict(k, ci, q int, active, chans []int, gammas []float64) bool {
+	if st.probe != nil {
+		return st.probe.Probe(st.cands[ci].link, k, st.nw.Rates.Gammas[q])
+	}
+	return st.nw.FeasibleAssigned(active, chans, gammas)
 }
 
 // probeCacheMin is the smallest activation-pattern size worth caching:
@@ -666,6 +756,21 @@ const probeCacheMin = 3
 // fixedPowerFeasible checks the thresholds with every link at PMax.
 func fixedPowerFeasible(nw *netmodel.Network, active []int, chans []int, gammas []float64) bool {
 	powers := make([]float64, len(active))
+	return fixedPowerFeasibleInto(nw, active, chans, gammas, powers)
+}
+
+// fixedPowerFeasible is the allocation-free probe form, reusing the
+// worker's power scratch.
+func (st *pricerState) fixedPowerFeasible(active []int, chans []int, gammas []float64) bool {
+	if cap(st.scratchPowers) < len(active) {
+		st.scratchPowers = make([]float64, len(active))
+	}
+	return fixedPowerFeasibleInto(st.nw, active, chans, gammas, st.scratchPowers[:len(active)])
+}
+
+// fixedPowerFeasibleInto checks the thresholds at PMax in the given
+// power buffer.
+func fixedPowerFeasibleInto(nw *netmodel.Network, active []int, chans []int, gammas []float64, powers []float64) bool {
 	for i := range powers {
 		powers[i] = nw.PMax
 	}
@@ -734,6 +839,11 @@ func channelOrder(nw *netmodel.Network, link int) []int {
 	return order
 }
 
+// greedyProbePool recycles the greedy heuristic's probe solvers: the
+// branch-and-bound pricer seeds from greedy on every Price call, so
+// the solver's factors and scratch survive across CG iterations.
+var greedyProbePool sync.Pool
+
 // GreedyPricer is a fast heuristic pricer: it greedily activates
 // candidates in descending contribution order at the highest feasible
 // level on their best feasible channel. It never proves optimality
@@ -789,13 +899,16 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*
 	usedNode := make(map[int]bool)
 	var value float64
 
-	tryAdd := func(l, k, q int) bool {
-		active := append(append([]int(nil), accLinks...), l)
-		chans := append(append([]int(nil), accChans...), k)
-		gammas := append(append([]float64(nil), accGammas...), nw.Rates.Gammas[q])
-		_, ok := nw.MinPowersAssigned(active, chans, gammas)
-		return ok
+	// The accepted set grows one link at a time, so the incremental
+	// probe solver answers each candidate placement in O(m²) without
+	// assembling (or allocating) the pattern.
+	probe, _ := greedyProbePool.Get().(*netmodel.ProbeSolver)
+	if probe == nil || probe.Cap() < L || probe.Network() != nw {
+		probe = netmodel.NewProbeSolver(nw, L)
+	} else {
+		probe.Reset()
 	}
+	defer greedyProbePool.Put(probe)
 
 	for _, it := range items {
 		lk := nw.Links[it.link]
@@ -809,7 +922,7 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*
 				if bestQ >= q {
 					break // cannot beat the incumbent channel choice
 				}
-				if tryAdd(it.link, k, q) {
+				if probe.Probe(it.link, k, nw.Rates.Gammas[q]) {
 					bestK, bestQ = k, q
 					break
 				}
@@ -818,6 +931,7 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*
 		if bestK < 0 {
 			continue
 		}
+		probe.PushCommitted(it.link, bestK, nw.Rates.Gammas[bestQ])
 		accLinks = append(accLinks, it.link)
 		accChans = append(accChans, bestK)
 		accLevels = append(accLevels, bestQ)

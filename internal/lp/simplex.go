@@ -1,13 +1,35 @@
 package lp
 
-import (
-	"errors"
-	"math"
-)
+import "math"
 
 // SolveWith optimizes the problem with explicit options using the
 // two-phase revised simplex method.
 func SolveWith(p *Problem, opt Options) (*Solution, error) {
+	var t tableau
+	return solveWith(p, &t, opt)
+}
+
+// Solver is a reusable simplex workspace bound to one Problem. Solve
+// re-reads the problem's current coefficients each call, so callers
+// may mutate C, B, or A entries (and even append rows or columns —
+// the workspace regrows) between solves; at steady state a solve
+// allocates only its Solution. A Solver is not safe for concurrent
+// use.
+type Solver struct {
+	p *Problem
+	t tableau
+}
+
+// NewSolver binds a reusable solver to the problem.
+func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
+
+// Solve optimizes the bound problem's current state.
+func (s *Solver) Solve(opt Options) (*Solution, error) {
+	return solveWith(s.p, &s.t, opt)
+}
+
+// solveWith runs the two-phase revised simplex in the given workspace.
+func solveWith(p *Problem, t *tableau, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,7 +57,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		}, nil
 	}
 
-	t := newTableau(p, tol)
+	t.fill(p, tol)
 
 	iters1 := 0
 	warmUsed := false
@@ -132,6 +154,22 @@ type tableau struct {
 	tol              float64
 	pivotsSinceLU    int
 	refactorizations int
+
+	// Reusable scratch, sized on (re)build: per-iteration dual vector,
+	// pivot directions (two: driveOutArtificials keeps a best candidate
+	// while probing others), the phase-1 cost vector, and the
+	// Gauss-Jordan workspace of refactorize. These turn the per-pivot
+	// allocation churn into steady-state zero.
+	yBuf   []float64
+	uBuf   []float64
+	uBuf2  []float64
+	c1     []float64
+	luWork []float64 // m × 2m augmented matrix, flat
+
+	// Warm-start scratch.
+	warmCand  []int
+	warmSeen  []bool
+	basisSave []int
 }
 
 // newTableau standardizes the problem: flips rows to make b ≥ 0, adds a
@@ -139,50 +177,81 @@ type tableau struct {
 // an artificial for = rows, then starts from the identity basis formed
 // by slacks and artificials.
 func newTableau(p *Problem, tol float64) *tableau {
+	t := &tableau{}
+	t.fill(p, tol)
+	return t
+}
+
+// growF resizes a float scratch slice without preserving contents.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growI resizes an int scratch slice without preserving contents.
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growB resizes a bool scratch slice, zeroing the result.
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// fill (re)standardizes the problem into the tableau, reusing every
+// buffer whose capacity suffices. A Solver calls this once per solve;
+// at steady state (same problem shape) it allocates nothing.
+func (t *tableau) fill(p *Problem, tol float64) {
 	m := p.NumRows()
 	nStruct := p.NumVars()
 
 	// Count auxiliary columns.
 	nSlack := 0
 	for i := 0; i < m; i++ {
-		rel := p.Rel[i]
-		if p.B[i] < 0 {
-			// Flipping the row reverses the sense.
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		if rel != EQ {
+		if effectiveRel(p, i) != EQ {
 			nSlack++
 		}
 	}
-
-	t := &tableau{
-		m:          m,
-		nStruct:    nStruct,
-		rowFlipped: make([]bool, m),
-		b:          make([]float64, m),
-		tol:        tol,
-	}
-
 	// Artificials: one per row whose slack cannot seed the basis
-	// (GE and EQ rows). We allocate lazily below.
+	// (GE and EQ rows).
 	nArt := 0
 	for i := 0; i < m; i++ {
-		rel := effectiveRel(p, i)
-		if rel != LE {
+		if effectiveRel(p, i) != LE {
 			nArt++
 		}
 	}
-	t.nArt = nArt
-	t.n = nStruct + nSlack + nArt
 
-	t.cols = make([][]float64, t.n)
+	t.m, t.nStruct, t.nArt = m, nStruct, nArt
+	t.n = nStruct + nSlack + nArt
+	t.tol = tol
+	t.pivotsSinceLU = 0
+	t.refactorizations = 0
+
+	t.rowFlipped = growB(t.rowFlipped, m)
+	t.b = growF(t.b, m)
+	t.rowScale = growF(t.rowScale, m)
+
+	if cap(t.cols) < t.n {
+		newCols := make([][]float64, t.n)
+		copy(newCols, t.cols[:cap(t.cols)])
+		t.cols = newCols
+	} else {
+		t.cols = t.cols[:t.n]
+	}
 	for j := range t.cols {
-		t.cols[j] = make([]float64, m)
+		t.cols[j] = growF(t.cols[j], m)
 	}
 
 	// Structural columns (with row flips and equilibration applied).
@@ -190,7 +259,6 @@ func newTableau(p *Problem, tol float64) *tableau {
 	// that pivot magnitudes are O(1) regardless of the caller's units
 	// (master-problem rates are ~1e8 bits/s); without it, noise-level
 	// pivots wreck the factorization.
-	t.rowScale = make([]float64, m)
 	for i := 0; i < m; i++ {
 		sign := 1.0
 		if p.B[i] < 0 {
@@ -214,12 +282,19 @@ func newTableau(p *Problem, tol float64) *tableau {
 		}
 	}
 
-	// Slack/surplus and artificial columns.
+	// Slack/surplus and artificial columns (zeroed first: structural
+	// columns are fully overwritten above, auxiliary ones are sparse).
+	for j := nStruct; j < t.n; j++ {
+		col := t.cols[j]
+		for i := range col {
+			col[i] = 0
+		}
+	}
 	slackAt := nStruct
 	artAt := nStruct + nSlack
-	t.basis = make([]int, m)
-	t.slackOf = make([]int, m)
-	t.artOf = make([]int, m)
+	t.basis = growI(t.basis, m)
+	t.slackOf = growI(t.slackOf, m)
+	t.artOf = growI(t.artOf, m)
 	for i := 0; i < m; i++ {
 		t.slackOf[i] = -1
 		t.artOf[i] = -1
@@ -245,17 +320,45 @@ func newTableau(p *Problem, tol float64) *tableau {
 		}
 	}
 
-	t.inBas = make([]bool, t.n)
+	t.inBas = growB(t.inBas, t.n)
 	for _, j := range t.basis {
 		t.inBas[j] = true
 	}
-	t.barred = make([]bool, t.n)
+	t.barred = growB(t.barred, t.n)
 
-	t.binv = identity(m)
-	t.xB = append([]float64(nil), t.b...)
-	t.costs = make([]float64, t.n)
+	if cap(t.binv) < m {
+		t.binv = make([][]float64, m)
+	} else {
+		t.binv = t.binv[:m]
+	}
+	for i := range t.binv {
+		row := growF(t.binv[i], m)
+		for j := range row {
+			row[j] = 0
+		}
+		row[i] = 1
+		t.binv[i] = row
+	}
+	t.xB = growF(t.xB, m)
+	copy(t.xB, t.b)
+	t.costs = growF(t.costs, t.n)
+	for j := range t.costs {
+		t.costs[j] = 0
+	}
 	copy(t.costs, p.C)
-	return t
+
+	t.yBuf = growF(t.yBuf, m)
+	t.uBuf = growF(t.uBuf, m)
+	t.uBuf2 = growF(t.uBuf2, m)
+	t.luWork = growF(t.luWork, m*2*m)
+	t.c1 = growF(t.c1, t.n)
+	for j := range t.c1 {
+		if j >= t.n-t.nArt {
+			t.c1[j] = 1
+		} else {
+			t.c1[j] = 0
+		}
+	}
 }
 
 // effectiveRel returns the row's sense after the b ≥ 0 normalization.
@@ -275,14 +378,9 @@ func effectiveRel(p *Problem, i int) Relation {
 // isArtificial reports whether column j is one of the artificials.
 func (t *tableau) isArtificial(j int) bool { return j >= t.n-t.nArt }
 
-// phase1Costs returns the phase-1 cost vector: 1 on artificials.
-func (t *tableau) phase1Costs() []float64 {
-	c := make([]float64, t.n)
-	for j := t.n - t.nArt; j < t.n; j++ {
-		c[j] = 1
-	}
-	return c
-}
+// phase1Costs returns the phase-1 cost vector: 1 on artificials
+// (prebuilt by fill).
+func (t *tableau) phase1Costs() []float64 { return t.c1 }
 
 // phase2Costs returns the true cost vector: the structural costs
 // extended with zeros over the auxiliary columns.
@@ -297,17 +395,22 @@ func (t *tableau) objective(c []float64) float64 {
 	return v
 }
 
-// duals returns y = c_Bᵀ B⁻¹ under costs c.
+// duals returns y = c_Bᵀ B⁻¹ under costs c in a freshly allocated
+// vector (used at extraction, where the caller keeps the slice).
 func (t *tableau) duals(c []float64) []float64 {
-	y := make([]float64, t.m)
+	return t.dualsInto(make([]float64, t.m), c)
+}
+
+// dualsInto computes y = c_Bᵀ B⁻¹ into dst (the per-iteration form).
+func (t *tableau) dualsInto(dst []float64, c []float64) []float64 {
 	for i := 0; i < t.m; i++ {
 		var v float64
 		for r, j := range t.basis {
 			v += c[j] * t.binv[r][i]
 		}
-		y[i] = v
+		dst[i] = v
 	}
-	return y
+	return dst
 }
 
 // primal extracts the first nStruct structural variable values.
@@ -343,7 +446,7 @@ func (t *tableau) run(c []float64, maxIter int, phase1 bool) (Status, int) {
 		if iters >= maxIter {
 			return StatusIterLimit, iters
 		}
-		y := t.duals(c)
+		y := t.dualsInto(t.yBuf, c)
 		useBland := stall > 2*t.m+20
 
 		enter := -1
@@ -368,7 +471,7 @@ func (t *tableau) run(c []float64, maxIter int, phase1 bool) (Status, int) {
 		}
 
 		// Direction u = B⁻¹ a_enter.
-		u := t.applyBinv(t.cols[enter])
+		u := t.applyBinvInto(t.uBuf, t.cols[enter])
 
 		// Ratio test. The pivot threshold separates cancellation noise
 		// (≈1e-15 relative after row equilibration) from genuine small
@@ -474,33 +577,72 @@ func (t *tableau) pivot(enter, leaveRow int, u []float64) {
 }
 
 // refactorize recomputes B⁻¹ from the basis columns by Gauss-Jordan
-// elimination with partial pivoting, then refreshes xB = B⁻¹ b. It
-// reports whether the basis was factorable.
+// elimination with partial pivoting (in the tableau's reusable
+// workspace), then refreshes xB = B⁻¹ b. It reports whether the basis
+// was factorable.
 func (t *tableau) refactorize() bool {
 	t.pivotsSinceLU = 0
 	t.refactorizations++
-	mat := make([][]float64, t.m)
-	for i := 0; i < t.m; i++ {
-		mat[i] = make([]float64, t.m)
-		for j := 0; j < t.m; j++ {
-			mat[i][j] = t.cols[t.basis[j]][i]
+	m := t.m
+	// Augment [B | I] in the flat workspace and reduce in place.
+	stride := 2 * m
+	work := t.luWork[:m*stride]
+	for i := 0; i < m; i++ {
+		row := work[i*stride : (i+1)*stride]
+		for j := 0; j < m; j++ {
+			row[j] = t.cols[t.basis[j]][i]
+			row[m+j] = 0
+		}
+		row[m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		pr := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(work[r*stride+col]) > math.Abs(work[pr*stride+col]) {
+				pr = r
+			}
+		}
+		if math.Abs(work[pr*stride+col]) < 1e-12 {
+			// A numerically singular basis should be impossible after a
+			// successful pivot sequence; keep the product-form inverse.
+			return false
+		}
+		if pr != col {
+			a := work[col*stride : (col+1)*stride]
+			b := work[pr*stride : (pr+1)*stride]
+			for j := col; j < stride; j++ {
+				a[j], b[j] = b[j], a[j]
+			}
+		}
+		piv := work[col*stride+col]
+		crow := work[col*stride : (col+1)*stride]
+		for j := col; j < stride; j++ {
+			crow[j] /= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			row := work[r*stride : (r+1)*stride]
+			f := row[col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < stride; j++ {
+				row[j] -= f * crow[j]
+			}
 		}
 	}
-	inv, err := invert(mat)
-	if err != nil {
-		// A numerically singular basis should be impossible after a
-		// successful pivot sequence; keep the product-form inverse.
-		return false
+	for i := 0; i < m; i++ {
+		copy(t.binv[i], work[i*stride+m:(i+1)*stride])
 	}
-	t.binv = inv
-	nb := make([]float64, t.m)
-	for i := 0; i < t.m; i++ {
-		nb[i] = dot(t.binv[i], t.b)
-		if nb[i] < 0 && nb[i] > -1e-7 {
-			nb[i] = 0
+	for i := 0; i < m; i++ {
+		v := dot(t.binv[i], t.b)
+		if v < 0 && v > -1e-7 {
+			v = 0
 		}
+		t.xB[i] = v
 	}
-	t.xB = nb
 	return true
 }
 
@@ -546,8 +688,10 @@ func (t *tableau) tryWarmStart(warm []BasisVar) warmOutcome {
 	if len(warm) != t.m {
 		return warmUnusable
 	}
-	cand := make([]int, t.m)
-	seen := make(map[int]bool, t.m)
+	t.warmCand = growI(t.warmCand, t.m)
+	cand := t.warmCand
+	t.warmSeen = growB(t.warmSeen, t.n)
+	seen := t.warmSeen
 	for r, bv := range warm {
 		var j int
 		switch bv.Kind {
@@ -577,19 +721,34 @@ func (t *tableau) tryWarmStart(warm []BasisVar) warmOutcome {
 		cand[r] = j
 	}
 
-	oldBasis := t.basis
-	oldInBas := t.inBas
-	oldBinv := t.binv
-	oldXB := t.xB
+	// The tableau is in its cold-start state (identity basis of slacks
+	// and artificials, B⁻¹ = I, xB = b); refactorize mutates binv/xB in
+	// place, so on failure the cold state is rebuilt rather than
+	// restored from saved references.
+	t.basisSave = growI(t.basisSave, t.m)
+	copy(t.basisSave, t.basis)
 	restore := func() {
-		t.basis = oldBasis
-		t.inBas = oldInBas
-		t.binv = oldBinv
-		t.xB = oldXB
+		copy(t.basis, t.basisSave)
+		for j := range t.inBas {
+			t.inBas[j] = false
+		}
+		for _, j := range t.basis {
+			t.inBas[j] = true
+		}
+		for i := range t.binv {
+			row := t.binv[i]
+			for j := range row {
+				row[j] = 0
+			}
+			row[i] = 1
+		}
+		copy(t.xB, t.b)
 	}
 
-	t.basis = cand
-	t.inBas = make([]bool, t.n)
+	copy(t.basis, cand)
+	for j := range t.inBas {
+		t.inBas[j] = false
+	}
 	for _, j := range cand {
 		t.inBas[j] = true
 	}
@@ -610,7 +769,7 @@ func (t *tableau) tryWarmStart(warm []BasisVar) warmOutcome {
 	// Primal infeasible: usable by the dual simplex iff every nonbasic
 	// column prices out non-negatively under the phase-2 costs.
 	c := t.phase2Costs()
-	y := t.duals(c)
+	y := t.dualsInto(t.yBuf, c)
 	for j := 0; j < t.n; j++ {
 		if t.inBas[j] || t.isArtificial(j) {
 			continue
@@ -651,7 +810,7 @@ func (t *tableau) runDual(c []float64, maxIter int) (Status, int) {
 
 		// Row leave of B⁻¹·A over nonbasic columns; candidates need a
 		// negative entry to push the basic value up.
-		y := t.duals(c)
+		y := t.dualsInto(t.yBuf, c)
 		enter := -1
 		bestRatio := math.Inf(1)
 		for j := 0; j < t.n; j++ {
@@ -677,7 +836,7 @@ func (t *tableau) runDual(c []float64, maxIter int) (Status, int) {
 			return StatusInfeasible, iters // the row proves Ax{≤,=,≥}b empty
 		}
 
-		u := t.applyBinv(t.cols[enter])
+		u := t.applyBinvInto(t.uBuf, t.cols[enter])
 		t.pivotDual(enter, leave, u)
 		iters++
 	}
@@ -731,33 +890,37 @@ func (t *tableau) driveOutArtificials() {
 			continue
 		}
 		// Prefer the largest pivot magnitude for numerical stability.
+		// Two direction buffers alternate: one holds the best candidate
+		// while the other probes the next column.
 		bestJ := -1
 		bestPiv := 1e-7
 		var bestU []float64
+		cur, spare := t.uBuf, t.uBuf2
 		for j := 0; j < t.n-t.nArt; j++ {
 			if t.inBas[j] || t.barred[j] {
 				continue
 			}
-			u := t.applyBinv(t.cols[j])
+			u := t.applyBinvInto(cur, t.cols[j])
 			if a := math.Abs(u[i]); a > bestPiv {
 				bestPiv = a
 				bestJ = j
 				bestU = u
+				cur, spare = spare, cur
 			}
 		}
+		_ = spare
 		if bestJ >= 0 {
 			t.pivot(bestJ, i, bestU)
 		}
 	}
 }
 
-// applyBinv returns B⁻¹ v.
-func (t *tableau) applyBinv(v []float64) []float64 {
-	out := make([]float64, t.m)
+// applyBinvInto computes B⁻¹ v into dst.
+func (t *tableau) applyBinvInto(dst []float64, v []float64) []float64 {
 	for i := 0; i < t.m; i++ {
-		out[i] = dot(t.binv[i], v)
+		dst[i] = dot(t.binv[i], v)
 	}
-	return out
+	return dst
 }
 
 // dot returns the inner product of equal-length vectors.
@@ -767,61 +930,4 @@ func dot(a, b []float64) float64 {
 		v += a[i] * b[i]
 	}
 	return v
-}
-
-// identity returns the m×m identity matrix.
-func identity(m int) [][]float64 {
-	id := make([][]float64, m)
-	for i := range id {
-		id[i] = make([]float64, m)
-		id[i][i] = 1
-	}
-	return id
-}
-
-// errSingular reports a numerically singular matrix in invert.
-var errSingular = errors.New("lp: singular basis matrix")
-
-// invert returns the inverse of a square matrix via Gauss-Jordan
-// elimination with partial pivoting.
-func invert(a [][]float64) ([][]float64, error) {
-	m := len(a)
-	// Augment [A | I] and reduce in place.
-	work := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		work[i] = make([]float64, 2*m)
-		copy(work[i], a[i])
-		work[i][m+i] = 1
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		pr := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(work[r][col]) > math.Abs(work[pr][col]) {
-				pr = r
-			}
-		}
-		if math.Abs(work[pr][col]) < 1e-12 {
-			return nil, errSingular
-		}
-		work[col], work[pr] = work[pr], work[col]
-		piv := work[col][col]
-		for j := col; j < 2*m; j++ {
-			work[col][j] /= piv
-		}
-		for r := 0; r < m; r++ {
-			if r == col || work[r][col] == 0 {
-				continue
-			}
-			f := work[r][col]
-			for j := col; j < 2*m; j++ {
-				work[r][j] -= f * work[col][j]
-			}
-		}
-	}
-	inv := make([][]float64, m)
-	for i := 0; i < m; i++ {
-		inv[i] = work[i][m:]
-	}
-	return inv, nil
 }

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solverTestProblem builds a small LP with all three row senses:
+//
+//	min  -3x - 5y
+//	s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18   (optimum x=2, y=6, obj=-36)
+func solverTestProblem() *Problem {
+	p := NewProblem([]float64{-3, -5})
+	p.AddRow([]float64{1, 0}, LE, 4)
+	p.AddRow([]float64{0, 2}, LE, 12)
+	p.AddRow([]float64{3, 2}, LE, 18)
+	return p
+}
+
+func TestSolverMatchesSolveWith(t *testing.T) {
+	p := solverTestProblem()
+	s := NewSolver(p)
+	for trial := 0; trial < 3; trial++ {
+		want, err := SolveWith(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != want.Status || math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("trial %d: solver (%v, %g) != SolveWith (%v, %g)",
+				trial, got.Status, got.Objective, want.Status, want.Objective)
+		}
+		for j := range got.X {
+			if math.Abs(got.X[j]-want.X[j]) > 1e-9 {
+				t.Fatalf("trial %d: X[%d] = %g, want %g", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestSolverTracksMutation checks that a Solver picks up in-place B
+// and C mutations as well as appended rows and columns.
+func TestSolverTracksMutation(t *testing.T) {
+	p := solverTestProblem()
+	s := NewSolver(p)
+	if _, err := s.Solve(Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// RHS mutation (the branch-and-bound case).
+	p.B[0] = 1 // x ≤ 1 → optimum x=1, y=6, obj=-33
+	got, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-(-33)) > 1e-9 {
+		t.Fatalf("after RHS mutation: objective %g, want -33", got.Objective)
+	}
+
+	// Cost mutation (the pricer-objective case).
+	p.C[1] = 0 // min -3x → x=1, obj=-3
+	got, err = s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-(-3)) > 1e-9 {
+		t.Fatalf("after cost mutation: objective %g, want -3", got.Objective)
+	}
+
+	// Structural growth (the master-problem case).
+	p.C[1] = -5
+	if _, err := p.AddColumn(-10, []float64{1, 1, 1}); err != nil { // dominant new activity z
+		t.Fatal(err)
+	}
+	p.AddRow([]float64{0, 0, 1}, LE, 2) // z ≤ 2
+	got, err = s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveWith(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-ref.Objective) > 1e-9 {
+		t.Fatalf("after growth: objective %g, want %g", got.Objective, ref.Objective)
+	}
+}
+
+// TestSolverWarmBasis checks warm starts flow through the reusable
+// solver: re-solving with the previous basis after an RHS tightening
+// must take the dual-simplex repair path (Warm=true) and match a cold
+// solve.
+func TestSolverWarmBasis(t *testing.T) {
+	p := solverTestProblem()
+	s := NewSolver(p)
+	first, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != StatusOptimal {
+		t.Fatalf("status %v", first.Status)
+	}
+	p.B[2] = 14 // tighten 3x+2y ≤ 14
+	warm, err := s.Solve(Options{WarmBasis: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveWith(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm {
+		t.Fatal("warm basis was not used")
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Fatalf("warm objective %g != cold %g", warm.Objective, cold.Objective)
+	}
+}
+
+// TestSolverSteadyStateAllocs requires the steady-state solve to
+// allocate only its Solution (a handful of small slices), not tableau
+// or pivot scratch.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewProblem(make([]float64, 8))
+	for j := range p.C {
+		p.C[j] = -1 - rng.Float64()
+	}
+	for i := 0; i < 6; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.AddRow(row, LE, 1+rng.Float64())
+	}
+	s := NewSolver(p)
+	if _, err := s.Solve(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p.B[0] = 1 + rng.Float64()
+		if _, err := s.Solve(Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The Solution struct, X, Dual, Basis, and the status path allow a
+	// small constant; the pre-Solver implementation was in the
+	// hundreds for this size.
+	if allocs > 12 {
+		t.Fatalf("steady-state solve allocates %v objects, want ≤ 12", allocs)
+	}
+}
+
+// TestSolverPropertyAgainstSolveWith fuzzes random LPs through both
+// entry points and requires identical statuses and objectives.
+func TestSolverPropertyAgainstSolveWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nv := 1 + rng.Intn(5)
+		p := NewProblem(make([]float64, nv))
+		for j := range p.C {
+			p.C[j] = rng.NormFloat64()
+		}
+		rows := 1 + rng.Intn(5)
+		for i := 0; i < rows; i++ {
+			row := make([]float64, nv)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			rel := []Relation{LE, GE, EQ}[rng.Intn(3)]
+			p.AddRow(row, rel, rng.NormFloat64())
+		}
+		want, err1 := SolveWith(p, Options{})
+		s := NewSolver(p)
+		got, err2 := s.Solve(Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: errors differ: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v != %v", trial, got.Status, want.Status)
+		}
+		if want.Status == StatusOptimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %g != %g", trial, got.Objective, want.Objective)
+		}
+		// Second solve on the same Solver must agree too (reuse path).
+		again, err := s.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: re-solve: %v", trial, err)
+		}
+		if again.Status != want.Status {
+			t.Fatalf("trial %d: re-solve status %v != %v", trial, again.Status, want.Status)
+		}
+	}
+}

@@ -110,6 +110,16 @@ type Solution struct {
 	Nodes     int       // branch-and-bound nodes explored
 	LPSolves  int       // LP relaxations solved across the tree
 	LPPivots  int       // simplex pivots summed over those relaxations
+	// WarmSolves counts node relaxations that reused a parent (or
+	// caller-provided) basis instead of solving cold through phase 1.
+	WarmSolves int
+	// FixedVars counts binaries fixed by root reduced-cost fixing.
+	FixedVars int
+	// RootBasis is the root relaxation's final basis, reusable as
+	// Options.LP.WarmBasis of a subsequent solve whose LP differs only
+	// in objective coefficients (the column-generation pricing case:
+	// across iterations only the duals change).
+	RootBasis []lp.BasisVar
 	// HasIncumbent reports whether X/Objective hold a feasible integral
 	// point (always true for StatusOptimal).
 	HasIncumbent bool
@@ -129,17 +139,31 @@ type Options struct {
 	// returns StatusCanceled with the best incumbent and the valid
 	// best-first bound accumulated so far.
 	Cancel <-chan struct{}
-	// LP passes options through to the LP relaxation solves.
+	// LP passes options through to the LP relaxation solves. WarmBasis,
+	// when set, seeds the root relaxation only (the column-generation
+	// cross-iteration reuse pattern); node relaxations always warm-start
+	// from their parent's basis.
 	LP lp.Options
+
+	// legacySolve forces the historical per-node clone-and-rebuild cold
+	// relaxation path. Test-only: it is the reference the warm path's
+	// equivalence property tests compare against.
+	legacySolve bool
+	// noRootFixing disables root reduced-cost fixing. Test-only: node
+	// counts are only comparable to the legacy path with fixing off.
+	noRootFixing bool
 }
 
 // node is one branch-and-bound subproblem: variable bound tightenings
-// layered over the root problem.
+// layered over the root problem, plus the node's own relaxation
+// solution (solved eagerly when the node is created, dropped with the
+// node when it is pruned — there is no side table to leak).
 type node struct {
 	lower map[int]float64 // var → lower bound (≥)
 	upper map[int]float64 // var → upper bound (≤)
-	bound float64         // parent LP objective (optimistic)
+	bound float64         // this node's LP objective (optimistic)
 	depth int
+	rel   *lp.Solution // eager relaxation; nil only after hand-off
 }
 
 // nodeQueue is a min-heap on the optimistic bound (best-first search).
@@ -155,6 +179,147 @@ func (q *nodeQueue) Pop() interface{} {
 	it := old[n-1]
 	*q = old[:n-1]
 	return it
+}
+
+// workState is the warm relaxation engine: one mutable work problem
+// shared by every node, built once per solve. The base LP is extended
+// with first-class bound rows — one ≤ row per variable with a finite
+// global upper bound and one ≥ row (RHS 0, initially non-binding) per
+// integer variable — so a node's bound tightenings are pure in-place
+// RHS writes. Because all RHS values stay non-negative the tableau
+// shape never changes between nodes, which is what lets the reusable
+// lp.Solver keep its buffers and lets a parent basis warm-start each
+// child solve (an RHS tightening leaves the parent basis dual
+// feasible, so the child LP is repaired by the dual simplex instead of
+// re-solved through phase 1).
+type workState struct {
+	p        *Problem
+	lp       *lp.Problem
+	solver   *lp.Solver
+	rowUpper []int // var → row index of its ≤ bound row, -1 if none
+	rowLower []int // var → row index of its ≥ bound row, -1 if none
+	// baseB mirrors lp.B for the current *global* bounds (root bounds
+	// plus any reduced-cost fixings). apply overwrites lp.B entries for
+	// one node; restore copies them back from baseB.
+	baseB   []float64
+	touched []int // rows overwritten for the node currently applied
+}
+
+// newWorkState builds the work problem, or returns nil when the
+// instance is ineligible (some integer variable has no finite upper
+// bound, so a down-branch could not be expressed as an RHS write on a
+// pre-built row); the caller then falls back to the legacy path.
+func newWorkState(p *Problem) *workState {
+	n := p.LP.NumVars()
+	for j, isInt := range p.Integer {
+		if isInt && (p.Upper == nil || math.IsInf(p.Upper[j], 1)) {
+			return nil
+		}
+	}
+	w := &workState{
+		p:        p,
+		lp:       p.LP.Clone(),
+		rowUpper: make([]int, n),
+		rowLower: make([]int, n),
+	}
+	unit := make([]float64, n)
+	for j := 0; j < n; j++ {
+		w.rowUpper[j] = -1
+		w.rowLower[j] = -1
+	}
+	if p.Upper != nil {
+		for j, u := range p.Upper {
+			if !math.IsInf(u, 1) {
+				unit[j] = 1
+				w.rowUpper[j] = w.lp.NumRows()
+				w.lp.AddRow(unit, lp.LE, u)
+				unit[j] = 0
+			}
+		}
+	}
+	for j, isInt := range p.Integer {
+		if isInt {
+			unit[j] = 1
+			w.rowLower[j] = w.lp.NumRows()
+			w.lp.AddRow(unit, lp.GE, 0)
+			unit[j] = 0
+		}
+	}
+	w.baseB = append([]float64(nil), w.lp.B...)
+	w.solver = lp.NewSolver(w.lp)
+	return w
+}
+
+// apply writes a node's bound tightenings into the work problem's RHS.
+func (w *workState) apply(nd *node) {
+	w.touched = w.touched[:0]
+	for j, u := range nd.upper {
+		if r := w.rowUpper[j]; u < w.baseB[r] {
+			w.lp.B[r] = u
+			w.touched = append(w.touched, r)
+		}
+	}
+	for j, l := range nd.lower {
+		if r := w.rowLower[j]; l > w.baseB[r] {
+			w.lp.B[r] = l
+			w.touched = append(w.touched, r)
+		}
+	}
+}
+
+// restore undoes apply, returning the work problem to global bounds.
+func (w *workState) restore() {
+	for _, r := range w.touched {
+		w.lp.B[r] = w.baseB[r]
+	}
+	w.touched = w.touched[:0]
+}
+
+// fixBinaries performs root reduced-cost fixing against a new
+// incumbent: for each still-free binary, weak LP duality on the root
+// relaxation gives a lower bound on any solution that forces the
+// variable to the opposite bound — the variable's reduced cost or its
+// bound row's dual for forcing it up to 1, the upper row's dual for
+// forcing it down to 0. When that bound reaches the incumbent, no
+// strictly improving solution can use that assignment, so the global
+// bound is fixed in place (baseB), tightening every future node solve.
+// The threshold is the bare incumbent (no gap slack), so fixing only
+// removes solutions the search would never accept and the final
+// incumbent is preserved exactly. Returns the number of new fixings.
+func (w *workState) fixBinaries(root *lp.Solution, incumbent float64) int {
+	fixed := 0
+	for j, isInt := range w.p.Integer {
+		if !isInt {
+			continue
+		}
+		ru, rl := w.rowUpper[j], w.rowLower[j]
+		// Only clean binaries still free at [0, 1].
+		if ru < 0 || rl < 0 || w.baseB[ru] != 1 || w.baseB[rl] != 0 {
+			continue
+		}
+		// Reduced cost of x_j at the root optimum (≥ 0 when x_j sits
+		// nonbasic at zero).
+		rc := w.lp.C[j]
+		for i, row := range w.lp.A {
+			if row[j] != 0 && i < len(root.Dual) {
+				rc -= root.Dual[i] * row[j]
+			}
+		}
+		yl := root.Dual[rl] // ≥ 0 (≥ row): cost per unit of raising the lower RHS
+		yu := root.Dual[ru] // ≤ 0 (≤ row): -yu is the cost of lowering the upper RHS
+		gainUp := math.Max(rc, math.Max(yl, 0))
+		gainDown := math.Max(-yu, 0)
+		if root.Objective+gainUp >= incumbent {
+			w.baseB[ru] = 0 // forcing x_j = 1 cannot beat the incumbent
+			w.lp.B[ru] = 0
+			fixed++
+		} else if root.Objective+gainDown >= incumbent {
+			w.baseB[rl] = 1 // forcing x_j = 0 cannot beat the incumbent
+			w.lp.B[rl] = 1
+			fixed++
+		}
+	}
+	return fixed
 }
 
 // Solve optimizes the MILP with default options.
@@ -178,25 +343,66 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		gap = 1e-9
 	}
 
-	root := &node{lower: map[int]float64{}, upper: map[int]float64{}}
+	var work *workState
+	if !opt.legacySolve {
+		work = newWorkState(p) // nil → legacy fallback (unbounded integer var)
+	}
+
 	queue := &nodeQueue{}
 	heap.Init(queue)
 
 	sol := &Solution{Status: StatusInfeasible, Bound: math.Inf(-1)}
 	incumbent := math.Inf(1)
 
-	// solveRel wraps the relaxation solve with LP work accounting.
-	solveRel := func(nd *node) (*lp.Solution, error) {
-		rel, err := p.solveRelaxation(nd, opt.LP)
+	// Node freelist: expanded and pruned nodes are recycled instead of
+	// churning the allocator (bound maps are retained and cleared).
+	var freeNodes []*node
+	newNode := func() *node {
+		if n := len(freeNodes); n > 0 {
+			nd := freeNodes[n-1]
+			freeNodes = freeNodes[:n-1]
+			return nd
+		}
+		return &node{lower: map[int]float64{}, upper: map[int]float64{}}
+	}
+	freeNode := func(nd *node) {
+		clear(nd.lower)
+		clear(nd.upper)
+		nd.rel = nil
+		nd.bound = 0
+		nd.depth = 0
+		freeNodes = append(freeNodes, nd)
+	}
+
+	// solveNode solves one node relaxation: through the shared work
+	// problem warm-started from the given basis, or through the legacy
+	// per-node clone-and-rebuild when the warm engine is unavailable.
+	solveNode := func(nd *node, warm []lp.BasisVar) (*lp.Solution, error) {
+		var rel *lp.Solution
+		var err error
+		if work != nil {
+			work.apply(nd)
+			lpOpt := opt.LP
+			lpOpt.WarmBasis = warm
+			rel, err = work.solver.Solve(lpOpt)
+			work.restore()
+		} else {
+			rel, err = p.solveRelaxation(nd, opt.LP)
+		}
 		if rel != nil {
 			sol.LPSolves++
 			sol.LPPivots += rel.Iterations
+			if rel.Warm {
+				sol.WarmSolves++
+			}
 		}
 		return rel, err
 	}
 
-	// Solve the root relaxation first to classify unboundedness.
-	rootLP, err := solveRel(root)
+	// Solve the root relaxation first to classify unboundedness. The
+	// caller's WarmBasis (if any) seeds this solve only.
+	root := newNode()
+	rootLP, err := solveNode(root, opt.LP.WarmBasis)
 	if err != nil {
 		return nil, err
 	}
@@ -209,10 +415,10 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		return nil, fmt.Errorf("milp: root LP hit iteration limit")
 	}
 	root.bound = rootLP.Objective
+	root.rel = rootLP
 	sol.Bound = rootLP.Objective
+	sol.RootBasis = rootLP.Basis
 	heap.Push(queue, root)
-
-	relaxations := map[*node]*lp.Solution{root: rootLP}
 
 	nodes := 0
 	for queue.Len() > 0 {
@@ -236,21 +442,24 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		sol.Bound = math.Max(sol.Bound, math.Min(nd.bound, incumbent))
 
 		if nd.bound >= incumbent-gapAbs(incumbent, gap) {
+			freeNode(nd)
 			continue // cannot beat the incumbent
 		}
 
-		rel := relaxations[nd]
-		delete(relaxations, nd)
+		rel := nd.rel
+		nd.rel = nil
 		if rel == nil {
-			rel, err = solveRel(nd)
+			rel, err = solveNode(nd, nil)
 			if err != nil {
 				return nil, err
 			}
 		}
 		if rel.Status != lp.StatusOptimal {
+			freeNode(nd)
 			continue // infeasible branch (unbounded cannot appear below a bounded root)
 		}
 		if rel.Objective >= incumbent-gapAbs(incumbent, gap) {
+			freeNode(nd)
 			continue
 		}
 
@@ -262,30 +471,37 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 				sol.X = roundIntegral(p, rel.X)
 				sol.Objective = rel.Objective
 				sol.HasIncumbent = true
+				if work != nil && !opt.noRootFixing {
+					sol.FixedVars += work.fixBinaries(rootLP, incumbent)
+				}
 			}
+			freeNode(nd)
 			continue
 		}
 
 		val := rel.X[branchVar]
-		down := childNode(nd)
+		down := childNode(nd, newNode)
 		down.upper[branchVar] = math.Floor(val)
-		up := childNode(nd)
+		up := childNode(nd, newNode)
 		up.lower[branchVar] = math.Ceil(val)
-		for _, child := range []*node{down, up} {
-			childRel, err := solveRel(child)
+		for _, child := range [2]*node{down, up} {
+			childRel, err := solveNode(child, rel.Basis)
 			if err != nil {
 				return nil, err
 			}
 			if childRel.Status != lp.StatusOptimal {
+				freeNode(child)
 				continue
 			}
 			if childRel.Objective >= incumbent-gapAbs(incumbent, gap) {
+				freeNode(child)
 				continue
 			}
 			child.bound = childRel.Objective
-			relaxations[child] = childRel
+			child.rel = childRel
 			heap.Push(queue, child)
 		}
+		freeNode(nd)
 	}
 
 	sol.Nodes = nodes
@@ -305,13 +521,11 @@ func gapAbs(incumbent, gap float64) float64 {
 	return gap * (1 + math.Abs(incumbent))
 }
 
-// childNode clones a node's bound maps.
-func childNode(nd *node) *node {
-	c := &node{
-		lower: make(map[int]float64, len(nd.lower)+1),
-		upper: make(map[int]float64, len(nd.upper)+1),
-		depth: nd.depth + 1,
-	}
+// childNode clones a node's bound maps into a (possibly recycled)
+// fresh node.
+func childNode(nd *node, alloc func() *node) *node {
+	c := alloc()
+	c.depth = nd.depth + 1
 	for k, v := range nd.lower {
 		c.lower[k] = v
 	}

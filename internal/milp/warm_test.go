@@ -1,0 +1,185 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmwave/internal/lp"
+)
+
+// randomBinaryMILP draws a seeded knapsack-style instance: nb binaries
+// plus nc continuous variables with finite upper bounds, a handful of
+// ≤/≥ resource rows, and a mixed-sign objective. Continuous data keeps
+// LP optima generically unique, which is what makes node counts
+// comparable across relaxation engines.
+func randomBinaryMILP(rng *rand.Rand) *Problem {
+	nb := 3 + rng.Intn(6)
+	nc := rng.Intn(3)
+	n := nb + nc
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = rng.NormFloat64()
+	}
+	base := lp.NewProblem(c)
+	rows := 2 + rng.Intn(4)
+	for i := 0; i < rows; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		if rng.Intn(4) == 0 {
+			base.AddRow(row, lp.GE, 0.2*rng.Float64()*float64(n))
+		} else {
+			base.AddRow(row, lp.LE, (0.3+0.4*rng.Float64())*float64(n))
+		}
+	}
+	p := NewProblem(base)
+	for j := 0; j < nb; j++ {
+		p.SetBinary(j)
+	}
+	for j := nb; j < n; j++ {
+		p.SetUpper(j, 1+2*rng.Float64())
+	}
+	return p
+}
+
+// TestWarmMatchesLegacyReference is the rewrite's load-bearing
+// property test: on seeded random instances the warm child-LP path
+// (shared work problem, RHS mutation, parent-basis dual-simplex
+// repair) must reproduce the cold clone-and-rebuild reference solve —
+// same status, same objective, and the same branch-and-bound node
+// count, meaning the two engines explored the same tree. Root fixing
+// is disabled here because the reference has no fixing.
+func TestWarmMatchesLegacyReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	branched := 0
+	for inst := 0; inst < 60; inst++ {
+		p := randomBinaryMILP(rng)
+		warm, err := SolveWith(p, Options{noRootFixing: true})
+		if err != nil {
+			t.Fatalf("instance %d: warm: %v", inst, err)
+		}
+		ref, err := SolveWith(p, Options{legacySolve: true})
+		if err != nil {
+			t.Fatalf("instance %d: legacy: %v", inst, err)
+		}
+		if warm.Status != ref.Status {
+			t.Fatalf("instance %d: status %v != legacy %v", inst, warm.Status, ref.Status)
+		}
+		if warm.Status == StatusOptimal && math.Abs(warm.Objective-ref.Objective) > 1e-6 {
+			t.Fatalf("instance %d: objective %g != legacy %g", inst, warm.Objective, ref.Objective)
+		}
+		if warm.Nodes != ref.Nodes {
+			t.Fatalf("instance %d: node count %d != legacy %d (objective %g vs %g)",
+				inst, warm.Nodes, ref.Nodes, warm.Objective, ref.Objective)
+		}
+		if ref.Nodes > 1 {
+			branched++
+		}
+		if warm.Nodes > 1 && warm.WarmSolves == 0 {
+			t.Fatalf("instance %d: %d nodes but zero warm solves — the dual-simplex repair path never engaged", inst, warm.Nodes)
+		}
+	}
+	if branched < 10 {
+		t.Fatalf("only %d/60 instances branched; generator too easy to exercise the tree", branched)
+	}
+}
+
+// TestRootFixingPreservesResult checks that reduced-cost fixing is
+// conservative: with fixing on (the default) the solve must return the
+// same status and objective as the legacy reference, since fixing only
+// removes assignments provably unable to beat the incumbent.
+func TestRootFixingPreservesResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fixedTotal := 0
+	for inst := 0; inst < 60; inst++ {
+		p := randomBinaryMILP(rng)
+		warm, err := SolveWith(p, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: warm: %v", inst, err)
+		}
+		ref, err := SolveWith(p, Options{legacySolve: true})
+		if err != nil {
+			t.Fatalf("instance %d: legacy: %v", inst, err)
+		}
+		if warm.Status != ref.Status {
+			t.Fatalf("instance %d: status %v != legacy %v", inst, warm.Status, ref.Status)
+		}
+		if warm.Status == StatusOptimal && math.Abs(warm.Objective-ref.Objective) > 1e-6 {
+			t.Fatalf("instance %d: objective %g != legacy %g (%d vars fixed)",
+				inst, warm.Objective, ref.Objective, warm.FixedVars)
+		}
+		fixedTotal += warm.FixedVars
+	}
+	t.Logf("root fixing removed %d variables across 60 instances", fixedTotal)
+}
+
+// TestRootBasisReuse exercises the cross-iteration pricing pattern:
+// re-solving after an objective-only perturbation, seeded with the
+// previous solve's RootBasis, must agree with a cold solve and must
+// actually warm-start the root relaxation.
+func TestRootBasisReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warmRoots := 0
+	for inst := 0; inst < 20; inst++ {
+		p := randomBinaryMILP(rng)
+		first, err := SolveWith(p, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: %v", inst, err)
+		}
+		if first.Status != StatusOptimal || first.RootBasis == nil {
+			continue
+		}
+		// Duals-only update: perturb objective coefficients slightly.
+		for j := range p.LP.C {
+			p.LP.C[j] += 0.01 * rng.NormFloat64()
+		}
+		seeded, err := SolveWith(p, Options{LP: lp.Options{WarmBasis: first.RootBasis}})
+		if err != nil {
+			t.Fatalf("instance %d: seeded: %v", inst, err)
+		}
+		cold, err := SolveWith(p, Options{})
+		if err != nil {
+			t.Fatalf("instance %d: cold: %v", inst, err)
+		}
+		if seeded.Status != cold.Status {
+			t.Fatalf("instance %d: seeded status %v != cold %v", inst, seeded.Status, cold.Status)
+		}
+		if seeded.Status == StatusOptimal && math.Abs(seeded.Objective-cold.Objective) > 1e-6 {
+			t.Fatalf("instance %d: seeded objective %g != cold %g", inst, seeded.Objective, cold.Objective)
+		}
+		if seeded.WarmSolves > cold.WarmSolves {
+			warmRoots++
+		}
+	}
+	if warmRoots == 0 {
+		t.Fatal("RootBasis seeding never warm-started a root relaxation")
+	}
+}
+
+// TestWarmUnboundedIntegerFallsBack pins the legacy fallback: an
+// integer variable with no finite upper bound cannot use pre-built
+// bound rows, and the solve must still be correct through the
+// clone-and-rebuild path.
+func TestWarmUnboundedIntegerFallsBack(t *testing.T) {
+	// min -x - y  s.t. 2x + y ≤ 7, x integer unbounded, y ≤ 1.5.
+	base := lp.NewProblem([]float64{-1, -1})
+	base.AddRow([]float64{2, 1}, lp.LE, 7)
+	p := NewProblem(base)
+	p.Integer[0] = true
+	p.SetUpper(1, 1.5)
+	if w := newWorkState(p); w != nil {
+		t.Fatal("unbounded integer variable should be ineligible for the warm engine")
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = 2, y = 1.5 wins over x = 3, y = 1 (obj -3.5 vs -4? check:
+	// x=3 → 2·3=6, y ≤ 1 → obj -4; x=2 → y ≤ 1.5 (row slack 3, but
+	// y ≤ 1.5 bound binds) → obj -3.5). Optimum is x=3, y=1.
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-(-4)) > 1e-6 {
+		t.Fatalf("got %v objective %g, want optimal -4", sol.Status, sol.Objective)
+	}
+}

@@ -224,9 +224,11 @@ func (n *Network) SINRAssigned(i int, active []int, chans []int, powers []float6
 }
 
 // powerScratch is the reusable workspace of one MinPowersAssigned
-// call: the augmented system matrix in one flat backing array.
+// call: the augmented system matrix and the solution vector in flat
+// backing arrays.
 type powerScratch struct {
 	buf []float64
+	sol []float64
 }
 
 // powerPool recycles workspaces across feasibility probes; the pricer
@@ -264,13 +266,39 @@ func (n *Network) MinPowers(k int, active []int, gamma []float64) ([]float64, bo
 // verifies). The solve is performed in a pooled workspace; this is the
 // innermost primitive of the pricing search.
 func (n *Network) MinPowersAssigned(active []int, chans []int, gamma []float64) ([]float64, bool) {
-	m := len(active)
-	if m == 0 {
+	if len(active) == 0 {
 		return nil, true
 	}
-
 	ws := powerPool.Get().(*powerScratch)
 	defer powerPool.Put(ws)
+	scratchSol, ok := n.solveAssigned(ws, active, chans, gamma)
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), scratchSol...), true
+}
+
+// FeasibleAssigned reports whether the assigned activation pattern
+// admits powers within [0, PMax] — the same verdict MinPowersAssigned
+// returns, computed with byte-identical arithmetic but without
+// allocating the power vector. This is the form the pricing search's
+// probes want: of the millions of feasibility questions a solve asks,
+// only the handful on accepted schedules need the powers themselves.
+func (n *Network) FeasibleAssigned(active []int, chans []int, gamma []float64) bool {
+	if len(active) == 0 {
+		return true
+	}
+	ws := powerPool.Get().(*powerScratch)
+	defer powerPool.Put(ws)
+	_, ok := n.solveAssigned(ws, active, chans, gamma)
+	return ok
+}
+
+// solveAssigned runs the Foschini–Miljanic solve in the given
+// workspace. On success the returned slice aliases ws.sol and is valid
+// only until the workspace is recycled.
+func (n *Network) solveAssigned(ws *powerScratch, active []int, chans []int, gamma []float64) ([]float64, bool) {
+	m := len(active)
 	if cap(ws.buf) < m*(m+1) {
 		ws.buf = make([]float64, m*(m+1))
 	}
@@ -337,7 +365,10 @@ func (n *Network) MinPowersAssigned(active []int, chans []int, gamma []float64) 
 		}
 	}
 
-	sol := make([]float64, m)
+	if cap(ws.sol) < m {
+		ws.sol = make([]float64, m)
+	}
+	sol := ws.sol[:m]
 	for i := 0; i < m; i++ {
 		v := a[i*stride+m]
 		if v < -1e-9 || v > n.PMax*(1+1e-7) {

@@ -1,0 +1,198 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPattern draws a random feasibility question: a set of distinct
+// links (repeats allowed under multiChannel, on distinct channels),
+// each with a channel and a threshold from the rate table.
+func randomPattern(rng *rand.Rand, nw *Network, maxLen int, multiChannel bool) (links, chans []int, gammas []float64) {
+	n := 1 + rng.Intn(maxLen)
+	usedPair := map[[2]int]bool{}
+	for len(links) < n {
+		l := rng.Intn(nw.NumLinks())
+		k := rng.Intn(nw.NumChannels)
+		if usedPair[[2]int{l, k}] {
+			continue
+		}
+		if !multiChannel {
+			dup := false
+			for _, lj := range links {
+				if lj == l {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		usedPair[[2]int{l, k}] = true
+		links = append(links, l)
+		chans = append(chans, k)
+		gammas = append(gammas, nw.Rates.Gammas[rng.Intn(nw.Rates.Levels())])
+	}
+	return
+}
+
+// TestFeasibleAssignedMatchesMinPowers checks that the allocation-free
+// verdict agrees with the solving API on random patterns.
+func TestFeasibleAssignedMatchesMinPowers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, model := range []InterferenceModel{PerChannel, Global} {
+		nw := randomNetwork(rng, 10, 3)
+		nw.Interference = model
+		for trial := 0; trial < 500; trial++ {
+			links, chans, gammas := randomPattern(rng, nw, 6, false)
+			_, want := nw.MinPowersAssigned(links, chans, gammas)
+			if got := nw.FeasibleAssigned(links, chans, gammas); got != want {
+				t.Fatalf("model %v trial %d: FeasibleAssigned = %v, MinPowersAssigned ok = %v (links %v chans %v gammas %v)",
+					model, trial, got, want, links, chans, gammas)
+			}
+		}
+	}
+}
+
+// TestProbeSolverMatchesReference walks the ProbeSolver through random
+// probe/push/pop sequences and checks every Probe verdict against the
+// full pivoted solve of the same pattern.
+func TestProbeSolverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		name  string
+		model InterferenceModel
+		multi bool
+	}{
+		{"global", Global, false},
+		{"per-channel", PerChannel, false},
+		{"global/multi-channel", Global, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for inst := 0; inst < 8; inst++ {
+				nw := randomNetwork(rng, 12, 3)
+				nw.Interference = tc.model
+				nw.MultiChannel = tc.multi
+				ps := NewProbeSolver(nw, nw.NumLinks()*nw.NumChannels)
+				// committed[i] = {link, chan, gammaIdx} of the solver stack.
+				type entry struct {
+					l, k int
+					g    float64
+				}
+				var stack []entry
+				checkProbe := func(l, k int, g float64) bool {
+					refLinks := make([]int, 0, len(stack)+1)
+					refChans := make([]int, 0, len(stack)+1)
+					refGammas := make([]float64, 0, len(stack)+1)
+					for _, e := range stack {
+						refLinks = append(refLinks, e.l)
+						refChans = append(refChans, e.k)
+						refGammas = append(refGammas, e.g)
+					}
+					refLinks = append(refLinks, l)
+					refChans = append(refChans, k)
+					refGammas = append(refGammas, g)
+					want := nw.FeasibleAssigned(refLinks, refChans, refGammas)
+					got := ps.Probe(l, k, g)
+					if got != want {
+						t.Fatalf("instance %d depth %d: Probe(%d,%d,%g) = %v, reference = %v (stack %v)",
+							inst, len(stack), l, k, g, got, want, stack)
+					}
+					return got
+				}
+				for step := 0; step < 400; step++ {
+					switch {
+					case len(stack) > 0 && rng.Intn(3) == 0:
+						ps.Pop()
+						stack = stack[:len(stack)-1]
+					default:
+						l := rng.Intn(nw.NumLinks())
+						k := rng.Intn(nw.NumChannels)
+						g := nw.Rates.Gammas[rng.Intn(nw.Rates.Levels())]
+						dup := false
+						for _, e := range stack {
+							if e.l == l && (e.k == k || !tc.multi) {
+								dup = true
+								break
+							}
+						}
+						if dup {
+							continue
+						}
+						if checkProbe(l, k, g) && rng.Intn(2) == 0 {
+							ps.Push(l, k, g)
+							stack = append(stack, entry{l, k, g})
+						}
+					}
+					if ps.Depth() != len(stack) {
+						t.Fatalf("depth mismatch: solver %d, reference %d", ps.Depth(), len(stack))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProbeSolverReset checks that a reset solver answers like a fresh
+// one.
+func TestProbeSolverReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 8, 2)
+	nw.Interference = Global
+	ps := NewProbeSolver(nw, 16)
+	if !ps.Probe(0, 0, nw.Rates.Gammas[0]) {
+		t.Skip("first probe infeasible on this draw")
+	}
+	ps.Push(0, 0, nw.Rates.Gammas[0])
+	ps.Reset()
+	if ps.Depth() != 0 {
+		t.Fatalf("Depth after Reset = %d, want 0", ps.Depth())
+	}
+	want := nw.FeasibleAssigned([]int{1}, []int{1}, []float64{nw.Rates.Gammas[1]})
+	if got := ps.Probe(1, 1, nw.Rates.Gammas[1]); got != want {
+		t.Fatalf("probe after Reset = %v, want %v", got, want)
+	}
+}
+
+// BenchmarkProbe compares the incremental probe against the full
+// reference solve at a representative committed depth.
+func BenchmarkProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	nw := randomNetwork(rng, 15, 5)
+	nw.Interference = Global
+	ps := NewProbeSolver(nw, 32)
+	var links, chans []int
+	var gammas []float64
+	for l := 0; l < nw.NumLinks() && ps.Depth() < 6; l++ {
+		k := l % nw.NumChannels
+		g := nw.Rates.Gammas[0]
+		if ps.Probe(l, k, g) {
+			ps.Push(l, k, g)
+			links = append(links, l)
+			chans = append(chans, k)
+			gammas = append(gammas, g)
+		}
+	}
+	if ps.Depth() == 0 {
+		b.Skip("no feasible base pattern")
+	}
+	probeL := nw.NumLinks() - 1
+	probeK := probeL % nw.NumChannels
+	probeG := nw.Rates.Gammas[1]
+	linksX := append(append([]int(nil), links...), probeL)
+	chansX := append(append([]int(nil), chans...), probeK)
+	gammasX := append(append([]float64(nil), gammas...), probeG)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ps.Probe(probeL, probeK, probeG)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nw.FeasibleAssigned(linksX, chansX, gammasX)
+		}
+	})
+}

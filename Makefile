@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz trace-smoke figures examples lint check-deprecated clean
+.PHONY: all build test race vet cover bench bench-full bench-smoke bench-diff fuzz fuzz-short soak-short trace-smoke figures examples lint check-deprecated clean
 
 all: build vet test
 
@@ -66,13 +66,29 @@ bench-smoke:
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz passes over the control-plane wire decoders and the
-# fault-event wire/spec decoders.
+# Fuzz passes over every wire decoder: the control-plane frames, the
+# fault-event wire/spec decoders, and the checkpoint snapshot decoder.
+# FUZZTIME scales both targets; fuzz-short is the CI setting.
+FUZZTIME ?= 20s
+
 fuzz:
-	$(GO) test -fuzz FuzzDemandReportUnmarshal -fuzztime 20s ./internal/pnc
-	$(GO) test -fuzz FuzzChannelUpdateUnmarshal -fuzztime 20s ./internal/pnc
-	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime 20s ./internal/pnc
-	$(GO) test -fuzz FuzzFailureDecoders -fuzztime 20s ./internal/faults
+	$(GO) test -fuzz FuzzDemandReportUnmarshal -fuzztime $(FUZZTIME) ./internal/pnc
+	$(GO) test -fuzz FuzzChannelUpdateUnmarshal -fuzztime $(FUZZTIME) ./internal/pnc
+	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime $(FUZZTIME) ./internal/pnc
+	$(GO) test -fuzz FuzzFailureDecoders -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/checkpoint
+
+fuzz-short:
+	$(MAKE) fuzz FUZZTIME=10s
+
+# Reduced chaos soak under the race detector: the supervised
+# multi-cell host with the full fault cocktail (panics, hangs,
+# kill/restore, checkpoint corruption), asserting the soak invariants
+# (determinism digest, shadow byte-identity, Theorem-1 bounds, LP-
+# before-HP shedding). The full-scale soak is `go run ./cmd/mmwavesim
+# -fig chaossoak`.
+soak-short:
+	$(GO) test -race -short -run 'TestChaosSoak' -v ./internal/experiment
 
 # Trace-enabled smoke: run one tiny fig1 point with -trace and
 # -metrics attached and validate the artifacts — the trace must be

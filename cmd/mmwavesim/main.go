@@ -23,14 +23,21 @@
 // -metrics FILE dumps the campaign's counter/histogram exposition,
 // -pprof ADDR serves net/http/pprof for the run's duration, and
 // -cpuprofile/-heapprofile write pprof captures of the whole campaign.
+// SIGINT/SIGTERM stop a campaign gracefully: the sweep halts at the
+// next cell boundary, in-flight solves truncate to their anytime
+// plans, and every artifact file is still flushed before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mmwave/internal/experiment"
 	"mmwave/internal/faults"
@@ -38,11 +45,24 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	// SIGINT/SIGTERM cancel the campaign context: sweeps stop at the
+	// next cell boundary, in-flight solves truncate to their anytime
+	// plans, and the artifact flush below still runs — an interrupted
+	// campaign leaves complete traces, metrics, and profiles. A second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := runCtx(ctx, os.Args[1:])
+	stop()
+	os.Exit(code)
 }
 
-// run executes the CLI and returns the process exit code.
+// run executes the CLI without cancellation (test entry point).
 func run(args []string) int {
+	return runCtx(context.Background(), args)
+}
+
+// runCtx executes the CLI under ctx and returns the process exit code.
+func runCtx(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("mmwavesim", flag.ContinueOnError)
 	var (
 		figure       = fs.String("fig", "", "figure to reproduce (\"help\" lists all)")
@@ -60,7 +80,8 @@ func run(args []string) int {
 		pmax         = fs.Float64("pmax", 0, "transmit power cap in W (0 = Table I default of 1 W)")
 		sweep        = fs.String("sweep", "", "comma-separated sweep values overriding the default x-axis")
 		rep          = fs.Int("rep", 0, "repetition index for -fig 4")
-		epochs       = fs.Int("epochs", 0, "scheduling epochs for -fig faultsweep (0 = default)")
+		cells        = fs.Int("cells", 0, "supervised cells for -fig chaossoak (0 = default of 8)")
+		epochs       = fs.Int("epochs", 0, "scheduling epochs for -fig faultsweep/chaossoak (0 = default)")
 		retries      = fs.Int("retries", -1, "control-frame retry budget for -fig faultsweep (-1 = policy default)")
 		failSpec     = fs.String("fail", "", "injected link outages for -fig faultsweep, e.g. \"100@3+50,400@7+25\" (slot@link+duration)")
 		workers      = fs.Int("workers", 0, "goroutines for independent sweep cells (0 = one per CPU, 1 = sequential reference; output is identical either way)")
@@ -101,6 +122,7 @@ func run(args []string) int {
 	cfg.Workers = *workers
 	cfg.PricerWorkers = *priceWorkers
 	cfg.CacheProbes = *probeCache
+	cfg.Ctx = ctx
 	var tel *experiment.Telemetry
 	if *verbose {
 		tel = &experiment.Telemetry{}
@@ -185,6 +207,7 @@ func run(args []string) int {
 		CSV:      *csv,
 		Out:      os.Stdout,
 		Rep:      *rep,
+		Cells:    *cells,
 		Epochs:   *epochs,
 		Retries:  *retries,
 		Failures: failures,
@@ -227,7 +250,11 @@ func run(args []string) int {
 	}
 
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", runErr)
+		if errors.Is(runErr, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mmwavesim: interrupted — partial artifacts flushed")
+		} else {
+			fmt.Fprintf(os.Stderr, "mmwavesim: %v\n", runErr)
+		}
 		return 1
 	}
 	if tel != nil {

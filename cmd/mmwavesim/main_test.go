@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,5 +167,29 @@ func TestRunTraceAndMetrics(t *testing.T) {
 func TestRunBadTracePath(t *testing.T) {
 	if code := run([]string{"-fig", "1", "-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}); code != 1 {
 		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+// TestRunInterrupted: a campaign started with an already-canceled
+// context (the moral equivalent of an immediate SIGINT) must exit
+// nonzero but still flush its artifact files.
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	metricsPath := filepath.Join(t.TempDir(), "metrics.txt")
+	args := []string{"-fig", "1", "-seeds", "1", "-sweep", "3", "-channels", "2", "-metrics", metricsPath}
+	if code := runCtx(ctx, args); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if _, err := os.Stat(metricsPath); err != nil {
+		t.Errorf("interrupted run did not flush the metrics artifact: %v", err)
+	}
+}
+
+// TestRunChaosSoakTiny exercises the chaossoak figure end to end at a
+// small scale.
+func TestRunChaosSoakTiny(t *testing.T) {
+	if code := run([]string{"-fig", "chaossoak", "-cells", "2", "-epochs", "8"}); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
 	}
 }

@@ -276,7 +276,10 @@ func (e *Engine) finishTruncated(out *Outcome, mpSol *lp.Solution, lambdaHP, lam
 	out.LowerBound = bestLower
 	out.DualsHP, out.DualsLP = lambdaHP, lambdaLP
 	out.Truncated = true
-	out.Stop = fmt.Errorf("%w: %v", ErrBudgetExceeded, context.Cause(ctx))
+	// Double-wrap so callers can match both the budget sentinel and the
+	// cancellation cause (e.g. context.DeadlineExceeded from a watchdog)
+	// through errors.Is.
+	out.Stop = fmt.Errorf("%w: %w", ErrBudgetExceeded, context.Cause(ctx))
 	return out
 }
 

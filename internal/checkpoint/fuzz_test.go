@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"mmwave/internal/core"
+	"mmwave/internal/faults"
+	"mmwave/internal/pnc"
+	"mmwave/internal/video"
+)
+
+// FuzzSnapshotDecode hammers the checkpoint decoder with mutated
+// images: it must never panic, and any image it accepts must re-encode
+// to exactly the same bytes (the format is canonical) and pass
+// semantic validation.
+func FuzzSnapshotDecode(f *testing.F) {
+	nw := testNetwork(f, 21, 4, 2)
+	coord, err := pnc.NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	reportAll(f, coord, 4, video.Demand{HP: 2e6, LP: 4e6})
+	if _, err := coord.RunEpoch(); err != nil {
+		f.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{CtrlLoss: 0.1, CellPanic: 0.05, Seed: 5}, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if seed, err := Capture(coord, inj).Encode(); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+	}
+	if seed, err := Capture(coord, nil).Encode(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte("MWCK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted image failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("accepted image did not re-encode canonically")
+		}
+	})
+}

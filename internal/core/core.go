@@ -246,6 +246,54 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 	return s, nil
 }
 
+// StateSnapshot exports a serializable image of the solver's durable
+// engine state (schedule pool, warm basis, GC bookkeeping, last duals)
+// for checkpointing. See cg.StateSnapshot for what is and is not
+// captured.
+func (s *Solver) StateSnapshot() *cg.StateSnapshot {
+	return s.engine.State().Snapshot()
+}
+
+// NewSolverFromSnapshot rebuilds a solver around a restored engine
+// state instead of the TDMA-cold initialization: the next Solve
+// warm-starts from the snapshot's pool and basis exactly as the
+// snapshotted solver would have, so a restored coordinator re-solves
+// byte-identically. The snapshot must come from a solver on an
+// identical network (the checkpoint layer gates this with a problem
+// fingerprint); every snapshot column is re-validated against nw as
+// defense in depth.
+func NewSolverFromSnapshot(nw *netmodel.Network, demands []video.Demand, opts Options, snap *cg.StateSnapshot) (*Solver, error) {
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network: %w", err)
+	}
+	if len(demands) != nw.NumLinks() {
+		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	}
+	for l, d := range demands {
+		if !d.Valid() {
+			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
+		}
+	}
+	if err := snap.ValidateAgainst(nw); err != nil {
+		return nil, err
+	}
+	if opts.Pricer == nil {
+		p := NewBranchBoundPricer(0)
+		p.Parallel = opts.PricerWorkers
+		opts.Pricer = p
+	}
+	state, err := cg.RestoreState(snap, opts.CacheProbes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{nw: nw, demands: append([]video.Demand(nil), demands...), opts: opts}
+	s.engine = cg.NewEngine(nw, &p1Model{s: s}, state, opts.engineOptions("core"))
+	if err := s.checkCoverage(demands); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // checkCoverage rejects demand vectors with positive demand on links
 // no pooled column can serve (the master would be infeasible).
 func (s *Solver) checkCoverage(demands []video.Demand) error {
@@ -270,6 +318,12 @@ func (s *Solver) checkCoverage(demands []video.Demand) error {
 
 // Pool exposes the current column pool (read-only use).
 func (s *Solver) Pool() *schedule.Pool { return s.engine.State().Pool() }
+
+// Demands returns a copy of the solver's current demand vector (the
+// one the last SetDemands installed, or the construction-time vector).
+func (s *Solver) Demands() []video.Demand {
+	return append([]video.Demand(nil), s.demands...)
+}
 
 // SetDemands replaces the per-link demand vector and keeps the engine
 // state: the paper's §III update rule ("if the traffic demand changes,

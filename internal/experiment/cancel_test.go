@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunParallelCanceled: a canceled campaign context stops the
+// dispatch loop at the next cell boundary and surfaces the cause.
+func TestRunParallelCanceled(t *testing.T) {
+	cause := errors.New("operator hit ctrl-c")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := runParallel(ctx, workers, 10, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Errorf("workers=%d: err = %v, want the cancellation cause", workers, err)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Errorf("workers=%d: %d cells ran after cancellation, want 0", workers, got)
+		}
+	}
+}
+
+// TestFaultSweepCanceled: the epoch driver honors the campaign context
+// between epochs.
+func TestFaultSweepCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fc := DefaultFaultSweepConfig()
+	fc.Net = fastConfig()
+	fc.Net.Ctx = ctx
+	if _, err := FaultSweep(fc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestChaosSoakCanceled: the soak honors the campaign context between
+// epochs.
+func TestChaosSoakCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := soakScale(2, 5)
+	cc.BudgetFrac = 0 // skip the pilot solves; the run must end before any epoch
+	cc.Net.Ctx = ctx
+	if _, err := ChaosSoak(cc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

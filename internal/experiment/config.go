@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mmwave/internal/geom"
@@ -109,6 +110,22 @@ type Config struct {
 	// timing histogram, experiment_cell_seconds. Safe to share across
 	// workers; purely observational.
 	Metrics *obs.Registry
+
+	// Ctx, when non-nil, bounds the campaign: cancellation stops the
+	// sweep at the next cell/epoch boundary (cells already solving
+	// truncate to their anytime plans) and the cause is surfaced as the
+	// campaign error. The CLI wires its SIGINT/SIGTERM context here so
+	// an interrupted run still flushes its artifacts. Nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+// context resolves the campaign context.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the paper's Table I parameters: 30 links, 5

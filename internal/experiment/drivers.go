@@ -57,6 +57,51 @@ func init() {
 	Register(Driver{Name: "relay", Synopsis: "dual-hop recovery of blocked sessions", Run: runRelayFig})
 	Register(Driver{Name: "streaming", Synopsis: "multi-GOP stall/quality trade-off", Run: runStreamingFig})
 	Register(Driver{Name: "faultsweep", Synopsis: "served demand vs control-frame loss", Run: runFaultSweepFig})
+	Register(Driver{Name: "chaossoak", Synopsis: "crash-safety soak of the supervised multi-cell host", Run: runChaosSoakFig})
+}
+
+// runChaosSoakFig runs the crash-safety soak at its acceptance scale
+// (8 cells × 200 epochs unless overridden) and fails the run on any
+// invariant violation, so the figure doubles as a CI gate.
+func runChaosSoakFig(env *RunEnv) error {
+	cc := DefaultChaosSoakConfig()
+	links := cc.Net.NumLinks
+	channels := cc.Net.NumChannels
+	cc.Net = env.Cfg
+	cc.Net.NumLinks = links
+	cc.Net.NumChannels = channels
+	if env.LinksSet {
+		cc.Net.NumLinks = env.Cfg.NumLinks
+	}
+	if env.Cells > 0 {
+		cc.Cells = env.Cells
+	}
+	if env.Epochs > 0 {
+		cc.Epochs = env.Epochs
+	}
+	res, err := ChaosSoak(cc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Out, "CHAOS SOAK — %d cells × %d epochs (%d links/cell, watchdog %s)\n",
+		res.Cells, res.Epochs, cc.Net.NumLinks, cc.Watchdog)
+	fmt.Fprintf(env.Out, "  outcomes:   %d ok, %d failed (%d recovered panics), %d backoff, %d breaker-open, %d disabled\n",
+		res.OK, res.Failed, res.PanicsRecovered, res.Backoff, res.BreakerOpen, res.DisabledEpochs)
+	fmt.Fprintf(env.Out, "  chaos:      %d hangs (%d truncated-but-bounded solves), %d restores, %d cold restarts, %d corrupted checkpoints\n",
+		res.HangsInjected, res.Truncations, res.Restores, res.ColdRestarts, res.CorruptedCkpts)
+	fmt.Fprintf(env.Out, "  serving:    %d degraded epochs served last-known-good (max staleness %d), %d shed epochs (%d reached HP)\n",
+		res.DegradedEpochs, res.MaxStaleness, res.ShedEpochs, res.HPShedEpochs)
+	fmt.Fprintf(env.Out, "  shadow:     %d/%d cells byte-identical to the undisturbed fleet (%d cell-epochs compared)\n",
+		res.CleanCells, res.Cells, res.MatchedEpochs)
+	fmt.Fprintf(env.Out, "  digest:     %016x\n", res.Digest)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(env.Out, "  VIOLATION:  %s\n", v)
+		}
+		return fmt.Errorf("experiment: chaos soak: %d invariant violations", len(res.Violations))
+	}
+	fmt.Fprintf(env.Out, "  invariants: 0 violations\n")
+	return nil
 }
 
 // runFig4 reproduces the convergence trace. Fig. 4 needs a provably

@@ -155,7 +155,11 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 	}
 
 	var hpTrue, lpTrue, hpServed, lpServed, degLinks, links float64
+	ctx := fc.Net.context()
 	for epoch := 0; epoch < fc.Epochs; epoch++ {
+		if ctx.Err() != nil {
+			return 0, 0, 0, context.Cause(ctx)
+		}
 		if inj != nil {
 			inj.StepEpoch()
 		}
@@ -177,7 +181,10 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 			_ = coord.IngestLossy(frame)
 		}
 
-		res, rerr := coord.RunEpochContext(context.Background())
+		// The campaign context reaches the solve itself: cancellation
+		// mid-epoch truncates it to the anytime plan instead of
+		// abandoning the epoch.
+		res, rerr := coord.RunEpochContext(ctx)
 		if rerr != nil {
 			return 0, 0, 0, rerr
 		}

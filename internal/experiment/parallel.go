@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,8 +18,11 @@ import (
 //
 // All cells run even if one fails; the error returned is the
 // lowest-index one, which is exactly the error the sequential path
-// would have surfaced first.
-func runParallel(workers, n int, fn func(i int) error) error {
+// would have surfaced first. A canceled ctx stops the campaign at the
+// next cell boundary — cells already running finish (their solvers
+// observe the same ctx and truncate to their anytime plans) — and the
+// cancellation cause is returned if no cell failed first.
+func runParallel(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -27,6 +31,9 @@ func runParallel(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -40,7 +47,7 @@ func runParallel(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -55,6 +62,9 @@ func runParallel(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if ctx.Err() != nil && int(next.Load()) < n {
+		return context.Cause(ctx)
+	}
 	return nil
 }
 
@@ -66,12 +76,12 @@ func runParallel(workers, n int, fn func(i int) error) error {
 // stays bit-identical with metrics on or off, for any worker count.
 func runCells(c Config, n int, fn func(i int) error) error {
 	if c.Metrics == nil {
-		return runParallel(c.workerCount(), n, fn)
+		return runParallel(c.context(), c.workerCount(), n, fn)
 	}
 	hist := c.Metrics.Histogram("experiment_cell_seconds")
 	cells := c.Metrics.Counter("experiment_cells_total")
 	fails := c.Metrics.Counter("experiment_cell_errors_total")
-	return runParallel(c.workerCount(), n, func(i int) error {
+	return runParallel(c.context(), c.workerCount(), n, func(i int) error {
 		start := time.Now()
 		err := fn(i)
 		hist.Observe(time.Since(start).Seconds())

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -78,7 +79,7 @@ func TestRunParallelCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 3, 8, 32} {
 		const n = 17
 		var counts [n]atomic.Int64
-		err := runParallel(workers, n, func(i int) error {
+		err := runParallel(context.Background(), workers, n, func(i int) error {
 			counts[i].Add(1)
 			return nil
 		})
@@ -98,7 +99,7 @@ func TestRunParallelCoversAllIndices(t *testing.T) {
 func TestRunParallelReturnsLowestIndexError(t *testing.T) {
 	wantErr := errors.New("cell 3 failed")
 	for _, workers := range []int{1, 4} {
-		err := runParallel(workers, 10, func(i int) error {
+		err := runParallel(context.Background(), workers, 10, func(i int) error {
 			if i == 3 {
 				return wantErr
 			}

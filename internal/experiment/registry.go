@@ -21,7 +21,8 @@ type RunEnv struct {
 	Out io.Writer // destination for the rendered figure
 
 	Rep      int                  // -rep: repetition index (fig 4)
-	Epochs   int                  // -epochs: scheduling epochs (faultsweep; 0 = default)
+	Cells    int                  // -cells: supervised cells (chaossoak; 0 = default)
+	Epochs   int                  // -epochs: scheduling epochs (faultsweep, chaossoak; 0 = default)
 	Retries  int                  // -retries: control retry budget (faultsweep; -1 = policy default)
 	Failures []faults.LinkFailure // -fail: injected link outages (faultsweep)
 

@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,6 +58,22 @@ type Config struct {
 	BlockageRate  float64
 	BlockageSlots int
 
+	// Process-level faults (the chaos-soak classes; see internal/host).
+	// The injector only decides these — the host enacts them.
+
+	// CellPanic is the per-epoch probability the cell's worker panics
+	// mid-epoch (after demand ingestion, before the solve).
+	CellPanic float64
+	// SolveHang is the per-epoch probability the epoch's P1 solve hangs
+	// until the host's watchdog cancels it through the anytime path.
+	SolveHang float64
+	// KillRestore is the per-epoch probability the cell is killed after
+	// a completed epoch and restored from its latest checkpoint.
+	KillRestore float64
+	// CkptCorrupt is the per-epoch probability a checkpoint written
+	// that epoch is corrupted on disk (flipped bytes or truncation).
+	CkptCorrupt float64
+
 	// Seed anchors every RNG stream. Two injectors built from equal
 	// configs produce identical fault sequences.
 	Seed int64
@@ -73,6 +88,8 @@ func (c Config) Validate() error {
 		{"CtrlLoss", c.CtrlLoss}, {"CtrlCorrupt", c.CtrlCorrupt}, {"CtrlDelay", c.CtrlDelay},
 		{"StaleCSI", c.StaleCSI}, {"NodeDropout", c.NodeDropout}, {"NodeRecover", c.NodeRecover},
 		{"BlockageRate", c.BlockageRate},
+		{"CellPanic", c.CellPanic}, {"SolveHang", c.SolveHang},
+		{"KillRestore", c.KillRestore}, {"CkptCorrupt", c.CkptCorrupt},
 	} {
 		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
 			return fmt.Errorf("faults: %s = %g, want a probability in [0, 1]", p.name, p.v)
@@ -87,7 +104,14 @@ func (c Config) Validate() error {
 // Enabled reports whether any fault class has a positive rate.
 func (c Config) Enabled() bool {
 	return c.CtrlLoss > 0 || c.CtrlCorrupt > 0 || c.CtrlDelay > 0 ||
-		c.StaleCSI > 0 || c.NodeDropout > 0 || c.BlockageRate > 0
+		c.StaleCSI > 0 || c.NodeDropout > 0 || c.BlockageRate > 0 ||
+		c.ProcEnabled()
+}
+
+// ProcEnabled reports whether any process-level fault class has a
+// positive rate.
+func (c Config) ProcEnabled() bool {
+	return c.CellPanic > 0 || c.SolveHang > 0 || c.KillRestore > 0 || c.CkptCorrupt > 0
 }
 
 // FrameFate is the injector's verdict on one control-frame
@@ -124,10 +148,12 @@ func (f FrameFate) String() string {
 type Injector struct {
 	cfg Config
 
-	frameRNG *rand.Rand
-	nodeRNG  *rand.Rand
-	blockRNG *rand.Rand
-	csiRNG   *rand.Rand
+	frameRNG *streamRNG
+	nodeRNG  *streamRNG
+	blockRNG *streamRNG
+	csiRNG   *streamRNG
+	procRNG  *streamRNG
+	ckptRNG  *streamRNG
 
 	down []bool // per-link dropout state
 
@@ -141,6 +167,8 @@ const (
 	streamNode
 	streamBlock
 	streamCSI
+	streamProc
+	streamCkpt
 )
 
 // New builds an injector over numLinks links.
@@ -153,10 +181,12 @@ func New(cfg Config, numLinks int) (*Injector, error) {
 	}
 	return &Injector{
 		cfg:      cfg,
-		frameRNG: rand.New(rand.NewSource(mix(cfg.Seed, streamFrame))),
-		nodeRNG:  rand.New(rand.NewSource(mix(cfg.Seed, streamNode))),
-		blockRNG: rand.New(rand.NewSource(mix(cfg.Seed, streamBlock))),
-		csiRNG:   rand.New(rand.NewSource(mix(cfg.Seed, streamCSI))),
+		frameRNG: newStream(cfg.Seed, streamFrame),
+		nodeRNG:  newStream(cfg.Seed, streamNode),
+		blockRNG: newStream(cfg.Seed, streamBlock),
+		csiRNG:   newStream(cfg.Seed, streamCSI),
+		procRNG:  newStream(cfg.Seed, streamProc),
+		ckptRNG:  newStream(cfg.Seed, streamCkpt),
 		down:     make([]bool, numLinks),
 	}, nil
 }

@@ -1,0 +1,35 @@
+package host
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeRaw persists a checkpoint image with the same atomic
+// temp-write-fsync-rename discipline as checkpoint.Save, but without
+// re-encoding: the host stores the exact bytes it may later have to
+// restore from, including deliberately corrupted ones in chaos runs.
+func writeRaw(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readRaw(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -310,6 +310,7 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 	c.epochAirStart = c.Control.Airtime()
 	c.epochMsgStart = c.Control.Messages()
 	c.retries, c.lostFrames, c.backoffSec = 0, 0, 0
+	c.epoch++
 	c.publishEpoch(out)
 	return out, nil
 }
@@ -374,24 +375,7 @@ func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*
 		c.InvalidateSolverState()
 	}
 
-	opts := c.Solve
-	if opts.Tracer == nil {
-		opts.Tracer = c.Tracer
-	}
-	if opts.Metrics == nil {
-		opts.Metrics = c.Metrics
-	}
-	// A solver that lives across epochs accumulates columns without
-	// bound; default a GC policy scaled to the instance when the caller
-	// set none.
-	if opts.ColumnGC.MaxColumns == 0 {
-		n := 32 * c.Network.NumLinks()
-		if n < 256 {
-			n = 256
-		}
-		opts.ColumnGC = cg.GCPolicy{MaxColumns: n}
-	}
-	solver, err := core.NewSolver(c.Network, demands, opts)
+	solver, err := core.NewSolver(c.Network, demands, c.solverOptions())
 	if err != nil {
 		return nil, fmt.Errorf("pnc: epoch solve: %w", err)
 	}
@@ -405,6 +389,31 @@ func (c *Coordinator) solveEpoch(ctx context.Context, demands []video.Demand) (*
 		c.Metrics.Counter("pnc_cold_solves_total").Inc()
 	}
 	return res, nil
+}
+
+// solverOptions resolves the effective per-epoch solver options: the
+// coordinator's tracer/metrics are threaded in when the options carry
+// none of their own, and a solver that lives across epochs accumulates
+// columns without bound, so a GC policy scaled to the instance is
+// defaulted when the caller set none. Used by both the cold-start path
+// and checkpoint restore (ImportState), so a restored solver runs under
+// exactly the options an uninterrupted one would.
+func (c *Coordinator) solverOptions() core.Options {
+	opts := c.Solve
+	if opts.Tracer == nil {
+		opts.Tracer = c.Tracer
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = c.Metrics
+	}
+	if opts.ColumnGC.MaxColumns == 0 {
+		n := 32 * c.Network.NumLinks()
+		if n < 256 {
+			n = 256
+		}
+		opts.ColumnGC = cg.GCPolicy{MaxColumns: n}
+	}
+	return opts
 }
 
 // shedToBudget sheds demand until the plan fits the epoch budget, LP

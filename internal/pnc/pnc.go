@@ -307,7 +307,16 @@ type Coordinator struct {
 	// mutations of Network.Gains (blockage sweeps, experiment drivers).
 	solver   *core.Solver
 	solverFP uint64
+
+	// epoch counts completed scheduling epochs (RunEpochContext calls
+	// that returned a plan). It survives checkpoints, so a restored
+	// coordinator's epoch numbering continues where the dead one's
+	// stopped.
+	epoch int64
 }
+
+// Epoch returns the number of completed scheduling epochs.
+func (c *Coordinator) Epoch() int64 { return c.epoch }
 
 // NewCoordinator returns a coordinator for the network. The network's
 // gain matrix is updated in place by channel updates.

@@ -48,15 +48,16 @@ bench:
 
 # Compare the current tree against the committed baseline: first a
 # report-only diff of the whole suite, then the regression gate — the
-# ablation and Fig-1 benchmarks re-run with -count=3 and fail the
-# build (exit 3) when their min-of-3 ns/op regresses more than 20%.
+# ablation, Fig-1, and LP/MILP micro-benchmarks re-run with -count=3
+# and fail the build (exit 3) when their min-of-3 ns/op regresses more
+# than 20%.
 # Other benchmarks stay report-only: at -benchtime=1x their noise
 # floor is above any sane threshold.
 bench-diff:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
-	$(GO) test -bench='BenchmarkAblation|BenchmarkFig1' -benchtime=1x -count=3 -benchmem -run='^$$' . | \
+	$(GO) test -bench='BenchmarkAblation|BenchmarkFig1|BenchmarkLPSparse|BenchmarkMILPNode' -benchtime=1x -count=3 -benchmem -run='^$$' . | \
 		$(GO) run ./cmd/benchjson -reduce min -diff BENCH_baseline.json \
-		-gate 20 -match 'BenchmarkAblation|BenchmarkFig1'
+		-gate 20 -match 'BenchmarkAblation|BenchmarkFig1|BenchmarkLPSparse|BenchmarkMILPNode'
 
 # Single-iteration smoke over every package (CI).
 bench-smoke:
@@ -66,9 +67,11 @@ bench-smoke:
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fuzz passes over every wire decoder: the control-plane frames, the
-# fault-event wire/spec decoders, and the checkpoint snapshot decoder.
-# FUZZTIME scales both targets; fuzz-short is the CI setting.
+# Fuzz passes over every wire decoder — the control-plane frames, the
+# fault-event wire/spec decoders, the checkpoint snapshot decoder —
+# plus the sparse LU kernel (random pivot sequences checked against a
+# dense shadow and a fresh refactorization). FUZZTIME scales all
+# targets; fuzz-short is the CI setting.
 FUZZTIME ?= 20s
 
 fuzz:
@@ -77,6 +80,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleGrantUnmarshal -fuzztime $(FUZZTIME) ./internal/pnc
 	$(GO) test -fuzz FuzzFailureDecoders -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -fuzz FuzzSparseLU -fuzztime $(FUZZTIME) ./internal/lp
 
 fuzz-short:
 	$(MAKE) fuzz FUZZTIME=10s

@@ -10,9 +10,12 @@ package mmwave
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"mmwave/internal/experiment"
+	"mmwave/internal/lp"
+	"mmwave/internal/milp"
 	"mmwave/internal/stats"
 )
 
@@ -248,6 +251,117 @@ func BenchmarkWarmEpochReuse(b *testing.B) {
 	b.ReportMetric(coldIters/float64(b.N), "cold_iters/epoch")
 	b.ReportMetric(warmPivots/float64(b.N), "warm_pivots/epoch")
 	b.ReportMetric(coldPivots/float64(b.N), "cold_pivots/epoch")
+}
+
+// benchMasterLP builds a column-generation-master-shaped LP at a fixed
+// seed: 2L GE demand rows (HP and LP layers), n unit-cost schedule
+// columns whose entries are sparse rate contributions of ~1e8 scale.
+func benchMasterLP(L, n int) *lp.Problem {
+	rng := rand.New(rand.NewSource(1234))
+	costs := make([]float64, n)
+	for j := range costs {
+		costs[j] = 1
+	}
+	p := lp.NewProblem(costs)
+	for i := 0; i < 2*L; i++ {
+		row := make([]float64, n)
+		nz := false
+		for j := range row {
+			if rng.Float64() < 0.25 {
+				row[j] = (0.5 + rng.Float64()) * 1e8
+				nz = true
+			}
+		}
+		if !nz {
+			row[rng.Intn(n)] = 1e8
+		}
+		p.AddRow(row, lp.GE, (0.2+rng.Float64())*5e7)
+	}
+	return p
+}
+
+// BenchmarkLPSparse measures the LP core alone on a master-shaped
+// instance: a cold solve and a warm re-solve after an
+// objective-preserving RHS perturbation on the default sparse revised
+// simplex, plus the same cold solve on the legacy dense tableau
+// (Options.Dense) as the reference the sparse path replaced.
+func BenchmarkLPSparse(b *testing.B) {
+	const L, n = 30, 180
+	for _, bench := range []struct {
+		name  string
+		dense bool
+		warm  bool
+	}{{"cold", false, false}, {"warm", false, true}, {"dense", true, false}} {
+		b.Run(bench.name, func(b *testing.B) {
+			p := benchMasterLP(L, n)
+			s := lp.NewSolver(p)
+			opt := lp.Options{Dense: bench.dense}
+			if bench.warm {
+				sol, err := s.Solve(opt)
+				if err != nil || sol.Status != lp.StatusOptimal {
+					b.Fatalf("warm seed solve: %v status %v", err, sol.Status)
+				}
+				opt.WarmBasis = sol.Basis
+			}
+			b.ReportAllocs()
+			var pivots float64
+			for i := 0; i < b.N; i++ {
+				if bench.warm {
+					// Nudge the RHS so the warm solve has real repair
+					// work but the basis stays reusable.
+					p.B[i%(2*L)] *= 1.0001
+				}
+				sol, err := s.Solve(opt)
+				if err != nil || sol.Status != lp.StatusOptimal {
+					b.Fatalf("solve %d: %v status %v", i, err, sol.Status)
+				}
+				pivots += float64(sol.Iterations)
+			}
+			b.ReportMetric(pivots/float64(b.N), "pivots/op")
+		})
+	}
+}
+
+// BenchmarkMILPNode measures the branch-and-bound node relaxation
+// machinery on a knapsack-style binary MILP at a fixed seed: one full
+// solve per iteration, reporting ns amortized per explored node. Node
+// relaxations ride the shared work problem with native variable
+// bounds, so this tracks the cost of a bound-tightened warm re-solve.
+func BenchmarkMILPNode(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	const nb, rows = 14, 6
+	c := make([]float64, nb)
+	for j := range c {
+		c[j] = -(0.2 + rng.Float64())
+	}
+	base := lp.NewProblem(c)
+	for i := 0; i < rows; i++ {
+		row := make([]float64, nb)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		base.AddRow(row, lp.LE, 0.3*float64(nb)*(0.5+0.5*rng.Float64()))
+	}
+	p := milp.NewProblem(base)
+	for j := 0; j < nb; j++ {
+		p.SetBinary(j)
+	}
+	b.ReportAllocs()
+	var nodes float64
+	for i := 0; i < b.N; i++ {
+		sol, err := milp.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != milp.StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		nodes += float64(sol.Nodes)
+	}
+	b.ReportMetric(nodes/float64(b.N), "nodes/op")
+	if nodes > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/nodes, "ns/node")
+	}
 }
 
 // BenchmarkSolveProposed measures the optimizer alone (no slot replay)

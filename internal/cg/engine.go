@@ -326,6 +326,10 @@ func (e *Engine) solveMaster() (*lp.Solution, error) {
 	}
 	st.stats.LPPivots += sol.Iterations
 	st.stats.LPRefactorizations += sol.Refactorizations
+	st.stats.LPEtaUpdates += sol.EtaUpdates
+	if sol.FillRatio > 0 {
+		st.lastFill = sol.FillRatio
+	}
 	if sol.Warm {
 		st.stats.WarmMasters++
 	}
@@ -358,4 +362,8 @@ func (e *Engine) publishRun(out *Outcome) {
 	m.Counter("cg_warm_masters_total").Add(int64(out.Stats.WarmMasters))
 	m.Counter("cg_gc_evicted_columns_total").Add(int64(out.Stats.EvictedColumns))
 	m.Gauge("cg_pool_columns").Set(float64(e.state.pool.Len()))
+	m.Counter("cg_lp_ft_updates_total").Add(int64(out.Stats.LPEtaUpdates))
+	if e.state.lastFill > 0 {
+		m.Gauge("cg_lp_fill_ratio").Set(e.state.lastFill)
+	}
 }

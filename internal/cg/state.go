@@ -59,6 +59,11 @@ type State struct {
 	// the previous run, kept for diagnostics and dual-warm heuristics.
 	lastHP, lastLP []float64
 
+	// lastFill is the LU fill-in ratio (factor nonzeros / basis
+	// nonzeros) of the most recent master factorization, exported as a
+	// gauge by the engine.
+	lastFill float64
+
 	stats Stats
 }
 

@@ -22,9 +22,14 @@ type Stats struct {
 	// PricerNodes counts branch-and-bound nodes explored by pricing.
 	PricerNodes int
 	// LPPivots and LPRefactorizations aggregate the master simplex's
-	// pivot count and basis-inverse rebuilds across MasterSolves.
+	// pivot count and basis-factorization rebuilds across MasterSolves.
 	LPPivots           int
 	LPRefactorizations int
+	// LPEtaUpdates counts product-form (Forrest–Tomlin-style) eta
+	// updates applied to the master basis factorization between
+	// refactorizations — the work the sparse core does instead of
+	// rebuilding B⁻¹ on every pivot.
+	LPEtaUpdates int
 	// WarmMasters counts master solves that started from a usable
 	// previous basis (phase 1 skipped, or repaired by the dual simplex).
 	WarmMasters int
@@ -45,6 +50,7 @@ func (s Stats) delta(prev Stats) Stats {
 		PricerNodes:        s.PricerNodes - prev.PricerNodes,
 		LPPivots:           s.LPPivots - prev.LPPivots,
 		LPRefactorizations: s.LPRefactorizations - prev.LPRefactorizations,
+		LPEtaUpdates:       s.LPEtaUpdates - prev.LPEtaUpdates,
 		WarmMasters:        s.WarmMasters - prev.WarmMasters,
 		EvictedColumns:     s.EvictedColumns - prev.EvictedColumns,
 	}
@@ -65,4 +71,5 @@ func (s Stats) Publish(m *obs.Registry, prefix string) {
 	m.Counter(prefix + "_pricer_nodes_total").Add(int64(s.PricerNodes))
 	m.Counter(prefix + "_lp_pivots_total").Add(int64(s.LPPivots))
 	m.Counter(prefix + "_lp_refactorizations_total").Add(int64(s.LPRefactorizations))
+	m.Counter(prefix + "_lp_ft_updates_total").Add(int64(s.LPEtaUpdates))
 }

@@ -51,8 +51,10 @@ var (
 )
 
 const (
-	magic   = "MWCK"
-	version = 1
+	magic = "MWCK"
+	// version 2 added the LPEtaUpdates counter to the engine stats
+	// block when the master LP moved to the sparse revised simplex.
+	version = 2
 	// headerLen is magic + version + fingerprint; trailerLen the CRC.
 	headerLen  = 4 + 2 + 8
 	trailerLen = 4
@@ -386,7 +388,7 @@ func encodeEngine(w *writer, s *cg.StateSnapshot) {
 	for _, v := range []int{
 		s.Stats.Rounds, s.Stats.Probes, s.Stats.MasterSolves,
 		s.Stats.CacheHits, s.Stats.CacheMisses, s.Stats.PricerNodes,
-		s.Stats.LPPivots, s.Stats.LPRefactorizations,
+		s.Stats.LPPivots, s.Stats.LPRefactorizations, s.Stats.LPEtaUpdates,
 		s.Stats.WarmMasters, s.Stats.EvictedColumns,
 	} {
 		w.i64(int64(v))
@@ -440,7 +442,7 @@ func decodeEngine(r *reader) *cg.StateSnapshot {
 	for _, p := range []*int{
 		&s.Stats.Rounds, &s.Stats.Probes, &s.Stats.MasterSolves,
 		&s.Stats.CacheHits, &s.Stats.CacheMisses, &s.Stats.PricerNodes,
-		&s.Stats.LPPivots, &s.Stats.LPRefactorizations,
+		&s.Stats.LPPivots, &s.Stats.LPRefactorizations, &s.Stats.LPEtaUpdates,
 		&s.Stats.WarmMasters, &s.Stats.EvictedColumns,
 	} {
 		*p = int(r.i64())

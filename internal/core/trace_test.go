@@ -124,9 +124,11 @@ func TestTracerFromContext(t *testing.T) {
 // TestMetricsPublished: a solve folds its Stats into the registry under
 // the core prefix.
 func TestMetricsPublished(t *testing.T) {
+	// 6 links: large enough that the pricer's greedy seed does not prune
+	// the whole search, so the probe counter is exercised too.
 	rng := rand.New(rand.NewSource(7))
-	nw := servableNetwork(rng, 4, 3)
-	demands := uniformDemands(4, 4e6, 2e6)
+	nw := servableNetwork(rng, 6, 3)
+	demands := uniformDemands(6, 4e6, 2e6)
 
 	reg := obs.NewRegistry()
 	s, err := New(nw, demands, WithMetrics(reg))
@@ -142,6 +144,10 @@ func TestMetricsPublished(t *testing.T) {
 		"core_probes_total":        res.Probes,
 		"core_master_solves_total": res.MasterSolves,
 		"core_lp_pivots_total":     res.LPPivots,
+		// The sparse master applies product-form eta updates between
+		// refactorizations; the counter must round-trip like the rest.
+		"core_lp_ft_updates_total":       res.LPEtaUpdates,
+		"core_lp_refactorizations_total": res.LPRefactorizations,
 	}
 	for name, want := range checks {
 		if got := reg.Counter(name).Value(); got != int64(want) {

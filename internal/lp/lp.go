@@ -1,22 +1,27 @@
-// Package lp implements a dense linear programming solver: a two-phase
-// revised simplex method with explicit basis-inverse maintenance,
-// periodic refactorization, Bland's-rule anti-cycling, and dual
-// (simplex multiplier) extraction.
+// Package lp implements a sparse linear programming solver: a two-phase
+// revised simplex method over a compressed-sparse-column constraint
+// matrix, with the basis kept as an LU factorization updated between
+// pivots by product-form etas and refactorized periodically, Bland's-
+// rule anti-cycling, native variable bounds with a bound-flip ratio
+// test, and dual (simplex multiplier) extraction.
 //
 // Problems are stated as
 //
 //	min  cᵀx
 //	s.t. aᵢᵀx {≤,=,≥} bᵢ   for every row i
-//	     x ≥ 0
+//	     l ≤ x ≤ u          (l = 0, u = +∞ unless set via Lower/Upper)
 //
 // The dual values returned by Solve follow the standard convention for
 // a minimization problem: y_i ≥ 0 for ≥ rows and y_i ≤ 0 for ≤ rows at
 // optimality. These are the simplex multipliers λ used by the column
 // generation master problem (eq. 18 of the paper).
 //
-// The solver is deliberately dense: master problems in this repository
-// have tens of rows and hundreds of columns, and the pricing MILP
-// relaxations stay small. Columns can be appended between solves
+// Master problems in this repository are extremely sparse (a schedule
+// column touches at most 2·|L| rows) and the warm-started MILP branch
+// and bound re-solves thousands of near-identical node LPs, so the
+// solver prices and pivots in sparse time. The historical dense
+// tableau implementation is retained behind Options.Dense for
+// differential testing. Columns can be appended between solves
 // (Problem.AddColumn), which is exactly the column-generation access
 // pattern.
 package lp
@@ -86,6 +91,19 @@ type Problem struct {
 	A   [][]float64 // constraint rows, each of length len(C)
 	Rel []Relation  // row senses, parallel to A
 	B   []float64   // right-hand sides, parallel to A
+
+	// Lower and Upper are optional per-variable bounds, handled natively
+	// by the simplex (nonbasic-at-bound statuses and a bound-flip ratio
+	// test) instead of as constraint rows. A nil Lower means all zeros —
+	// the historical x ≥ 0 default — and a nil Upper means all +Inf; when
+	// non-nil each must hold one entry per variable. Lower bounds must be
+	// finite and non-negative; upper bounds may be +Inf. A variable whose
+	// bounds cross (Lower[j] > Upper[j]) makes the problem trivially
+	// infeasible, which Solve reports as StatusInfeasible rather than a
+	// validation error — the MILP branch-and-bound creates such boxes
+	// when branching collides with root reduced-cost fixing.
+	Lower []float64
+	Upper []float64
 }
 
 // NewProblem returns an empty problem with n variables whose objective
@@ -114,9 +132,10 @@ func (p *Problem) AddRow(coef []float64, rel Relation, b float64) {
 
 // AddColumn appends a new variable with the given objective cost and
 // per-row coefficients (col is copied; it must have one entry per
-// existing row). It returns the new variable's index. This is the
-// column-generation entry point: the master problem grows by one
-// schedule column per iteration.
+// existing row). The new variable gets the default bounds [0, +Inf).
+// It returns the new variable's index. This is the column-generation
+// entry point: the master problem grows by one schedule column per
+// iteration.
 func (p *Problem) AddColumn(cost float64, col []float64) (int, error) {
 	if len(col) != len(p.A) {
 		return 0, fmt.Errorf("lp: column has %d entries, want %d rows", len(col), len(p.A))
@@ -125,7 +144,76 @@ func (p *Problem) AddColumn(cost float64, col []float64) (int, error) {
 	for i := range p.A {
 		p.A[i] = append(p.A[i], col[i])
 	}
+	if p.Lower != nil {
+		p.Lower = append(p.Lower, 0)
+	}
+	if p.Upper != nil {
+		p.Upper = append(p.Upper, math.Inf(1))
+	}
 	return len(p.C) - 1, nil
+}
+
+// SetBounds sets variable j's bounds to [lo, up], materializing the
+// Lower/Upper arrays on first use.
+func (p *Problem) SetBounds(j int, lo, up float64) {
+	n := len(p.C)
+	if p.Lower == nil {
+		p.Lower = make([]float64, n)
+	}
+	if p.Upper == nil {
+		p.Upper = make([]float64, n)
+		for k := range p.Upper {
+			p.Upper[k] = math.Inf(1)
+		}
+	}
+	p.Lower[j] = lo
+	p.Upper[j] = up
+}
+
+// lowerOf returns variable j's lower bound (0 when Lower is nil).
+func (p *Problem) lowerOf(j int) float64 {
+	if p.Lower == nil {
+		return 0
+	}
+	return p.Lower[j]
+}
+
+// upperOf returns variable j's upper bound (+Inf when Upper is nil).
+func (p *Problem) upperOf(j int) float64 {
+	if p.Upper == nil {
+		return math.Inf(1)
+	}
+	return p.Upper[j]
+}
+
+// hasBounds reports whether any variable carries a non-default bound
+// (nonzero lower or finite upper).
+func (p *Problem) hasBounds() bool {
+	for _, l := range p.Lower {
+		if l != 0 {
+			return true
+		}
+	}
+	for _, u := range p.Upper {
+		if !math.IsInf(u, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundsCrossed returns the first variable whose bounds are empty
+// (Lower[j] > Upper[j]), or -1.
+func (p *Problem) boundsCrossed() int {
+	if p.Lower == nil || p.Upper == nil {
+		return -1
+	}
+	for j := range p.Lower {
+		if p.Lower[j] > p.Upper[j] {
+			return j
+		}
+	}
+	return -1
 }
 
 // Validate reports structural errors: ragged rows, mismatched slice
@@ -153,6 +241,22 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("lp: non-finite rhs in row %d", i)
 		}
 	}
+	if p.Lower != nil && len(p.Lower) != n {
+		return fmt.Errorf("lp: %d lower bounds for %d variables", len(p.Lower), n)
+	}
+	if p.Upper != nil && len(p.Upper) != n {
+		return fmt.Errorf("lp: %d upper bounds for %d variables", len(p.Upper), n)
+	}
+	for j, l := range p.Lower {
+		if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+			return fmt.Errorf("lp: lower bound of variable %d must be finite and non-negative, got %v", j, l)
+		}
+	}
+	for j, u := range p.Upper {
+		if math.IsNaN(u) || math.IsInf(u, -1) {
+			return fmt.Errorf("lp: invalid upper bound %v on variable %d", u, j)
+		}
+	}
 	return nil
 }
 
@@ -163,6 +267,12 @@ func (p *Problem) Clone() *Problem {
 		Rel: append([]Relation(nil), p.Rel...),
 		B:   append([]float64(nil), p.B...),
 		A:   make([][]float64, len(p.A)),
+	}
+	if p.Lower != nil {
+		q.Lower = append([]float64(nil), p.Lower...)
+	}
+	if p.Upper != nil {
+		q.Upper = append([]float64(nil), p.Upper...)
 	}
 	for i, row := range p.A {
 		q.A[i] = append([]float64(nil), row...)
@@ -209,8 +319,23 @@ type Solution struct {
 	Basis []BasisVar
 	// Warm reports that the caller-provided WarmBasis was usable: the
 	// solve skipped phase 1 (primal-feasible basis) or repaired the
-	// basis with the dual simplex after a right-hand-side change.
+	// basis with the dual simplex after a right-hand-side change — in
+	// the repair case even when the repair needed zero pivots or proved
+	// the tightened problem infeasible.
 	Warm bool
+	// ReducedCost holds each structural variable's reduced cost
+	// c_j − yᵀa_j at the returned basis (zero for basic variables; valid
+	// when optimal). The MILP solver reads these for root reduced-cost
+	// fixing. The legacy dense path leaves it nil on bounded problems.
+	ReducedCost []float64
+	// EtaUpdates counts the product-form (Forrest–Tomlin-style) basis
+	// updates applied between refactorizations; always zero on the
+	// legacy dense path, which carries an explicit inverse instead.
+	EtaUpdates int
+	// FillRatio is nnz(L+U) / nnz(B) of the final basis factorization —
+	// the sparse core's fill-in, ~1.0 when the factors stay as sparse as
+	// the basis itself. Zero on the legacy dense path.
+	FillRatio float64
 }
 
 // Options tunes the solver.
@@ -225,6 +350,14 @@ type Options struct {
 	// column-extended) problem, phase 1 is skipped entirely. An
 	// unusable basis silently falls back to a cold start.
 	WarmBasis []BasisVar
+	// Dense forces the legacy dense tableau simplex instead of the
+	// sparse revised simplex. Retained for differential testing only:
+	// the two paths make identical pivot decisions on unbounded-variable
+	// problems. Bounded problems are handled on the dense path by
+	// materializing bound rows on a clone, which costs the warm-start
+	// surface (no Basis or ReducedCost is returned and WarmBasis is
+	// rejected by shape).
+	Dense bool
 }
 
 // Solve optimizes the problem with default options.

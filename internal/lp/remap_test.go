@@ -110,3 +110,45 @@ func TestWarmFlagAfterRHSChange(t *testing.T) {
 		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
 	}
 }
+
+// TestWarmFlagZeroPivotRepair: when an RHS move leaves the old basis
+// still primal feasible, the dual-simplex repair finishes in zero
+// pivots — and the solve must still report Warm on both engines. This
+// is the case the cg warm-master counter depends on: a "free" reuse
+// is the best kind of warm solve and must not be misreported as cold.
+func TestWarmFlagZeroPivotRepair(t *testing.T) {
+	for _, opt := range []Options{{}, {Dense: true}} {
+		name := "sparse"
+		if opt.Dense {
+			name = "dense"
+		}
+		p := NewProblem([]float64{1, 1})
+		p.AddRow([]float64{2, 1}, GE, 4)
+		p.AddRow([]float64{1, 3}, GE, 6)
+		first, err := SolveWith(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Status != StatusOptimal {
+			t.Fatalf("%s: first status %v", name, first.Status)
+		}
+		// Relaxing both rows keeps the optimal basis feasible: the
+		// basic variables only move, nothing leaves the basis.
+		p.B[0], p.B[1] = 3.9, 5.9
+		warmOpt := opt
+		warmOpt.WarmBasis = first.Basis
+		warm, err := SolveWith(p, warmOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != StatusOptimal {
+			t.Fatalf("%s: repaired status %v", name, warm.Status)
+		}
+		if warm.Iterations != 0 {
+			t.Errorf("%s: zero-pivot repair took %d pivots", name, warm.Iterations)
+		}
+		if !warm.Warm {
+			t.Errorf("%s: zero-pivot repair not flagged Warm", name)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMixedLP draws an LP with mixed row senses, mixed coefficient
+// signs, and occasional negative RHS — the adversarial counterpart of
+// randomFeasibleLP. Instances may be infeasible or unbounded; the
+// differential tests only require the two engines to agree.
+func randomMixedLP(rng *rand.Rand, n, m int) *Problem {
+	c := make([]float64, n)
+	for j := range c {
+		// Mostly positive costs keep min cᵀx bounded below over x ≥ 0
+		// often enough for good optimal coverage; the negative tail
+		// still produces unbounded and infeasible instances.
+		c[j] = 0.2 + rng.Float64()
+		if rng.Intn(5) == 0 {
+			c[j] = -c[j]
+		}
+	}
+	p := NewProblem(c)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		nz := false
+		for j := range row {
+			if rng.Float64() < 0.6 {
+				row[j] = math.Abs(rng.NormFloat64())
+				if rng.Intn(6) == 0 {
+					row[j] = -row[j]
+				}
+				nz = true
+			}
+		}
+		if !nz {
+			row[rng.Intn(n)] = 1
+		}
+		switch Relation(rng.Intn(3)) {
+		case GE:
+			p.AddRow(row, GE, rng.Float64()*2)
+		case LE:
+			p.AddRow(row, LE, 1+rng.Float64()*4)
+		default:
+			p.AddRow(row, EQ, rng.Float64()*2)
+		}
+	}
+	return p
+}
+
+// checkAgainstDense solves p through both engines and requires them to
+// agree: same status and, when optimal, same objective, with the
+// sparse solution primal feasible. Returns the two solutions.
+func checkAgainstDense(t *testing.T, tag string, p *Problem) (*Solution, *Solution) {
+	t.Helper()
+	sp, err := SolveWith(p, Options{})
+	if err != nil {
+		t.Fatalf("%s: sparse: %v", tag, err)
+	}
+	de, err := SolveWith(p, Options{Dense: true})
+	if err != nil {
+		t.Fatalf("%s: dense: %v", tag, err)
+	}
+	if sp.Status != de.Status {
+		t.Fatalf("%s: sparse status %v, dense %v", tag, sp.Status, de.Status)
+	}
+	if sp.Status != StatusOptimal {
+		return sp, de
+	}
+	scale := 1 + math.Abs(de.Objective)
+	if math.Abs(sp.Objective-de.Objective) > 1e-6*scale {
+		t.Fatalf("%s: sparse objective %.15g, dense %.15g", tag, sp.Objective, de.Objective)
+	}
+	// Primal feasibility of the sparse solution, including bounds.
+	for i, row := range p.A {
+		lhs := 0.0
+		for j, a := range row {
+			lhs += a * sp.X[j]
+		}
+		viol := 0.0
+		switch p.Rel[i] {
+		case LE:
+			viol = lhs - p.B[i]
+		case GE:
+			viol = p.B[i] - lhs
+		case EQ:
+			viol = math.Abs(lhs - p.B[i])
+		}
+		rowScale := 1 + math.Abs(p.B[i])
+		if viol > 1e-6*rowScale {
+			t.Fatalf("%s: sparse row %d violated by %g", tag, i, viol)
+		}
+	}
+	for j, x := range sp.X {
+		if x < p.lowerOf(j)-1e-7 || x > p.upperOf(j)+1e-7 {
+			t.Fatalf("%s: sparse x[%d]=%g outside [%g, %g]", tag, j, x, p.lowerOf(j), p.upperOf(j))
+		}
+	}
+	return sp, de
+}
+
+// TestDifferentialSparseVsDense is the tentpole's load-bearing
+// property test: across random mixed-sense LPs the sparse revised
+// simplex and the legacy dense tableau must agree on status and
+// objective.
+func TestDifferentialSparseVsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	optimal := 0
+	for inst := 0; inst < 150; inst++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(8)
+		p := randomMixedLP(rng, n, m)
+		sp, _ := checkAgainstDense(t, "mixed", p)
+		if sp.Status == StatusOptimal {
+			optimal++
+		}
+	}
+	if optimal < 30 {
+		t.Fatalf("only %d/150 instances optimal; generator too degenerate", optimal)
+	}
+}
+
+// TestDifferentialBounded drives the native bounded-variable path
+// against the dense reference (which materializes bounds as rows):
+// random instances with finite lower/upper bounds on a subset of
+// variables must agree on status and objective, and the sparse
+// solution must respect its bounds.
+func TestDifferentialBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	optimal, flips := 0, 0
+	for inst := 0; inst < 150; inst++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		p := randomMixedLP(rng, n, m)
+		for j := 0; j < n; j++ {
+			switch rng.Intn(4) {
+			case 0: // finite range, lower 0
+				p.SetBounds(j, 0, rng.Float64()*3)
+			case 1: // finite range, positive lower
+				lo := rng.Float64()
+				p.SetBounds(j, lo, lo+rng.Float64()*3)
+			case 2: // fixed variable
+				v := rng.Float64() * 2
+				p.SetBounds(j, v, v)
+			}
+		}
+		sp, _ := checkAgainstDense(t, "bounded", p)
+		if sp.Status == StatusOptimal {
+			optimal++
+			for j, x := range sp.X {
+				if u := p.upperOf(j); !math.IsInf(u, 1) && math.Abs(x-u) < 1e-9 && u > p.lowerOf(j) {
+					flips++ // some variable actually rests at its upper bound
+				}
+			}
+		}
+	}
+	if optimal < 30 {
+		t.Fatalf("only %d/150 bounded instances optimal", optimal)
+	}
+	if flips == 0 {
+		t.Fatal("no optimal solution ever used an upper bound; generator exercises nothing")
+	}
+}
+
+// TestDifferentialColgenShape replays the column-generation master
+// shape (repeated ~1e8 coefficients, GE rows, heavy degeneracy)
+// through both engines, growing columns incrementally through a
+// reusable Solver the way internal/cg does.
+func TestDifferentialColgenShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for inst := 0; inst < 40; inst++ {
+		m := 2 + rng.Intn(6)
+		n := m + rng.Intn(8)
+		p := colgenShapeLP(rng, m, n)
+		checkAgainstDense(t, "colgen", p)
+
+		// Incremental growth: add columns and re-solve warm, comparing
+		// against a dense solve of the grown problem each step.
+		s := NewSolver(p)
+		var warm []BasisVar
+		for step := 0; step < 3; step++ {
+			col := make([]float64, m)
+			for i := range col {
+				if rng.Float64() < 0.5 {
+					col[i] = (0.5 + rng.Float64()) * 1e8
+				}
+			}
+			p.AddColumn(1, col)
+			sp, err := s.Solve(Options{WarmBasis: warm})
+			if err != nil {
+				t.Fatalf("colgen step %d: sparse: %v", step, err)
+			}
+			de, err := SolveWith(p, Options{Dense: true})
+			if err != nil {
+				t.Fatalf("colgen step %d: dense: %v", step, err)
+			}
+			if sp.Status != de.Status {
+				t.Fatalf("colgen step %d: status %v vs dense %v", step, sp.Status, de.Status)
+			}
+			if sp.Status == StatusOptimal {
+				scale := 1 + math.Abs(de.Objective)
+				if math.Abs(sp.Objective-de.Objective) > 1e-6*scale {
+					t.Fatalf("colgen step %d: objective %.15g vs dense %.15g", step, sp.Objective, de.Objective)
+				}
+				warm = sp.Basis
+			}
+		}
+	}
+}
+
+// TestSparseReducedCosts pins the ReducedCost contract on the sparse
+// path: entries are reported in caller units (scale invariant), basic
+// variables read exactly zero, and nonbasic-at-lower entries are
+// non-negative at optimality.
+func TestSparseReducedCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for inst := 0; inst < 40; inst++ {
+		p := randomFeasibleLP(rng, 2+rng.Intn(6), 1+rng.Intn(5))
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			continue
+		}
+		if sol.ReducedCost == nil {
+			t.Fatal("sparse path reported no reduced costs")
+		}
+		basic := map[int]bool{}
+		for _, bv := range sol.Basis {
+			if bv.Kind == BasisStructural {
+				basic[bv.Index] = true
+			}
+		}
+		for j, rc := range sol.ReducedCost {
+			if basic[j] && rc != 0 {
+				t.Fatalf("instance %d: basic var %d has rc %g, want exact 0", inst, j, rc)
+			}
+			if !basic[j] && rc < -1e-6 {
+				t.Fatalf("instance %d: nonbasic var %d has rc %g < 0 at optimality", inst, j, rc)
+			}
+			// Cross-check against duals: rc_j = c_j − yᵀa_j in caller units.
+			want := p.C[j]
+			for i := range p.A {
+				want -= sol.Dual[i] * p.A[i][j]
+			}
+			if math.Abs(rc-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("instance %d: rc[%d]=%g, duals imply %g", inst, j, rc, want)
+			}
+		}
+	}
+}
+
+// TestSparseBoundFlipIteration pins the bound-flip fast path: a
+// variable whose finite range is shorter than the blocking ratio flips
+// from one bound to the other without a basis change, so the solve
+// finishes with fewer pivots than basis dimension would suggest and
+// the flipped variable rests at its far bound.
+func TestSparseBoundFlipIteration(t *testing.T) {
+	// max x0 + 0.1 x1  s.t. x0 + x1 ≤ 10, x0 ≤ 2 (bound), x1 ≤ 3 (bound).
+	p := NewProblem([]float64{-1, -0.1})
+	p.AddRow([]float64{1, 1}, LE, 10)
+	p.SetBounds(0, 0, 2)
+	p.SetBounds(1, 0, 3)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-3) > 1e-9 {
+		t.Fatalf("x = %v, want [2 3]", sol.X)
+	}
+	if math.Abs(sol.Objective-(-2.3)) > 1e-9 {
+		t.Fatalf("objective %g, want -2.3", sol.Objective)
+	}
+}
+
+// TestSparseCrossedBounds: empty bound boxes are reported as
+// infeasible at solve time, not as a structural error.
+func TestSparseCrossedBounds(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.AddRow([]float64{1}, GE, 0)
+	p.SetBounds(0, 2, 1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("crossed bounds gave %v, want infeasible", sol.Status)
+	}
+}

@@ -182,140 +182,120 @@ func (q *nodeQueue) Pop() interface{} {
 }
 
 // workState is the warm relaxation engine: one mutable work problem
-// shared by every node, built once per solve. The base LP is extended
-// with first-class bound rows — one ≤ row per variable with a finite
-// global upper bound and one ≥ row (RHS 0, initially non-binding) per
-// integer variable — so a node's bound tightenings are pure in-place
-// RHS writes. Because all RHS values stay non-negative the tableau
-// shape never changes between nodes, which is what lets the reusable
-// lp.Solver keep its buffers and lets a parent basis warm-start each
-// child solve (an RHS tightening leaves the parent basis dual
-// feasible, so the child LP is repaired by the dual simplex instead of
-// re-solved through phase 1).
+// shared by every node, built once per solve. Variable bounds — the
+// global uppers and every branching tightening — live in the LP's
+// native Lower/Upper arrays (package lp handles them in the simplex
+// ratio test, not as constraint rows), so a node's bound tightenings
+// are pure in-place writes into those arrays and the node LP has
+// exactly as many rows as the base problem regardless of how many
+// integer variables it carries. The constraint matrix never changes
+// between nodes, which is what lets the reusable lp.Solver keep its
+// factorization buffers and lets a parent basis warm-start each child
+// solve (a bound tightening leaves the parent basis dual feasible, so
+// the child LP is repaired by the dual simplex instead of re-solved
+// through phase 1).
 type workState struct {
-	p        *Problem
-	lp       *lp.Problem
-	solver   *lp.Solver
-	rowUpper []int // var → row index of its ≤ bound row, -1 if none
-	rowLower []int // var → row index of its ≥ bound row, -1 if none
-	// baseB mirrors lp.B for the current *global* bounds (root bounds
-	// plus any reduced-cost fixings). apply overwrites lp.B entries for
-	// one node; restore copies them back from baseB.
-	baseB   []float64
-	touched []int // rows overwritten for the node currently applied
+	p      *Problem
+	lp     *lp.Problem
+	solver *lp.Solver
+	// baseLo/baseUp mirror lp.Lower/lp.Upper for the current *global*
+	// bounds (root bounds plus any reduced-cost fixings). apply
+	// overwrites entries for one node; restore copies them back.
+	baseLo, baseUp       []float64
+	touchedLo, touchedUp []int // vars overwritten for the current node
 }
 
-// newWorkState builds the work problem, or returns nil when the
-// instance is ineligible (some integer variable has no finite upper
-// bound, so a down-branch could not be expressed as an RHS write on a
-// pre-built row); the caller then falls back to the legacy path.
+// newWorkState builds the shared work problem. Unlike the historical
+// bound-row engine this has no eligibility restriction: an integer
+// variable with no finite global upper bound is fine, because a
+// down-branch just writes a finite value into Upper[j].
 func newWorkState(p *Problem) *workState {
-	n := p.LP.NumVars()
-	for j, isInt := range p.Integer {
-		if isInt && (p.Upper == nil || math.IsInf(p.Upper[j], 1)) {
-			return nil
+	w := &workState{p: p, lp: p.LP.Clone()}
+	n := w.lp.NumVars()
+	if w.lp.Lower == nil {
+		w.lp.Lower = make([]float64, n)
+	}
+	if w.lp.Upper == nil {
+		w.lp.Upper = make([]float64, n)
+		for j := range w.lp.Upper {
+			w.lp.Upper[j] = math.Inf(1)
 		}
-	}
-	w := &workState{
-		p:        p,
-		lp:       p.LP.Clone(),
-		rowUpper: make([]int, n),
-		rowLower: make([]int, n),
-	}
-	unit := make([]float64, n)
-	for j := 0; j < n; j++ {
-		w.rowUpper[j] = -1
-		w.rowLower[j] = -1
 	}
 	if p.Upper != nil {
 		for j, u := range p.Upper {
-			if !math.IsInf(u, 1) {
-				unit[j] = 1
-				w.rowUpper[j] = w.lp.NumRows()
-				w.lp.AddRow(unit, lp.LE, u)
-				unit[j] = 0
+			if u < w.lp.Upper[j] {
+				w.lp.Upper[j] = u
 			}
 		}
 	}
-	for j, isInt := range p.Integer {
-		if isInt {
-			unit[j] = 1
-			w.rowLower[j] = w.lp.NumRows()
-			w.lp.AddRow(unit, lp.GE, 0)
-			unit[j] = 0
-		}
-	}
-	w.baseB = append([]float64(nil), w.lp.B...)
+	w.baseLo = append([]float64(nil), w.lp.Lower...)
+	w.baseUp = append([]float64(nil), w.lp.Upper...)
 	w.solver = lp.NewSolver(w.lp)
 	return w
 }
 
-// apply writes a node's bound tightenings into the work problem's RHS.
+// apply writes a node's bound tightenings into the work problem's
+// variable-bound arrays.
 func (w *workState) apply(nd *node) {
-	w.touched = w.touched[:0]
+	w.touchedLo, w.touchedUp = w.touchedLo[:0], w.touchedUp[:0]
 	for j, u := range nd.upper {
-		if r := w.rowUpper[j]; u < w.baseB[r] {
-			w.lp.B[r] = u
-			w.touched = append(w.touched, r)
+		if u < w.baseUp[j] {
+			w.lp.Upper[j] = u
+			w.touchedUp = append(w.touchedUp, j)
 		}
 	}
 	for j, l := range nd.lower {
-		if r := w.rowLower[j]; l > w.baseB[r] {
-			w.lp.B[r] = l
-			w.touched = append(w.touched, r)
+		if l > w.baseLo[j] {
+			w.lp.Lower[j] = l
+			w.touchedLo = append(w.touchedLo, j)
 		}
 	}
 }
 
 // restore undoes apply, returning the work problem to global bounds.
 func (w *workState) restore() {
-	for _, r := range w.touched {
-		w.lp.B[r] = w.baseB[r]
+	for _, j := range w.touchedUp {
+		w.lp.Upper[j] = w.baseUp[j]
 	}
-	w.touched = w.touched[:0]
+	for _, j := range w.touchedLo {
+		w.lp.Lower[j] = w.baseLo[j]
+	}
+	w.touchedUp, w.touchedLo = w.touchedUp[:0], w.touchedLo[:0]
 }
 
 // fixBinaries performs root reduced-cost fixing against a new
 // incumbent: for each still-free binary, weak LP duality on the root
 // relaxation gives a lower bound on any solution that forces the
-// variable to the opposite bound — the variable's reduced cost or its
-// bound row's dual for forcing it up to 1, the upper row's dual for
-// forcing it down to 0. When that bound reaches the incumbent, no
-// strictly improving solution can use that assignment, so the global
-// bound is fixed in place (baseB), tightening every future node solve.
-// The threshold is the bare incumbent (no gap slack), so fixing only
-// removes solutions the search would never accept and the final
-// incumbent is preserved exactly. Returns the number of new fixings.
+// variable to the opposite bound — the reduced cost rc_j prices moving
+// x_j up off its lower bound (rc_j ≥ 0 there), and -rc_j prices moving
+// it down off its upper bound (rc_j ≤ 0 there). When that bound
+// reaches the incumbent, no strictly improving solution can use that
+// assignment, so the global bound is fixed in place (baseLo/baseUp),
+// tightening every future node solve. The threshold is the bare
+// incumbent (no gap slack), so fixing only removes solutions the
+// search would never accept and the final incumbent is preserved
+// exactly. Returns the number of new fixings.
 func (w *workState) fixBinaries(root *lp.Solution, incumbent float64) int {
+	if root.ReducedCost == nil {
+		return 0 // test-only dense bounded path reports no reduced costs
+	}
 	fixed := 0
 	for j, isInt := range w.p.Integer {
 		if !isInt {
 			continue
 		}
-		ru, rl := w.rowUpper[j], w.rowLower[j]
 		// Only clean binaries still free at [0, 1].
-		if ru < 0 || rl < 0 || w.baseB[ru] != 1 || w.baseB[rl] != 0 {
+		if w.baseLo[j] != 0 || w.baseUp[j] != 1 {
 			continue
 		}
-		// Reduced cost of x_j at the root optimum (≥ 0 when x_j sits
-		// nonbasic at zero).
-		rc := w.lp.C[j]
-		for i, row := range w.lp.A {
-			if row[j] != 0 && i < len(root.Dual) {
-				rc -= root.Dual[i] * row[j]
-			}
-		}
-		yl := root.Dual[rl] // ≥ 0 (≥ row): cost per unit of raising the lower RHS
-		yu := root.Dual[ru] // ≤ 0 (≤ row): -yu is the cost of lowering the upper RHS
-		gainUp := math.Max(rc, math.Max(yl, 0))
-		gainDown := math.Max(-yu, 0)
-		if root.Objective+gainUp >= incumbent {
-			w.baseB[ru] = 0 // forcing x_j = 1 cannot beat the incumbent
-			w.lp.B[ru] = 0
+		rc := root.ReducedCost[j]
+		if root.Objective+math.Max(rc, 0) >= incumbent {
+			w.baseUp[j] = 0 // forcing x_j = 1 cannot beat the incumbent
+			w.lp.Upper[j] = 0
 			fixed++
-		} else if root.Objective+gainDown >= incumbent {
-			w.baseB[rl] = 1 // forcing x_j = 0 cannot beat the incumbent
-			w.lp.B[rl] = 1
+		} else if root.Objective+math.Max(-rc, 0) >= incumbent {
+			w.baseLo[j] = 1 // forcing x_j = 0 cannot beat the incumbent
+			w.lp.Lower[j] = 1
 			fixed++
 		}
 	}
@@ -345,7 +325,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 
 	var work *workState
 	if !opt.legacySolve {
-		work = newWorkState(p) // nil → legacy fallback (unbounded integer var)
+		work = newWorkState(p)
 	}
 
 	queue := &nodeQueue{}
@@ -375,8 +355,8 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	}
 
 	// solveNode solves one node relaxation: through the shared work
-	// problem warm-started from the given basis, or through the legacy
-	// per-node clone-and-rebuild when the warm engine is unavailable.
+	// problem warm-started from the given basis, or through the
+	// test-only legacy per-node clone-and-rebuild reference path.
 	solveNode := func(nd *node, warm []lp.BasisVar) (*lp.Solution, error) {
 		var rel *lp.Solution
 		var err error

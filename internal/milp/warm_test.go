@@ -158,28 +158,55 @@ func TestRootBasisReuse(t *testing.T) {
 	}
 }
 
-// TestWarmUnboundedIntegerFallsBack pins the legacy fallback: an
-// integer variable with no finite upper bound cannot use pre-built
-// bound rows, and the solve must still be correct through the
-// clone-and-rebuild path.
-func TestWarmUnboundedIntegerFallsBack(t *testing.T) {
+// TestWarmUnboundedInteger: with native variable bounds the warm
+// engine no longer has an eligibility restriction — an integer
+// variable with no finite global upper bound is handled by writing a
+// finite value into Upper[j] on the down-branch.
+func TestWarmUnboundedInteger(t *testing.T) {
 	// min -x - y  s.t. 2x + y ≤ 7, x integer unbounded, y ≤ 1.5.
 	base := lp.NewProblem([]float64{-1, -1})
 	base.AddRow([]float64{2, 1}, lp.LE, 7)
 	p := NewProblem(base)
 	p.Integer[0] = true
 	p.SetUpper(1, 1.5)
-	if w := newWorkState(p); w != nil {
-		t.Fatal("unbounded integer variable should be ineligible for the warm engine")
+	if w := newWorkState(p); w == nil {
+		t.Fatal("unbounded integer variable must be eligible for the warm engine")
 	}
 	sol, err := Solve(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// x = 2, y = 1.5 wins over x = 3, y = 1 (obj -3.5 vs -4? check:
-	// x=3 → 2·3=6, y ≤ 1 → obj -4; x=2 → y ≤ 1.5 (row slack 3, but
-	// y ≤ 1.5 bound binds) → obj -3.5). Optimum is x=3, y=1.
+	// Relaxation: y = 1.5, x = 2.75, obj -4.25. Branch on x:
+	// x ≤ 2 → y = 1.5, obj -3.5; x ≥ 3 → y = 1, obj -4. Optimum -4.
 	if sol.Status != StatusOptimal || math.Abs(sol.Objective-(-4)) > 1e-6 {
 		t.Fatalf("got %v objective %g, want optimal -4", sol.Status, sol.Objective)
+	}
+	if sol.Nodes <= 1 {
+		t.Fatalf("expected the solve to branch, got %d nodes", sol.Nodes)
+	}
+}
+
+// TestWorkStateAddsNoRows pins the native-bounds contract: the shared
+// node LP has exactly as many rows as the base problem, no matter how
+// many integer or bounded variables the instance carries. (The
+// historical engine added one ≤ row per finite upper bound and one ≥
+// row per integer variable.)
+func TestWorkStateAddsNoRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for inst := 0; inst < 10; inst++ {
+		p := randomBinaryMILP(rng)
+		w := newWorkState(p)
+		if got, want := w.lp.NumRows(), p.LP.NumRows(); got != want {
+			t.Fatalf("instance %d: work problem has %d rows, base has %d", inst, got, want)
+		}
+		nInt := 0
+		for _, isInt := range p.Integer {
+			if isInt {
+				nInt++
+			}
+		}
+		if nInt == 0 {
+			t.Fatalf("instance %d: generator produced no integer variables", inst)
+		}
 	}
 }

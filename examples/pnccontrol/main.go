@@ -1,8 +1,11 @@
-// Pnccontrol: the §II control plane end to end. Nodes marshal demand
-// reports and channel updates onto a WiFi-like control channel, the
-// PicoNet Coordinator ingests them, re-solves P1, and broadcasts
-// schedule grants; the nodes decode the grants and the slot simulator
-// verifies the granted plan serves every demand. The run prints the
+// Pnccontrol: the §II control plane end to end — over the wire. An
+// embedded pncd server hosts the cell; this program plays both the
+// operator (create the cell through api.Client) and the nodes (submit
+// demand reports and channel updates, which the server encodes onto
+// the same WiFi-like control channel an in-process node would use).
+// Each step solves P1 and returns the epoch report with its downlink
+// grants; the nodes decode the grants and the slot simulator verifies
+// the granted plan serves every demand. The run prints the
 // control-plane airtime next to the data-plane scheduling time — the
 // coordination overhead the paper's architecture implies.
 //
@@ -12,18 +15,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
-	"mmwave/internal/core"
+	"mmwave/internal/api"
 	"mmwave/internal/experiment"
 	"mmwave/internal/pnc"
+	"mmwave/internal/pncd"
 	"mmwave/internal/sim"
 	"mmwave/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	cfg := experiment.DefaultConfig()
 	cfg.NumLinks = 8
@@ -34,53 +41,69 @@ func main() {
 		log.Fatalf("drawing instance: %v", err)
 	}
 
-	coord, err := pnc.NewCoordinator(inst.Network, pnc.DefaultControlChannel(), core.Options{
-		Pricer: core.NewBranchBoundPricer(cfg.PricerBudget),
+	// The scheduling server: normally a separate pncd process; here
+	// embedded so the example is self-contained. The client speaks
+	// the same v1 API either way.
+	srv, err := pncd.New(pncd.Config{})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := api.NewClient(hs.URL, hs.Client())
+
+	nw := api.NetworkFromModel(inst.Network)
+	st, err := client.CreateCell(ctx, api.CellSpec{
+		Network: &nw,
+		Solve:   &api.Solve{PricerBudget: cfg.PricerBudget},
 	})
 	if err != nil {
-		log.Fatalf("coordinator: %v", err)
+		log.Fatalf("create cell: %v", err)
 	}
+	fmt.Printf("created cell %d: %d links, %d channels\n\n", st.Cell, st.Links, st.Channels)
 
 	// Uplink: every node reports its next-GOP demand; node 0 also
 	// refreshes its channel-state vector.
 	fmt.Println("uplink control messages:")
+	demands := make([]api.Demand, len(inst.Demands))
 	for l, d := range inst.Demands {
-		frame, err := pnc.DemandReport{Link: uint16(l), Demand: d}.MarshalBinary()
-		if err != nil {
-			log.Fatalf("marshal report: %v", err)
-		}
-		if err := coord.Ingest(frame); err != nil {
-			log.Fatalf("ingest: %v", err)
-		}
-		fmt.Printf("  link %2d: demand report, %3d bytes (%s)\n", l, len(frame), d)
+		demands[l] = api.Demand{Link: l, HP: d.HP, LP: d.LP}
+		fmt.Printf("  link %2d: demand report (%s)\n", l, d)
 	}
-	update := pnc.ChannelUpdate{Link: 0, Gains: inst.Network.Gains.Direct[0]}
-	frame, err := update.MarshalBinary()
-	if err != nil {
-		log.Fatalf("marshal update: %v", err)
+	if _, err := client.SubmitDemands(ctx, st.Cell, demands); err != nil {
+		log.Fatalf("submit demands: %v", err)
 	}
-	if err := coord.Ingest(frame); err != nil {
-		log.Fatalf("ingest update: %v", err)
+	if _, err := client.SubmitCSI(ctx, st.Cell, []api.CSI{
+		{Link: 0, Gains: inst.Network.Gains.Direct[0]},
+	}); err != nil {
+		log.Fatalf("submit csi: %v", err)
 	}
-	fmt.Printf("  link  0: channel update, %3d bytes\n", len(frame))
+	fmt.Println("  link  0: channel update")
 
-	// The PNC solves P1 and emits grants.
-	ep, err := coord.RunEpoch()
+	// Step: the server feeds the queued frames to the coordinator,
+	// solves P1, and reports the epoch with its downlink grants.
+	ep, err := client.StepCell(ctx, st.Cell)
 	if err != nil {
-		log.Fatalf("epoch: %v", err)
+		log.Fatalf("step: %v", err)
 	}
+	if ep.Outcome != "ok" {
+		log.Fatalf("epoch outcome %q: %s", ep.Outcome, ep.Error)
+	}
+	res := ep.Result
 	fmt.Printf("\nPNC solved P1: %.4f s of scheduled airtime across %d grants\n",
-		ep.Plan.Objective, len(ep.Grants))
+		ep.Plan.Objective, len(res.Grants))
 	var grantBytes int
-	for _, g := range ep.Grants {
+	for _, g := range res.Grants {
 		grantBytes += len(g)
 	}
 	fmt.Printf("downlink grants: %d bytes total\n", grantBytes)
 	fmt.Printf("control-plane cost this epoch: %d messages, %.1f µs of WiFi airtime (%.5f%% of the data plane)\n",
-		ep.ControlMessages, ep.ControlSeconds*1e6, 100*ep.ControlSeconds/ep.Plan.Objective)
+		res.ControlMessages, res.ControlSeconds*1e6, 100*res.ControlSeconds/ep.Plan.Objective)
 
-	// Node side: decode grants and execute.
-	schedules, taus, err := pnc.DecodeGrants(ep.Grants)
+	// Node side: decode the grants exactly as a node radio would and
+	// execute the granted plan in the slot simulator.
+	schedules, taus, err := pnc.DecodeGrants(res.Grants)
 	if err != nil {
 		log.Fatalf("decoding grants: %v", err)
 	}
@@ -108,30 +131,37 @@ func main() {
 	fmt.Println("\nall demands served via the granted plan — control plane round trip verified")
 
 	// A second epoch under the same CSI regime: nodes report fresh
-	// (slightly larger) demands, and the coordinator re-solves P1 on
-	// its persistent solver — the column pool and simplex basis of
-	// epoch 1 carry over, so the warm solve needs far fewer pricing
-	// rounds than a TDMA-cold restart would.
+	// (slightly larger) demands, and the server's coordinator
+	// re-solves P1 on its persistent solver — the column pool and
+	// simplex basis of epoch 1 carry over, so the warm solve needs far
+	// fewer pricing rounds than a TDMA-cold restart would.
 	fmt.Println("\nsecond epoch (same CSI, new demands — warm reuse):")
-	for l, d := range inst.Demands {
-		frame, err := pnc.DemandReport{Link: uint16(l), Demand: d.Scale(1.2)}.MarshalBinary()
-		if err != nil {
-			log.Fatalf("marshal report: %v", err)
-		}
-		if err := coord.Ingest(frame); err != nil {
-			log.Fatalf("ingest: %v", err)
-		}
+	for l := range demands {
+		demands[l].HP *= 1.2
+		demands[l].LP *= 1.2
 	}
-	ep2, err := coord.RunEpoch()
+	if _, err := client.SubmitDemands(ctx, st.Cell, demands); err != nil {
+		log.Fatalf("submit demands: %v", err)
+	}
+	ep2, err := client.StepCell(ctx, st.Cell)
 	if err != nil {
 		log.Fatalf("second epoch: %v", err)
 	}
-	fmt.Printf("  warm solve: %v (epoch 1: %d CG iterations / %d LP pivots, epoch 2: %d / %d)\n",
-		ep2.WarmSolve,
-		len(ep.Solver.Iterations), ep.Solver.LPPivots,
-		len(ep2.Solver.Iterations), ep2.Solver.LPPivots)
-	fmt.Printf("  scheduled airtime %.4f s across %d grants\n", ep2.Plan.Objective, len(ep2.Grants))
-	if !ep2.WarmSolve {
+	if ep2.Outcome != "ok" {
+		log.Fatalf("second epoch outcome %q: %s", ep2.Outcome, ep2.Error)
+	}
+	fmt.Printf("  warm solve: %v\n", ep2.Result.WarmSolve)
+	fmt.Printf("  scheduled airtime %.4f s across %d grants\n",
+		ep2.Plan.Objective, len(ep2.Result.Grants))
+	if !ep2.Result.WarmSolve {
 		log.Fatal("second epoch did not reuse the solver state")
 	}
+
+	// The plan endpoint serves what the step produced, byte for byte.
+	pr, err := client.Plan(ctx, st.Cell)
+	if err != nil {
+		log.Fatalf("fetch plan: %v", err)
+	}
+	fmt.Printf("\nGET %s/cells/%d/plan: objective %.4f s, age %d — matches the epoch report\n",
+		api.PathPrefix, st.Cell, pr.Plan.Objective, pr.PlanAge)
 }

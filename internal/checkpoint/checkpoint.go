@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 
 	"mmwave/internal/cg"
+	"mmwave/internal/core"
 	"mmwave/internal/faults"
 	"mmwave/internal/lp"
 	"mmwave/internal/netmodel"
@@ -54,7 +55,12 @@ const (
 	magic = "MWCK"
 	// version 2 added the LPEtaUpdates counter to the engine stats
 	// block when the master LP moved to the sparse revised simplex.
-	version = 2
+	// version 3 appended the host's last-known-good plan (and its
+	// epoch) so a restarted pncd can serve plans before its first
+	// post-restore step. Version-2 images still decode (no plan).
+	version = 3
+	// minVersion is the oldest format this build still decodes.
+	minVersion = 2
 	// headerLen is magic + version + fingerprint; trailerLen the CRC.
 	headerLen  = 4 + 2 + 8
 	trailerLen = 4
@@ -70,6 +76,12 @@ type Snapshot struct {
 	// is nil when no injector was captured.
 	InjectorCfg faults.Config
 	Injector    *faults.InjectorState
+	// Plan/PlanEpoch carry the supervisor's last-known-good plan (nil
+	// when the cell had none, and on images older than version 3), so
+	// a restarted host serves the data plane immediately instead of
+	// waiting for its first fresh solve.
+	Plan      *core.Plan
+	PlanEpoch int64
 }
 
 // NetworkFingerprint hashes the problem instance a coordinator
@@ -179,6 +191,15 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	} else {
 		w.u8(0)
 	}
+	if s.Plan != nil {
+		w.u8(1)
+		encodeSchedules(w, s.Plan.Schedules)
+		encodeFloats(w, s.Plan.Tau)
+		w.f64(s.Plan.Objective)
+		w.i64(s.PlanEpoch)
+	} else {
+		w.u8(0)
+	}
 	w.u32(crc32.ChecksumIEEE(w.buf))
 	return w.buf, nil
 }
@@ -195,13 +216,22 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
 	r := &reader{buf: body, off: 4}
-	if v := r.u16(); v != version {
-		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrIncompatible, v, version)
+	v := r.u16()
+	if v < minVersion || v > version {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d–%d", ErrIncompatible, v, minVersion, version)
 	}
 	s := &Snapshot{Fingerprint: r.u64()}
 	s.Coord = decodeCoord(r)
 	if r.err == nil && r.boolean() {
 		s.InjectorCfg, s.Injector = decodeInjector(r)
+	}
+	if v >= 3 && r.err == nil && r.boolean() {
+		s.Plan = &core.Plan{
+			Schedules: decodeSchedules(r),
+			Tau:       decodeFloats(r),
+			Objective: r.f64(),
+		}
+		s.PlanEpoch = r.i64()
 	}
 	if err := r.done(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -218,6 +248,10 @@ func Decode(data []byte) (*Snapshot, error) {
 		if err := s.Injector.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
+	}
+	if s.Plan != nil && len(s.Plan.Tau) != len(s.Plan.Schedules) {
+		return nil, fmt.Errorf("%w: plan carries %d schedules but %d shares",
+			ErrCorrupt, len(s.Plan.Schedules), len(s.Plan.Tau))
 	}
 	return s, nil
 }
@@ -360,9 +394,9 @@ func decodeCoord(r *reader) *pnc.CoordState {
 	return st
 }
 
-func encodeEngine(w *writer, s *cg.StateSnapshot) {
-	w.u32(uint32(len(s.Schedules)))
-	for _, sc := range s.Schedules {
+func encodeSchedules(w *writer, schedules []*schedule.Schedule) {
+	w.u32(uint32(len(schedules)))
+	for _, sc := range schedules {
 		w.u32(uint32(len(sc.Assignments)))
 		for _, a := range sc.Assignments {
 			w.i64(int64(a.Link))
@@ -372,6 +406,36 @@ func encodeEngine(w *writer, s *cg.StateSnapshot) {
 			w.f64(a.Power)
 		}
 	}
+}
+
+func decodeSchedules(r *reader) []*schedule.Schedule {
+	n := r.count()
+	if r.err != nil {
+		return nil
+	}
+	schedules := make([]*schedule.Schedule, n)
+	for i := range schedules {
+		m := r.count()
+		if r.err != nil {
+			return schedules
+		}
+		sc := &schedule.Schedule{Assignments: make([]schedule.Assignment, m)}
+		for j := range sc.Assignments {
+			sc.Assignments[j] = schedule.Assignment{
+				Link:    int(r.i64()),
+				Channel: int(r.i64()),
+				Level:   int(r.i64()),
+				Layer:   schedule.Layer(r.u8()),
+				Power:   r.f64(),
+			}
+		}
+		schedules[i] = sc
+	}
+	return schedules
+}
+
+func encodeEngine(w *writer, s *cg.StateSnapshot) {
+	encodeSchedules(w, s.Schedules)
 	w.i64(int64(s.SeedLen))
 	w.u32(uint32(len(s.WarmBasis)))
 	for _, b := range s.WarmBasis {
@@ -397,30 +461,9 @@ func encodeEngine(w *writer, s *cg.StateSnapshot) {
 
 func decodeEngine(r *reader) *cg.StateSnapshot {
 	s := &cg.StateSnapshot{}
-	n := r.count()
-	if r.err != nil {
-		return s
-	}
-	s.Schedules = make([]*schedule.Schedule, n)
-	for i := range s.Schedules {
-		m := r.count()
-		if r.err != nil {
-			return s
-		}
-		sc := &schedule.Schedule{Assignments: make([]schedule.Assignment, m)}
-		for j := range sc.Assignments {
-			sc.Assignments[j] = schedule.Assignment{
-				Link:    int(r.i64()),
-				Channel: int(r.i64()),
-				Level:   int(r.i64()),
-				Layer:   schedule.Layer(r.u8()),
-				Power:   r.f64(),
-			}
-		}
-		s.Schedules[i] = sc
-	}
+	s.Schedules = decodeSchedules(r)
 	s.SeedLen = int(r.i64())
-	n = r.count()
+	n := r.count()
 	if r.err != nil {
 		return s
 	}

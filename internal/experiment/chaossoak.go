@@ -131,18 +131,17 @@ func ChaosSoak(cc ChaosSoakConfig) (*ChaosSoakResult, error) {
 		return nil, err
 	}
 
-	hostOpts := host.Options{
-		Watchdog: cc.Watchdog,
+	chaosHost := host.New(
+		host.WithWatchdog(cc.Watchdog),
 		// The soak wants the supervision machinery exercised, not cells
 		// retired: a generous restart budget keeps chaos-prone cells in
 		// the game while still proving the disable path compiles into
 		// the policy (a cell CAN still exhaust it under a hostile seed).
-		MaxRestarts: 64,
-		Tracer:      cc.Net.Tracer,
-		Metrics:     cc.Net.Metrics,
-	}
-	chaosHost := host.New(hostOpts)
-	shadowHost := host.New(host.Options{Watchdog: cc.Watchdog, MaxRestarts: 64})
+		host.WithMaxRestarts(64),
+		host.WithTracer(cc.Net.Tracer),
+		host.WithMetrics(cc.Net.Metrics),
+	)
+	shadowHost := host.New(host.WithWatchdog(cc.Watchdog), host.WithMaxRestarts(64))
 
 	res := &ChaosSoakResult{Cells: cc.Cells, Epochs: cc.Epochs}
 	type fleet struct {
@@ -190,12 +189,10 @@ func ChaosSoak(cc ChaosSoakConfig) (*ChaosSoakResult, error) {
 			cfg faults.Config
 		}{{chaos, fcfg}, {shadow, shadowCfg}} {
 			cfg := f.cfg
-			spec := host.CellSpec{
-				Network: inst.Network,
-				Solve:   cc.Net.solverOptions(),
-				Policy:  policy,
-				Faults:  &cfg,
-			}
+			spec := host.NewSpec(inst.Network,
+				host.SpecSolve(cc.Net.solverOptions()),
+				host.SpecPolicy(policy),
+				host.SpecFaults(&cfg))
 			if _, err := f.fl.h.Admit(spec); err != nil {
 				return nil, fmt.Errorf("experiment: chaos soak cell %d: %w", i, err)
 			}

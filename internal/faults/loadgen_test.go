@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLoadGenDeterministic(t *testing.T) {
+	cfg := LoadConfig{
+		Links:       4,
+		MeanHPBits:  2e6,
+		MeanLPBits:  6e6,
+		Burstiness:  0.5,
+		BurstPeriod: 7,
+		Jitter:      0.3,
+		Seed:        42,
+	}
+	a, err := NewLoadGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLoadGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query b in reverse order to prove order independence.
+	type key struct {
+		cell int
+		ep   int64
+	}
+	got := map[key][]float64{}
+	for cell := 0; cell < 3; cell++ {
+		for ep := int64(0); ep < 20; ep++ {
+			ds := a.Demands(cell, ep)
+			flat := make([]float64, 0, 2*len(ds))
+			for _, d := range ds {
+				if !d.Valid() {
+					t.Fatalf("invalid demand cell=%d ep=%d: %v", cell, ep, d)
+				}
+				flat = append(flat, d.HP, d.LP)
+			}
+			got[key{cell, ep}] = flat
+		}
+	}
+	for cell := 2; cell >= 0; cell-- {
+		for ep := int64(19); ep >= 0; ep-- {
+			ds := b.Demands(cell, ep)
+			want := got[key{cell, ep}]
+			for l, d := range ds {
+				if d.HP != want[2*l] || d.LP != want[2*l+1] {
+					t.Fatalf("mismatch cell=%d ep=%d link=%d: %v vs (%g,%g)",
+						cell, ep, l, d, want[2*l], want[2*l+1])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadGenConcurrent(t *testing.T) {
+	g, err := NewLoadGen(LoadConfig{Links: 8, MeanHPBits: 1e6, MeanLPBits: 3e6, Jitter: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := g.Demands(1, 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 100; rep++ {
+				ds := g.Demands(1, 5)
+				for l, d := range ds {
+					if d != ref[l] {
+						t.Errorf("concurrent mismatch link %d: %v vs %v", l, d, ref[l])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLoadGenVariation(t *testing.T) {
+	g, err := NewLoadGen(LoadConfig{Links: 2, MeanHPBits: 1e6, MeanLPBits: 2e6, Jitter: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Demand(0, 0, 0)
+	b := g.Demand(0, 1, 0)
+	c := g.Demand(1, 0, 0)
+	if a == b && b == c {
+		t.Fatalf("jittered demands identical across epoch and cell: %v", a)
+	}
+}
+
+func TestLoadGenBurstStaggering(t *testing.T) {
+	g, err := NewLoadGen(LoadConfig{Links: 1, MeanHPBits: 1e6, MeanLPBits: 0, Burstiness: 1, BurstPeriod: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell 0 bursts at epochs 0,4,8…; cell 1 at 1,5,9…
+	if got := g.Demand(0, 0, 0).HP; got != 2e6 {
+		t.Fatalf("cell 0 epoch 0 should burst: %g", got)
+	}
+	if got := g.Demand(0, 1, 0).HP; got != 1e6 {
+		t.Fatalf("cell 0 epoch 1 should not burst: %g", got)
+	}
+	if got := g.Demand(1, 1, 0).HP; got != 2e6 {
+		t.Fatalf("cell 1 epoch 1 should burst: %g", got)
+	}
+}
+
+func TestLoadConfigValidate(t *testing.T) {
+	bad := []LoadConfig{
+		{Links: 0},
+		{Links: 1, MeanHPBits: -1},
+		{Links: 1, Jitter: 1},
+		{Links: 1, Burstiness: -0.1},
+		{Links: 1, BurstPeriod: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLoadGen(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := NewLoadGen(LoadConfig{Links: 1}); err != nil {
+		t.Errorf("minimal config should validate: %v", err)
+	}
+}

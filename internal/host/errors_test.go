@@ -21,7 +21,7 @@ import (
 func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 	t.Run("budget sentinel carries the watchdog cause", func(t *testing.T) {
 		nw := testNetwork(t, 51, 4, 2)
-		h := New(Options{Watchdog: 50 * time.Millisecond})
+		h := New(WithWatchdog(50 * time.Millisecond))
 		cell, err := h.Admit(CellSpec{
 			Network: nw,
 			Faults:  &faults.Config{SolveHang: 1, Seed: 3},
@@ -131,7 +131,7 @@ func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 	})
 
 	t.Run("admission", func(t *testing.T) {
-		if _, err := New(Options{}).Admit(CellSpec{}); !errors.Is(err, ErrAdmission) {
+		if _, err := New().Admit(CellSpec{}); !errors.Is(err, ErrAdmission) {
 			t.Errorf("empty spec admitted with %v, want ErrAdmission", err)
 		}
 	})

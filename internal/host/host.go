@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -224,25 +225,82 @@ func (c *Cell) Restarts() int { return c.restarts }
 // after retries) across the cell's lifetime.
 func (c *Cell) IngestErrors() int64 { return c.ingestErrors }
 
-// Host supervises a set of cells.
+// Epoch returns the host-side epoch counter: every step of the cell,
+// including skipped and degraded ones, advances it.
+func (c *Cell) Epoch() int64 { return c.epoch }
+
+// LastPlan returns the cell's last-known-good plan, how many completed
+// epochs old it is (0 = produced by the most recent step, matching
+// EpochReport.PlanAge), and whether one exists (a cell that never
+// completed an epoch has nothing to serve). Not safe against a
+// concurrent step of the same cell — read between steps, like every
+// other cell accessor.
+func (c *Cell) LastPlan() (plan core.Plan, age int64, ok bool) {
+	if !c.hasPlan {
+		return core.Plan{}, 0, false
+	}
+	age = c.epoch - 1 - c.lastPlanEpoch
+	if age < 0 {
+		age = 0
+	}
+	return c.lastPlan, age, true
+}
+
+// Host supervises a set of cells. Constructors live in funcopts.go:
+// New composes functional options; NewFromOptions is the deprecated
+// imperative shim.
 type Host struct {
 	opts       Options
-	cells      []*Cell
+	cells      []*Cell // indexed by cell ID; nil marks an evicted slot
 	totalLinks int
-	mu         sync.Mutex // guards admission; stepping is per-cell
+	mu         sync.Mutex // guards admission/eviction; stepping is per-cell
 }
 
-// New builds an empty host.
-func New(opts Options) *Host {
-	return &Host{opts: opts}
+// Cells returns the live cells in admission order (evicted slots are
+// skipped; IDs therefore need not be contiguous).
+func (h *Host) Cells() []*Cell {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	live := make([]*Cell, 0, len(h.cells))
+	for _, c := range h.cells {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	return live
 }
 
-// Cells returns the admitted cells in admission order.
-func (h *Host) Cells() []*Cell { return h.cells }
+// Cell returns the cell with the given ID, or nil if it was never
+// admitted or has been evicted.
+func (h *Host) Cell(id int) *Cell {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id < 0 || id >= len(h.cells) {
+		return nil
+	}
+	return h.cells[id]
+}
 
 // Admit validates a cell spec against the host's admission policy and
-// the host configuration, builds the cell, and registers it.
+// the host configuration, builds the cell, and registers it under the
+// next free ID.
 func (h *Host) Admit(spec CellSpec) (*Cell, error) {
+	return h.admit(spec, -1)
+}
+
+// AdmitAt admits a cell under an explicit ID — the recovery path for a
+// supervisor re-creating cells from persisted specs, where checkpoint
+// filenames embed the IDs a dead process assigned. The ID must not
+// collide with a live cell; gaps left by evictions are tolerated and
+// preserved.
+func (h *Host) AdmitAt(id int, spec CellSpec) (*Cell, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("%w: negative cell id %d", ErrAdmission, id)
+	}
+	return h.admit(spec, id)
+}
+
+func (h *Host) admit(spec CellSpec, id int) (*Cell, error) {
 	if spec.Network == nil {
 		return nil, fmt.Errorf("%w: no network", ErrAdmission)
 	}
@@ -259,7 +317,7 @@ func (h *Host) Admit(spec CellSpec) (*Cell, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.opts.MaxCells > 0 && len(h.cells) >= h.opts.MaxCells {
+	if h.opts.MaxCells > 0 && h.liveCellsLocked() >= h.opts.MaxCells {
 		h.metric("host_admission_rejected_total")
 		return nil, fmt.Errorf("%w: cell cap %d reached", ErrAdmission, h.opts.MaxCells)
 	}
@@ -267,8 +325,14 @@ func (h *Host) Admit(spec CellSpec) (*Cell, error) {
 		h.metric("host_admission_rejected_total")
 		return nil, fmt.Errorf("%w: link budget %d would be exceeded", ErrAdmission, h.opts.MaxTotalLinks)
 	}
+	if id < 0 {
+		id = len(h.cells)
+	}
+	if id < len(h.cells) && h.cells[id] != nil {
+		return nil, fmt.Errorf("%w: cell id %d already admitted", ErrAdmission, id)
+	}
 
-	c := &Cell{id: len(h.cells), spec: spec, host: h}
+	c := &Cell{id: id, spec: spec, host: h}
 	// Wrap the pricer once, at admission: the gate survives coordinator
 	// rebuilds, so restored and uninterrupted cells price through the
 	// same object.
@@ -293,10 +357,79 @@ func (h *Host) Admit(spec CellSpec) (*Cell, error) {
 	if err := c.buildCoordinator(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrAdmission, err)
 	}
-	h.cells = append(h.cells, c)
+	for len(h.cells) <= id {
+		h.cells = append(h.cells, nil)
+	}
+	h.cells[id] = c
 	h.totalLinks += spec.Network.NumLinks()
-	h.gauge("host_cells", float64(len(h.cells)))
+	h.gauge("host_cells", float64(h.liveCellsLocked()))
 	return c, nil
+}
+
+// liveCellsLocked counts non-evicted cells; callers hold h.mu.
+func (h *Host) liveCellsLocked() int {
+	n := 0
+	for _, c := range h.cells {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Evict removes a cell from supervision, releasing its admission
+// budget. The slot (and the ID) is never reused; in-memory state is
+// dropped, while any on-disk checkpoint is left for the caller to
+// clean up. Evicting concurrently with a step of the same cell is the
+// caller's race to avoid, exactly like Admit versus StepAll.
+func (h *Host) Evict(id int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id < 0 || id >= len(h.cells) || h.cells[id] == nil {
+		return fmt.Errorf("host: evict: no cell %d", id)
+	}
+	h.totalLinks -= h.cells[id].spec.Network.NumLinks()
+	h.cells[id] = nil
+	h.metric("host_cells_evicted_total")
+	h.gauge("host_cells", float64(h.liveCellsLocked()))
+	return nil
+}
+
+// Recover restores a freshly admitted cell from its on-disk
+// checkpoint, if one exists: the coordinator (demand fallbacks,
+// control accounting, epoch counter, warm solver state) and any fault
+// injector come back RNG-exactly, so the cell's next epoch is
+// byte-identical to the one the dead process would have run. The
+// host-side epoch counter resumes from the coordinator's completed-
+// epoch count. Returns (false, nil) when the host keeps checkpoints in
+// memory or none was written yet; a decode or restore failure leaves
+// the cell cold-started (the state Admit built) and is returned for
+// the caller to surface.
+func (h *Host) Recover(c *Cell) (bool, error) {
+	if c.ckptPath == "" {
+		return false, nil
+	}
+	data, err := readRaw(c.ckptPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	snap, err := checkpoint.Decode(data)
+	if err == nil {
+		err = h.restoreFromSnapshot(c, snap)
+	}
+	if err != nil {
+		h.metric("host_cold_restarts_total")
+		h.event("host.cold_restart", c.id, err.Error())
+		return false, err
+	}
+	c.lastCkpt = data
+	c.epoch = c.coord.Epoch()
+	h.metric("host_restores_total")
+	h.event("host.restore", c.id, "")
+	return true, nil
 }
 
 // buildCoordinator (re)constructs the cell's coordinator from its
@@ -328,9 +461,10 @@ func (c *Cell) buildCoordinator() error {
 // FeedFunc supplies one epoch's encoded uplink frames for a cell.
 type FeedFunc func(cell *Cell, epoch int64) [][]byte
 
-// StepAll runs one scheduling epoch on every cell concurrently and
-// returns the reports in cell order. Cells are independent; each is
-// stepped by exactly one goroutine.
+// StepAll runs one scheduling epoch on every live cell concurrently
+// and returns the reports indexed by cell ID (evicted slots yield nil
+// entries). Cells are independent; each is stepped by exactly one
+// goroutine of the sharded worker pool.
 func (h *Host) StepAll(ctx context.Context, feed FeedFunc) []*EpochReport {
 	reports := make([]*EpochReport, len(h.cells))
 	workers := h.opts.Workers
@@ -344,8 +478,9 @@ func (h *Host) StepAll(ctx context.Context, feed FeedFunc) []*EpochReport {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := h.cells[i]
-				reports[i] = h.stepCell(ctx, c, feed)
+				if c := h.cells[i]; c != nil {
+					reports[i] = h.stepCell(ctx, c, feed)
+				}
 			}
 		}()
 	}
@@ -530,6 +665,10 @@ func (h *Host) serveLastGood(c *Cell, rep *EpochReport) {
 // corruption fault when drawn.
 func (h *Host) checkpointCell(c *Cell, rep *EpochReport) {
 	snap := checkpoint.Capture(c.coord, c.inj)
+	if c.hasPlan {
+		snap.Plan = &c.lastPlan
+		snap.PlanEpoch = c.lastPlanEpoch
+	}
 	data, err := snap.Encode()
 	if err != nil {
 		h.metric("host_checkpoint_errors_total")
@@ -604,6 +743,11 @@ func (h *Host) restoreFromSnapshot(c *Cell, snap *checkpoint.Snapshot) error {
 	if inj != nil {
 		c.inj = inj
 		c.coord.Faults = inj
+	}
+	if snap.Plan != nil {
+		c.lastPlan = *snap.Plan
+		c.lastPlanEpoch = snap.PlanEpoch
+		c.hasPlan = true
 	}
 	return nil
 }

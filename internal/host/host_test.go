@@ -106,7 +106,7 @@ func TestHostMatchesStandalone(t *testing.T) {
 	nw := testNetwork(t, 7, 5, 2)
 	d := video.Demand{HP: 4e6, LP: 8e6}
 
-	h := New(Options{})
+	h := New()
 	cell, err := h.Admit(CellSpec{Network: nw})
 	if err != nil {
 		t.Fatal(err)
@@ -145,12 +145,12 @@ func TestAdmissionControl(t *testing.T) {
 	nw := testNetwork(t, 3, 4, 2)
 
 	t.Run("no network", func(t *testing.T) {
-		if _, err := New(Options{}).Admit(CellSpec{}); err == nil {
+		if _, err := New().Admit(CellSpec{}); err == nil {
 			t.Fatal("admitted a cell with no network")
 		}
 	})
 	t.Run("hang needs watchdog", func(t *testing.T) {
-		_, err := New(Options{}).Admit(CellSpec{
+		_, err := New().Admit(CellSpec{
 			Network: nw,
 			Faults:  &faults.Config{SolveHang: 0.5, Seed: 1},
 		})
@@ -159,7 +159,7 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	})
 	t.Run("cell cap", func(t *testing.T) {
-		h := New(Options{MaxCells: 1})
+		h := New(WithAdmission(1, 0))
 		if _, err := h.Admit(CellSpec{Network: nw}); err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	})
 	t.Run("link budget", func(t *testing.T) {
-		h := New(Options{MaxTotalLinks: 6})
+		h := New(WithAdmission(0, 6))
 		if _, err := h.Admit(CellSpec{Network: nw}); err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	})
 	t.Run("bad fault config", func(t *testing.T) {
-		_, err := New(Options{}).Admit(CellSpec{
+		_, err := New().Admit(CellSpec{
 			Network: nw,
 			Faults:  &faults.Config{CellPanic: 1.5},
 		})
@@ -196,7 +196,7 @@ func TestAdmissionControl(t *testing.T) {
 func TestPanicSupervision(t *testing.T) {
 	nw := testNetwork(t, 9, 4, 2)
 	reg := obs.NewRegistry()
-	h := New(Options{MaxRestarts: 5, BreakerThreshold: 3, BreakerCooldown: 2, Metrics: reg})
+	h := New(WithMaxRestarts(5), WithBreaker(3, 2), WithMetrics(reg))
 	cell, err := h.Admit(CellSpec{
 		Network: nw,
 		Faults:  &faults.Config{CellPanic: 1, Seed: 42},
@@ -255,7 +255,7 @@ func TestPanicSupervision(t *testing.T) {
 // failed epochs serve it with correct staleness metadata.
 func TestLastGoodServedThroughFailures(t *testing.T) {
 	nw := testNetwork(t, 13, 4, 2)
-	h := New(Options{BreakerThreshold: 10, MaxRestarts: 10})
+	h := New(WithBreaker(10, 0), WithMaxRestarts(10))
 	cell, err := h.Admit(CellSpec{Network: nw})
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +291,7 @@ func TestWatchdogHang(t *testing.T) {
 
 	run := func(watchdog time.Duration) []*EpochReport {
 		reg := obs.NewRegistry()
-		h := New(Options{Watchdog: watchdog, Metrics: reg})
+		h := New(WithWatchdog(watchdog), WithMetrics(reg))
 		cell, err := h.Admit(CellSpec{
 			Network: nw,
 			Faults:  &faults.Config{SolveHang: 1, Seed: 5},
@@ -343,13 +343,12 @@ func TestKillRestoreByteIdentical(t *testing.T) {
 			nw := testNetwork(t, 23, 5, 2)
 			d := video.Demand{HP: 4e6, LP: 9e6}
 
-			opts := Options{}
-			if tc.dir {
-				opts.CheckpointDir = t.TempDir()
-			}
 			reg := obs.NewRegistry()
-			opts.Metrics = reg
-			chaos := New(opts)
+			opts := []Option{WithMetrics(reg)}
+			if tc.dir {
+				opts = append(opts, WithCheckpointDir(t.TempDir()))
+			}
+			chaos := New(opts...)
 			victim, err := chaos.Admit(CellSpec{
 				Network: nw,
 				Faults:  &faults.Config{KillRestore: 1, Seed: 77},
@@ -357,7 +356,7 @@ func TestKillRestoreByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			calm := New(Options{})
+			calm := New()
 			shadow, err := calm.Admit(CellSpec{
 				Network: nw,
 				Faults:  &faults.Config{KillRestore: 0.0000001, Seed: 77}, // same streams, never enacted
@@ -401,7 +400,7 @@ func TestKillRestoreByteIdentical(t *testing.T) {
 func TestCorruptCheckpointColdRestart(t *testing.T) {
 	nw := testNetwork(t, 29, 4, 2)
 	reg := obs.NewRegistry()
-	h := New(Options{Metrics: reg})
+	h := New(WithMetrics(reg))
 	cell, err := h.Admit(CellSpec{
 		Network: nw,
 		Faults:  &faults.Config{KillRestore: 1, CkptCorrupt: 1, Seed: 31},
@@ -437,7 +436,7 @@ func TestCorruptCheckpointColdRestart(t *testing.T) {
 // TestStepAll: multiple cells step concurrently under a bounded worker
 // pool and report in admission order.
 func TestStepAll(t *testing.T) {
-	h := New(Options{Workers: 2})
+	h := New(WithWorkers(2))
 	for i := 0; i < 4; i++ {
 		if _, err := h.Admit(CellSpec{Network: testNetwork(t, 40+int64(i), 3+i%2, 2)}); err != nil {
 			t.Fatal(err)

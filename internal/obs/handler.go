@@ -1,0 +1,14 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry's text
+// exposition — the scrape endpoint pncd mounts at /metrics. The
+// exposition is deterministic (see WriteText), so tests can assert on
+// exact series names. A nil registry serves an empty body.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

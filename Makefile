@@ -29,6 +29,12 @@ check-deprecated:
 	@if grep -rn --include='*.go' -e 'SolveBackground(' -e 'SolveContext(' -e 'host\.NewFromOptions(' . ; then \
 		echo "error: deprecated API used (call Solve(ctx) / host.New(With…) instead)"; exit 1; \
 	else echo "deprecated-API check passed"; fi
+	@if grep -rn --include='*.go' -E '\.(HP|LP)\b' . \
+		| grep -vE 'schedule\.(HP|LP)\b' \
+		| grep -v '^\./internal/schedule/' \
+		| grep -v '^\./internal/video/' ; then \
+		echo "error: two-field .HP/.LP demand access (use video.Demand.At / video.TwoClass; schedule.HP/LP layer tokens are fine)"; exit 1; \
+	else echo "two-class field check passed"; fi
 
 test:
 	$(GO) test ./...
@@ -40,8 +46,9 @@ cover:
 	$(GO) test -cover ./...
 
 # Regenerate the tracked benchmark baseline: the root suite (one
-# benchmark point per paper figure plus solver micro-benchmarks with
-# probe counters) rendered to BENCH_baseline.json via cmd/benchjson.
+# benchmark point per paper figure, the 3-class slice scenario, and
+# solver micro-benchmarks with probe counters) rendered to
+# BENCH_baseline.json via cmd/benchjson.
 # min-of-3 filters scheduler noise out of the recorded wall clocks so
 # the bench-diff gate compares against real compute time.
 bench:

@@ -16,6 +16,7 @@ import (
 	"mmwave/internal/experiment"
 	"mmwave/internal/lp"
 	"mmwave/internal/milp"
+	"mmwave/internal/pncd"
 	"mmwave/internal/stats"
 )
 
@@ -396,5 +397,32 @@ func BenchmarkSolveProposed(b *testing.B) {
 			b.ReportMetric(probes/float64(b.N), "probes/op")
 			b.ReportMetric(masters/float64(b.N), "masters/op")
 		})
+	}
+}
+
+// BenchmarkSlices measures the 3-class slice scenario (URLLC / eMBB /
+// best-effort) end to end: cells created and stepped through pncd over
+// the v1 API under heavy traffic, with strict lowest-class-first
+// shedding. The per-class served fractions are reported alongside the
+// wall clock so the bench log doubles as a slice-SLA readout; the
+// bench-diff gate ignores this entry (report-only).
+func BenchmarkSlices(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumLinks = 5
+	cfg.NumChannels = 2
+	cfg.PricerBudget = 2000
+	b.ReportAllocs()
+	var served [3]float64
+	for i := 0; i < b.N; i++ {
+		res, err := pncd.RunSlices(pncd.SlicesConfig{Net: cfg, Epochs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := range served {
+			served[c] += res.ServedFraction(c)
+		}
+	}
+	for c := range served {
+		b.ReportMetric(served[c]/float64(b.N), fmt.Sprintf("served_c%d", c))
 	}
 }

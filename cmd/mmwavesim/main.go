@@ -13,6 +13,7 @@
 //	mmwavesim -fig relay             # dual-hop recovery of blocked sessions
 //	mmwavesim -fig streaming         # multi-GOP stall/quality trade-off
 //	mmwavesim -fig faultsweep        # served demand vs control-frame loss
+//	mmwavesim -fig slices            # 3-class slice scenario through pncd (v1 API)
 //	mmwavesim -fig help              # list every registered figure
 //	mmwavesim -print-config          # echo Table I parameters
 //
@@ -42,6 +43,10 @@ import (
 	"mmwave/internal/experiment"
 	"mmwave/internal/faults"
 	"mmwave/internal/obs"
+
+	// Registers the "slices" figure driver (it drives cells through the
+	// v1 API, so it lives next to the server rather than in experiment).
+	_ "mmwave/internal/pncd"
 )
 
 func main() {

@@ -68,7 +68,7 @@ func main() {
 	fmt.Println("uplink control messages:")
 	demands := make([]api.Demand, len(inst.Demands))
 	for l, d := range inst.Demands {
-		demands[l] = api.Demand{Link: l, HP: d.HP, LP: d.LP}
+		demands[l] = api.DemandFromModel(l, d)
 		fmt.Printf("  link %2d: demand report (%s)\n", l, d)
 	}
 	if _, err := client.SubmitDemands(ctx, st.Cell, demands); err != nil {
@@ -119,7 +119,7 @@ func main() {
 	fmt.Printf("\nexecution: %d slots (%.4f s); per-link delivery:\n", exec.Slots, exec.TotalTime)
 	allServed := true
 	for l := range inst.Demands {
-		served := exec.ServedHP[l] + exec.ServedLP[l]
+		served := exec.Served(l)
 		ok := served >= inst.Demands[l].Total()*(1-1e-6)
 		allServed = allServed && ok
 		fmt.Printf("  link %2d: %6.1f / %6.1f Mb  done at %.3f s\n",
@@ -137,8 +137,8 @@ func main() {
 	// fewer pricing rounds than a TDMA-cold restart would.
 	fmt.Println("\nsecond epoch (same CSI, new demands — warm reuse):")
 	for l := range demands {
-		demands[l].HP *= 1.2
-		demands[l].LP *= 1.2
+		demands[l].HPBits *= 1.2
+		demands[l].LPBits *= 1.2
 	}
 	if _, err := client.SubmitDemands(ctx, st.Cell, demands); err != nil {
 		log.Fatalf("submit demands: %v", err)

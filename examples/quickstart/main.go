@@ -54,7 +54,7 @@ func main() {
 	// Every link must deliver 20 Mb of HP and 40 Mb of LP video data.
 	demands := make([]video.Demand, numLinks)
 	for l := range demands {
-		demands[l] = video.Demand{HP: 20e6, LP: 40e6}
+		demands[l] = video.TwoClass(20e6, 40e6)
 	}
 
 	solver, err := core.NewSolver(nw, demands, core.Options{})

@@ -57,7 +57,7 @@ func main() {
 	gopDur := cfg.Trace.GOPDuration()
 	q := cfg.Video.Quality
 	for l := range inst.Demands {
-		served := res.Exec.ServedHP[l] + res.Exec.ServedLP[l]
+		served := res.Exec.Served(l)
 		rate := served / gopDur / 1e6 // Mb/s delivered for this GOP
 		fmt.Printf("  link %2d: served %6.1f Mb, delay %.3f s, PSNR %.1f dB\n",
 			l, served/1e6, res.Exec.Completion[l], q.PSNR(rate))

@@ -58,6 +58,10 @@ type Network struct {
 	BandwidthHz  float64       `json:"bandwidth_hz"`
 	Interference string        `json:"interference"` // "per-channel" | "global"
 	MultiChannel bool          `json:"multi_channel,omitempty"`
+	// TrafficClasses is the number of prioritized traffic classes the
+	// cell schedules. Zero (omitted) keeps the paper's two-layer HP/LP
+	// pair, so pre-existing clients are untouched.
+	TrafficClasses int `json:"traffic_classes,omitempty"`
 }
 
 // NetworkFromModel converts a model network to wire form.
@@ -71,17 +75,18 @@ func NetworkFromModel(nw *netmodel.Network) Network {
 		interference = "global"
 	}
 	return Network{
-		Links:        links,
-		NumChannels:  nw.NumChannels,
-		Direct:       nw.Gains.Direct,
-		Cross:        nw.Gains.Cross,
-		Noise:        nw.Noise,
-		PMax:         nw.PMax,
-		RateGammas:   nw.Rates.Gammas,
-		RateRates:    nw.Rates.Rates,
-		BandwidthHz:  nw.BandwidthHz,
-		Interference: interference,
-		MultiChannel: nw.MultiChannel,
+		Links:          links,
+		NumChannels:    nw.NumChannels,
+		Direct:         nw.Gains.Direct,
+		Cross:          nw.Gains.Cross,
+		Noise:          nw.Noise,
+		PMax:           nw.PMax,
+		RateGammas:     nw.Rates.Gammas,
+		RateRates:      nw.Rates.Rates,
+		BandwidthHz:    nw.BandwidthHz,
+		Interference:   interference,
+		MultiChannel:   nw.MultiChannel,
+		TrafficClasses: nw.NumTrafficClasses,
 	}
 }
 
@@ -114,9 +119,10 @@ func (n Network) ToModel() (*netmodel.Network, error) {
 			Gammas: n.RateGammas,
 			Rates:  n.RateRates,
 		},
-		BandwidthHz:  n.BandwidthHz,
-		Interference: interference,
-		MultiChannel: n.MultiChannel,
+		BandwidthHz:       n.BandwidthHz,
+		Interference:      interference,
+		MultiChannel:      n.MultiChannel,
+		NumTrafficClasses: n.TrafficClasses,
 	}
 	if err := nw.Validate(); err != nil {
 		return nil, &Error{Code: CodeBadRequest, Message: err.Error()}
@@ -132,6 +138,9 @@ type Instance struct {
 	Channels    int     `json:"channels"`
 	Seed        int64   `json:"seed"`
 	DemandScale float64 `json:"demand_scale,omitempty"` // 0 means 1
+	// TrafficClasses widens the drawn instance from the default two
+	// classes; the generator splits each link's demand across classes.
+	TrafficClasses int `json:"traffic_classes,omitempty"`
 }
 
 // Control configures the cell's control channel (nil keeps the
@@ -180,19 +189,24 @@ type Policy struct {
 	RetryBackoff   float64 `json:"retry_backoff,omitempty"` // seconds
 	StalenessLimit int     `json:"staleness_limit,omitempty"`
 	StalenessDecay float64 `json:"staleness_decay,omitempty"`
-	EpochBudget    float64 `json:"epoch_budget,omitempty"` // seconds
-	SolveBudgetMs  float64 `json:"solve_budget_ms,omitempty"`
+	// StalenessDecayByClass overrides StalenessDecay per traffic class
+	// (entry c applies to class c; missing entries fall back to the
+	// scalar decay).
+	StalenessDecayByClass []float64 `json:"staleness_decay_by_class,omitempty"`
+	EpochBudget           float64   `json:"epoch_budget,omitempty"` // seconds
+	SolveBudgetMs         float64   `json:"solve_budget_ms,omitempty"`
 }
 
 // ToModel lowers the wire policy onto pnc.DegradePolicy.
 func (p Policy) ToModel() pnc.DegradePolicy {
 	return pnc.DegradePolicy{
-		MaxRetries:     p.MaxRetries,
-		RetryBackoff:   p.RetryBackoff,
-		StalenessLimit: p.StalenessLimit,
-		StalenessDecay: p.StalenessDecay,
-		EpochBudget:    p.EpochBudget,
-		SolveBudget:    time.Duration(p.SolveBudgetMs * float64(time.Millisecond)),
+		MaxRetries:            p.MaxRetries,
+		RetryBackoff:          p.RetryBackoff,
+		StalenessLimit:        p.StalenessLimit,
+		StalenessDecay:        p.StalenessDecay,
+		StalenessDecayByClass: append([]float64(nil), p.StalenessDecayByClass...),
+		EpochBudget:           p.EpochBudget,
+		SolveBudget:           time.Duration(p.SolveBudgetMs * float64(time.Millisecond)),
 	}
 }
 
@@ -245,11 +259,34 @@ type CellSpec struct {
 }
 
 // Demand is one link's per-epoch traffic report (wire form of
-// pnc.DemandReport).
+// pnc.DemandReport). The classic two-class form writes hp/lp only; an
+// N-class report carries the full class vector in Classes (index 0 the
+// highest-priority class) with hp/lp kept as the degenerate legacy
+// view: hp mirrors class 0 and lp the bits of every lower class, so a
+// two-class reader still sees the right totals. When Classes is set it
+// wins; otherwise hp/lp are the two classes.
 type Demand struct {
-	Link int     `json:"link"`
-	HP   float64 `json:"hp"` // high-priority bits
-	LP   float64 `json:"lp"` // low-priority bits
+	Link    int       `json:"link"`
+	HPBits  float64   `json:"hp"` // high-priority bits (class 0)
+	LPBits  float64   `json:"lp"` // low-priority bits (classes ≥ 1)
+	Classes []float64 `json:"classes,omitempty"`
+}
+
+// DemandFromModel converts a class-indexed demand vector to wire form.
+func DemandFromModel(link int, d video.Demand) Demand {
+	out := Demand{Link: link, HPBits: d.At(0), LPBits: d.Total() - d.At(0)}
+	if d.NumClasses() > 2 {
+		out.Classes = append([]float64(nil), d...)
+	}
+	return out
+}
+
+// ToModel returns the class-indexed demand vector the wire form names.
+func (d Demand) ToModel() video.Demand {
+	if len(d.Classes) > 0 {
+		return append(video.Demand(nil), d.Classes...)
+	}
+	return video.TwoClass(d.HPBits, d.LPBits)
 }
 
 // Frame encodes the demand as the binary uplink frame the coordinator
@@ -260,7 +297,7 @@ func (d Demand) Frame() ([]byte, error) {
 		return nil, &Error{Code: CodeBadRequest,
 			Message: fmt.Sprintf("demand link %d out of range", d.Link)}
 	}
-	r := pnc.DemandReport{Link: uint16(d.Link), Demand: video.Demand{HP: d.HP, LP: d.LP}}
+	r := pnc.DemandReport{Link: uint16(d.Link), Demand: d.ToModel()}
 	b, err := r.MarshalBinary()
 	if err != nil {
 		return nil, &Error{Code: CodeBadRequest, Message: err.Error()}
@@ -368,15 +405,19 @@ type EpochResult struct {
 	Degraded        bool     `json:"degraded,omitempty"`
 	ShedLPBits      float64  `json:"shed_lp_bits,omitempty"`
 	ShedHPBits      float64  `json:"shed_hp_bits,omitempty"`
-	StaleLinks      []int    `json:"stale_links,omitempty"`
-	ExpiredLinks    []int    `json:"expired_links,omitempty"`
-	DeferredLinks   []int    `json:"deferred_links,omitempty"`
-	DroppedGrants   int      `json:"dropped_grants,omitempty"`
-	Retries         int64    `json:"retries,omitempty"`
-	LostFrames      int64    `json:"lost_frames,omitempty"`
-	BackoffSeconds  float64  `json:"backoff_seconds,omitempty"`
-	TruncatedSolve  bool     `json:"truncated_solve,omitempty"`
-	WarmSolve       bool     `json:"warm_solve,omitempty"`
+	// ShedByClass is the per-class shed accounting, emitted only for
+	// cells wider than the classic two classes (where shed_hp_bits /
+	// shed_lp_bits already carry everything).
+	ShedByClass    []float64 `json:"shed_by_class,omitempty"`
+	StaleLinks     []int     `json:"stale_links,omitempty"`
+	ExpiredLinks   []int     `json:"expired_links,omitempty"`
+	DeferredLinks  []int     `json:"deferred_links,omitempty"`
+	DroppedGrants  int       `json:"dropped_grants,omitempty"`
+	Retries        int64     `json:"retries,omitempty"`
+	LostFrames     int64     `json:"lost_frames,omitempty"`
+	BackoffSeconds float64   `json:"backoff_seconds,omitempty"`
+	TruncatedSolve bool      `json:"truncated_solve,omitempty"`
+	WarmSolve      bool      `json:"warm_solve,omitempty"`
 }
 
 // EpochReport is the wire form of host.EpochReport: what one cell did
@@ -429,8 +470,11 @@ func ReportFromHost(rep *host.EpochReport) EpochReport {
 			TruncatedSolve:  r.TruncatedSolve,
 			WarmSolve:       r.WarmSolve,
 		}
+		if len(r.ShedByClass) > 2 {
+			wire.ShedByClass = append([]float64(nil), r.ShedByClass...)
+		}
 		for l, d := range r.Demands {
-			wire.Demands = append(wire.Demands, Demand{Link: l, HP: d.HP, LP: d.LP})
+			wire.Demands = append(wire.Demands, DemandFromModel(l, d))
 		}
 		out.Result = wire
 	}

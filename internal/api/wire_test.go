@@ -64,12 +64,12 @@ func TestNetworkToModelValidates(t *testing.T) {
 // TestDemandFrame pins the wire demand to the binary uplink frame an
 // in-process node would send — the byte-identity anchor.
 func TestDemandFrame(t *testing.T) {
-	d := Demand{Link: 3, HP: 1.5e6, LP: 4.25e6}
+	d := Demand{Link: 3, HPBits: 1.5e6, LPBits: 4.25e6}
 	got, err := d.Frame()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := pnc.DemandReport{Link: 3, Demand: video.Demand{HP: 1.5e6, LP: 4.25e6}}.MarshalBinary()
+	want, err := pnc.DemandReport{Link: 3, Demand: video.TwoClass(1.5e6, 4.25e6)}.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestDemandFrame(t *testing.T) {
 	if _, err := (Demand{Link: -1}).Frame(); err == nil {
 		t.Fatal("negative link encoded")
 	}
-	if _, err := (Demand{Link: 0, HP: -1}).Frame(); err == nil {
+	if _, err := (Demand{Link: 0, HPBits: -1}).Frame(); err == nil {
 		t.Fatal("invalid demand encoded")
 	}
 }

@@ -60,12 +60,8 @@ func (Benchmark1) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) (*s
 		}
 		usedNode[lk.TXNode] = true
 		usedNode[lk.RXNode] = true
-		layer := schedule.HP
-		if rem.HP[l] <= 0 {
-			layer = schedule.LP
-		}
 		k, _ := nw.BestSingleLinkChannel(l)
-		txs = append(txs, tx{link: l, channel: k, layer: layer})
+		txs = append(txs, tx{link: l, channel: k, layer: pendingLayer(rem, l)})
 	}
 	if len(txs) == 0 {
 		return nil, nil
@@ -100,7 +96,7 @@ func (Benchmark1) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) (*s
 		t := txs[0]
 		best := -1.0
 		for _, c := range txs {
-			need := rem.HP[c.link] + rem.LP[c.link]
+			need := remSum(rem, c.link)
 			if need > best {
 				best = need
 				t = c
@@ -249,8 +245,8 @@ func (b *Benchmark2) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) 
 	for _, k := range channels {
 		links := perChannel[k]
 		sort.Slice(links, func(a, b int) bool {
-			da := rem.HP[links[a]] + rem.LP[links[a]]
-			db := rem.HP[links[b]] + rem.LP[links[b]]
+			da := remSum(rem, links[a])
+			db := remSum(rem, links[b])
 			if da != db {
 				return da > db
 			}
@@ -289,12 +285,8 @@ func (b *Benchmark2) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) 
 		if q < 0 {
 			continue
 		}
-		layer := schedule.HP
-		if rem.HP[l] <= 0 {
-			layer = schedule.LP
-		}
 		out.Assignments = append(out.Assignments, schedule.Assignment{
-			Link: l, Channel: selChans[i], Level: q, Layer: layer, Power: nw.PMax,
+			Link: l, Channel: selChans[i], Level: q, Layer: pendingLayer(rem, l), Power: nw.PMax,
 		})
 	}
 	if len(out.Assignments) == 0 {
@@ -307,7 +299,7 @@ func (b *Benchmark2) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) 
 			if rem.Done(l) {
 				continue
 			}
-			if n := rem.HP[l] + rem.LP[l]; n > need {
+			if n := remSum(rem, l); n > need {
 				need = n
 				best = l
 			}
@@ -317,12 +309,8 @@ func (b *Benchmark2) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) 
 		if q < 0 {
 			return nil, fmt.Errorf("baseline: link %d unservable on its allocated channel %d", best, k)
 		}
-		layer := schedule.HP
-		if rem.HP[best] <= 0 {
-			layer = schedule.LP
-		}
 		out.Assignments = append(out.Assignments, schedule.Assignment{
-			Link: best, Channel: k, Level: q, Layer: layer, Power: nw.PMax,
+			Link: best, Channel: k, Level: q, Layer: pendingLayer(rem, best), Power: nw.PMax,
 		})
 	}
 	out.Normalize()
@@ -356,13 +344,30 @@ func groupFeasible(nw *netmodel.Network, k int, group []int) bool {
 }
 
 // allDone reports whether no pending demand remains.
-func allDone(rem *sim.Remaining) bool {
-	for l := range rem.HP {
-		if !rem.Done(l) {
-			return false
+func allDone(rem *sim.Remaining) bool { return rem.AllDone() }
+
+// pendingLayer returns the highest-priority class with bits remaining
+// on link l (the last class when everything is drained — the classic
+// HP-then-LP pick generalized to N classes).
+func pendingLayer(rem *sim.Remaining, l int) schedule.Layer {
+	nc := rem.Classes()
+	for c := 0; c < nc-1; c++ {
+		if rem.At(c, l) > 0 {
+			return schedule.ClassLayer(c)
 		}
 	}
-	return true
+	return schedule.ClassLayer(nc - 1)
+}
+
+// remSum is link l's remaining bits summed over classes without
+// clamping (negative overshoot from the executor's subtraction is kept
+// so demand-ordering ties break exactly as the two-class code did).
+func remSum(rem *sim.Remaining, l int) float64 {
+	var v float64
+	for c := 0; c < rem.Classes(); c++ {
+		v += rem.At(c, l)
+	}
+	return v
 }
 
 // TDMA serves one link per slot (the pending link with the largest
@@ -382,7 +387,7 @@ func (TDMA) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) (*schedul
 		if rem.Done(l) {
 			continue
 		}
-		if n := maxf(rem.HP[l], 0) + maxf(rem.LP[l], 0); n > need || best < 0 {
+		if n := rem.LinkTotal(l); n > need || best < 0 {
 			need = n
 			best = l
 		}
@@ -395,19 +400,7 @@ func (TDMA) Decide(nw *netmodel.Network, rem *sim.Remaining, slot int) (*schedul
 	if q < 0 {
 		return nil, fmt.Errorf("baseline: link %d unservable even alone", best)
 	}
-	layer := schedule.HP
-	if rem.HP[best] <= 0 {
-		layer = schedule.LP
-	}
 	return &schedule.Schedule{Assignments: []schedule.Assignment{{
-		Link: best, Channel: k, Level: q, Layer: layer, Power: nw.PMax,
+		Link: best, Channel: k, Level: q, Layer: pendingLayer(rem, best), Power: nw.PMax,
 	}}}, nil
-}
-
-// maxf returns the larger of a and b.
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

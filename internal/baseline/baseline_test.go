@@ -53,7 +53,7 @@ func servable(rng *rand.Rand, nLinks, nChannels int, model netmodel.Interference
 func uniformDemands(n int, hp, lp float64) []video.Demand {
 	d := make([]video.Demand, n)
 	for i := range d {
-		d[i] = video.Demand{HP: hp, LP: lp}
+		d[i] = video.TwoClass(hp, lp)
 	}
 	return d
 }
@@ -74,10 +74,10 @@ func TestPoliciesServeAllDemand(t *testing.T) {
 				t.Fatalf("model %v policy %s: %v", model, p.Name(), err)
 			}
 			for l := 0; l < 6; l++ {
-				if exec.ServedHP[l] < demands[l].HP*(1-1e-6) {
+				if exec.ServedAt(0, l) < demands[l].At(0)*(1-1e-6) {
 					t.Errorf("model %v policy %s: link %d HP underserved", model, p.Name(), l)
 				}
-				if exec.ServedLP[l] < demands[l].LP*(1-1e-6) {
+				if exec.ServedAt(1, l) < demands[l].At(1)*(1-1e-6) {
 					t.Errorf("model %v policy %s: link %d LP underserved", model, p.Name(), l)
 				}
 				if exec.Completion[l] <= 0 || exec.Completion[l] > exec.TotalTime+1e-9 {
@@ -90,7 +90,7 @@ func TestPoliciesServeAllDemand(t *testing.T) {
 
 func TestBenchmark1PrefersBestChannel(t *testing.T) {
 	nw := servable(rand.New(rand.NewSource(2)), 1, 3, netmodel.PerChannel)
-	rem := &sim.Remaining{HP: []float64{1e6}, LP: []float64{0}}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{1e6}, []float64{0}}}
 	s, err := Benchmark1{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestBenchmark1PrefersBestChannel(t *testing.T) {
 
 func TestBenchmark1SwitchesToLP(t *testing.T) {
 	nw := servable(rand.New(rand.NewSource(3)), 1, 2, netmodel.PerChannel)
-	rem := &sim.Remaining{HP: []float64{0}, LP: []float64{1e6}}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{0}, []float64{1e6}}}
 	s, err := Benchmark1{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestBenchmark1SwitchesToLP(t *testing.T) {
 
 func TestBenchmark1AllDone(t *testing.T) {
 	nw := servable(rand.New(rand.NewSource(4)), 2, 2, netmodel.PerChannel)
-	rem := &sim.Remaining{HP: []float64{0, 0}, LP: []float64{0, 0}}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{0, 0}, []float64{0, 0}}}
 	s, err := Benchmark1{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestChannelAllocationZeroExclusionIsBestGain(t *testing.T) {
 
 func TestTDMAServesLargestDemandFirst(t *testing.T) {
 	nw := servable(rand.New(rand.NewSource(8)), 3, 2, netmodel.PerChannel)
-	rem := &sim.Remaining{HP: []float64{1e6, 9e6, 4e6}, LP: []float64{0, 0, 0}}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{1e6, 9e6, 4e6}, []float64{0, 0, 0}}}
 	s, err := TDMA{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +193,7 @@ func TestTDMAServesLargestDemandFirst(t *testing.T) {
 
 func TestTDMADone(t *testing.T) {
 	nw := servable(rand.New(rand.NewSource(9)), 2, 2, netmodel.PerChannel)
-	rem := &sim.Remaining{HP: []float64{0, 0}, LP: []float64{0, 0}}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{0, 0}, []float64{0, 0}}}
 	s, err := TDMA{}.Decide(nw, rem, 0)
 	if err != nil || s != nil {
 		t.Errorf("TDMA on finished demands: %v, %v", s, err)
@@ -205,7 +205,7 @@ func TestBenchmark2CachesAllocationPerNetwork(t *testing.T) {
 	nw1 := servable(rng, 4, 2, netmodel.PerChannel)
 	nw2 := servable(rng, 4, 2, netmodel.PerChannel)
 	b2 := &Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 5}}
-	rem := &sim.Remaining{HP: []float64{1e6, 1e6, 1e6, 1e6}, LP: make([]float64, 4)}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{1e6, 1e6, 1e6, 1e6}, make([]float64, 4)}}
 	if _, err := b2.Decide(nw1, rem, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -237,13 +237,13 @@ func TestPropertySchedulesAlwaysValid(t *testing.T) {
 		}
 		nw := servable(rng, 2+rng.Intn(6), 1+rng.Intn(3), model)
 		L := nw.NumLinks()
-		rem := &sim.Remaining{HP: make([]float64, L), LP: make([]float64, L)}
+		rem := &sim.Remaining{ByClass: [][]float64{make([]float64, L), make([]float64, L)}}
 		for l := 0; l < L; l++ {
 			if rng.Intn(3) > 0 {
-				rem.HP[l] = rng.Float64() * 1e7
+				rem.ByClass[0][l] = rng.Float64() * 1e7
 			}
 			if rng.Intn(3) > 0 {
-				rem.LP[l] = rng.Float64() * 1e7
+				rem.ByClass[1][l] = rng.Float64() * 1e7
 			}
 		}
 		pending := false
@@ -271,10 +271,10 @@ func TestPropertySchedulesAlwaysValid(t *testing.T) {
 			}
 			// Every assignment serves a pending layer.
 			for _, a := range s.Assignments {
-				if a.Layer == 0 && rem.HP[a.Link] <= 0 {
+				if a.Layer == 0 && rem.At(0, a.Link) <= 0 {
 					return false
 				}
-				if a.Layer == 1 && rem.LP[a.Link] <= 0 {
+				if a.Layer == 1 && rem.At(1, a.Link) <= 0 {
 					return false
 				}
 			}
@@ -310,7 +310,7 @@ func TestBenchmark1MutualDrowningFallback(t *testing.T) {
 			}
 		}
 	}
-	rem := &sim.Remaining{HP: []float64{1e6, 9e6, 4e6}, LP: make([]float64, 3)}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{1e6, 9e6, 4e6}, make([]float64, 3)}}
 	s, err := Benchmark1{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +332,7 @@ func TestBenchmark1HalfDuplexSkip(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
 	nw := servable(rng, 2, 2, netmodel.PerChannel)
 	nw.Links[1].TXNode = nw.Links[0].RXNode
-	rem := &sim.Remaining{HP: []float64{1e6, 1e6}, LP: make([]float64, 2)}
+	rem := &sim.Remaining{ByClass: [][]float64{[]float64{1e6, 1e6}, make([]float64, 2)}}
 	s, err := Benchmark1{}.Decide(nw, rem, 0)
 	if err != nil {
 		t.Fatal(err)

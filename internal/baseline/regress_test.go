@@ -22,14 +22,14 @@ func TestBenchmark2UnservableAllocatedChannel(t *testing.T) {
 	b2 := &Benchmark2{Alloc: ChannelAllocation{ExclusionDist: 1000}} // force spreading
 	demands := make([]video.Demand, 4)
 	for i := range demands {
-		demands[i] = video.Demand{HP: 1e6, LP: 1e6}
+		demands[i] = video.TwoClass(1e6, 1e6)
 	}
 	exec, err := sim.Run(nw, demands, b2, sim.Options{SlotDuration: 1e-3, Validate: true})
 	if err != nil {
 		t.Fatalf("benchmark2 stranded a link: %v", err)
 	}
 	for l := range demands {
-		if exec.ServedHP[l] < demands[l].HP*(1-1e-6) {
+		if exec.ServedAt(0, l) < demands[l].At(0)*(1-1e-6) {
 			t.Errorf("link %d underserved", l)
 		}
 	}

@@ -50,8 +50,9 @@ var (
 // means no positive-value schedule exists.
 type Pricer interface {
 	// Price searches for the schedule maximizing Σ λ·r over feasible
-	// schedules of nw.
-	Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
+	// schedules of nw, under class-major duals lambda[c][l] (one vector
+	// per traffic class, class 0 the highest priority).
+	Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error)
 	// String names the pricer for telemetry.
 	String() string
 }
@@ -63,7 +64,7 @@ type Pricer interface {
 // RelaxValue, so the engine can form an anytime Theorem-1 bound.
 type ContextPricer interface {
 	Pricer
-	PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error)
+	PriceContext(ctx context.Context, nw *netmodel.Network, lambda [][]float64) (*PriceResult, error)
 }
 
 // CachedPricer is implemented by pricers whose feasibility probes can
@@ -75,7 +76,7 @@ type ContextPricer interface {
 // the network must stay immutable while the State is in use.
 type CachedPricer interface {
 	ContextPricer
-	PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error)
+	PriceWithCache(ctx context.Context, nw *netmodel.Network, lambda [][]float64, cache *netmodel.ProbeCache) (*PriceResult, error)
 }
 
 // PriceResult is the outcome of one pricing round.

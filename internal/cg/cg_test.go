@@ -141,7 +141,7 @@ type stubModel struct{ offset int }
 func (m *stubModel) NewMaster() *lp.Problem                             { return lp.NewProblem(nil) }
 func (m *stubModel) AppendColumn(*lp.Problem, *schedule.Schedule) error { return nil }
 func (m *stubModel) RefreshRHS(*lp.Problem)                             {}
-func (m *stubModel) Duals(*lp.Solution) (hp, lpDuals []float64)         { return nil, nil }
+func (m *stubModel) Duals(*lp.Solution) [][]float64                     { return nil }
 func (m *stubModel) Upper(sol *lp.Solution) float64                     { return sol.Objective }
 func (m *stubModel) Bound(float64, *PriceResult) (float64, bool)        { return 0, false }
 func (m *stubModel) ColumnOffset() int                                  { return m.offset }

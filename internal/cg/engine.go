@@ -26,10 +26,11 @@ type MasterModel interface {
 	// RefreshRHS rewrites the right-hand sides from the owner's current
 	// demands; called before every master solve so SetDemands works.
 	RefreshRHS(p *lp.Problem)
-	// Duals extracts the pricing duals (λ_hp, λ_lp) from a master
-	// solution, scaled so a column improves the master iff Ψ > 1 (the
-	// quality model divides its delivery duals by the budget row's |μ|).
-	Duals(sol *lp.Solution) (hp, lp []float64)
+	// Duals extracts the class-major pricing duals lambda[c][l] from a
+	// master solution, scaled so a column improves the master iff Ψ > 1
+	// (the quality model divides its delivery duals by the budget row's
+	// |μ|).
+	Duals(sol *lp.Solution) [][]float64
 	// Upper reports the model's upper bound reading of a master
 	// solution (P1: the objective; quality: its negation, since the max
 	// is solved as a min).
@@ -64,8 +65,8 @@ type Options struct {
 	GapTarget float64
 	// GC bounds pool growth across runs; the zero value disables it.
 	GC GCPolicy
-	// LP passes options to the master problem solves.
-	LP lp.Options
+	// LPOpts passes options to the master problem solves.
+	LPOpts lp.Options
 	// Tracer receives per-iteration trace events; nil falls back to the
 	// tracer carried by the Run context, then to the no-op tracer.
 	Tracer *obs.Tracer
@@ -86,8 +87,8 @@ type Outcome struct {
 	Iterations []IterationStat
 	LowerBound float64 // best proven lower bound (0 when the model has none)
 	Converged  bool    // Φ ≥ −tolerance with exact pricing
-	// DualsHP/DualsLP are the final pricing duals (model-scaled).
-	DualsHP, DualsLP []float64
+	// Duals are the final class-major pricing duals (model-scaled).
+	Duals [][]float64
 	// Warm reports that the run started from a previous run's basis and
 	// pool rather than TDMA-cold.
 	Warm bool
@@ -153,7 +154,7 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 		out.Stats.Publish(e.opts.Metrics, e.opts.MetricsPrefix)
 		e.publishRun(out)
 		st.runs++
-		st.lastHP, st.lastLP = out.DualsHP, out.DualsLP
+		st.lastDuals = out.Duals
 	}()
 
 	// Collect long-nonbasic columns before the first master solve, so a
@@ -172,10 +173,10 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		lambdaHP, lambdaLP := e.model.Duals(mpSol)
+		lambda := e.model.Duals(mpSol)
 		upper := e.model.Upper(mpSol)
 
-		pr, err := e.price(ctx, lambdaHP, lambdaLP)
+		pr, err := e.price(ctx, lambda)
 		st.stats.Rounds++
 		if err != nil {
 			if ctx.Err() != nil {
@@ -183,13 +184,13 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 				// result: fall back to the cheap pricer, whose
 				// interference-free relaxation is still a valid Φ′.
 				if e.opts.Fallback != nil {
-					if g, gerr := e.opts.Fallback.Price(e.nw, lambdaHP, lambdaLP); gerr == nil {
+					if g, gerr := e.opts.Fallback.Price(e.nw, lambda); gerr == nil {
 						if lower, ok := e.model.Bound(upper, g); ok && lower > bestLower {
 							bestLower = lower
 						}
 					}
 				}
-				return e.finishTruncated(out, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
+				return e.finishTruncated(out, mpSol, lambda, bestLower, ctx), nil
 			}
 			return nil, fmt.Errorf("cg: pricing failed at iteration %d: %w", iter, err)
 		}
@@ -229,7 +230,7 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 		if ctx.Err() != nil {
 			// Budget expired during pricing: mpSol is the best-so-far
 			// feasible solution and pr's relaxation already fed bestLower.
-			return e.finishTruncated(out, mpSol, lambdaHP, lambdaLP, bestLower, ctx), nil
+			return e.finishTruncated(out, mpSol, lambda, bestLower, ctx), nil
 		}
 
 		converged := pr.Exact && phi >= -e.opts.Tolerance
@@ -239,7 +240,7 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 			out.Sol = mpSol
 			out.LowerBound = bestLower
 			out.Converged = converged
-			out.DualsHP, out.DualsLP = lambdaHP, lambdaLP
+			out.Duals = lambda
 			return out, nil
 		}
 
@@ -249,7 +250,7 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 			// the current solution as final rather than looping.
 			out.Sol = mpSol
 			out.LowerBound = bestLower
-			out.DualsHP, out.DualsLP = lambdaHP, lambdaLP
+			out.Duals = lambda
 			return out, nil
 		}
 		st.syncBookkeeping()
@@ -261,20 +262,19 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	lambdaHP, lambdaLP := e.model.Duals(mpSol)
 	out.Sol = mpSol
 	out.LowerBound = bestLower
-	out.DualsHP, out.DualsLP = lambdaHP, lambdaLP
+	out.Duals = e.model.Duals(mpSol)
 	out.Truncated = true
 	out.Stop = fmt.Errorf("%w: iteration limit %d", ErrBudgetExceeded, e.opts.MaxIterations)
 	return out, nil
 }
 
 // finishTruncated assembles the anytime outcome for a canceled run.
-func (e *Engine) finishTruncated(out *Outcome, mpSol *lp.Solution, lambdaHP, lambdaLP []float64, bestLower float64, ctx context.Context) *Outcome {
+func (e *Engine) finishTruncated(out *Outcome, mpSol *lp.Solution, lambda [][]float64, bestLower float64, ctx context.Context) *Outcome {
 	out.Sol = mpSol
 	out.LowerBound = bestLower
-	out.DualsHP, out.DualsLP = lambdaHP, lambdaLP
+	out.Duals = lambda
 	out.Truncated = true
 	// Double-wrap so callers can match both the budget sentinel and the
 	// cancellation cause (e.g. context.DeadlineExceeded from a watchdog)
@@ -285,14 +285,14 @@ func (e *Engine) finishTruncated(out *Outcome, mpSol *lp.Solution, lambdaHP, lam
 
 // price dispatches one pricing round, preferring the cached path, then
 // the context-aware path.
-func (e *Engine) price(ctx context.Context, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+func (e *Engine) price(ctx context.Context, lambda [][]float64) (*PriceResult, error) {
 	if cp, ok := e.opts.Pricer.(CachedPricer); ok && e.state.probeCache != nil {
-		return cp.PriceWithCache(ctx, e.nw, lambdaHP, lambdaLP, e.state.probeCache)
+		return cp.PriceWithCache(ctx, e.nw, lambda, e.state.probeCache)
 	}
 	if cp, ok := e.opts.Pricer.(ContextPricer); ok {
-		return cp.PriceContext(ctx, e.nw, lambdaHP, lambdaLP)
+		return cp.PriceContext(ctx, e.nw, lambda)
 	}
-	return e.opts.Pricer.Price(e.nw, lambdaHP, lambdaLP)
+	return e.opts.Pricer.Price(e.nw, lambda)
 }
 
 // solveMaster solves the MP over the current pool. The problem is
@@ -318,7 +318,7 @@ func (e *Engine) solveMaster() (*lp.Solution, error) {
 	st.syncBookkeeping()
 	e.model.RefreshRHS(p)
 
-	lpOpts := e.opts.LP
+	lpOpts := e.opts.LPOpts
 	lpOpts.WarmBasis = st.warmBasis
 	sol, err := st.solver.Solve(lpOpts)
 	if err != nil {

@@ -31,8 +31,9 @@ type StateSnapshot struct {
 	LastBasic []int
 	// Runs counts completed engine runs.
 	Runs int
-	// LastHP/LastLP are the final pricing duals of the previous run.
-	LastHP, LastLP []float64
+	// LastDuals are the final class-major pricing duals of the previous
+	// run (one vector per traffic class).
+	LastDuals [][]float64
 	// Stats carries the lifetime work counters, so per-run deltas and
 	// published metrics stay continuous across a restore.
 	Stats Stats
@@ -48,9 +49,10 @@ func (st *State) Snapshot() *StateSnapshot {
 		WarmBasis: append([]lp.BasisVar(nil), st.warmBasis...),
 		LastBasic: append([]int(nil), st.lastBasic...),
 		Runs:      st.runs,
-		LastHP:    append([]float64(nil), st.lastHP...),
-		LastLP:    append([]float64(nil), st.lastLP...),
 		Stats:     st.stats,
+	}
+	for _, d := range st.lastDuals {
+		snap.LastDuals = append(snap.LastDuals, append([]float64(nil), d...))
 	}
 	for j := range snap.Schedules {
 		snap.Schedules[j] = st.pool.At(j).Clone()
@@ -99,8 +101,9 @@ func RestoreState(snap *StateSnapshot, cacheProbes bool) (*State, error) {
 	st.warmBasis = append([]lp.BasisVar(nil), snap.WarmBasis...)
 	st.lastBasic = append([]int(nil), snap.LastBasic...)
 	st.runs = snap.Runs
-	st.lastHP = append([]float64(nil), snap.LastHP...)
-	st.lastLP = append([]float64(nil), snap.LastLP...)
+	for _, d := range snap.LastDuals {
+		st.lastDuals = append(st.lastDuals, append([]float64(nil), d...))
+	}
 	st.stats = snap.Stats
 	return st, nil
 }

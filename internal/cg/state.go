@@ -55,9 +55,10 @@ type State struct {
 	lastBasic []int
 	runs      int // completed Run calls
 
-	// lastHP/lastLP are the pricing duals of the final master solve of
-	// the previous run, kept for diagnostics and dual-warm heuristics.
-	lastHP, lastLP []float64
+	// lastDuals are the class-major pricing duals of the final master
+	// solve of the previous run, kept for diagnostics and dual-warm
+	// heuristics.
+	lastDuals [][]float64
 
 	// lastFill is the LU fill-in ratio (factor nonzeros / basis
 	// nonzeros) of the most recent master factorization, exported as a
@@ -96,9 +97,9 @@ func (st *State) Pool() *schedule.Pool { return st.pool }
 // Runs returns the number of completed Run calls against this state.
 func (st *State) Runs() int { return st.runs }
 
-// LastDuals returns the pricing duals of the previous run's final
-// master solve (nil before the first run).
-func (st *State) LastDuals() (hp, lp []float64) { return st.lastHP, st.lastLP }
+// LastDuals returns the class-major pricing duals of the previous
+// run's final master solve (nil before the first run).
+func (st *State) LastDuals() [][]float64 { return st.lastDuals }
 
 // syncBookkeeping grows lastBasic to match the pool, stamping new
 // columns with the current run index so freshly priced columns get a

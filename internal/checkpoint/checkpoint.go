@@ -57,8 +57,12 @@ const (
 	// block when the master LP moved to the sparse revised simplex.
 	// version 3 appended the host's last-known-good plan (and its
 	// epoch) so a restarted pncd can serve plans before its first
-	// post-restore step. Version-2 images still decode (no plan).
-	version = 3
+	// post-restore step. Version 4 made demands and engine duals
+	// class-count-aware when the two-class HP/LP pair generalized to N
+	// traffic classes; version-2/-3 images still decode, with their
+	// fixed-width demand pairs and HP/LP dual vectors read back as the
+	// two-class special case.
+	version = 4
 	// minVersion is the oldest format this build still decodes.
 	minVersion = 2
 	// headerLen is magic + version + fingerprint; trailerLen the CRC.
@@ -136,6 +140,14 @@ func NetworkFingerprint(nw *netmodel.Network) uint64 {
 		word(1)
 	} else {
 		word(0)
+	}
+	// The traffic-class count joined the fingerprint with format v4.
+	// Two-class networks hash exactly as they always did, so every
+	// pre-v4 snapshot still matches its network; any other class count
+	// perturbs the hash, so an N-class snapshot can never restore onto
+	// a differently-classed instance.
+	if c := nw.TrafficClasses(); c != 2 {
+		word(uint64(c))
 	}
 	return h
 }
@@ -220,6 +232,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	if v < minVersion || v > version {
 		return nil, fmt.Errorf("%w: format version %d, this build reads %d–%d", ErrIncompatible, v, minVersion, version)
 	}
+	r.ver = v
 	s := &Snapshot{Fingerprint: r.u64()}
 	s.Coord = decodeCoord(r)
 	if r.err == nil && r.boolean() {
@@ -301,8 +314,10 @@ func Load(path string) (*Snapshot, error) {
 func encodeDemands(w *writer, ds []video.Demand) {
 	w.u32(uint32(len(ds)))
 	for _, d := range ds {
-		w.f64(d.HP)
-		w.f64(d.LP)
+		w.u16(uint16(len(d)))
+		for _, v := range d {
+			w.f64(v)
+		}
 	}
 }
 
@@ -313,7 +328,20 @@ func decodeDemands(r *reader) []video.Demand {
 	}
 	ds := make([]video.Demand, n)
 	for i := range ds {
-		ds[i] = video.Demand{HP: r.f64(), LP: r.f64()}
+		if r.ver < 4 {
+			// v2/v3 images carry the fixed two-field HP/LP pair.
+			ds[i] = video.TwoClass(r.f64(), r.f64())
+			continue
+		}
+		nc := int(r.u16())
+		if nc == 0 {
+			continue // nil demand round-trips as nil
+		}
+		d := make(video.Demand, nc)
+		for c := range d {
+			d[c] = r.f64()
+		}
+		ds[i] = d
 	}
 	return ds
 }
@@ -447,8 +475,10 @@ func encodeEngine(w *writer, s *cg.StateSnapshot) {
 		w.i64(int64(v))
 	}
 	w.i64(int64(s.Runs))
-	encodeFloats(w, s.LastHP)
-	encodeFloats(w, s.LastLP)
+	w.u16(uint16(len(s.LastDuals)))
+	for _, d := range s.LastDuals {
+		encodeFloats(w, d)
+	}
 	for _, v := range []int{
 		s.Stats.Rounds, s.Stats.Probes, s.Stats.MasterSolves,
 		s.Stats.CacheHits, s.Stats.CacheMisses, s.Stats.PricerNodes,
@@ -480,8 +510,19 @@ func decodeEngine(r *reader) *cg.StateSnapshot {
 		s.LastBasic[i] = int(r.i64())
 	}
 	s.Runs = int(r.i64())
-	s.LastHP = decodeFloats(r)
-	s.LastLP = decodeFloats(r)
+	if r.ver >= 4 {
+		nd := int(r.u16())
+		for i := 0; i < nd; i++ {
+			s.LastDuals = append(s.LastDuals, decodeFloats(r))
+		}
+	} else {
+		// v2/v3 stored exactly two dual vectors (HP then LP); a pair of
+		// empty vectors meant "no previous run".
+		hp, lpd := decodeFloats(r), decodeFloats(r)
+		if len(hp) > 0 || len(lpd) > 0 {
+			s.LastDuals = [][]float64{hp, lpd}
+		}
+	}
 	for _, p := range []*int{
 		&s.Stats.Rounds, &s.Stats.Probes, &s.Stats.MasterSolves,
 		&s.Stats.CacheHits, &s.Stats.CacheMisses, &s.Stats.PricerNodes,

@@ -81,7 +81,7 @@ func TestRoundTripProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d := video.Demand{HP: 3e6 + 1e6*float64(seed%3), LP: 5e6}
+		d := video.TwoClass(3e6+1e6*float64(seed%3), 5e6)
 		reportAll(t, live, nLinks, d)
 		if _, err := live.RunEpoch(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -105,7 +105,7 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 
 		// Both continue with the same next-epoch demands.
-		d2 := video.Demand{HP: d.HP * 1.2, LP: d.LP * 0.8}
+		d2 := video.TwoClass(d.At(0)*1.2, d.At(1)*0.8)
 		reportAll(t, live, nLinks, d2)
 		reportAll(t, restored, nLinks, d2)
 		a, err := live.RunEpoch()
@@ -152,7 +152,7 @@ func TestCorruptionDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reportAll(t, coord, 4, video.Demand{HP: 2e6, LP: 4e6})
+	reportAll(t, coord, 4, video.TwoClass(2e6, 4e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestCorruptionDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reportAll(t, cold, 4, video.Demand{HP: 2e6, LP: 4e6})
+	reportAll(t, cold, 4, video.TwoClass(2e6, 4e6))
 	if _, err := cold.RunEpoch(); err != nil {
 		t.Fatalf("cold-start fallback failed: %v", err)
 	}
@@ -212,7 +212,7 @@ func TestFingerprintIncompatible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reportAll(t, coord, 4, video.Demand{HP: 2e6, LP: 2e6})
+	reportAll(t, coord, 4, video.TwoClass(2e6, 2e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestSaveLoadAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reportAll(t, coord, 4, video.Demand{HP: 2e6, LP: 3e6})
+	reportAll(t, coord, 4, video.TwoClass(2e6, 3e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestSaveLoadAtomic(t *testing.T) {
 	}
 
 	// Overwrite with a later epoch; reload sees the new state.
-	reportAll(t, coord, 4, video.Demand{HP: 2e6, LP: 3e6})
+	reportAll(t, coord, 4, video.TwoClass(2e6, 3e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestEncodeDecodeExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reportAll(t, coord, 5, video.Demand{HP: 4e6, LP: 6e6})
+	reportAll(t, coord, 5, video.TwoClass(4e6, 6e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,207 @@
+package checkpoint
+
+import (
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"mmwave/internal/cg"
+	"mmwave/internal/core"
+	"mmwave/internal/faults"
+	"mmwave/internal/pnc"
+	"mmwave/internal/video"
+)
+
+// encodeV3 serializes a two-class snapshot in the version-3 layout:
+// fixed HP/LP demand pairs and exactly two engine dual vectors. It is
+// the reference writer for the decoder's backward-compatibility path
+// (and the fuzz corpus's v3 seed); a snapshot that is not two-class
+// cannot be expressed in it.
+func encodeV3(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	w := &writer{buf: make([]byte, 0, 4096)}
+	w.buf = append(w.buf, magic...)
+	w.u16(3)
+	w.u64(s.Fingerprint)
+	encodeCoordV3(t, w, s.Coord)
+	if s.Injector != nil {
+		w.u8(1)
+		encodeInjector(w, s.InjectorCfg, s.Injector)
+	} else {
+		w.u8(0)
+	}
+	if s.Plan != nil {
+		w.u8(1)
+		encodeSchedules(w, s.Plan.Schedules)
+		encodeFloats(w, s.Plan.Tau)
+		w.f64(s.Plan.Objective)
+		w.i64(s.PlanEpoch)
+	} else {
+		w.u8(0)
+	}
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+func encodeDemandsV3(t testing.TB, w *writer, ds []video.Demand) {
+	t.Helper()
+	w.u32(uint32(len(ds)))
+	for _, d := range ds {
+		if d.NumClasses() > 2 {
+			t.Fatalf("v3 cannot encode a %d-class demand", d.NumClasses())
+		}
+		w.f64(d.At(0))
+		w.f64(d.At(1))
+	}
+}
+
+func encodeCoordV3(t testing.TB, w *writer, st *pnc.CoordState) {
+	t.Helper()
+	w.i64(st.Epoch)
+	encodeDemandsV3(t, w, st.Demands)
+	w.u32(uint32(len(st.Seen)))
+	for _, s := range st.Seen {
+		w.boolean(s)
+	}
+	encodeDemandsV3(t, w, st.LastGood)
+	w.u32(uint32(len(st.LastAge)))
+	for _, a := range st.LastAge {
+		w.i64(int64(a))
+	}
+	w.u32(uint32(len(st.Delayed)))
+	for _, f := range st.Delayed {
+		w.bytes(f)
+	}
+	w.i64(st.Retries)
+	w.i64(st.LostFrames)
+	w.f64(st.BackoffSec)
+	w.i64(st.Control.BitsSent)
+	w.i64(st.Control.MsgsSent)
+	w.f64(st.Control.Airtime)
+	w.f64(st.EpochAirStart)
+	w.i64(st.EpochMsgStart)
+	w.u64(st.SolverFP)
+	if st.Solver == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	encodeEngineV3(t, w, st.Solver)
+	encodeDemandsV3(t, w, st.SolverDemands)
+}
+
+func encodeEngineV3(t testing.TB, w *writer, s *cg.StateSnapshot) {
+	t.Helper()
+	encodeSchedules(w, s.Schedules)
+	w.i64(int64(s.SeedLen))
+	w.u32(uint32(len(s.WarmBasis)))
+	for _, b := range s.WarmBasis {
+		w.u8(uint8(b.Kind))
+		w.i64(int64(b.Index))
+	}
+	w.u32(uint32(len(s.LastBasic)))
+	for _, v := range s.LastBasic {
+		w.i64(int64(v))
+	}
+	w.i64(int64(s.Runs))
+	// v3 wrote exactly two dual vectors, HP then LP (both empty when no
+	// run had happened yet).
+	var hp, lpd []float64
+	switch len(s.LastDuals) {
+	case 0:
+	case 2:
+		hp, lpd = s.LastDuals[0], s.LastDuals[1]
+	default:
+		t.Fatalf("v3 cannot encode %d dual vectors", len(s.LastDuals))
+	}
+	encodeFloats(w, hp)
+	encodeFloats(w, lpd)
+	for _, v := range []int{
+		s.Stats.Rounds, s.Stats.Probes, s.Stats.MasterSolves,
+		s.Stats.CacheHits, s.Stats.CacheMisses, s.Stats.PricerNodes,
+		s.Stats.LPPivots, s.Stats.LPRefactorizations, s.Stats.LPEtaUpdates,
+		s.Stats.WarmMasters, s.Stats.EvictedColumns,
+	} {
+		w.i64(int64(v))
+	}
+}
+
+// v3Snapshot builds a realistic two-class snapshot (with solver state,
+// injector, and last-known-good plan) plus its v3 image.
+func v3Snapshot(t testing.TB) (*Snapshot, []byte) {
+	t.Helper()
+	nw := testNetwork(t, 31, 4, 2)
+	coord, err := pnc.NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, coord, 4, video.TwoClass(2e6, 4e6))
+	res, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{CtrlLoss: 0.1, CellPanic: 0.05, Seed: 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Capture(coord, inj)
+	s.Plan = &res.Plan
+	s.PlanEpoch = 1
+	return s, encodeV3(t, s)
+}
+
+// TestDecodeV3Image: a version-3 image must decode to exactly the
+// snapshot a v4 round trip of the same state produces — the two-class
+// demand pairs and HP/LP dual vectors land in the class-indexed
+// fields unchanged.
+func TestDecodeV3Image(t *testing.T) {
+	s, v3 := v3Snapshot(t)
+
+	v4, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(v3)
+	if err != nil {
+		t.Fatalf("v3 image rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v3 decode differs from v4 round trip:\nv3: %+v\nv4: %+v", got.Coord, want.Coord)
+	}
+
+	// Re-encoding the decoded v3 snapshot upgrades it to the current
+	// format: byte-identical to the v4 image of the same state.
+	up, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up, v4) {
+		t.Fatal("re-encoded v3 snapshot is not the canonical v4 image")
+	}
+}
+
+// TestDecodeV3Empty: the "never solved" special case — a pair of empty
+// dual vectors in a v3 engine block must decode to nil LastDuals, not
+// a two-empty-vector slice.
+func TestDecodeV3EmptyDuals(t *testing.T) {
+	nw := testNetwork(t, 32, 3, 2)
+	coord, err := pnc.NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Capture(coord, nil)
+	if s.Coord.Solver != nil {
+		t.Skip("fresh coordinator unexpectedly exported solver state")
+	}
+	got, err := Decode(encodeV3(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coord.Solver != nil && got.Coord.Solver.LastDuals != nil {
+		t.Fatal("empty v3 dual pair decoded to non-nil LastDuals")
+	}
+}

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"reflect"
 	"testing"
 
 	"mmwave/internal/core"
@@ -20,7 +22,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	reportAll(f, coord, 4, video.Demand{HP: 2e6, LP: 4e6})
+	reportAll(f, coord, 4, video.TwoClass(2e6, 4e6))
 	if _, err := coord.RunEpoch(); err != nil {
 		f.Fatal(err)
 	}
@@ -35,6 +37,10 @@ func FuzzSnapshotDecode(f *testing.F) {
 	if seed, err := Capture(coord, nil).Encode(); err == nil {
 		f.Add(seed)
 	}
+	// A legacy version-3 image (fixed HP/LP demand pairs, two dual
+	// vectors) seeds the backward-compatibility decode path.
+	_, v3 := v3Snapshot(f)
+	f.Add(v3)
 	f.Add([]byte("MWCK"))
 	f.Add([]byte{})
 
@@ -47,8 +53,22 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted image failed to re-encode: %v", err)
 		}
-		if !bytes.Equal(out, data) {
-			t.Fatal("accepted image did not re-encode canonically")
+		// Current-format images are canonical byte-for-byte. Accepted
+		// legacy images re-encode in the current format instead, so for
+		// them the invariant is upgrade stability: the upgraded image
+		// must decode back to the same snapshot.
+		if binary.LittleEndian.Uint16(data[4:6]) == version {
+			if !bytes.Equal(out, data) {
+				t.Fatal("accepted image did not re-encode canonically")
+			}
+			return
+		}
+		up, err := Decode(out)
+		if err != nil {
+			t.Fatalf("upgraded legacy image no longer decodes: %v", err)
+		}
+		if !reflect.DeepEqual(up, s) {
+			t.Fatal("upgraded legacy image decodes to a different snapshot")
 		}
 	})
 }

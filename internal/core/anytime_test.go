@@ -107,8 +107,8 @@ func TestSolveCanceledAnytime(t *testing.T) {
 		}
 	}
 	for l := 0; l < 8; l++ {
-		if hp[l] < demands[l].HP*(1-1e-6) || lp[l] < demands[l].LP*(1-1e-6) {
-			t.Fatalf("truncated plan under-serves link %d: hp %g/%g lp %g/%g", l, hp[l], demands[l].HP, lp[l], demands[l].LP)
+		if hp[l] < demands[l].At(0)*(1-1e-6) || lp[l] < demands[l].At(1)*(1-1e-6) {
+			t.Fatalf("truncated plan under-serves link %d: hp %g/%g lp %g/%g", l, hp[l], demands[l].At(0), lp[l], demands[l].At(1))
 		}
 	}
 	if res.LowerBound < 0 || res.LowerBound > res.Plan.Objective*(1+1e-9) {

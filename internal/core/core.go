@@ -7,8 +7,9 @@
 //
 //   - the master problem (MP) — a linear program over the current
 //     schedule pool S′ choosing fractional slot counts τ^s (eqs. 14–17),
-//     solved with the internal simplex, whose duals (λ_hp, λ_lp) price
-//     schedules (eq. 18); and
+//     solved with the internal simplex, whose per-class duals λ_c price
+//     schedules (eq. 18; the paper's λ_hp, λ_lp generalized to one
+//     vector per traffic class); and
 //   - the pricing sub-problem (SP) — find the feasible schedule with
 //     the most negative reduced cost Φ = 1 − Σ_l λ_l·r_l (eqs. 19–21,
 //     27–33), solved either by a problem-specific exact branch and
@@ -106,10 +107,19 @@ func (r *Result) Gap() float64 {
 	return g
 }
 
-// Duals holds the final master-problem simplex multipliers (eq. 18).
+// Duals holds the final master-problem simplex multipliers (eq. 18),
+// class-major: ByClass[c][l] prices one bit of class c on link l.
+// Class 0 is the paper's HP layer, class 1 its LP layer.
 type Duals struct {
-	HP []float64
-	LP []float64
+	ByClass [][]float64
+}
+
+// Class returns class c's dual vector (nil beyond the solved classes).
+func (d Duals) Class(c int) []float64 {
+	if c < 0 || c >= len(d.ByClass) {
+		return nil
+	}
+	return d.ByClass[c]
 }
 
 // Plan is a solved schedule plan: which feasible schedules to run and
@@ -172,8 +182,13 @@ type Options struct {
 	// branch-and-bound pricer constructed when Pricer is nil (0 means
 	// sequential). Explicit pricers carry their own parallelism.
 	PricerWorkers int
-	// LP passes options to the master problem solves.
-	LP lp.Options
+	// Classes describes the network's traffic classes (names, weights,
+	// SLA floors). Nil means unit-weight classes with no floors — for a
+	// two-class network, exactly the paper's HP/LP model. When set, the
+	// table must cover the network's TrafficClasses count.
+	Classes video.Classes
+	// LPOpts passes options to the master problem solves.
+	LPOpts lp.Options
 	// Tracer, when non-nil, receives structured trace events for every
 	// column-generation iteration (see obs.Event). Nil means the
 	// allocation-free no-op tracer; Solve also consults the context via
@@ -197,7 +212,7 @@ func (o Options) engineOptions(prefix string) cg.Options {
 		Tolerance:     o.Tolerance,
 		GapTarget:     o.GapTarget,
 		GC:            o.ColumnGC,
-		LP:            o.LP,
+		LPOpts:        o.LPOpts,
 		Tracer:        o.Tracer,
 		Metrics:       o.Metrics,
 		MetricsPrefix: prefix,
@@ -214,19 +229,50 @@ type Solver struct {
 	engine  *cg.Engine
 }
 
+// checkDemands validates a demand vector against the network: one
+// demand per link, finite and non-negative, and no demand addressing a
+// class beyond the network's traffic-class count.
+func checkDemands(nw *netmodel.Network, demands []video.Demand) error {
+	if len(demands) != nw.NumLinks() {
+		return fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	}
+	nc := nw.TrafficClasses()
+	for l, d := range demands {
+		if !d.Valid() {
+			return fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
+		}
+		if d.NumClasses() > nc {
+			return fmt.Errorf("core: demand on link %d addresses %d classes, network carries %d", l, d.NumClasses(), nc)
+		}
+	}
+	return nil
+}
+
+// checkClasses validates an optional class table against the network.
+func checkClasses(nw *netmodel.Network, classes video.Classes) error {
+	if classes == nil {
+		return nil
+	}
+	if err := classes.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if len(classes) != nw.TrafficClasses() {
+		return fmt.Errorf("core: class table has %d classes, network carries %d", len(classes), nw.TrafficClasses())
+	}
+	return nil
+}
+
 // NewSolver validates the instance and seeds the column pool with the
 // paper's TDMA initialization (§IV-B).
 func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Solver, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid network: %w", err)
 	}
-	if len(demands) != nw.NumLinks() {
-		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	if err := checkDemands(nw, demands); err != nil {
+		return nil, err
 	}
-	for l, d := range demands {
-		if !d.Valid() {
-			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
-		}
+	if err := checkClasses(nw, opts.Classes); err != nil {
+		return nil, err
 	}
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
@@ -266,13 +312,11 @@ func NewSolverFromSnapshot(nw *netmodel.Network, demands []video.Demand, opts Op
 	if err := nw.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid network: %w", err)
 	}
-	if len(demands) != nw.NumLinks() {
-		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	if err := checkDemands(nw, demands); err != nil {
+		return nil, err
 	}
-	for l, d := range demands {
-		if !d.Valid() {
-			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
-		}
+	if err := checkClasses(nw, opts.Classes); err != nil {
+		return nil, err
 	}
 	if err := snap.ValidateAgainst(nw); err != nil {
 		return nil, err
@@ -335,13 +379,8 @@ func (s *Solver) Demands() []video.Demand {
 // as a warm-start hint; if the new demands make it infeasible the
 // master solve falls back to a cold start automatically.
 func (s *Solver) SetDemands(demands []video.Demand) error {
-	if len(demands) != s.nw.NumLinks() {
-		return fmt.Errorf("core: %d demands for %d links", len(demands), s.nw.NumLinks())
-	}
-	for l, d := range demands {
-		if !d.Valid() {
-			return fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
-		}
+	if err := checkDemands(s.nw, demands); err != nil {
+		return err
 	}
 	// Unservable links with new positive demand would make the master
 	// infeasible; the TDMA initialization covered every servable link.
@@ -378,7 +417,7 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 		Iterations: out.Iterations,
 		LowerBound: out.LowerBound,
 		Converged:  out.Converged,
-		Duals:      Duals{HP: out.DualsHP, LP: out.DualsLP},
+		Duals:      Duals{ByClass: out.Duals},
 		Warm:       out.Warm,
 		Truncated:  out.Truncated,
 		Stop:       out.Stop,
@@ -401,20 +440,20 @@ func (s *Solver) extractPlan(sol *lp.Solution) Plan {
 	return plan
 }
 
-// p1Model is the P1 master formulation: 2L demand-cover GE rows (HP
-// then LP), one unit-cost column per pooled schedule carrying its rate
-// vectors, no fixed variables.
+// p1Model is the P1 master formulation: one family of L demand-cover
+// GE rows per traffic class, laid class-major (the paper's HP rows
+// then LP rows in the two-class case), one unit-cost column per pooled
+// schedule carrying its rate vectors, no fixed variables.
 type p1Model struct{ s *Solver }
 
 // NewMaster lays down the demand rows (RHS refreshed per solve).
 func (m *p1Model) NewMaster() *lp.Problem {
 	L := m.s.nw.NumLinks()
 	p := lp.NewProblem(nil)
-	for l := 0; l < L; l++ {
-		p.AddRow(nil, lp.GE, m.s.demands[l].HP)
-	}
-	for l := 0; l < L; l++ {
-		p.AddRow(nil, lp.GE, m.s.demands[l].LP)
+	for c := 0; c < m.s.nw.TrafficClasses(); c++ {
+		for l := 0; l < L; l++ {
+			p.AddRow(nil, lp.GE, m.s.demands[l].At(c))
+		}
 	}
 	return p
 }
@@ -423,10 +462,11 @@ func (m *p1Model) NewMaster() *lp.Problem {
 // of time per slot: c_j = 1).
 func (m *p1Model) AppendColumn(p *lp.Problem, sc *schedule.Schedule) error {
 	L := m.s.nw.NumLinks()
-	col := make([]float64, 2*L)
-	hpRates, lpRates := sc.RateVectors(m.s.nw)
-	copy(col[:L], hpRates)
-	copy(col[L:], lpRates)
+	rates := sc.RateVectorsByClass(m.s.nw)
+	col := make([]float64, len(rates)*L)
+	for c, rv := range rates {
+		copy(col[c*L:(c+1)*L], rv)
+	}
 	_, err := p.AddColumn(1, col)
 	return err
 }
@@ -435,24 +475,27 @@ func (m *p1Model) AppendColumn(p *lp.Problem, sc *schedule.Schedule) error {
 // solves (SetDemands), and columns are demand-independent.
 func (m *p1Model) RefreshRHS(p *lp.Problem) {
 	L := m.s.nw.NumLinks()
-	for l := 0; l < L; l++ {
-		p.B[l] = m.s.demands[l].HP
-		p.B[L+l] = m.s.demands[l].LP
+	for c := 0; c < m.s.nw.TrafficClasses(); c++ {
+		for l := 0; l < L; l++ {
+			p.B[c*L+l] = m.s.demands[l].At(c)
+		}
 	}
 }
 
-// Duals splits the MP dual vector into λ(hp) and λ(lp), clamping tiny
-// negatives from roundoff (duals of GE rows in a min LP are
-// non-negative).
-func (m *p1Model) Duals(sol *lp.Solution) (hp, lpDuals []float64) {
+// Duals splits the MP dual vector into one λ vector per class,
+// clamping tiny negatives from roundoff (duals of GE rows in a min LP
+// are non-negative).
+func (m *p1Model) Duals(sol *lp.Solution) [][]float64 {
 	L := m.s.nw.NumLinks()
-	hp = make([]float64, L)
-	lpDuals = make([]float64, L)
-	for l := 0; l < L; l++ {
-		hp[l] = math.Max(0, sol.Dual[l])
-		lpDuals[l] = math.Max(0, sol.Dual[L+l])
+	nc := m.s.nw.TrafficClasses()
+	lambda := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		lambda[c] = make([]float64, L)
+		for l := 0; l < L; l++ {
+			lambda[c][l] = math.Max(0, sol.Dual[c*L+l])
+		}
 	}
-	return hp, lpDuals
+	return lambda
 }
 
 // Upper is the MP objective: Σ τ, an upper bound on the P1 optimum.
@@ -469,8 +512,8 @@ func (m *p1Model) ColumnOffset() int { return 0 }
 // SpanName implements cg.MasterModel.
 func (m *p1Model) SpanName() string { return "core.solve" }
 
-// RateVectorsValue recomputes Ψ = Σ λ·r for a schedule; exported for
-// tests and benchmark cross-checks.
-func RateVectorsValue(nw *netmodel.Network, s *schedule.Schedule, lambdaHP, lambdaLP []float64) float64 {
-	return s.Value(nw, lambdaHP, lambdaLP)
+// RateVectorsValue recomputes Ψ = Σ λ·r for a schedule under
+// class-major duals; exported for tests and benchmark cross-checks.
+func RateVectorsValue(nw *netmodel.Network, s *schedule.Schedule, lambda [][]float64) float64 {
+	return s.Value(nw, lambda)
 }

@@ -63,7 +63,7 @@ func servableNetwork(rng *rand.Rand, nLinks, nChannels int) *netmodel.Network {
 func uniformDemands(n int, hp, lpBits float64) []video.Demand {
 	d := make([]video.Demand, n)
 	for i := range d {
-		d[i] = video.Demand{HP: hp, LP: lpBits}
+		d[i] = video.TwoClass(hp, lpBits)
 	}
 	return d
 }
@@ -177,14 +177,14 @@ func bruteForceP1(t *testing.T, nw *netmodel.Network, demands []video.Demand) fl
 		for j := 0; j < n; j++ {
 			row[j] = colHP[j][l]
 		}
-		p.AddRow(row, lp.GE, demands[l].HP)
+		p.AddRow(row, lp.GE, demands[l].At(0))
 	}
 	for l := 0; l < L; l++ {
 		row := make([]float64, n)
 		for j := 0; j < n; j++ {
 			row[j] = colLP[j][l]
 		}
-		p.AddRow(row, lp.GE, demands[l].LP)
+		p.AddRow(row, lp.GE, demands[l].At(1))
 	}
 	sol, err := lp.Solve(p)
 	if err != nil || sol.Status != lp.StatusOptimal {
@@ -253,11 +253,11 @@ func TestSolverPlanFeasible(t *testing.T) {
 		}
 	}
 	for l := 0; l < L; l++ {
-		if gotHP[l] < demands[l].HP*(1-1e-6) {
-			t.Errorf("link %d HP served %v < demand %v", l, gotHP[l], demands[l].HP)
+		if gotHP[l] < demands[l].At(0)*(1-1e-6) {
+			t.Errorf("link %d HP served %v < demand %v", l, gotHP[l], demands[l].At(0))
 		}
-		if gotLP[l] < demands[l].LP*(1-1e-6) {
-			t.Errorf("link %d LP served %v < demand %v", l, gotLP[l], demands[l].LP)
+		if gotLP[l] < demands[l].At(1)*(1-1e-6) {
+			t.Errorf("link %d LP served %v < demand %v", l, gotLP[l], demands[l].At(1))
 		}
 	}
 	// Objective equals Σ τ.
@@ -368,7 +368,7 @@ func TestNewSolverErrors(t *testing.T) {
 	})
 	t.Run("invalid demand", func(t *testing.T) {
 		d := uniformDemands(3, 1, 1)
-		d[1].HP = math.NaN()
+		d[1][0] = math.NaN()
 		if _, err := NewSolver(nw, d, Options{}); err == nil {
 			t.Error("want error for NaN demand")
 		}
@@ -393,7 +393,7 @@ func TestNewSolverErrors(t *testing.T) {
 		bad := randomNetwork(rng, 2, 1)
 		bad.Gains.Direct[0][0] = 1e-6
 		bad.Gains.Direct[1][0] = 0.9
-		d := []video.Demand{{}, {HP: 1e6, LP: 1e6}}
+		d := []video.Demand{{}, {1e6, 1e6}}
 		if _, err := NewSolver(bad, d, Options{}); err != nil {
 			t.Errorf("unexpected error: %v", err)
 		}
@@ -422,11 +422,11 @@ func TestPricerCrossValidation(t *testing.T) {
 				lamLP[l] = rng.Float64() * 2e-8
 			}
 		}
-		bb, err := bbP.Price(nw, lamHP, lamLP)
+		bb, err := bbP.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ml, err := milpP.Price(nw, lamHP, lamLP)
+		ml, err := milpP.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -444,7 +444,7 @@ func TestPricerCrossValidation(t *testing.T) {
 			if err := pr.Schedule.Validate(nw); err != nil {
 				t.Errorf("trial %d: %s schedule invalid: %v", trial, name, err)
 			}
-			v := pr.Schedule.Value(nw, lamHP, lamLP)
+			v := pr.Schedule.Value(nw, [][]float64{lamHP, lamLP})
 			if math.Abs(v-pr.Value) > 1e-6*(1+math.Abs(pr.Value)) {
 				t.Errorf("trial %d: %s reported value %v but schedule prices to %v", trial, name, pr.Value, v)
 			}
@@ -464,7 +464,7 @@ func TestBranchBoundPricerProperties(t *testing.T) {
 			lamHP[l] = rng.Float64() * 2e-8
 			lamLP[l] = rng.Float64() * 2e-8
 		}
-		res, err := p.Price(nw, lamHP, lamLP)
+		res, err := p.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil || !res.Exact {
 			return false
 		}
@@ -475,7 +475,7 @@ func TestBranchBoundPricerProperties(t *testing.T) {
 			if err := res.Schedule.Validate(nw); err != nil {
 				return false
 			}
-			v := res.Schedule.Value(nw, lamHP, lamLP)
+			v := res.Schedule.Value(nw, [][]float64{lamHP, lamLP})
 			if math.Abs(v-res.Value) > 1e-6*(1+v) {
 				return false
 			}
@@ -500,11 +500,11 @@ func TestGreedyPricerNeverBeatsExact(t *testing.T) {
 			lamHP[l] = rng.Float64() * 2e-8
 			lamLP[l] = rng.Float64() * 2e-8
 		}
-		ex, err := exact.Price(nw, lamHP, lamLP)
+		ex, err := exact.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
-		gr, err := greedy.Price(nw, lamHP, lamLP)
+		gr, err := greedy.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -534,7 +534,7 @@ func TestPricerBudgetTruncation(t *testing.T) {
 		lamLP[l] = rng.Float64() * 2e-8
 	}
 	tiny := NewBranchBoundPricer(5)
-	res, err := tiny.Price(nw, lamHP, lamLP)
+	res, err := tiny.Price(nw, [][]float64{lamHP, lamLP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,7 +543,7 @@ func TestPricerBudgetTruncation(t *testing.T) {
 	}
 	// RelaxValue must still upper-bound the exact optimum.
 	full := NewBranchBoundPricer(0)
-	fres, err := full.Price(nw, lamHP, lamLP)
+	fres, err := full.Price(nw, [][]float64{lamHP, lamLP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -602,8 +602,8 @@ func TestDualsNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for l := range res.Duals.HP {
-		if res.Duals.HP[l] < 0 || res.Duals.LP[l] < 0 {
+	for l := range res.Duals.Class(0) {
+		if res.Duals.Class(0)[l] < 0 || res.Duals.Class(1)[l] < 0 {
 			t.Errorf("negative dual at link %d", l)
 		}
 	}
@@ -640,7 +640,7 @@ func TestRateVectorsValueHelper(t *testing.T) {
 	lam := []float64{2e-8, 0}
 	zero := []float64{0, 0}
 	want := 2e-8 * nw.Rates.Rates[0]
-	if v := RateVectorsValue(nw, s, lam, zero); math.Abs(v-want) > 1e-12 {
+	if v := RateVectorsValue(nw, s, [][]float64{lam, zero}); math.Abs(v-want) > 1e-12 {
 		t.Errorf("value = %v, want %v", v, want)
 	}
 }

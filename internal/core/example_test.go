@@ -39,8 +39,8 @@ func exampleNetwork() *netmodel.Network {
 func ExampleSolver() {
 	nw := exampleNetwork()
 	demands := []video.Demand{
-		{HP: 10e6, LP: 20e6}, // bits for the next GOP
-		{HP: 10e6, LP: 20e6},
+		{10e6, 20e6}, // bits for the next GOP
+		{10e6, 20e6},
 	}
 	solver, err := core.NewSolver(nw, demands, core.Options{})
 	if err != nil {
@@ -62,8 +62,8 @@ func ExampleSolver() {
 func ExampleQualitySolver() {
 	nw := exampleNetwork()
 	demands := []video.Demand{
-		{HP: 10e6, LP: 20e6},
-		{HP: 10e6, LP: 20e6},
+		{10e6, 20e6},
+		{10e6, 20e6},
 	}
 	qs, err := core.NewQualitySolver(nw, demands, 0.1 /* seconds */, nil, core.Options{})
 	if err != nil {

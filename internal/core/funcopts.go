@@ -53,7 +53,13 @@ func WithColumnGC(policy cg.GCPolicy) Option { return func(o *Options) { o.Colum
 func WithPricerWorkers(n int) Option { return func(o *Options) { o.PricerWorkers = n } }
 
 // WithLP passes options through to the master-problem LP solves.
-func WithLP(lo lp.Options) Option { return func(o *Options) { o.LP = lo } }
+func WithLP(lo lp.Options) Option { return func(o *Options) { o.LPOpts = lo } }
+
+// WithClasses attaches a traffic-class table: per-class quality
+// weights, priority ranks, and optional minimum-rate SLAs. A nil table
+// (the default) means unit weights and no floors — the paper's
+// two-class behavior.
+func WithClasses(cs video.Classes) Option { return func(o *Options) { o.Classes = cs } }
 
 // WithTracer attaches a trace-event consumer: every column-generation
 // iteration, pricing round, and master solve under this solver emits

@@ -53,24 +53,25 @@ var _ ContextPricer = (*MILPPricer)(nil)
 func (p *MILPPricer) String() string { return "milp" }
 
 // Price implements Pricer.
-func (p *MILPPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(nil, nw, lambdaHP, lambdaLP)
+func (p *MILPPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
+	return p.price(nil, nw, lambda)
 }
 
 // PriceContext implements ContextPricer: the branch and bound is
 // canceled mid-search when ctx expires, returning the incumbent found
 // so far (possibly none) with the valid best-first dual bound.
-func (p *MILPPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP)
+func (p *MILPPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambda)
 }
 
-func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
 	L := nw.NumLinks()
 	K := nw.NumChannels
 	Q := nw.Rates.Levels()
-	if len(lambdaHP) != L || len(lambdaLP) != L {
-		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	if err := checkDuals(nw, lambda); err != nil {
+		return nil, err
 	}
+	nc := len(lambda)
 	if nw.MultiChannel {
 		// The literal eqs. (30)–(31) hard-code single-channel access;
 		// the multi-channel extension is priced by BranchBoundPricer
@@ -78,10 +79,10 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 		return nil, fmt.Errorf("core: milp pricer does not support the multi-channel extension")
 	}
 
-	// Variable layout: powers first, then the HP and LP activation
-	// binaries. Under the global model there is one power per link
-	// (the paper's P_l); under the per-channel model one per
-	// (link, channel).
+	// Variable layout: powers first, then one activation-binary block
+	// per traffic class in priority order (HP then LP in the classic
+	// case). Under the global model there is one power per link (the
+	// paper's P_l); under the per-channel model one per (link, channel).
 	global := nw.Interference == netmodel.Global
 	nP := L * K
 	if global {
@@ -94,31 +95,28 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 		}
 		return l*K + k
 	}
-	xIdx := func(layer schedule.Layer, l, k, q int) int {
-		base := nP
-		if layer == schedule.LP {
-			base += nX
-		}
-		return base + (l*K+k)*Q + q
+	xIdx := func(c, l, k, q int) int {
+		return nP + c*nX + (l*K+k)*Q + q
 	}
-	nVars := nP + 2*nX
+	nVars := nP + nc*nX
 
 	// Objective: maximize Σ λ·u·x  →  minimize the negation.
 	costs := make([]float64, nVars)
-	for l := 0; l < L; l++ {
-		for k := 0; k < K; k++ {
-			for q := 0; q < Q; q++ {
-				costs[xIdx(schedule.HP, l, k, q)] = -lambdaHP[l] * nw.Rates.Rates[q]
-				costs[xIdx(schedule.LP, l, k, q)] = -lambdaLP[l] * nw.Rates.Rates[q]
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			for k := 0; k < K; k++ {
+				for q := 0; q < Q; q++ {
+					costs[xIdx(c, l, k, q)] = -lambda[c][l] * nw.Rates.Rates[q]
+				}
 			}
 		}
 	}
 	base := lppkg.NewProblem(costs)
 
-	// Big-M SINR rows (eq. 26/28/29), one per (layer, l, k, q):
+	// Big-M SINR rows (eq. 26/28/29), one per (class, l, k, q):
 	//   γ^q Σ_{l'≠l} H_{l'l}^k P_{l'}^k − H_l^k P_l^k + M·x ≤ M − γ^q·ρ_l
 	// with M = γ^q(ρ_l + Σ_{l'≠l} H_{l'l}^k·Pmax).
-	for _, layer := range []schedule.Layer{schedule.HP, schedule.LP} {
+	for c := 0; c < nc; c++ {
 		for l := 0; l < L; l++ {
 			for k := 0; k < K; k++ {
 				for q := 0; q < Q; q++ {
@@ -137,20 +135,21 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 						row[pIdx(lp, k)] = gamma * nw.Gains.Cross[lp][l][k]
 					}
 					row[pIdx(l, k)] = -nw.Gains.Direct[l][k]
-					row[xIdx(layer, l, k, q)] = bigM
+					row[xIdx(c, l, k, q)] = bigM
 					base.AddRow(row, lppkg.LE, bigM-gamma*nw.Noise[l])
 				}
 			}
 		}
 	}
 
-	// Eq. 30: each link transmits at most one (layer, channel, level).
+	// Eq. 30: each link transmits at most one (class, channel, level).
 	for l := 0; l < L; l++ {
 		row := make([]float64, nVars)
-		for k := 0; k < K; k++ {
-			for q := 0; q < Q; q++ {
-				row[xIdx(schedule.HP, l, k, q)] = 1
-				row[xIdx(schedule.LP, l, k, q)] = 1
+		for c := 0; c < nc; c++ {
+			for k := 0; k < K; k++ {
+				for q := 0; q < Q; q++ {
+					row[xIdx(c, l, k, q)] = 1
+				}
 			}
 		}
 		base.AddRow(row, lppkg.LE, 1)
@@ -168,10 +167,11 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 		}
 		row := make([]float64, nVars)
 		for _, l := range links {
-			for k := 0; k < K; k++ {
-				for q := 0; q < Q; q++ {
-					row[xIdx(schedule.HP, l, k, q)] = 1
-					row[xIdx(schedule.LP, l, k, q)] = 1
+			for c := 0; c < nc; c++ {
+				for k := 0; k < K; k++ {
+					for q := 0; q < Q; q++ {
+						row[xIdx(c, l, k, q)] = 1
+					}
 				}
 			}
 		}
@@ -179,16 +179,17 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 	}
 
 	// Power-activation coupling. Per-channel model:
-	// P_l^k ≤ Pmax·Σ_{q,layer} x_l^{q,k}. Global model (single P_l):
-	// P_l ≤ Pmax·Σ_{k,q,layer} x_l^{q,k} — idle links radiate nothing.
+	// P_l^k ≤ Pmax·Σ_{q,c} x_l^{q,k}. Global model (single P_l):
+	// P_l ≤ Pmax·Σ_{k,q,c} x_l^{q,k} — idle links radiate nothing.
 	if global {
 		for l := 0; l < L; l++ {
 			row := make([]float64, nVars)
 			row[pIdx(l, 0)] = 1
-			for k := 0; k < K; k++ {
-				for q := 0; q < Q; q++ {
-					row[xIdx(schedule.HP, l, k, q)] = -nw.PMax
-					row[xIdx(schedule.LP, l, k, q)] = -nw.PMax
+			for c := 0; c < nc; c++ {
+				for k := 0; k < K; k++ {
+					for q := 0; q < Q; q++ {
+						row[xIdx(c, l, k, q)] = -nw.PMax
+					}
 				}
 			}
 			base.AddRow(row, lppkg.LE, 0)
@@ -198,9 +199,10 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 			for k := 0; k < K; k++ {
 				row := make([]float64, nVars)
 				row[pIdx(l, k)] = 1
-				for q := 0; q < Q; q++ {
-					row[xIdx(schedule.HP, l, k, q)] = -nw.PMax
-					row[xIdx(schedule.LP, l, k, q)] = -nw.PMax
+				for c := 0; c < nc; c++ {
+					for q := 0; q < Q; q++ {
+						row[xIdx(c, l, k, q)] = -nw.PMax
+					}
 				}
 				base.AddRow(row, lppkg.LE, 0)
 			}
@@ -211,11 +213,12 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 	for j := 0; j < nP; j++ {
 		prob.SetUpper(j, nw.PMax)
 	}
-	for l := 0; l < L; l++ {
-		for k := 0; k < K; k++ {
-			for q := 0; q < Q; q++ {
-				prob.SetBinary(xIdx(schedule.HP, l, k, q))
-				prob.SetBinary(xIdx(schedule.LP, l, k, q))
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			for k := 0; k < K; k++ {
+				for q := 0; q < Q; q++ {
+					prob.SetBinary(xIdx(c, l, k, q))
+				}
 			}
 		}
 	}
@@ -223,7 +226,7 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 	shape := [2]int{base.NumVars(), base.NumRows()}
 	opt := milp.Options{MaxNodes: p.MaxNodes, Cancel: cancel}
 	if p.lastBasis != nil && p.lastShape == shape {
-		opt.LP.WarmBasis = p.lastBasis
+		opt.LPOpts.WarmBasis = p.lastBasis
 	}
 	sol, err := milp.SolveWith(prob, opt)
 	if err != nil {
@@ -259,12 +262,12 @@ func (p *MILPPricer) price(cancel <-chan struct{}, nw *netmodel.Network, lambdaH
 	for l := 0; l < L; l++ {
 		for k := 0; k < K; k++ {
 			for q := 0; q < Q; q++ {
-				for _, layer := range []schedule.Layer{schedule.HP, schedule.LP} {
-					if sol.X[xIdx(layer, l, k, q)] > 0.5 {
+				for c := 0; c < nc; c++ {
+					if sol.X[xIdx(c, l, k, q)] > 0.5 {
 						active = append(active, l)
 						chans = append(chans, k)
 						levels = append(levels, q)
-						layers = append(layers, layer)
+						layers = append(layers, schedule.ClassLayer(c))
 					}
 				}
 			}

@@ -101,7 +101,7 @@ func TestMultiChannelPricerMatchesBruteForce(t *testing.T) {
 			lamHP[l] = rng.Float64() * 2e-8
 			lamLP[l] = rng.Float64() * 2e-8
 		}
-		res, err := p.Price(nw, lamHP, lamLP)
+		res, err := p.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,13 +133,13 @@ func TestMultiChannelNeverWorseThanSingle(t *testing.T) {
 			lamHP[l] = rng.Float64() * 2e-8
 			lamLP[l] = rng.Float64() * 2e-8
 		}
-		single, err := p.Price(nw, lamHP, lamLP)
+		single, err := p.Price(nw, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
 		multiNW := *nw
 		multiNW.MultiChannel = true
-		multi, err := p.Price(&multiNW, lamHP, lamLP)
+		multi, err := p.Price(&multiNW, [][]float64{lamHP, lamLP})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func TestMILPPricerRejectsMultiChannel(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	nw := randomNetwork(rng, 2, 2)
 	nw.MultiChannel = true
-	if _, err := (&MILPPricer{}).Price(nw, []float64{1e-8, 1e-8}, []float64{1e-8, 1e-8}); err == nil {
+	if _, err := (&MILPPricer{}).Price(nw, [][]float64{[]float64{1e-8, 1e-8}, []float64{1e-8, 1e-8}}); err == nil {
 		t.Error("MILP pricer accepted a multi-channel network")
 	}
 }

@@ -36,7 +36,7 @@ func TestSolverMaxIterations(t *testing.T) {
 		}
 	}
 	for l := range gotHP {
-		if gotHP[l] < demands[l].HP*(1-1e-6) {
+		if gotHP[l] < demands[l].At(0)*(1-1e-6) {
 			t.Errorf("link %d HP underserved after early stop", l)
 		}
 	}
@@ -102,7 +102,7 @@ func TestPricerDualLengthValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(107))
 	nw := randomNetwork(rng, 3, 2)
 	for _, p := range []Pricer{NewBranchBoundPricer(0), GreedyPricer{}, &MILPPricer{}} {
-		if _, err := p.Price(nw, []float64{1}, []float64{1, 2, 3}); err == nil {
+		if _, err := p.Price(nw, [][]float64{[]float64{1}, []float64{1, 2, 3}}); err == nil {
 			t.Errorf("%s accepted mismatched dual vectors", p)
 		}
 	}
@@ -171,7 +171,7 @@ func TestSolverSingleLink(t *testing.T) {
 			bestRate = r
 		}
 	}
-	want := demands[0].HP/bestRate + demands[0].LP/bestRate
+	want := demands[0].At(0)/bestRate + demands[0].At(1)/bestRate
 	if diff := res.Plan.Objective - want; diff > 1e-9*want || diff < -1e-9*want {
 		t.Errorf("objective %v, want %v", res.Plan.Objective, want)
 	}
@@ -229,7 +229,7 @@ func TestSetDemandsValidation(t *testing.T) {
 		t.Error("demand count mismatch accepted")
 	}
 	bad := uniformDemands(3, 1e6, 1e6)
-	bad[0].LP = math.Inf(1)
+	bad[0][1] = math.Inf(1)
 	if err := s.SetDemands(bad); err == nil {
 		t.Error("invalid demand accepted")
 	}

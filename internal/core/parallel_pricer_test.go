@@ -45,13 +45,13 @@ func TestParallelPricerValueMatchesSerial(t *testing.T) {
 		}
 
 		serial := NewBranchBoundPricer(500000)
-		sres, err := serial.Price(nw, hp, lp)
+		sres, err := serial.Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatalf("trial %d serial: %v", trial, err)
 		}
 		par := NewBranchBoundPricer(500000)
 		par.Parallel = 4
-		pres, err := par.Price(nw, hp, lp)
+		pres, err := par.Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatalf("trial %d parallel: %v", trial, err)
 		}
@@ -125,7 +125,7 @@ func TestParallelPricerSharesBudget(t *testing.T) {
 
 	p := NewBranchBoundPricer(50) // far too small to finish
 	p.Parallel = 4
-	res, err := p.Price(nw, hp, lp)
+	res, err := p.Price(nw, [][]float64{hp, lp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,18 +156,18 @@ func TestPricerWithCacheIdenticalSearch(t *testing.T) {
 		}
 
 		plain := NewBranchBoundPricer(200000)
-		want, err := plain.Price(nw, hp, lp)
+		want, err := plain.Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 
 		cached := NewBranchBoundPricer(200000)
 		cache := netmodel.NewProbeCache()
-		first, err := cached.PriceWithCache(context.Background(), nw, hp, lp, cache)
+		first, err := cached.PriceWithCache(context.Background(), nw, [][]float64{hp, lp}, cache)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		second, err := cached.PriceWithCache(context.Background(), nw, hp, lp, cache)
+		second, err := cached.PriceWithCache(context.Background(), nw, [][]float64{hp, lp}, cache)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -207,14 +207,14 @@ func TestParallelPricerDeterministicSchedules(t *testing.T) {
 		hp, lp := pricingDuals(rng, 8)
 
 		serial := NewBranchBoundPricer(500000)
-		want, err := serial.Price(nw, hp, lp)
+		want, err := serial.Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatalf("trial %d serial: %v", trial, err)
 		}
 		par := NewBranchBoundPricer(500000)
 		par.Parallel = 4
 		for rep := 0; rep < 3; rep++ {
-			got, err := par.Price(nw, hp, lp)
+			got, err := par.Price(nw, [][]float64{hp, lp})
 			if err != nil {
 				t.Fatalf("trial %d rep %d: %v", trial, rep, err)
 			}
@@ -254,7 +254,7 @@ func TestPooledPricerConcurrentRace(t *testing.T) {
 		nw := servableNetwork(rng, 7, 2)
 		nw.MultiChannel = i%2 == 1
 		hp, lp := pricingDuals(rng, 7)
-		want, err := NewBranchBoundPricer(500000).Price(nw, hp, lp)
+		want, err := NewBranchBoundPricer(500000).Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +271,7 @@ func TestPooledPricerConcurrentRace(t *testing.T) {
 			defer wg.Done()
 			in := insts[g]
 			for rep := 0; rep < 5; rep++ {
-				got, err := shared.Price(in.nw, in.hp, in.lp)
+				got, err := shared.Price(in.nw, [][]float64{in.hp, in.lp})
 				if err != nil {
 					errs[g] = err
 					return

@@ -16,9 +16,10 @@ import (
 // problem-specific branch and bound. It exploits three structural
 // facts of the SP (eqs. 27–33):
 //
-//  1. Layer choice collapses: a link transmitting in one schedule earns
-//     λ_hp·u or λ_lp·u at the same SINR threshold, so the better layer
-//     is simply the one with the larger dual.
+//  1. Class choice collapses: a link transmitting in one schedule earns
+//     λ_c·u at the same SINR threshold whichever class c it serves, so
+//     the better class is simply the one with the larger dual (ties go
+//     to the higher-priority class).
 //  2. Links with zero dual value never belong to an optimal schedule —
 //     they add interference and earn nothing.
 //  3. Per-channel SINR feasibility of an active set with chosen levels
@@ -103,7 +104,7 @@ func (p *BranchBoundPricer) String() string {
 type candidate struct {
 	link    int
 	layer   schedule.Layer
-	lam     float64 // max(λ_hp, λ_lp)
+	lam     float64 // max_c λ_c (or the candidate's class dual under MultiChannel)
 	best    float64 // optimistic contribution = lam · max achievable rate
 	qmax    []int   // per channel: highest solo-feasible level, -1 if none
 	chOrder []int   // channels in descending direct-gain order
@@ -153,8 +154,8 @@ type pricerState struct {
 	chActive   [][]int     // per channel: active candidate indices (into cands)
 	chLevels   [][]float64 // per channel: γ thresholds parallel to chActive
 	chLevelIdx [][]int     // per channel: rate-level indices parallel to chActive
-	usedNode   map[int]int // node → owning link (half-duplex; a link's two layer-streams share its nodes)
-	sibling    []int       // per candidate: index of the same link's other-layer candidate, or -1
+	usedNode   map[int]int // node → owning link (half-duplex; a link's class-streams share its nodes)
+	sibling    [][]int     // per candidate: indices of the same link's other-class candidates (nil when alone)
 
 	assign []assignChoice // per candidate: current choice
 
@@ -195,16 +196,16 @@ type assignChoice struct {
 }
 
 // Price implements Pricer.
-func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(nil, nw, lambdaHP, lambdaLP, nil)
+func (p *BranchBoundPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
+	return p.price(nil, nw, lambda, nil)
 }
 
 // PriceContext implements ContextPricer: the search polls ctx and
 // halts mid-tree on cancellation, returning the best schedule found so
 // far with Exact=false and the valid interference-free relaxation
 // bound.
-func (p *BranchBoundPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
-	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP, nil)
+func (p *BranchBoundPricer) PriceContext(ctx context.Context, nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambda, nil)
 }
 
 // PriceWithCache implements CachedPricer: identical to PriceContext
@@ -212,14 +213,27 @@ func (p *BranchBoundPricer) PriceContext(ctx context.Context, nw *netmodel.Netwo
 // probe cache. Cached answers still consume probe budget, so the
 // search explores the same tree either way — the cache only removes
 // the linear-algebra cost of repeat probes.
-func (p *BranchBoundPricer) PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
-	return p.price(ctx.Done(), nw, lambdaHP, lambdaLP, cache)
+func (p *BranchBoundPricer) PriceWithCache(ctx context.Context, nw *netmodel.Network, lambda [][]float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
+	return p.price(ctx.Done(), nw, lambda, cache)
 }
 
-func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
+// checkDuals validates one class-major dual matrix against the network.
+func checkDuals(nw *netmodel.Network, lambda [][]float64) error {
+	if len(lambda) == 0 {
+		return fmt.Errorf("core: empty dual matrix")
+	}
+	for c, lam := range lambda {
+		if len(lam) != nw.NumLinks() {
+			return fmt.Errorf("core: class-%d dual vector sized %d for %d links", c, len(lam), nw.NumLinks())
+		}
+	}
+	return nil
+}
+
+func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, lambda [][]float64, cache *netmodel.ProbeCache) (*PriceResult, error) {
 	L := nw.NumLinks()
-	if len(lambdaHP) != L || len(lambdaLP) != L {
-		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	if err := checkDuals(nw, lambda); err != nil {
+		return nil, err
 	}
 	if p.FixedPower {
 		cache = nil // cache entries encode the min-power test, not the PMax test
@@ -262,18 +276,23 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 			relax += c.best
 		}
 		if nw.MultiChannel {
-			// §III extension: HP and LP may ride different channels in
-			// the same slot, so each layer is its own candidate.
-			addCand(schedule.HP, lambdaHP[l])
-			addCand(schedule.LP, lambdaLP[l])
-		} else {
-			// Layer choice collapses to the larger dual (same rate,
-			// same threshold).
-			if lambdaLP[l] > lambdaHP[l] {
-				addCand(schedule.LP, lambdaLP[l])
-			} else {
-				addCand(schedule.HP, lambdaHP[l])
+			// §III extension: classes may ride different channels in
+			// the same slot, so each class is its own candidate (in
+			// priority order — HP before LP in the two-class case).
+			for c := range lambda {
+				addCand(schedule.ClassLayer(c), lambda[c][l])
 			}
+		} else {
+			// Class choice collapses to the larger dual (same rate,
+			// same threshold); ties resolve to the higher-priority
+			// class via the strict comparison.
+			lam, cls := lambda[0][l], 0
+			for c := 1; c < len(lambda); c++ {
+				if lambda[c][l] > lam {
+					lam, cls = lambda[c][l], c
+				}
+			}
+			addCand(schedule.ClassLayer(cls), lam)
 		}
 	}
 
@@ -286,18 +305,22 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	for i := len(cands) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + cands[i].best
 	}
-	sibling := make([]int, len(cands))
-	for i := range sibling {
-		sibling[i] = -1
-	}
+	sibling := make([][]int, len(cands))
 	if nw.MultiChannel {
-		byLink := make(map[int]int, len(cands))
+		byLink := make(map[int][]int, len(cands))
 		for i, c := range cands {
-			if j, ok := byLink[c.link]; ok {
-				sibling[i] = j
-				sibling[j] = i
-			} else {
-				byLink[c.link] = i
+			byLink[c.link] = append(byLink[c.link], i)
+		}
+		for _, group := range byLink {
+			if len(group) < 2 {
+				continue
+			}
+			for _, i := range group {
+				for _, j := range group {
+					if j != i {
+						sibling[i] = append(sibling[i], j)
+					}
+				}
 			}
 		}
 	}
@@ -310,7 +333,7 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	var seedVal float64
 	var seedAssign []assignChoice
 	if !p.FixedPower {
-		if seed, err := (GreedyPricer{}).Price(nw, lambdaHP, lambdaLP); err == nil && seed.Schedule != nil {
+		if seed, err := (GreedyPricer{}).Price(nw, lambda); err == nil && seed.Schedule != nil {
 			if assign, ok := seedAssignment(cands, seed.Schedule); ok {
 				seedVal, seedAssign = seed.Value, assign
 				ctl.offer(seedVal)
@@ -362,7 +385,7 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 // re-arms it for the given search. Pool reuse keeps the per-call and
 // per-task allocation cost near zero; a state is owned by exactly one
 // goroutine between getState and putState.
-func (p *BranchBoundPricer) getState(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache) *pricerState {
+func (p *BranchBoundPricer) getState(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling [][]int, cache *netmodel.ProbeCache) *pricerState {
 	st, _ := p.statePool.Get().(*pricerState)
 	if st == nil {
 		st = &pricerState{}
@@ -426,7 +449,7 @@ func (p *BranchBoundPricer) putState(st *pricerState) {
 // incumbent and probe budget. Together the tasks cover exactly the
 // branches the serial root node iterates, so a completed search proves
 // the same maximal value.
-func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling []int, cache *netmodel.ProbeCache, seedVal float64, seedAssign []assignChoice) (bestVal float64, bestAssign []assignChoice, nodes, cacheHits int, halted bool) {
+func (p *BranchBoundPricer) searchParallel(ctl *searchCtl, nw *netmodel.Network, cands []candidate, suffix []float64, sibling [][]int, cache *netmodel.ProbeCache, seedVal float64, seedAssign []assignChoice) (bestVal float64, bestAssign []assignChoice, nodes, cacheHits int, halted bool) {
 	c0 := &cands[0]
 	var tasks []assignChoice
 	for _, k := range c0.chOrder {
@@ -644,8 +667,8 @@ func (st *pricerState) dfs(i int, value float64) {
 		// Try channels in descending direct-gain order: feasible
 		// high-gain placements first to tighten the incumbent early.
 		for _, k := range c.chOrder {
-			// A link's two layer-streams must ride distinct channels.
-			if sib := st.sibling[i]; sib >= 0 && st.assign[sib].channel == k {
+			// A link's class-streams must ride distinct channels.
+			if channelTaken(st.sibling[i], st.assign, k) {
 				continue
 			}
 			maxQ := c.qmax[k]
@@ -670,6 +693,17 @@ func (st *pricerState) dfs(i int, value float64) {
 
 	// Idle branch.
 	st.dfs(i+1, value)
+}
+
+// channelTaken reports whether any sibling candidate already occupies
+// channel k.
+func channelTaken(siblings []int, assign []assignChoice, k int) bool {
+	for _, sib := range siblings {
+		if assign[sib].channel == k {
+			return true
+		}
+	}
+	return false
 }
 
 // feasibleWith tests whether the current activation pattern plus
@@ -857,10 +891,10 @@ var _ Pricer = GreedyPricer{}
 func (GreedyPricer) String() string { return "greedy" }
 
 // Price implements Pricer.
-func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*PriceResult, error) {
+func (GreedyPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
 	L := nw.NumLinks()
-	if len(lambdaHP) != L || len(lambdaLP) != L {
-		return nil, fmt.Errorf("core: dual vectors sized %d/%d for %d links", len(lambdaHP), len(lambdaLP), L)
+	if err := checkDuals(nw, lambda); err != nil {
+		return nil, err
 	}
 	type item struct {
 		link  int
@@ -871,10 +905,13 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*
 	var items []item
 	var relax float64
 	for l := 0; l < L; l++ {
-		lam, layer := lambdaHP[l], schedule.HP
-		if lambdaLP[l] > lam {
-			lam, layer = lambdaLP[l], schedule.LP
+		lam, cls := lambda[0][l], 0
+		for c := 1; c < len(lambda); c++ {
+			if lambda[c][l] > lam {
+				lam, cls = lambda[c][l], c
+			}
 		}
+		layer := schedule.ClassLayer(cls)
 		if lam <= 1e-12 {
 			continue
 		}

@@ -55,11 +55,11 @@ func TestPricerIncrementalMatchesReference(t *testing.T) {
 				ref := NewBranchBoundPricer(0)
 				ref.referenceProbes = true
 
-				got, err := fast.Price(nw, hp, lp)
+				got, err := fast.Price(nw, [][]float64{hp, lp})
 				if err != nil {
 					t.Fatalf("instance %d: fast pricer: %v", inst, err)
 				}
-				want, err := ref.Price(nw, hp, lp)
+				want, err := ref.Price(nw, [][]float64{hp, lp})
 				if err != nil {
 					t.Fatalf("instance %d: reference pricer: %v", inst, err)
 				}
@@ -89,7 +89,7 @@ func TestGreedyPricerProbeSolver(t *testing.T) {
 			nw.Interference = netmodel.Global
 		}
 		hp, lp := randomDuals(rng, nw.NumLinks())
-		res, err := (GreedyPricer{}).Price(nw, hp, lp)
+		res, err := (GreedyPricer{}).Price(nw, [][]float64{hp, lp})
 		if err != nil {
 			t.Fatalf("instance %d: %v", inst, err)
 		}
@@ -125,11 +125,11 @@ func TestMILPPricerRootBasisReuse(t *testing.T) {
 	stateful := &MILPPricer{}
 	for iter := 0; iter < 5; iter++ {
 		hp, lpd := randomDuals(rng, nw.NumLinks())
-		got, err := stateful.Price(nw, hp, lpd)
+		got, err := stateful.Price(nw, [][]float64{hp, lpd})
 		if err != nil {
 			t.Fatalf("iteration %d: stateful: %v", iter, err)
 		}
-		want, err := (&MILPPricer{}).Price(nw, hp, lpd)
+		want, err := (&MILPPricer{}).Price(nw, [][]float64{hp, lpd})
 		if err != nil {
 			t.Fatalf("iteration %d: fresh: %v", iter, err)
 		}
@@ -190,7 +190,7 @@ func BenchmarkPricerNode(b *testing.B) {
 			b.ReportAllocs()
 			var nodes, probes float64
 			for i := 0; i < b.N; i++ {
-				res, err := p.Price(nw, hp, lp)
+				res, err := p.Price(nw, [][]float64{hp, lp})
 				if err != nil {
 					b.Fatal(err)
 				}

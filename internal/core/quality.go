@@ -19,10 +19,11 @@ import (
 // PSNR = α + β·r_sum) quality is linear in delivered bits, so the
 // problem is the LP
 //
-//	max  Σ_l w_l·(y_l^hp + y_l^lp)
-//	s.t. y_l^λ ≤ Σ_s r_l^s(λ)·τ^s   (delivery)
-//	     y_l^λ ≤ d_l(λ)             (demand cap)
+//	max  Σ_l Σ_c w_l·ω_c·y_l^c
+//	s.t. y_l^c ≤ Σ_s r_l^s(c)·τ^s   (delivery)
+//	     y_l^c ≤ d_l(c)             (demand cap)
 //	     Σ_s τ^s ≤ T                (time budget)
+//	     y_l^c ≥ floor_l^c          (optional per-class SLA floors)
 //	     τ, y ≥ 0
 //
 // over the same exponential schedule space as P1, solved by the same
@@ -31,11 +32,19 @@ import (
 // iff its value exceeds the budget row's dual magnitude |μ| — the
 // formulation scales the duals by |μ| so the engine's Φ ≥ −tol stop
 // rule applies unchanged.
+//
+// The class weights ω_c and SLA floors come from Options.Classes; a
+// nil table means unit weights and no floors — for a two-class network
+// exactly the paper's formulation. A floor asks for
+// min(MinRateBits, d_l(c)) delivered bits per link; floors the budget
+// cannot accommodate make the master infeasible, which Solve surfaces
+// as ErrInfeasible rather than silently relaxing the SLA.
 type QualitySolver struct {
 	nw      *netmodel.Network
 	demands []video.Demand
 	budget  float64
 	weights []float64
+	classes video.Classes
 	opts    Options
 	engine  *cg.Engine
 }
@@ -43,8 +52,8 @@ type QualitySolver struct {
 // QualityResult is the outcome of a quality-mode solve.
 type QualityResult struct {
 	Plan      Plan           // schedules and durations, Σ τ ≤ budget
-	Delivered []video.Demand // bits credited per link and layer (≤ demand)
-	Quality   float64        // Σ w·delivered, the LP objective
+	Delivered []video.Demand // bits credited per link and class (≤ demand)
+	Quality   float64        // Σ w·ω·delivered, the LP objective
 	// Iterations counts column-generation rounds.
 	Iterations int
 	// Converged reports proven optimality (exact pricing and no
@@ -72,18 +81,17 @@ func (r *QualityResult) PSNR(l int, q video.Quality, gopSeconds float64) float64
 
 // NewQualitySolver validates the instance and seeds the column pool.
 // weights holds one quality-per-bit weight per link (e.g. the MGS β of
-// each session); nil means uniform weights.
+// each session); nil means uniform weights. Per-class weights and SLA
+// floors ride in through opts.Classes.
 func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSeconds float64, weights []float64, opts Options) (*QualitySolver, error) {
 	if err := nw.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid network: %w", err)
 	}
-	if len(demands) != nw.NumLinks() {
-		return nil, fmt.Errorf("core: %d demands for %d links", len(demands), nw.NumLinks())
+	if err := checkDemands(nw, demands); err != nil {
+		return nil, err
 	}
-	for l, d := range demands {
-		if !d.Valid() {
-			return nil, fmt.Errorf("core: invalid demand on link %d: %+v", l, d)
-		}
+	if err := checkClasses(nw, opts.Classes); err != nil {
+		return nil, err
 	}
 	if budgetSeconds < 0 || math.IsNaN(budgetSeconds) || math.IsInf(budgetSeconds, 0) {
 		return nil, fmt.Errorf("core: invalid time budget %g", budgetSeconds)
@@ -112,12 +120,41 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 		demands: append([]video.Demand(nil), demands...),
 		budget:  budgetSeconds,
 		weights: append([]float64(nil), weights...),
+		classes: opts.Classes,
 		opts:    opts,
 	}
 	state := cg.NewState(opts.CacheProbes)
 	state.Seed(schedule.TDMA(nw))
 	s.engine = cg.NewEngine(nw, &p2Model{s: s}, state, opts.engineOptions("core"))
 	return s, nil
+}
+
+// classWeight returns class c's objective weight multiplier.
+func (s *QualitySolver) classWeight(c int) float64 {
+	if c < len(s.classes) {
+		return s.classes[c].EffectiveWeight()
+	}
+	return 1
+}
+
+// floor returns the SLA delivered-bits floor for (class c, link l):
+// the class's MinRateBits capped by the link's class demand, 0 when
+// the class has no floor.
+func (s *QualitySolver) floor(c, l int) float64 {
+	if c >= len(s.classes) || s.classes[c].MinRateBits <= 0 {
+		return 0
+	}
+	return math.Min(s.classes[c].MinRateBits, s.demands[l].At(c))
+}
+
+// hasFloors reports whether any class carries an SLA floor.
+func (s *QualitySolver) hasFloors() bool {
+	for _, c := range s.classes {
+		if c.MinRateBits > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Solve runs column generation to convergence or the iteration cap.
@@ -142,13 +179,14 @@ func (s *QualitySolver) Solve(ctx context.Context) (*QualityResult, error) {
 }
 
 // extract reads the plan and delivered volumes out of a master
-// solution. Structural variables: y first (2L), then τ.
+// solution. Structural variables: y first (nc·L), then τ.
 func (s *QualitySolver) extract(sol *lp.Solution, res *QualityResult) {
 	L := s.nw.NumLinks()
+	nc := s.nw.TrafficClasses()
 	pool := s.engine.State().Pool()
 	res.Plan = Plan{}
 	for j := 0; j < pool.Len(); j++ {
-		if v := sol.X[2*L+j]; v > 1e-9 {
+		if v := sol.X[nc*L+j]; v > 1e-9 {
 			res.Plan.Schedules = append(res.Plan.Schedules, pool.At(j))
 			res.Plan.Tau = append(res.Plan.Tau, v)
 			res.Plan.Objective += v
@@ -157,52 +195,68 @@ func (s *QualitySolver) extract(sol *lp.Solution, res *QualityResult) {
 	res.Delivered = make([]video.Demand, L)
 	res.Quality = 0
 	for l := 0; l < L; l++ {
-		res.Delivered[l] = video.Demand{HP: sol.X[l], LP: sol.X[L+l]}
-		res.Quality += s.weights[l] * res.Delivered[l].Total()
+		d := make(video.Demand, nc)
+		for c := 0; c < nc; c++ {
+			d[c] = sol.X[c*L+l]
+			res.Quality += s.weights[l] * s.classWeight(c) * d[c]
+		}
+		res.Delivered[l] = d
 	}
 }
 
 // p2Model is the quality-mode master formulation. Variable layout:
-// [y_hp (L)] [y_lp (L)] [τ_s (n)] — y first so that variable indices
-// (and therefore warm-start bases) stay valid as the pool appends
-// columns between iterations. Row layout: delivery hp (L), delivery lp
-// (L), caps hp (L), caps lp (L), budget (1).
+// [y_c (L per class, class-major)] [τ_s (n)] — y first so that
+// variable indices (and therefore warm-start bases) stay valid as the
+// pool appends columns between iterations. Row layout: delivery (nc·L,
+// class-major), caps (nc·L), budget (1), then one SLA floor row per
+// (floored class, link) when the class table carries floors.
 type p2Model struct{ s *QualitySolver }
 
 // NewMaster lays down the y variables and all rows once; τ columns are
 // appended as the pool grows.
 func (m *p2Model) NewMaster() *lp.Problem {
 	L := m.s.nw.NumLinks()
-	costs := make([]float64, 2*L)
-	for l := 0; l < L; l++ {
-		costs[l] = -m.s.weights[l] // maximize → minimize negative
-		costs[L+l] = -m.s.weights[l]
+	nc := m.s.nw.TrafficClasses()
+	costs := make([]float64, nc*L)
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			costs[c*L+l] = -m.s.weights[l] * m.s.classWeight(c) // maximize → minimize negative
+		}
 	}
 	p := lp.NewProblem(costs)
 	// Delivery rows: Σ_s r·τ − y ≥ 0.
-	for l := 0; l < L; l++ {
-		row := make([]float64, 2*L)
-		row[l] = -1
-		p.AddRow(row, lp.GE, 0)
-	}
-	for l := 0; l < L; l++ {
-		row := make([]float64, 2*L)
-		row[L+l] = -1
-		p.AddRow(row, lp.GE, 0)
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			row := make([]float64, nc*L)
+			row[c*L+l] = -1
+			p.AddRow(row, lp.GE, 0)
+		}
 	}
 	// Caps: y ≤ d.
-	for l := 0; l < L; l++ {
-		row := make([]float64, 2*L)
-		row[l] = 1
-		p.AddRow(row, lp.LE, m.s.demands[l].HP)
-	}
-	for l := 0; l < L; l++ {
-		row := make([]float64, 2*L)
-		row[L+l] = 1
-		p.AddRow(row, lp.LE, m.s.demands[l].LP)
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			row := make([]float64, nc*L)
+			row[c*L+l] = 1
+			p.AddRow(row, lp.LE, m.s.demands[l].At(c))
+		}
 	}
 	// Budget: Σ τ ≤ T.
-	p.AddRow(make([]float64, 2*L), lp.LE, m.s.budget)
+	p.AddRow(make([]float64, nc*L), lp.LE, m.s.budget)
+	// SLA floors: y ≥ floor. Laid after the budget row so the classic
+	// no-floor layout (and its warm bases) is bit-identical to the
+	// two-class formulation.
+	if m.s.hasFloors() {
+		for c := 0; c < nc; c++ {
+			if c >= len(m.s.classes) || m.s.classes[c].MinRateBits <= 0 {
+				continue
+			}
+			for l := 0; l < L; l++ {
+				row := make([]float64, nc*L)
+				row[c*L+l] = 1
+				p.AddRow(row, lp.GE, m.s.floor(c, l))
+			}
+		}
+	}
 	return p
 }
 
@@ -210,40 +264,58 @@ func (m *p2Model) NewMaster() *lp.Problem {
 // the budget row, zero cost.
 func (m *p2Model) AppendColumn(p *lp.Problem, sc *schedule.Schedule) error {
 	L := m.s.nw.NumLinks()
-	col := make([]float64, 4*L+1)
-	hpRates, lpRates := sc.RateVectors(m.s.nw)
-	copy(col[:L], hpRates)
-	copy(col[L:2*L], lpRates)
-	col[4*L] = 1
+	nc := m.s.nw.TrafficClasses()
+	col := make([]float64, p.NumRows())
+	rates := sc.RateVectorsByClass(m.s.nw)
+	for c, rv := range rates {
+		copy(col[c*L:(c+1)*L], rv)
+	}
+	col[2*nc*L] = 1
 	_, err := p.AddColumn(0, col)
 	return err
 }
 
-// RefreshRHS rewrites the cap and budget rows (delivery rows are
-// structurally zero).
+// RefreshRHS rewrites the cap, budget, and floor rows (delivery rows
+// are structurally zero).
 func (m *p2Model) RefreshRHS(p *lp.Problem) {
 	L := m.s.nw.NumLinks()
-	for l := 0; l < L; l++ {
-		p.B[2*L+l] = m.s.demands[l].HP
-		p.B[3*L+l] = m.s.demands[l].LP
+	nc := m.s.nw.TrafficClasses()
+	for c := 0; c < nc; c++ {
+		for l := 0; l < L; l++ {
+			p.B[(nc+c)*L+l] = m.s.demands[l].At(c)
+		}
 	}
-	p.B[4*L] = m.s.budget
+	p.B[2*nc*L] = m.s.budget
+	if m.s.hasFloors() {
+		row := 2*nc*L + 1
+		for c := 0; c < nc; c++ {
+			if c >= len(m.s.classes) || m.s.classes[c].MinRateBits <= 0 {
+				continue
+			}
+			for l := 0; l < L; l++ {
+				p.B[row] = m.s.floor(c, l)
+				row++
+			}
+		}
+	}
 }
 
 // Duals extracts the delivery-row duals α (GE → α ≥ 0) and the budget
 // row's μ (LE → μ ≤ 0), scaled so the pricer's improvement threshold
 // of 1 corresponds to |μ|: a column improves iff Σ α·r > |μ|.
-func (m *p2Model) Duals(sol *lp.Solution) (hp, lpDuals []float64) {
+func (m *p2Model) Duals(sol *lp.Solution) [][]float64 {
 	L := m.s.nw.NumLinks()
-	mu := math.Min(0, sol.Dual[4*L])
+	nc := m.s.nw.TrafficClasses()
+	mu := math.Min(0, sol.Dual[2*nc*L])
 	denom := math.Max(-mu, 1e-18)
-	hp = make([]float64, L)
-	lpDuals = make([]float64, L)
-	for l := 0; l < L; l++ {
-		hp[l] = math.Max(0, sol.Dual[l]) / denom
-		lpDuals[l] = math.Max(0, sol.Dual[L+l]) / denom
+	lambda := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		lambda[c] = make([]float64, L)
+		for l := 0; l < L; l++ {
+			lambda[c][l] = math.Max(0, sol.Dual[c*L+l]) / denom
+		}
 	}
-	return hp, lpDuals
+	return lambda
 }
 
 // Upper is the delivered quality (the maximization is solved as a min
@@ -254,8 +326,8 @@ func (m *p2Model) Upper(sol *lp.Solution) float64 { return -sol.Objective }
 // of time bounds, not quality bounds).
 func (m *p2Model) Bound(upper float64, pr *PriceResult) (float64, bool) { return 0, false }
 
-// ColumnOffset: the 2L y variables precede the τ columns.
-func (m *p2Model) ColumnOffset() int { return 2 * m.s.nw.NumLinks() }
+// ColumnOffset: the nc·L y variables precede the τ columns.
+func (m *p2Model) ColumnOffset() int { return m.s.nw.TrafficClasses() * m.s.nw.NumLinks() }
 
 // SpanName implements cg.MasterModel.
 func (m *p2Model) SpanName() string { return "core.quality_solve" }

@@ -45,7 +45,7 @@ func TestQualityGenerousBudgetDeliversEverything(t *testing.T) {
 		t.Errorf("quality = %v, want full delivery %v", qres.Quality, want)
 	}
 	for l, d := range qres.Delivered {
-		if d.HP > demands[l].HP*(1+1e-9) || d.LP > demands[l].LP*(1+1e-9) {
+		if d.At(0) > demands[l].At(0)*(1+1e-9) || d.At(1) > demands[l].At(1)*(1+1e-9) {
 			t.Errorf("link %d over-delivered: %+v > %+v", l, d, demands[l])
 		}
 	}
@@ -137,10 +137,10 @@ func bruteForceQuality(t *testing.T, nw *netmodel.Network, demands []video.Deman
 	for l := 0; l < L; l++ {
 		row := make([]float64, nVars)
 		row[n+l] = 1
-		p.AddRow(row, lppkg.LE, demands[l].HP)
+		p.AddRow(row, lppkg.LE, demands[l].At(0))
 		row2 := make([]float64, nVars)
 		row2[n+L+l] = 1
-		p.AddRow(row2, lppkg.LE, demands[l].LP)
+		p.AddRow(row2, lppkg.LE, demands[l].At(1))
 	}
 	row := make([]float64, nVars)
 	for j := 0; j < n; j++ {
@@ -203,7 +203,7 @@ func TestQualityWeightsSteerAllocation(t *testing.T) {
 }
 
 func TestQualityPSNRHelper(t *testing.T) {
-	res := &QualityResult{Delivered: []video.Demand{{HP: 25e6, LP: 25e6}}}
+	res := &QualityResult{Delivered: []video.Demand{{25e6, 25e6}}}
 	q := video.Quality{Alpha: 30, Beta: 0.05}
 	// 50 Mb over 0.5 s = 100 Mb/s → PSNR 35.
 	if got := res.PSNR(0, q, 0.5); math.Abs(got-35) > 1e-9 {
@@ -235,7 +235,7 @@ func TestNewQualitySolverErrors(t *testing.T) {
 		t.Error("negative weight accepted")
 	}
 	bad := uniformDemands(2, 1e6, 1e6)
-	bad[0].HP = math.Inf(1)
+	bad[0][0] = math.Inf(1)
 	if _, err := NewQualitySolver(nw, bad, 1, nil, Options{}); err == nil {
 		t.Error("invalid demand accepted")
 	}
@@ -265,10 +265,10 @@ func TestQualityPropertyBudgetRespected(t *testing.T) {
 		}
 		var total float64
 		for l, d := range res.Delivered {
-			if d.HP > demands[l].HP*(1+1e-6)+1e-9 || d.LP > demands[l].LP*(1+1e-6)+1e-9 {
+			if d.At(0) > demands[l].At(0)*(1+1e-6)+1e-9 || d.At(1) > demands[l].At(1)*(1+1e-6)+1e-9 {
 				return false
 			}
-			if d.HP < -1e-9 || d.LP < -1e-9 {
+			if d.At(0) < -1e-9 || d.At(1) < -1e-9 {
 				return false
 			}
 			total += d.Total()

@@ -76,9 +76,9 @@ func auditPlan(t *testing.T, tag string, nw *netmodel.Network, demands []video.D
 		}
 	}
 	for l := 0; l < L; l++ {
-		if gotHP[l] < demands[l].HP*(1-1e-6) || gotLP[l] < demands[l].LP*(1-1e-6) {
+		if gotHP[l] < demands[l].At(0)*(1-1e-6) || gotLP[l] < demands[l].At(1)*(1-1e-6) {
 			t.Fatalf("%s: link %d underserved: HP %v/%v, LP %v/%v",
-				tag, l, gotHP[l], demands[l].HP, gotLP[l], demands[l].LP)
+				tag, l, gotHP[l], demands[l].At(0), gotLP[l], demands[l].At(1))
 		}
 	}
 	if math.Abs(sum-plan.Objective) > 1e-9*(1+sum) {
@@ -92,7 +92,7 @@ func auditPlan(t *testing.T, tag string, nw *netmodel.Network, demands []video.D
 // within 1e-12 relative (observed: a few ulps; the cg optimality
 // tolerance is orders of magnitude looser) whether the masters run on
 // the sparse revised simplex (the default) or the legacy dense tableau
-// (Options.LP.Dense, kept for exactly this test), and every sparse
+// (Options.LPOpts.Dense, kept for exactly this test), and every sparse
 // plan must pass a full independent audit — schedule power
 // feasibility, demand service, Σ τ = objective. Together those pin the
 // plans as equally optimal. Byte-identical plans are NOT required on
@@ -114,8 +114,8 @@ func TestSparseVsDenseEndToEnd(t *testing.T) {
 			// create on every instance.
 			demands := uniformDemands(nLinks, 4e6, 2e6)
 			for l := range demands {
-				demands[l].HP *= 1 + 0.4*rng.Float64()
-				demands[l].LP *= 1 + 0.4*rng.Float64()
+				demands[l][0] *= 1 + 0.4*rng.Float64()
+				demands[l][1] *= 1 + 0.4*rng.Float64()
 			}
 
 			sparse, err := NewSolver(nw, demands, Options{})
@@ -127,7 +127,7 @@ func TestSparseVsDenseEndToEnd(t *testing.T) {
 				t.Fatalf("L=%d seed=%d: sparse solve: %v", nLinks, seed, err)
 			}
 
-			dense, err := NewSolver(nw, demands, Options{LP: lp.Options{Dense: true}})
+			dense, err := NewSolver(nw, demands, Options{LPOpts: lp.Options{Dense: true}})
 			if err != nil {
 				t.Fatalf("L=%d seed=%d: %v", nLinks, seed, err)
 			}

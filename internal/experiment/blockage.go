@@ -206,11 +206,8 @@ func (p *degradedPlanPolicy) Decide(nw *netmodel.Network, rem *sim.Remaining, sl
 			if nw.SINRAssigned(i, active, chans, powers) < nw.Rates.Gammas[a.Level]*(1-1e-6) {
 				continue // undecodable under current gains
 			}
-			if a.Layer == schedule.HP && rem.HP[a.Link] <= 0 {
-				continue
-			}
-			if a.Layer == schedule.LP && rem.LP[a.Link] <= 0 {
-				continue
+			if rem.At(a.Layer.Class(), a.Link) <= 0 {
+				continue // this class's demand already served
 			}
 			out.Assignments = append(out.Assignments, a)
 		}

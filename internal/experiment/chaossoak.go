@@ -263,7 +263,7 @@ func ChaosSoak(cc ChaosSoakConfig) (*ChaosSoakResult, error) {
 					res.HPShedEpochs++
 					var lpLeft float64
 					for _, d := range a.Result.Demands {
-						lpLeft += d.LP
+						lpLeft += d.Total() - d.At(0)
 					}
 					if lpLeft > 1e-9 {
 						res.violate("cell %d epoch %d: %g HP bits shed while %g LP bits remained",

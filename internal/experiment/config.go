@@ -54,6 +54,13 @@ type Config struct {
 	Video video.Session // rate-quality model and HP share
 	Trace trace.Config  // synthetic H.264 trace parameters
 
+	// TrafficClasses widens the drawn instances beyond the paper's
+	// HP/LP pair: the network carries this many prioritized classes and
+	// each link's GOP demand splits across them (Video.Shares when set,
+	// else SliceShares for three classes, else an even split). 0 keeps
+	// the two-class default, the byte-identical reproduction path.
+	TrafficClasses int
+
 	Seeds int   // repetitions per point (the paper uses 50)
 	Seed  int64 // base seed; repetition r uses stream (Seed, r)
 
@@ -186,6 +193,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("experiment: Workers = %d, want ≥ 0", c.Workers)
 	case c.PricerWorkers < 0:
 		return fmt.Errorf("experiment: PricerWorkers = %d, want ≥ 0", c.PricerWorkers)
+	case c.TrafficClasses < 0 || c.TrafficClasses == 1 || c.TrafficClasses > 255:
+		return fmt.Errorf("experiment: TrafficClasses = %d, want 0 or 2–255", c.TrafficClasses)
 	}
 	return c.Trace.Validate()
 }

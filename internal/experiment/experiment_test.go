@@ -92,7 +92,7 @@ func TestNewInstanceDeterministic(t *testing.T) {
 		t.Fatal("instance shapes differ")
 	}
 	for l := 0; l < a.Network.NumLinks(); l++ {
-		if a.Demands[l] != b.Demands[l] {
+		if a.Demands[l].At(0) != b.Demands[l].At(0) || a.Demands[l].At(1) != b.Demands[l].At(1) {
 			t.Fatal("demands differ for identical seeds")
 		}
 		for k := 0; k < a.Network.NumChannels; k++ {

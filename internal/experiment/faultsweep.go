@@ -166,8 +166,8 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 		truth := make([]video.Demand, L)
 		for l := 0; l < L; l++ {
 			truth[l] = gens[l].NextDemand(cfg.Video).Scale(cfg.DemandScale)
-			hpTrue += truth[l].HP
-			lpTrue += truth[l].LP
+			hpTrue += truth[l].At(0)
+			lpTrue += truth[l].Total() - truth[l].At(0)
 			if inj != nil && inj.LinkDown(l) {
 				continue // the node is down; its report never leaves
 			}
@@ -220,8 +220,8 @@ func faultRep(fc FaultSweepConfig, lossRate float64, rep int) (hpFrac, lpFrac, d
 			return 0, 0, 0, serr
 		}
 		for l := 0; l < L; l++ {
-			hpServed += math.Min(exec.ServedHP[l], truth[l].HP)
-			lpServed += math.Min(exec.ServedLP[l], truth[l].LP)
+			hpServed += math.Min(exec.ServedAt(0, l), truth[l].At(0))
+			lpServed += math.Min(exec.Served(l)-exec.ServedAt(0, l), truth[l].Total()-truth[l].At(0))
 		}
 		degLinks += float64(exec.DegradedCount())
 	}

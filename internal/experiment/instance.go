@@ -79,15 +79,16 @@ func drawNetwork(cfg Config, rng *rand.Rand) (*netmodel.Network, error) {
 		interference = netmodel.PerChannel
 	}
 	nw := &netmodel.Network{
-		Links:        links,
-		NumChannels:  cfg.NumChannels,
-		Gains:        gains,
-		Noise:        noise,
-		PMax:         cfg.PMax,
-		Rates:        rates,
-		BandwidthHz:  cfg.BandwidthHz,
-		Interference: interference,
-		MultiChannel: cfg.MultiChannel,
+		Links:             links,
+		NumChannels:       cfg.NumChannels,
+		Gains:             gains,
+		Noise:             noise,
+		PMax:              cfg.PMax,
+		Rates:             rates,
+		BandwidthHz:       cfg.BandwidthHz,
+		Interference:      interference,
+		MultiChannel:      cfg.MultiChannel,
+		NumTrafficClasses: cfg.TrafficClasses,
 	}
 	if err := nw.Validate(); err != nil {
 		return nil, fmt.Errorf("experiment: drawn network invalid: %w", err)
@@ -95,16 +96,42 @@ func drawNetwork(cfg Config, rng *rand.Rand) (*netmodel.Network, error) {
 	return nw, nil
 }
 
-// drawDemands samples each link's next-GOP HP/LP demand from the
-// synthetic trace generator.
+// drawDemands samples each link's next-GOP demand from the synthetic
+// trace generator, splitting it across the configured traffic classes.
 func drawDemands(cfg Config, rng *rand.Rand) ([]video.Demand, error) {
 	gen, err := trace.NewGenerator(cfg.Trace, rng)
 	if err != nil {
 		return nil, err
 	}
+	sess := classSession(cfg)
 	demands := make([]video.Demand, cfg.NumLinks)
 	for l := range demands {
-		demands[l] = gen.NextDemand(cfg.Video).Scale(cfg.DemandScale)
+		demands[l] = gen.NextDemand(sess).Scale(cfg.DemandScale)
 	}
 	return demands, nil
+}
+
+// SliceShares is the default per-class traffic mix of the 3-class
+// slice scenario: a thin URLLC class, eMBB carrying the bulk of the
+// video, and a best-effort remainder shed first under overload.
+func SliceShares() []float64 { return []float64{0.15, 0.55, 0.30} }
+
+// classSession resolves the session used to split GOP bits: with more
+// than two traffic classes and no explicit share vector, the 3-class
+// slice mix (or an even split for other widths) applies; otherwise the
+// configured session is used untouched, keeping the two-class
+// reproduction path byte-identical.
+func classSession(cfg Config) video.Session {
+	sess := cfg.Video
+	if cfg.TrafficClasses > 2 && len(sess.Shares) == 0 {
+		if cfg.TrafficClasses == 3 {
+			sess.Shares = SliceShares()
+		} else {
+			sess.Shares = make([]float64, cfg.TrafficClasses)
+			for i := range sess.Shares {
+				sess.Shares[i] = 1
+			}
+		}
+	}
+	return sess
 }

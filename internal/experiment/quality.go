@@ -95,10 +95,10 @@ func FigQuality(cfg Config, demandScales []float64) (*Figure, error) {
 func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 	L := inst.Network.NumLinks()
 	q := cfg.Video.Quality
-	meanPSNRFromServed := func(hp, lpBits []float64) float64 {
+	meanPSNRFromServed := func(exec *sim.Execution) float64 {
 		var sum float64
 		for l := 0; l < L; l++ {
-			rate := (hp[l] + lpBits[l]) / gop / 1e6
+			rate := exec.Served(l) / gop / 1e6
 			sum += q.PSNR(rate)
 		}
 		return sum / float64(L)
@@ -138,7 +138,7 @@ func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out[1] = meanPSNRFromServed(exec.ServedHP, exec.ServedLP)
+	out[1] = meanPSNRFromServed(exec)
 
 	// Benchmarks truncated at the period.
 	for i, pol := range []sim.Policy{
@@ -152,7 +152,7 @@ func qualityPoint(cfg Config, inst *Instance, gop float64) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[2+i] = meanPSNRFromServed(exec.ServedHP, exec.ServedLP)
+		out[2+i] = meanPSNRFromServed(exec)
 	}
 	return out, nil
 }

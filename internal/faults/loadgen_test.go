@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestLoadGenDeterministic(t *testing.T) {
 				if !d.Valid() {
 					t.Fatalf("invalid demand cell=%d ep=%d: %v", cell, ep, d)
 				}
-				flat = append(flat, d.HP, d.LP)
+				flat = append(flat, d.At(0), d.At(1))
 			}
 			got[key{cell, ep}] = flat
 		}
@@ -47,7 +48,7 @@ func TestLoadGenDeterministic(t *testing.T) {
 			ds := b.Demands(cell, ep)
 			want := got[key{cell, ep}]
 			for l, d := range ds {
-				if d.HP != want[2*l] || d.LP != want[2*l+1] {
+				if d.At(0) != want[2*l] || d.At(1) != want[2*l+1] {
 					t.Fatalf("mismatch cell=%d ep=%d link=%d: %v vs (%g,%g)",
 						cell, ep, l, d, want[2*l], want[2*l+1])
 				}
@@ -70,7 +71,7 @@ func TestLoadGenConcurrent(t *testing.T) {
 			for rep := 0; rep < 100; rep++ {
 				ds := g.Demands(1, 5)
 				for l, d := range ds {
-					if d != ref[l] {
+					if d.At(0) != ref[l].At(0) || d.At(1) != ref[l].At(1) {
 						t.Errorf("concurrent mismatch link %d: %v vs %v", l, d, ref[l])
 						return
 					}
@@ -89,7 +90,10 @@ func TestLoadGenVariation(t *testing.T) {
 	a := g.Demand(0, 0, 0)
 	b := g.Demand(0, 1, 0)
 	c := g.Demand(1, 0, 0)
-	if a == b && b == c {
+	same := func(x, y interface{ At(int) float64 }) bool {
+		return x.At(0) == y.At(0) && x.At(1) == y.At(1)
+	}
+	if same(a, b) && same(b, c) {
 		t.Fatalf("jittered demands identical across epoch and cell: %v", a)
 	}
 }
@@ -100,13 +104,13 @@ func TestLoadGenBurstStaggering(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cell 0 bursts at epochs 0,4,8…; cell 1 at 1,5,9…
-	if got := g.Demand(0, 0, 0).HP; got != 2e6 {
+	if got := g.Demand(0, 0, 0).At(0); got != 2e6 {
 		t.Fatalf("cell 0 epoch 0 should burst: %g", got)
 	}
-	if got := g.Demand(0, 1, 0).HP; got != 1e6 {
+	if got := g.Demand(0, 1, 0).At(0); got != 1e6 {
 		t.Fatalf("cell 0 epoch 1 should not burst: %g", got)
 	}
-	if got := g.Demand(1, 1, 0).HP; got != 2e6 {
+	if got := g.Demand(1, 1, 0).At(0); got != 2e6 {
 		t.Fatalf("cell 1 epoch 1 should burst: %g", got)
 	}
 }
@@ -126,5 +130,56 @@ func TestLoadConfigValidate(t *testing.T) {
 	}
 	if _, err := NewLoadGen(LoadConfig{Links: 1}); err != nil {
 		t.Errorf("minimal config should validate: %v", err)
+	}
+}
+
+func TestLoadGenPerClassMix(t *testing.T) {
+	mix := LoadConfig{
+		Links:           2,
+		MeanBitsByClass: []float64{1e6, 3e6, 5e6},
+		Seed:            11,
+	}
+	g, err := NewLoadGen(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Demand(0, 0, 0)
+	if d.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", d.NumClasses())
+	}
+	if !d.Valid() {
+		t.Fatalf("invalid demand %v", d)
+	}
+	// Without jitter or bursts the means come through exactly.
+	if d.At(0) != 1e6 || d.At(1) != 3e6 || d.At(2) != 5e6 {
+		t.Errorf("demand = %v, want the configured means", d)
+	}
+
+	// The legacy two-field config must draw identically to the same
+	// means expressed as a class vector — the RNG burn is unconditional.
+	legacy := LoadConfig{Links: 2, MeanHPBits: 1e6, MeanLPBits: 3e6, Jitter: 0.3, Burstiness: 0.5, BurstPeriod: 5, Seed: 9}
+	vector := legacy
+	vector.MeanHPBits, vector.MeanLPBits = 0, 0
+	vector.MeanBitsByClass = []float64{1e6, 3e6}
+	gl, err := NewLoadGen(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, err := NewLoadGen(vector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := int64(0); ep < 12; ep++ {
+		a, b := gl.Demand(0, ep, 1), gv.Demand(0, ep, 1)
+		if a.At(0) != b.At(0) || a.At(1) != b.At(1) {
+			t.Fatalf("epoch %d: legacy %v vs vector %v", ep, a, b)
+		}
+	}
+
+	// Invalid per-class entries are rejected.
+	for _, bad := range [][]float64{{-1}, {1e6, math.Inf(1)}} {
+		if _, err := NewLoadGen(LoadConfig{Links: 1, MeanBitsByClass: bad}); err == nil {
+			t.Errorf("mean vector %v accepted", bad)
+		}
 	}
 }

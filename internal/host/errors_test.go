@@ -29,7 +29,7 @@ func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := h.Step(context.Background(), cell, demandFeed(t, video.Demand{HP: 2e6, LP: 4e6}))
+		rep := h.Step(context.Background(), cell, demandFeed(t, video.TwoClass(2e6, 4e6)))
 		if rep.Outcome != OutcomeOK || !rep.Result.TruncatedSolve {
 			t.Fatalf("expected a truncated epoch, got outcome %v err %v", rep.Outcome, rep.Err)
 		}
@@ -53,7 +53,7 @@ func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 			t.Fatal(err)
 		}
 		coord.Faults = inj
-		frame, _ := (pnc.DemandReport{Link: 0, Demand: video.Demand{HP: 1e6, LP: 1e6}}).MarshalBinary()
+		frame, _ := (pnc.DemandReport{Link: 0, Demand: video.TwoClass(1e6, 1e6)}).MarshalBinary()
 		if err := coord.IngestLossy(frame); !errors.Is(err, pnc.ErrControlLoss) {
 			t.Errorf("total control loss returned %v, want ErrControlLoss", err)
 		}
@@ -66,7 +66,7 @@ func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 			t.Fatal(err)
 		}
 		coord.Policy.StalenessLimit = 1
-		d := video.Demand{HP: 2e6, LP: 4e6}
+		d := video.TwoClass(2e6, 4e6)
 		var sawStale bool
 		for epoch := 0; epoch < 4; epoch++ {
 			// Link 0 reports only in the first epoch; its last-known-good
@@ -103,7 +103,7 @@ func TestErrorTaxonomyAcrossBoundaries(t *testing.T) {
 		dead.Noise = []float64{1e12, 1e12, 1e12}
 		demands := make([]video.Demand, 3)
 		for i := range demands {
-			demands[i] = video.Demand{HP: 1e6, LP: 1e6}
+			demands[i] = video.TwoClass(1e6, 1e6)
 		}
 		_, err := core.NewSolver(&dead, demands, core.Options{})
 		if !errors.Is(err, core.ErrUnservable) {

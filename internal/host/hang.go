@@ -44,29 +44,29 @@ func (h *hangGate) block(ctx context.Context) error {
 
 func (h *hangGate) String() string { return "hang-gate(" + h.inner.String() + ")" }
 
-func (h *hangGate) Price(nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*cg.PriceResult, error) {
+func (h *hangGate) Price(nw *netmodel.Network, lambda [][]float64) (*cg.PriceResult, error) {
 	// No context to hang on: the engine only takes this path for
 	// pricers without PriceContext, which the gate always provides, so
 	// a plain Price is a direct delegate.
-	return h.inner.Price(nw, lambdaHP, lambdaLP)
+	return h.inner.Price(nw, lambda)
 }
 
-func (h *hangGate) PriceContext(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64) (*cg.PriceResult, error) {
+func (h *hangGate) PriceContext(ctx context.Context, nw *netmodel.Network, lambda [][]float64) (*cg.PriceResult, error) {
 	if err := h.block(ctx); err != nil {
 		return nil, err
 	}
 	if cp, ok := h.inner.(cg.ContextPricer); ok {
-		return cp.PriceContext(ctx, nw, lambdaHP, lambdaLP)
+		return cp.PriceContext(ctx, nw, lambda)
 	}
-	return h.inner.Price(nw, lambdaHP, lambdaLP)
+	return h.inner.Price(nw, lambda)
 }
 
-func (h *hangGate) PriceWithCache(ctx context.Context, nw *netmodel.Network, lambdaHP, lambdaLP []float64, cache *netmodel.ProbeCache) (*cg.PriceResult, error) {
+func (h *hangGate) PriceWithCache(ctx context.Context, nw *netmodel.Network, lambda [][]float64, cache *netmodel.ProbeCache) (*cg.PriceResult, error) {
 	if err := h.block(ctx); err != nil {
 		return nil, err
 	}
 	if cp, ok := h.inner.(cg.CachedPricer); ok {
-		return cp.PriceWithCache(ctx, nw, lambdaHP, lambdaLP, cache)
+		return cp.PriceWithCache(ctx, nw, lambda, cache)
 	}
-	return h.PriceContext(ctx, nw, lambdaHP, lambdaLP)
+	return h.PriceContext(ctx, nw, lambda)
 }

@@ -104,7 +104,7 @@ func sameServedPlan(t *testing.T, a, b *EpochReport, label string) {
 // supervision machinery add nothing to the healthy path.
 func TestHostMatchesStandalone(t *testing.T) {
 	nw := testNetwork(t, 7, 5, 2)
-	d := video.Demand{HP: 4e6, LP: 8e6}
+	d := video.TwoClass(4e6, 8e6)
 
 	h := New()
 	cell, err := h.Admit(CellSpec{Network: nw})
@@ -204,7 +204,7 @@ func TestPanicSupervision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	feed := demandFeed(t, video.Demand{HP: 2e6, LP: 4e6})
+	feed := demandFeed(t, video.TwoClass(2e6, 4e6))
 
 	// With CellPanic=1 every attempted epoch fails. The policy above
 	// yields this exact outcome timeline.
@@ -260,7 +260,7 @@ func TestLastGoodServedThroughFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	feed := demandFeed(t, video.Demand{HP: 3e6, LP: 6e6})
+	feed := demandFeed(t, video.TwoClass(3e6, 6e6))
 
 	ok := h.Step(context.Background(), cell, feed)
 	if ok.Outcome != OutcomeOK {
@@ -287,7 +287,7 @@ func TestLastGoodServedThroughFailures(t *testing.T) {
 // watchdog's wall-clock duration.
 func TestWatchdogHang(t *testing.T) {
 	nw := testNetwork(t, 17, 4, 2)
-	d := video.Demand{HP: 3e6, LP: 6e6}
+	d := video.TwoClass(3e6, 6e6)
 
 	run := func(watchdog time.Duration) []*EpochReport {
 		reg := obs.NewRegistry()
@@ -341,7 +341,7 @@ func TestKillRestoreByteIdentical(t *testing.T) {
 	}{{"in-memory", false}, {"on-disk", true}} {
 		t.Run(tc.name, func(t *testing.T) {
 			nw := testNetwork(t, 23, 5, 2)
-			d := video.Demand{HP: 4e6, LP: 9e6}
+			d := video.TwoClass(4e6, 9e6)
 
 			reg := obs.NewRegistry()
 			opts := []Option{WithMetrics(reg)}
@@ -408,7 +408,7 @@ func TestCorruptCheckpointColdRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	feed := demandFeed(t, video.Demand{HP: 2e6, LP: 5e6})
+	feed := demandFeed(t, video.TwoClass(2e6, 5e6))
 	for epoch := 0; epoch < 4; epoch++ {
 		rep := h.Step(context.Background(), cell, feed)
 		if rep.Outcome != OutcomeOK {
@@ -442,7 +442,7 @@ func TestStepAll(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	feed := demandFeed(t, video.Demand{HP: 2e6, LP: 4e6})
+	feed := demandFeed(t, video.TwoClass(2e6, 4e6))
 	for epoch := 0; epoch < 2; epoch++ {
 		reps := h.StepAll(context.Background(), feed)
 		if len(reps) != 4 {

@@ -17,12 +17,13 @@ import (
 	"mmwave/internal/lp"
 )
 
-// Problem is a mixed-integer program: the embedded LP plus integrality
+// Problem is a mixed-integer program: the embedded LP relaxation plus
+// integrality
 // markers and optional variable upper bounds. Variables are implicitly
 // bounded below by zero (inherited from package lp).
 type Problem struct {
-	LP      *lp.Problem
-	Integer []bool    // len = LP.NumVars(); true marks an integral variable
+	Relax   *lp.Problem
+	Integer []bool    // len = Relax.NumVars(); true marks an integral variable
 	Upper   []float64 // optional upper bounds; nil or +Inf entries mean unbounded
 }
 
@@ -30,7 +31,7 @@ type Problem struct {
 // the LP's variable count.
 func NewProblem(base *lp.Problem) *Problem {
 	return &Problem{
-		LP:      base,
+		Relax:   base,
 		Integer: make([]bool, base.NumVars()),
 	}
 }
@@ -50,7 +51,7 @@ func (p *Problem) SetUpper(j int, u float64) {
 
 func (p *Problem) ensureUpper() {
 	if p.Upper == nil {
-		p.Upper = make([]float64, p.LP.NumVars())
+		p.Upper = make([]float64, p.Relax.NumVars())
 		for j := range p.Upper {
 			p.Upper[j] = math.Inf(1)
 		}
@@ -59,14 +60,14 @@ func (p *Problem) ensureUpper() {
 
 // Validate reports structural errors.
 func (p *Problem) Validate() error {
-	if err := p.LP.Validate(); err != nil {
+	if err := p.Relax.Validate(); err != nil {
 		return err
 	}
-	if len(p.Integer) != p.LP.NumVars() {
-		return fmt.Errorf("milp: %d integrality markers for %d variables", len(p.Integer), p.LP.NumVars())
+	if len(p.Integer) != p.Relax.NumVars() {
+		return fmt.Errorf("milp: %d integrality markers for %d variables", len(p.Integer), p.Relax.NumVars())
 	}
-	if p.Upper != nil && len(p.Upper) != p.LP.NumVars() {
-		return fmt.Errorf("milp: %d upper bounds for %d variables", len(p.Upper), p.LP.NumVars())
+	if p.Upper != nil && len(p.Upper) != p.Relax.NumVars() {
+		return fmt.Errorf("milp: %d upper bounds for %d variables", len(p.Upper), p.Relax.NumVars())
 	}
 	return nil
 }
@@ -116,7 +117,7 @@ type Solution struct {
 	// FixedVars counts binaries fixed by root reduced-cost fixing.
 	FixedVars int
 	// RootBasis is the root relaxation's final basis, reusable as
-	// Options.LP.WarmBasis of a subsequent solve whose LP differs only
+	// Options.LPOpts.WarmBasis of a subsequent solve whose LP differs only
 	// in objective coefficients (the column-generation pricing case:
 	// across iterations only the duals change).
 	RootBasis []lp.BasisVar
@@ -143,7 +144,7 @@ type Options struct {
 	// when set, seeds the root relaxation only (the column-generation
 	// cross-iteration reuse pattern); node relaxations always warm-start
 	// from their parent's basis.
-	LP lp.Options
+	LPOpts lp.Options
 
 	// legacySolve forces the historical per-node clone-and-rebuild cold
 	// relaxation path. Test-only: it is the reference the warm path's
@@ -210,7 +211,7 @@ type workState struct {
 // variable with no finite global upper bound is fine, because a
 // down-branch just writes a finite value into Upper[j].
 func newWorkState(p *Problem) *workState {
-	w := &workState{p: p, lp: p.LP.Clone()}
+	w := &workState{p: p, lp: p.Relax.Clone()}
 	n := w.lp.NumVars()
 	if w.lp.Lower == nil {
 		w.lp.Lower = make([]float64, n)
@@ -362,12 +363,12 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		var err error
 		if work != nil {
 			work.apply(nd)
-			lpOpt := opt.LP
+			lpOpt := opt.LPOpts
 			lpOpt.WarmBasis = warm
 			rel, err = work.solver.Solve(lpOpt)
 			work.restore()
 		} else {
-			rel, err = p.solveRelaxation(nd, opt.LP)
+			rel, err = p.solveRelaxation(nd, opt.LPOpts)
 		}
 		if rel != nil {
 			sol.LPSolves++
@@ -382,7 +383,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	// Solve the root relaxation first to classify unboundedness. The
 	// caller's WarmBasis (if any) seeds this solve only.
 	root := newNode()
-	rootLP, err := solveNode(root, opt.LP.WarmBasis)
+	rootLP, err := solveNode(root, opt.LPOpts.WarmBasis)
 	if err != nil {
 		return nil, err
 	}
@@ -550,7 +551,7 @@ func roundIntegral(p *Problem, x []float64) []float64 {
 // solveRelaxation builds and solves the LP relaxation of a node: the
 // root LP plus global upper bounds and the node's branching bounds.
 func (p *Problem) solveRelaxation(nd *node, opt lp.Options) (*lp.Solution, error) {
-	work := p.LP.Clone()
+	work := p.Relax.Clone()
 	n := work.NumVars()
 	unit := func(j int) []float64 {
 		row := make([]float64, n)

@@ -188,7 +188,7 @@ func randomBinaryPacking(rng *rand.Rand, n, m int) *Problem {
 // bruteForceBinary enumerates all binary assignments and returns the
 // best feasible objective (min sense), or +Inf if none.
 func bruteForceBinary(p *Problem) float64 {
-	n := p.LP.NumVars()
+	n := p.Relax.NumVars()
 	best := math.Inf(1)
 	x := make([]float64, n)
 	for mask := 0; mask < 1<<n; mask++ {
@@ -196,18 +196,18 @@ func bruteForceBinary(p *Problem) float64 {
 			x[j] = float64((mask >> j) & 1)
 		}
 		feasible := true
-		for i, row := range p.LP.A {
+		for i, row := range p.Relax.A {
 			var lhs float64
 			for j := range row {
 				lhs += row[j] * x[j]
 			}
-			switch p.LP.Rel[i] {
+			switch p.Relax.Rel[i] {
 			case lp.LE:
-				feasible = lhs <= p.LP.B[i]+1e-9
+				feasible = lhs <= p.Relax.B[i]+1e-9
 			case lp.GE:
-				feasible = lhs >= p.LP.B[i]-1e-9
+				feasible = lhs >= p.Relax.B[i]-1e-9
 			case lp.EQ:
-				feasible = math.Abs(lhs-p.LP.B[i]) <= 1e-9
+				feasible = math.Abs(lhs-p.Relax.B[i]) <= 1e-9
 			}
 			if !feasible {
 				break
@@ -216,7 +216,7 @@ func bruteForceBinary(p *Problem) float64 {
 		if !feasible {
 			continue
 		}
-		if v := p.LP.Objective(x); v < best {
+		if v := p.Relax.Objective(x); v < best {
 			best = v
 		}
 	}

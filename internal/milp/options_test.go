@@ -59,7 +59,7 @@ func TestNodeLimitKeepsIncumbent(t *testing.T) {
 			if math.Abs(x-math.Round(x)) > 1e-6 {
 				t.Errorf("non-integral incumbent %v", sol.X)
 			}
-			lhs += p.LP.A[0][j] * x
+			lhs += p.Relax.A[0][j] * x
 		}
 		if lhs > 2+1e-9 {
 			t.Errorf("infeasible incumbent %v", sol.X)

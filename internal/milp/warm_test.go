@@ -132,10 +132,10 @@ func TestRootBasisReuse(t *testing.T) {
 			continue
 		}
 		// Duals-only update: perturb objective coefficients slightly.
-		for j := range p.LP.C {
-			p.LP.C[j] += 0.01 * rng.NormFloat64()
+		for j := range p.Relax.C {
+			p.Relax.C[j] += 0.01 * rng.NormFloat64()
 		}
-		seeded, err := SolveWith(p, Options{LP: lp.Options{WarmBasis: first.RootBasis}})
+		seeded, err := SolveWith(p, Options{LPOpts: lp.Options{WarmBasis: first.RootBasis}})
 		if err != nil {
 			t.Fatalf("instance %d: seeded: %v", inst, err)
 		}
@@ -196,7 +196,7 @@ func TestWorkStateAddsNoRows(t *testing.T) {
 	for inst := 0; inst < 10; inst++ {
 		p := randomBinaryMILP(rng)
 		w := newWorkState(p)
-		if got, want := w.lp.NumRows(), p.LP.NumRows(); got != want {
+		if got, want := w.lp.NumRows(), p.Relax.NumRows(); got != want {
 			t.Fatalf("instance %d: work problem has %d rows, base has %d", inst, got, want)
 		}
 		nInt := 0

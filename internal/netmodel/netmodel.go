@@ -123,11 +123,27 @@ type Network struct {
 	Interference InterferenceModel
 
 	// MultiChannel enables the paper's §III extension: a link may carry
-	// its HP and LP layers on two different channels in the same time
-	// slot (channel aggregation), each stream with its own power
+	// each of its traffic classes on a different channel in the same
+	// time slot (channel aggregation), each stream with its own power
 	// ≤ PMax. When false (the default and the paper's main setting,
 	// eq. 6/30), a link uses at most one channel per slot.
 	MultiChannel bool
+
+	// NumTrafficClasses is the number of prioritized traffic classes
+	// the network carries (the demand vector width schedules may
+	// address). Zero means the paper's classic two classes (HP/LP);
+	// see TrafficClasses.
+	NumTrafficClasses int
+}
+
+// TrafficClasses returns the effective traffic-class count: the
+// configured NumTrafficClasses, defaulting to the paper's two layers
+// when unset.
+func (n *Network) TrafficClasses() int {
+	if n.NumTrafficClasses <= 0 {
+		return 2
+	}
+	return n.NumTrafficClasses
 }
 
 // NumLinks returns the number of links.
@@ -140,6 +156,9 @@ func (n *Network) Validate() error {
 	}
 	if n.PMax <= 0 {
 		return fmt.Errorf("netmodel: PMax = %g, want > 0", n.PMax)
+	}
+	if n.NumTrafficClasses < 0 {
+		return fmt.Errorf("netmodel: NumTrafficClasses = %d, want >= 0", n.NumTrafficClasses)
 	}
 	if err := n.Rates.Validate(); err != nil {
 		return err

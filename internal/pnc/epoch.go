@@ -47,9 +47,17 @@ type DegradePolicy struct {
 	// StalenessDecay multiplies the substituted demand once per stale
 	// epoch (confidence decay); zero means 1 (no decay).
 	StalenessDecay float64
+	// StalenessDecayByClass, when non-nil, overrides StalenessDecay per
+	// traffic class: entry c multiplies class c's substituted demand
+	// once per stale epoch. Classes beyond the vector fall back to
+	// StalenessDecay. A zero entry means 1 (no decay for that class) —
+	// the natural setting for a floor-carrying URLLC class whose demand
+	// must not silently evaporate.
+	StalenessDecayByClass []float64
 	// EpochBudget caps the air time of the epoch's plan, in seconds.
-	// When the optimal plan overruns it, demand is shed — LP before
-	// HP — until the plan fits. Zero means unlimited.
+	// When the optimal plan overruns it, demand is shed — the lowest
+	// priority class strictly first (LP before HP in the classic
+	// two-class case) — until the plan fits. Zero means unlimited.
 	EpochBudget float64
 	// SolveBudget caps the wall-clock time of each P1 solve; the solver
 	// is canceled mid-search and returns its anytime plan. Zero means
@@ -78,19 +86,23 @@ type EpochResult struct {
 	ControlMessages int64
 
 	// Degradation telemetry — all zero on a fault-free epoch.
-	Demands        []video.Demand // demand vector actually scheduled
-	Degraded       bool           // demand was load-shed to fit the epoch budget
-	ShedLPBits     float64        // LP bits shed by the budget policy
-	ShedHPBits     float64        // HP bits shed (only after all LP was shed)
-	StaleLinks     []int          // links scheduled from decayed last-known-good demand
-	ExpiredLinks   []int          // links dropped because their fallback aged out
-	DeferredLinks  []int          // links deferred as unservable (blocked or dropped out)
-	DroppedGrants  int            // grants lost on the downlink despite retries
-	Retries        int64          // control retransmissions in this epoch's window
-	LostFrames     int64          // uplink frames lost for good in this window
-	BackoffSeconds float64        // idle backoff accumulated by retries
-	TruncatedSolve bool           // the P1 solve hit its budget; Plan is anytime
-	WarmSolve      bool           // the P1 solve reused the previous epoch's pool and basis
+	Demands  []video.Demand // demand vector actually scheduled
+	Degraded bool           // demand was load-shed to fit the epoch budget
+	// ShedByClass holds the bits shed per traffic class (index =
+	// class). Class c sheds only after every class below it in priority
+	// (higher index) was shed entirely.
+	ShedByClass    []float64
+	ShedLPBits     float64 // legacy view: bits shed from classes 1..N−1
+	ShedHPBits     float64 // legacy view: bits shed from class 0 (only after all others)
+	StaleLinks     []int   // links scheduled from decayed last-known-good demand
+	ExpiredLinks   []int   // links dropped because their fallback aged out
+	DeferredLinks  []int   // links deferred as unservable (blocked or dropped out)
+	DroppedGrants  int     // grants lost on the downlink despite retries
+	Retries        int64   // control retransmissions in this epoch's window
+	LostFrames     int64   // uplink frames lost for good in this window
+	BackoffSeconds float64 // idle backoff accumulated by retries
+	TruncatedSolve bool    // the P1 solve hit its budget; Plan is anytime
+	WarmSolve      bool    // the P1 solve reused the previous epoch's pool and basis
 }
 
 // StalenessError returns an errors.Is-able ErrStaleState describing
@@ -176,8 +188,9 @@ func (c *Coordinator) RunEpoch() (*EpochResult, error) {
 //     have their demand deferred, the paper's §III update rule;
 //   - each P1 solve runs under the policy's solve budget via the
 //     solver's context and may return an anytime plan;
-//   - when the plan overruns the epoch budget, demand is shed LP
-//     before HP until it fits;
+//   - when the plan overruns the epoch budget, demand is shed
+//     strictly lowest-priority-class-first (LP before HP in the
+//     two-class case) until it fits;
 //   - grants ride the lossy downlink with bounded retry; undelivered
 //     ones are dropped from Grants and counted;
 //   - frames the injector delayed are delivered after the boundary,
@@ -193,10 +206,6 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 	// Demand assembly: fresh reports refresh last-known-good; missing
 	// reports fall back to it with staleness decay until the limit.
 	demands := make([]video.Demand, len(c.demands))
-	decay := c.Policy.StalenessDecay
-	if decay == 0 {
-		decay = 1
-	}
 	for l := range demands {
 		switch {
 		case c.seen[l]:
@@ -205,7 +214,7 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 			c.lastAge[l] = 0
 		case c.Policy.StalenessLimit > 0 && c.lastAge[l] < c.Policy.StalenessLimit && c.lastGood[l].Total() > 0:
 			c.lastAge[l]++
-			demands[l] = c.lastGood[l].Scale(math.Pow(decay, float64(c.lastAge[l])))
+			demands[l] = c.Policy.decayDemand(c.lastGood[l], c.lastAge[l])
 			out.StaleLinks = append(out.StaleLinks, l)
 		default:
 			if c.Policy.StalenessLimit > 0 && c.lastGood[l].Total() > 0 {
@@ -243,14 +252,24 @@ func (c *Coordinator) RunEpochContext(ctx context.Context) (*EpochResult, error)
 		return nil, err
 	}
 
-	// Load shedding against the epoch budget: LP sheds before HP.
+	// Load shedding against the epoch budget: the lowest-priority class
+	// sheds strictly first.
 	if b := c.Policy.EpochBudget; b > 0 && res.Plan.Objective > b {
 		out.Degraded = true
-		demands, res, out.ShedLPBits, out.ShedHPBits, err = c.shedToBudget(ctx, demands, res)
+		demands, res, out.ShedByClass, err = c.shedToBudget(ctx, demands, res)
 		if err != nil {
 			return nil, err
 		}
-		span.Emit(obs.Event{Name: "epoch.shed", N: out.ShedLPBits + out.ShedHPBits, Msg: "lp-before-hp"})
+		var shedTotal float64
+		for cl, bits := range out.ShedByClass {
+			shedTotal += bits
+			if cl == 0 {
+				out.ShedHPBits = bits
+			} else {
+				out.ShedLPBits += bits
+			}
+		}
+		span.Emit(obs.Event{Name: "epoch.shed", N: shedTotal, Msg: "lowest-class-first"})
 	}
 	out.TruncatedSolve = res.Truncated
 	if res.Truncated {
@@ -338,6 +357,33 @@ func (c *Coordinator) publishEpoch(out *EpochResult) {
 	}
 	m.Gauge("pnc_shed_lp_bits").Add(out.ShedLPBits)
 	m.Gauge("pnc_shed_hp_bits").Add(out.ShedHPBits)
+	for cl, bits := range out.ShedByClass {
+		if bits > 0 {
+			m.Gauge(fmt.Sprintf("pnc_shed_bits_class_%d", cl)).Add(bits)
+		}
+	}
+	// Per-class service accounting. out.Demands is the post-shed vector
+	// the plan actually serves in full, so served = Σ_l demand[l][c] and
+	// offered = served + shed. The fraction gauge is cumulative across
+	// the coordinator's life, one gauge per class.
+	for cl := 0; cl < c.Network.TrafficClasses(); cl++ {
+		var served float64
+		for _, d := range out.Demands {
+			served += d.At(cl)
+		}
+		offered := served
+		if cl < len(out.ShedByClass) {
+			offered += out.ShedByClass[cl]
+		}
+		if offered <= 0 {
+			continue
+		}
+		sb := m.Gauge(fmt.Sprintf("pnc_served_bits_class_%d", cl))
+		ob := m.Gauge(fmt.Sprintf("pnc_offered_bits_class_%d", cl))
+		sb.Add(served)
+		ob.Add(offered)
+		m.Gauge(fmt.Sprintf("pnc_served_fraction_class_%d", cl)).Set(sb.Value() / ob.Value())
+	}
 	m.Gauge("pnc_backoff_seconds").Add(out.BackoffSeconds)
 	m.Histogram("pnc_control_airtime_seconds").Observe(out.ControlSeconds)
 }
@@ -416,56 +462,130 @@ func (c *Coordinator) solverOptions() core.Options {
 	return opts
 }
 
-// shedToBudget sheds demand until the plan fits the epoch budget, LP
-// strictly before HP: first the largest LP fraction that still fits is
-// kept (one interpolation solve — the optimal time is monotone in
-// demand), and only if HP alone already overruns is HP scaled down.
-// Returns the shed demand vector, its plan, and the shed LP/HP bits.
-func (c *Coordinator) shedToBudget(ctx context.Context, demands []video.Demand, full *core.Result) ([]video.Demand, *core.Result, float64, float64, error) {
-	b := c.Policy.EpochBudget
-
-	hpOnly := make([]video.Demand, len(demands))
-	var lpTotal float64
-	for l, d := range demands {
-		hpOnly[l] = video.Demand{HP: d.HP}
-		lpTotal += d.LP
+// decayDemand applies the policy's staleness decay to a substituted
+// demand that has been stale for age epochs, honoring per-class decay
+// overrides when configured.
+func (p DegradePolicy) decayDemand(d video.Demand, age int) video.Demand {
+	base := p.StalenessDecay
+	if base == 0 {
+		base = 1
 	}
-	hpRes, err := c.solveEpoch(ctx, hpOnly)
-	if err != nil {
-		return nil, nil, 0, 0, err
+	if len(p.StalenessDecayByClass) == 0 {
+		return d.Scale(math.Pow(base, float64(age)))
 	}
-
-	if hpRes.Plan.Objective <= b {
-		// HP fits: restore the largest LP fraction the budget allows.
-		if lpTotal > 0 && full.Plan.Objective > hpRes.Plan.Objective {
-			f := (b - hpRes.Plan.Objective) / (full.Plan.Objective - hpRes.Plan.Objective)
-			if f > 1e-3 {
-				mixed := make([]video.Demand, len(demands))
-				for l, d := range demands {
-					mixed[l] = video.Demand{HP: d.HP, LP: d.LP * f}
-				}
-				if mres, err := c.solveEpoch(ctx, mixed); err == nil && mres.Plan.Objective <= b*(1+1e-6) {
-					return mixed, mres, lpTotal * (1 - f), 0, nil
-				}
+	out := d.Clone()
+	for cl := range out {
+		decay := base
+		if cl < len(p.StalenessDecayByClass) {
+			decay = p.StalenessDecayByClass[cl]
+			if decay == 0 {
+				decay = 1
 			}
 		}
-		return hpOnly, hpRes, lpTotal, 0, nil
+		f := math.Pow(decay, float64(age))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			f = 0
+		}
+		out[cl] *= f
+	}
+	return out
+}
+
+// classCount returns the widest class vector across the demands, at
+// least 1.
+func classCount(demands []video.Demand) int {
+	nc := 1
+	for _, d := range demands {
+		if n := d.NumClasses(); n > nc {
+			nc = n
+		}
+	}
+	return nc
+}
+
+// restrictClasses keeps only the first n classes of every demand.
+func restrictClasses(demands []video.Demand, n int) []video.Demand {
+	out := make([]video.Demand, len(demands))
+	for l, d := range demands {
+		keep := n
+		if d.NumClasses() < keep {
+			keep = d.NumClasses()
+		}
+		out[l] = d.Clone()[:keep]
+	}
+	return out
+}
+
+// shedToBudget sheds demand until the plan fits the epoch budget,
+// strictly lowest-priority-class-first (LP before HP in the classic
+// two-class case). Walking up from the least important class: if the
+// plan for the classes above it fits, the largest fraction of the
+// class that still fits is kept (one interpolation solve — the optimal
+// time is monotone in demand) and everything below it is shed; if even
+// class 0 alone overruns, it is scaled to the budget ratio. Returns
+// the shed demand vector, its plan, and the bits shed per class.
+func (c *Coordinator) shedToBudget(ctx context.Context, demands []video.Demand, full *core.Result) ([]video.Demand, *core.Result, []float64, error) {
+	b := c.Policy.EpochBudget
+	nc := classCount(demands)
+	shed := make([]float64, nc)
+	classTotal := make([]float64, nc)
+	for _, d := range demands {
+		for cl := 0; cl < nc; cl++ {
+			classTotal[cl] += d.At(cl)
+		}
 	}
 
-	// Even HP alone overruns: all LP is shed and HP scales to the
-	// budget ratio (optimal time scales at most linearly in demand).
-	scale := b / hpRes.Plan.Objective
-	scaled := make([]video.Demand, len(demands))
-	var shedHP float64
-	for l, d := range demands {
-		scaled[l] = video.Demand{HP: d.HP * scale}
-		shedHP += d.HP * (1 - scale)
+	// cur is the best-known plan for classes 0..cl (initially all of
+	// them); each iteration solves the next-shorter prefix.
+	cur := full
+	for cl := nc - 1; cl >= 1; cl-- {
+		prefix := restrictClasses(demands, cl)
+		prefixRes, err := c.solveEpoch(ctx, prefix)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if prefixRes.Plan.Objective <= b {
+			// The prefix fits: restore the largest fraction of class cl
+			// the budget allows (classes below cl are already fully shed).
+			if classTotal[cl] > 0 && cur.Plan.Objective > prefixRes.Plan.Objective {
+				f := (b - prefixRes.Plan.Objective) / (cur.Plan.Objective - prefixRes.Plan.Objective)
+				if f > 1e-3 {
+					mixed := restrictClasses(demands, cl+1)
+					for l := range mixed {
+						if cl < len(mixed[l]) {
+							mixed[l][cl] *= f
+						}
+					}
+					if mres, err := c.solveEpoch(ctx, mixed); err == nil && mres.Plan.Objective <= b*(1+1e-6) {
+						shed[cl] = classTotal[cl] * (1 - f)
+						return mixed, mres, shed, nil
+					}
+				}
+			}
+			shed[cl] = classTotal[cl]
+			return prefix, prefixRes, shed, nil
+		}
+		// Even the prefix overruns: class cl sheds entirely and the walk
+		// continues toward class 0.
+		shed[cl] = classTotal[cl]
+		cur = prefixRes
 	}
+
+	// Class 0 alone overruns: scale it to the budget ratio (optimal
+	// time scales at most linearly in demand).
+	scale := b / cur.Plan.Objective
+	scaled := restrictClasses(demands, 1)
+	for l := range scaled {
+		if len(scaled[l]) > 0 {
+			scaled[l][0] *= scale
+		}
+	}
+	shed[0] = classTotal[0] * (1 - scale)
 	sres, err := c.solveEpoch(ctx, scaled)
 	if err != nil {
-		return nil, nil, 0, 0, err
+		return nil, nil, nil, err
 	}
-	return scaled, sres, lpTotal, shedHP, nil
+	return scaled, sres, shed, nil
 }
 
 // sendDownlink transmits one grant frame, retrying per policy when the

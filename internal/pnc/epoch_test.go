@@ -35,7 +35,7 @@ func mustInjector(t *testing.T, cfg faults.Config, numLinks int) *faults.Injecto
 // zero-value policy, RunEpoch / RunEpochContext must reproduce the
 // original epoch behavior byte for byte.
 func TestRunEpochContextNoFaultIdentical(t *testing.T) {
-	demands := []video.Demand{{HP: 4e6, LP: 2e6}, {HP: 3e6, LP: 1e6}, {HP: 5e6, LP: 2e6}, {HP: 2e6, LP: 1e6}}
+	demands := []video.Demand{{4e6, 2e6}, {3e6, 1e6}, {5e6, 2e6}, {2e6, 1e6}}
 
 	run := func(useCtx bool) *EpochResult {
 		nw := testNetwork(t, 5, 4, 3)
@@ -94,7 +94,7 @@ func TestLostReportFallsBackToLastGood(t *testing.T) {
 	}
 	c.Policy = DegradePolicy{MaxRetries: 2, RetryBackoff: 1e-3, StalenessLimit: 2, StalenessDecay: 0.8}
 
-	demands := []video.Demand{{HP: 4e6, LP: 2e6}, {HP: 3e6, LP: 1e6}, {HP: 5e6, LP: 2e6}, {HP: 2e6, LP: 1e6}}
+	demands := []video.Demand{{4e6, 2e6}, {3e6, 1e6}, {5e6, 2e6}, {2e6, 1e6}}
 
 	// Epoch 1: everyone reports cleanly.
 	for l, d := range demands {
@@ -137,7 +137,7 @@ func TestLostReportFallsBackToLastGood(t *testing.T) {
 	}
 	// One stale epoch: decayed once.
 	want := demands[2].Scale(0.8)
-	if math.Abs(res.Demands[2].HP-want.HP) > 1 || math.Abs(res.Demands[2].LP-want.LP) > 1 {
+	if math.Abs(res.Demands[2].At(0)-want.At(0)) > 1 || math.Abs(res.Demands[2].At(1)-want.At(1)) > 1 {
 		t.Fatalf("epoch 2 link-2 demand = %v, want %v", res.Demands[2], want)
 	}
 
@@ -152,7 +152,7 @@ func TestLostReportFallsBackToLastGood(t *testing.T) {
 		t.Fatal(err)
 	}
 	want = demands[2].Scale(0.8 * 0.8)
-	if math.Abs(res.Demands[2].HP-want.HP) > 1 || math.Abs(res.Demands[2].LP-want.LP) > 1 {
+	if math.Abs(res.Demands[2].At(0)-want.At(0)) > 1 || math.Abs(res.Demands[2].At(1)-want.At(1)) > 1 {
 		t.Fatalf("epoch 3 link-2 demand = %v, want %v", res.Demands[2], want)
 	}
 
@@ -189,7 +189,7 @@ func TestCorruptedReportHandled(t *testing.T) {
 	c.Policy = DefaultDegradePolicy()
 	c.Faults = mustInjector(t, faults.Config{CtrlCorrupt: 1, Seed: 3}, nw.NumLinks())
 
-	demands := []video.Demand{{HP: 4e6, LP: 2e6}, {HP: 3e6, LP: 1e6}, {HP: 5e6, LP: 2e6}, {HP: 2e6, LP: 1e6}}
+	demands := []video.Demand{{4e6, 2e6}, {3e6, 1e6}, {5e6, 2e6}, {2e6, 1e6}}
 	for l, d := range demands {
 		if err := report(t, c, l, d); err != nil && !errors.Is(err, ErrControlLoss) {
 			t.Fatalf("corrupted report error = %v, want nil or ErrControlLoss", err)
@@ -216,7 +216,7 @@ func TestDelayedReportAppliesNextEpoch(t *testing.T) {
 	c.Policy = DefaultDegradePolicy()
 	c.Faults = mustInjector(t, faults.Config{CtrlDelay: 1, Seed: 4}, nw.NumLinks())
 
-	d := video.Demand{HP: 4e6, LP: 2e6}
+	d := video.TwoClass(4e6, 2e6)
 	msgsBefore := c.Control.Messages()
 	if err := report(t, c, 1, d); err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestDelayedReportAppliesNextEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Demands[1] != d {
+	if res.Demands[1].At(0) != d.At(0) || res.Demands[1].At(1) != d.At(1) {
 		t.Fatalf("delayed report not applied: got %v, want %v", res.Demands[1], d)
 	}
 	if len(res.StaleLinks) != 0 {
@@ -259,7 +259,7 @@ func TestDroppedGrants(t *testing.T) {
 	}
 	c.Policy = DegradePolicy{MaxRetries: 1, RetryBackoff: 1e-3}
 
-	demands := []video.Demand{{HP: 4e6, LP: 2e6}, {HP: 3e6, LP: 1e6}, {HP: 5e6, LP: 2e6}, {HP: 2e6, LP: 1e6}}
+	demands := []video.Demand{{4e6, 2e6}, {3e6, 1e6}, {5e6, 2e6}, {2e6, 1e6}}
 	for l, d := range demands {
 		if err := report(t, c, l, d); err != nil {
 			t.Fatal(err)
@@ -286,7 +286,7 @@ func TestDroppedGrants(t *testing.T) {
 // LP and scales HP down — never the other order.
 func TestShedLPBeforeHP(t *testing.T) {
 	nw := testNetwork(t, 5, 4, 3)
-	demands := []video.Demand{{HP: 4e6, LP: 4e6}, {HP: 3e6, LP: 3e6}, {HP: 5e6, LP: 5e6}, {HP: 2e6, LP: 2e6}}
+	demands := []video.Demand{{4e6, 4e6}, {3e6, 3e6}, {5e6, 5e6}, {2e6, 2e6}}
 
 	// Reference solves for the two pivot objectives.
 	solveFor := func(ds []video.Demand) float64 {
@@ -303,7 +303,7 @@ func TestShedLPBeforeHP(t *testing.T) {
 	full := solveFor(demands)
 	hpOnly := make([]video.Demand, len(demands))
 	for l, d := range demands {
-		hpOnly[l] = video.Demand{HP: d.HP}
+		hpOnly[l] = video.TwoClass(d.At(0), 0)
 	}
 	hpTime := solveFor(hpOnly)
 	if hpTime >= full {
@@ -337,11 +337,11 @@ func TestShedLPBeforeHP(t *testing.T) {
 		t.Fatalf("mid-budget shed LP=%v HP=%v, want LP>0 HP=0", res.ShedLPBits, res.ShedHPBits)
 	}
 	for l := range demands {
-		if res.Demands[l].HP != demands[l].HP {
-			t.Fatalf("link %d HP reduced to %v while LP remained sheddable", l, res.Demands[l].HP)
+		if res.Demands[l].At(0) != demands[l].At(0) {
+			t.Fatalf("link %d HP reduced to %v while LP remained sheddable", l, res.Demands[l].At(0))
 		}
-		if res.Demands[l].LP >= demands[l].LP {
-			t.Fatalf("link %d LP not shed: %v", l, res.Demands[l].LP)
+		if res.Demands[l].At(1) >= demands[l].At(1) {
+			t.Fatalf("link %d LP not shed: %v", l, res.Demands[l].At(1))
 		}
 	}
 	if res.Plan.Objective > (hpTime+full)/2*(1+1e-6) {
@@ -355,9 +355,9 @@ func TestShedLPBeforeHP(t *testing.T) {
 	}
 	var lpLeft float64
 	for l := range demands {
-		lpLeft += res.Demands[l].LP
-		if res.Demands[l].HP >= demands[l].HP {
-			t.Fatalf("link %d HP not scaled: %v", l, res.Demands[l].HP)
+		lpLeft += res.Demands[l].At(1)
+		if res.Demands[l].At(0) >= demands[l].At(0) {
+			t.Fatalf("link %d HP not scaled: %v", l, res.Demands[l].At(0))
 		}
 	}
 	if lpLeft != 0 {
@@ -375,7 +375,7 @@ func TestEpochSolveBudgetTruncates(t *testing.T) {
 	}
 	c.Policy = DegradePolicy{SolveBudget: 1} // 1 ns: cancels immediately
 	for l := 0; l < nw.NumLinks(); l++ {
-		if err := report(t, c, l, video.Demand{HP: 4e6, LP: 2e6}); err != nil {
+		if err := report(t, c, l, video.TwoClass(4e6, 2e6)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -11,7 +11,7 @@ import (
 // bytes: it must never panic, and any frame it accepts must re-encode
 // to the same bytes (round-trip consistency).
 func FuzzDemandReportUnmarshal(f *testing.F) {
-	seed, _ := DemandReport{Link: 3, Demand: video.Demand{HP: 1e6, LP: 2e6}}.MarshalBinary()
+	seed, _ := DemandReport{Link: 3, Demand: video.TwoClass(1e6, 2e6)}.MarshalBinary()
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte{byte(MsgDemandReport), 0xFF, 0xFF})

@@ -16,7 +16,7 @@ import (
 // uninstrumented run, (b) the epoch span and shed event appear in the
 // trace, and (c) the pnc and core counters land in the registry.
 func TestEpochObservability(t *testing.T) {
-	demands := []video.Demand{{HP: 4e6, LP: 4e6}, {HP: 3e6, LP: 3e6}, {HP: 5e6, LP: 5e6}, {HP: 2e6, LP: 2e6}}
+	demands := []video.Demand{{4e6, 4e6}, {3e6, 3e6}, {5e6, 5e6}, {2e6, 2e6}}
 
 	run := func(tr *obs.Tracer, m *obs.Registry) *EpochResult {
 		nw := testNetwork(t, 5, 4, 3)

@@ -28,9 +28,10 @@ type MsgType uint8
 
 // Control-plane message types.
 const (
-	MsgDemandReport  MsgType = iota + 1 // node → PNC: next period's HP/LP demand
+	MsgDemandReport  MsgType = iota + 1 // node → PNC: next period's two-class demand
 	MsgChannelUpdate                    // node → PNC: refreshed direct gains
 	MsgScheduleGrant                    // PNC → nodes: one schedule + its duration
+	MsgDemandReportN                    // node → PNC: N-class demand vector (count-prefixed)
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +43,8 @@ func (m MsgType) String() string {
 		return "channel-update"
 	case MsgScheduleGrant:
 		return "schedule-grant"
+	case MsgDemandReportN:
+		return "demand-report-n"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -53,34 +56,81 @@ func (m MsgType) String() string {
 const headerLen = 3
 
 // DemandReport is a node's per-epoch traffic declaration.
+//
+// On the wire, demands of at most two classes ride the frozen
+// MsgDemandReport frame (link u16 + two f64s — byte-identical to the
+// historical HP/LP format); wider vectors use MsgDemandReportN with an
+// explicit class count. UnmarshalBinary accepts either.
 type DemandReport struct {
 	Link   uint16
 	Demand video.Demand
 }
+
+// maxWireClasses bounds the class count a demand report may carry.
+const maxWireClasses = 255
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (r DemandReport) MarshalBinary() ([]byte, error) {
 	if !r.Demand.Valid() {
 		return nil, fmt.Errorf("pnc: invalid demand in report for link %d", r.Link)
 	}
+	if nc := r.Demand.NumClasses(); nc > 2 {
+		if nc > maxWireClasses {
+			return nil, fmt.Errorf("pnc: %d demand classes exceed the wire limit", nc)
+		}
+		n := 2 + 1 + 8*nc
+		buf := make([]byte, headerLen+n)
+		buf[0] = byte(MsgDemandReportN)
+		binary.LittleEndian.PutUint16(buf[1:], uint16(n))
+		binary.LittleEndian.PutUint16(buf[headerLen:], r.Link)
+		buf[headerLen+2] = byte(nc)
+		for c := 0; c < nc; c++ {
+			binary.LittleEndian.PutUint64(buf[headerLen+3+8*c:], math.Float64bits(r.Demand[c]))
+		}
+		return buf, nil
+	}
 	buf := make([]byte, headerLen+2+16)
 	buf[0] = byte(MsgDemandReport)
 	binary.LittleEndian.PutUint16(buf[1:], uint16(2+16))
 	binary.LittleEndian.PutUint16(buf[headerLen:], r.Link)
-	binary.LittleEndian.PutUint64(buf[headerLen+2:], math.Float64bits(r.Demand.HP))
-	binary.LittleEndian.PutUint64(buf[headerLen+10:], math.Float64bits(r.Demand.LP))
+	binary.LittleEndian.PutUint64(buf[headerLen+2:], math.Float64bits(r.Demand.At(0)))
+	binary.LittleEndian.PutUint64(buf[headerLen+10:], math.Float64bits(r.Demand.At(1)))
 	return buf, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (r *DemandReport) UnmarshalBinary(data []byte) error {
+	if len(data) >= 1 && MsgType(data[0]) == MsgDemandReportN {
+		if len(data) < headerLen+3 {
+			return errors.New("pnc: demand report too short")
+		}
+		payload, err := checkHeader(data, MsgDemandReportN, len(data)-headerLen)
+		if err != nil {
+			return err
+		}
+		r.Link = binary.LittleEndian.Uint16(payload)
+		nc := int(payload[2])
+		if len(payload) != 3+8*nc {
+			return fmt.Errorf("pnc: demand report payload %d bytes, want %d", len(payload), 3+8*nc)
+		}
+		r.Demand = make(video.Demand, nc)
+		for c := range r.Demand {
+			r.Demand[c] = math.Float64frombits(binary.LittleEndian.Uint64(payload[3+8*c:]))
+		}
+		if !r.Demand.Valid() {
+			return errors.New("pnc: demand report carries invalid demand")
+		}
+		return nil
+	}
 	payload, err := checkHeader(data, MsgDemandReport, 2+16)
 	if err != nil {
 		return err
 	}
 	r.Link = binary.LittleEndian.Uint16(payload)
-	r.Demand.HP = math.Float64frombits(binary.LittleEndian.Uint64(payload[2:]))
-	r.Demand.LP = math.Float64frombits(binary.LittleEndian.Uint64(payload[10:]))
+	r.Demand = video.TwoClass(
+		math.Float64frombits(binary.LittleEndian.Uint64(payload[2:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(payload[10:])),
+	)
 	if !r.Demand.Valid() {
 		return errors.New("pnc: demand report carries invalid demand")
 	}
@@ -357,7 +407,7 @@ func (c *Coordinator) Ingest(frame []byte) error {
 // when the fault injector delayed them).
 func (c *Coordinator) apply(frame []byte) error {
 	switch MsgType(frame[0]) {
-	case MsgDemandReport:
+	case MsgDemandReport, MsgDemandReportN:
 		var r DemandReport
 		if err := r.UnmarshalBinary(frame); err != nil {
 			return err

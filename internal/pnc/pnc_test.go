@@ -52,7 +52,7 @@ func testNetwork(t *testing.T, seed int64, nLinks, nChannels int) *netmodel.Netw
 }
 
 func TestDemandReportRoundTrip(t *testing.T) {
-	r := DemandReport{Link: 7, Demand: video.Demand{HP: 1.5e7, LP: 3e7}}
+	r := DemandReport{Link: 7, Demand: video.TwoClass(1.5e7, 3e7)}
 	b, err := r.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -61,18 +61,49 @@ func TestDemandReportRoundTrip(t *testing.T) {
 	if err := got.UnmarshalBinary(b); err != nil {
 		t.Fatal(err)
 	}
-	if got != r {
+	if got.Link != r.Link || got.Demand.At(0) != r.Demand.At(0) || got.Demand.At(1) != r.Demand.At(1) {
 		t.Errorf("round trip: got %+v, want %+v", got, r)
 	}
 }
 
+func TestDemandReportNClassRoundTrip(t *testing.T) {
+	r := DemandReport{Link: 9, Demand: video.Demand{1e6, 2e6, 3e6}}
+	b, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MsgType(b[0]) != MsgDemandReportN {
+		t.Fatalf("3-class report framed as %v, want %v", MsgType(b[0]), MsgDemandReportN)
+	}
+	var got DemandReport
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Link != r.Link || got.Demand.NumClasses() != 3 ||
+		got.Demand.At(0) != 1e6 || got.Demand.At(1) != 2e6 || got.Demand.At(2) != 3e6 {
+		t.Errorf("round trip: got %+v, want %+v", got, r)
+	}
+	// The two-class frame stays on the frozen legacy layout.
+	two := DemandReport{Link: 3, Demand: video.TwoClass(5, 6)}
+	b2, err := two.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MsgType(b2[0]) != MsgDemandReport {
+		t.Errorf("2-class report framed as %v, want legacy %v", MsgType(b2[0]), MsgDemandReport)
+	}
+	if len(b2) != 3+2+16 {
+		t.Errorf("legacy frame length %d, want 21", len(b2))
+	}
+}
+
 func TestDemandReportRejectsInvalid(t *testing.T) {
-	r := DemandReport{Link: 1, Demand: video.Demand{HP: math.NaN()}}
+	r := DemandReport{Link: 1, Demand: video.TwoClass(math.NaN(), 0)}
 	if _, err := r.MarshalBinary(); err == nil {
 		t.Error("NaN demand marshaled")
 	}
 	// A frame carrying NaN decodes but must be rejected.
-	good := DemandReport{Link: 1, Demand: video.Demand{HP: 1}}
+	good := DemandReport{Link: 1, Demand: video.TwoClass(1, 0)}
 	b, _ := good.MarshalBinary()
 	// Corrupt the HP float to NaN bits.
 	for i := headerLen + 2; i < headerLen+10; i++ {
@@ -135,13 +166,14 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 	check := func(uint32) bool {
 		switch rng.Intn(3) {
 		case 0:
-			r := DemandReport{Link: uint16(rng.Intn(1000)), Demand: video.Demand{HP: rng.Float64() * 1e9, LP: rng.Float64() * 1e9}}
+			r := DemandReport{Link: uint16(rng.Intn(1000)), Demand: video.TwoClass(rng.Float64()*1e9, rng.Float64()*1e9)}
 			b, err := r.MarshalBinary()
 			if err != nil {
 				return false
 			}
 			var got DemandReport
-			return got.UnmarshalBinary(b) == nil && got == r
+			return got.UnmarshalBinary(b) == nil && got.Link == r.Link &&
+				got.Demand.At(0) == r.Demand.At(0) && got.Demand.At(1) == r.Demand.At(1)
 		case 1:
 			u := ChannelUpdate{Link: uint16(rng.Intn(1000)), Gains: make([]float64, 1+rng.Intn(8))}
 			for i := range u.Gains {
@@ -189,7 +221,7 @@ func TestMessagePropertyRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalRejectsCorruption(t *testing.T) {
-	r := DemandReport{Link: 1, Demand: video.Demand{HP: 1, LP: 2}}
+	r := DemandReport{Link: 1, Demand: video.TwoClass(1, 2)}
 	good, _ := r.MarshalBinary()
 
 	t.Run("short frame", func(t *testing.T) {
@@ -255,7 +287,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 
 	// Nodes report demands (and one refreshes its gains).
 	for l := 0; l < 5; l++ {
-		r := DemandReport{Link: uint16(l), Demand: video.Demand{HP: 5e6, LP: 1e7}}
+		r := DemandReport{Link: uint16(l), Demand: video.TwoClass(5e6, 1e7)}
 		frame, err := r.MarshalBinary()
 		if err != nil {
 			t.Fatal(err)
@@ -296,14 +328,14 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 	demands := make([]video.Demand, 5)
 	for l := range demands {
-		demands[l] = video.Demand{HP: 5e6, LP: 1e7}
+		demands[l] = video.TwoClass(5e6, 1e7)
 	}
 	exec, err := sim.Run(nw, demands, policy, sim.Options{SlotDuration: 1e-3, Validate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for l := range demands {
-		if exec.ServedHP[l] < demands[l].HP*(1-1e-6) || exec.ServedLP[l] < demands[l].LP*(1-1e-6) {
+		if exec.ServedAt(0, l) < demands[l].At(0)*(1-1e-6) || exec.ServedAt(1, l) < demands[l].At(1)*(1-1e-6) {
 			t.Errorf("link %d underserved via granted plan", l)
 		}
 	}
@@ -330,7 +362,7 @@ func TestCoordinatorIngestErrors(t *testing.T) {
 		}
 	})
 	t.Run("unknown link", func(t *testing.T) {
-		r := DemandReport{Link: 99, Demand: video.Demand{HP: 1}}
+		r := DemandReport{Link: 99, Demand: video.TwoClass(1, 0)}
 		b, _ := r.MarshalBinary()
 		if coord.Ingest(b) == nil {
 			t.Error("unknown link accepted")

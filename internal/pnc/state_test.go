@@ -46,7 +46,7 @@ func TestExportImportByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := video.Demand{HP: 5e6, LP: 1e7}
+	d := video.TwoClass(5e6, 1e7)
 	for i := 0; i < 3; i++ {
 		reportAll(t, live, 6, d)
 		if _, err := live.RunEpoch(); err != nil {
@@ -70,7 +70,7 @@ func TestExportImportByteIdentical(t *testing.T) {
 	}
 
 	// Both coordinators continue; every subsequent epoch must match.
-	d2 := video.Demand{HP: 6e6, LP: 8e6}
+	d2 := video.TwoClass(6e6, 8e6)
 	for i := 0; i < 3; i++ {
 		reportAll(t, live, 6, d2)
 		reportAll(t, restored, 6, d2)
@@ -101,7 +101,7 @@ func TestImportStateFingerprintMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := video.Demand{HP: 4e6, LP: 6e6}
+	d := video.TwoClass(4e6, 6e6)
 	reportAll(t, live, 5, d)
 	if _, err := live.RunEpoch(); err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestFirstEpochNoReports(t *testing.T) {
 
 	// The coordinator is not wedged: the next epoch with real reports
 	// produces a real plan.
-	reportAll(t, coord, 5, video.Demand{HP: 4e6, LP: 6e6})
+	reportAll(t, coord, 5, video.TwoClass(4e6, 6e6))
 	res, err = coord.RunEpoch()
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestRestoreThenGCByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := video.Demand{HP: 5e6, LP: 1e7}
+	d := video.TwoClass(5e6, 1e7)
 	for i := 0; i < 3; i++ {
 		reportAll(t, live, 8, d)
 		if _, err := live.RunEpoch(); err != nil {
@@ -227,7 +227,7 @@ func TestRestoreThenGCByteIdentical(t *testing.T) {
 	// churning columns in and out of the basis.
 	evicted := 0
 	for i := 0; i < 6; i++ {
-		di := video.Demand{HP: d.HP + float64(i)*7e5, LP: d.LP - float64(i)*9e5}
+		di := video.TwoClass(d.At(0)+float64(i)*7e5, d.At(1)-float64(i)*9e5)
 		reportAll(t, live, 8, di)
 		reportAll(t, restored, 8, di)
 		a, err := live.RunEpoch()
@@ -266,7 +266,7 @@ func TestImportStateValidation(t *testing.T) {
 		{"short demands", func(st *CoordState) { st.Demands = st.Demands[:1] }},
 		{"short seen", func(st *CoordState) { st.Seen = nil }},
 		{"solver without demands", func(st *CoordState) {
-			reportAll(t, coord, 4, video.Demand{HP: 1e6})
+			reportAll(t, coord, 4, video.TwoClass(1e6, 0))
 			if _, err := coord.RunEpoch(); err != nil {
 				t.Fatal(err)
 			}

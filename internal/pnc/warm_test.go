@@ -35,7 +35,7 @@ func TestEpochWarmReuse(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	coord.Metrics = reg
-	d := video.Demand{HP: 5e6, LP: 1e7}
+	d := video.TwoClass(5e6, 1e7)
 
 	reportAll(t, coord, 5, d)
 	ep1, err := coord.RunEpoch()
@@ -90,7 +90,7 @@ func TestChannelUpdateInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := video.Demand{HP: 4e6, LP: 8e6}
+	d := video.TwoClass(4e6, 8e6)
 
 	reportAll(t, coord, 4, d)
 	if _, err := coord.RunEpoch(); err != nil {
@@ -148,7 +148,7 @@ func TestOutOfBandMutationInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := video.Demand{HP: 4e6, LP: 8e6}
+	d := video.TwoClass(4e6, 8e6)
 
 	reportAll(t, coord, 4, d)
 	if _, err := coord.RunEpoch(); err != nil {

@@ -441,6 +441,7 @@ func (s *Server) resolveSpec(spec api.CellSpec) (cellRecord, [][]byte, error) {
 	if in.DemandScale > 0 {
 		cfg.DemandScale = in.DemandScale
 	}
+	cfg.TrafficClasses = in.TrafficClasses
 	inst, err := experiment.NewInstance(cfg, stats.Fork(in.Seed, 0))
 	if err != nil {
 		return cellRecord{}, nil, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
@@ -448,7 +449,7 @@ func (s *Server) resolveSpec(spec api.CellSpec) (cellRecord, [][]byte, error) {
 	rec.Network = api.NetworkFromModel(inst.Network)
 	var frames [][]byte
 	for l, d := range inst.Demands {
-		frame, err := (api.Demand{Link: l, HP: d.HP, LP: d.LP}).Frame()
+		frame, err := api.DemandFromModel(l, d).Frame()
 		if err != nil {
 			return cellRecord{}, nil, err
 		}

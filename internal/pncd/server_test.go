@@ -63,7 +63,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *api.Client) {
 func demandsFor(gen *faults.LoadGen, cell int, epoch int64) []api.Demand {
 	var out []api.Demand
 	for l, d := range gen.Demands(cell, epoch) {
-		out = append(out, api.Demand{Link: l, HP: d.HP, LP: d.LP})
+		out = append(out, api.DemandFromModel(l, d))
 	}
 	return out
 }

@@ -56,7 +56,7 @@ func testNetwork(t *testing.T, seed int64, nLinks, nChannels int, weakLinks []in
 func uniformDemands(n int, total float64) []video.Demand {
 	d := make([]video.Demand, n)
 	for i := range d {
-		d[i] = video.Demand{HP: total / 3, LP: 2 * total / 3}
+		d[i] = video.TwoClass(total/3, 2*total/3)
 	}
 	return d
 }
@@ -91,7 +91,7 @@ func TestSelectRoutesWeakSessionViaRelay(t *testing.T) {
 			}
 			// Both hops carry the session demand.
 			for _, l := range rt.Links {
-				if exp.Demands[l] != demands[2] {
+				if exp.Demands[l].At(0) != demands[2].At(0) || exp.Demands[l].At(1) != demands[2].At(1) {
 					t.Errorf("hop %d demand %+v, want %+v", l, exp.Demands[l], demands[2])
 				}
 			}

@@ -1,7 +1,8 @@
 // Package schedule defines the feasible-schedule abstraction at the
 // heart of problem P1: a simultaneous activation pattern assigning each
-// active link a channel, a discrete rate level, a video layer (HP or
-// LP), and a transmit power. A schedule is feasible when every active
+// active link a channel, a discrete rate level, a traffic class (the
+// paper's HP or LP video layer, generalized to N ordered classes), and
+// a transmit power. A schedule is feasible when every active
 // link's SINR meets its level's threshold, each link uses at most one
 // channel, and no node has two incident active links (half-duplex).
 package schedule
@@ -14,14 +15,22 @@ import (
 	"mmwave/internal/netmodel"
 )
 
-// Layer identifies which video layer a link transmits in a schedule.
+// Layer identifies which traffic class a link transmits in a schedule.
+// The value is the class index (0 = highest priority); the historical
+// HP/LP names cover the paper's two-layer case.
 type Layer uint8
 
-// Video layers.
+// The paper's two video layers, as class indices.
 const (
-	HP Layer = iota // high-priority layer
-	LP              // low-priority layer
+	HP Layer = iota // high-priority layer (class 0)
+	LP              // low-priority layer (class 1)
 )
+
+// ClassLayer returns the Layer addressing traffic class c.
+func ClassLayer(c int) Layer { return Layer(c) }
+
+// Class returns the traffic-class index the layer addresses.
+func (y Layer) Class() int { return int(y) }
 
 // String implements fmt.Stringer.
 func (y Layer) String() string {
@@ -31,7 +40,7 @@ func (y Layer) String() string {
 	case LP:
 		return "lp"
 	default:
-		return fmt.Sprintf("Layer(%d)", uint8(y))
+		return fmt.Sprintf("c%d", uint8(y))
 	}
 }
 
@@ -102,9 +111,26 @@ func (s *Schedule) String() string {
 	return "schedule{" + strings.Join(parts, ", ") + "}"
 }
 
-// RateVectors returns the per-link HP and LP rate vectors r_l^s of the
-// schedule under the network's rate table: the coefficients of one
-// master-problem column.
+// RateVectorsByClass returns the per-class, per-link rate vectors
+// r_l^s of the schedule under the network's rate table — the
+// coefficients of one master-problem column, one row family per
+// traffic class (class-major).
+func (s *Schedule) RateVectorsByClass(nw *netmodel.Network) [][]float64 {
+	out := make([][]float64, nw.TrafficClasses())
+	for c := range out {
+		out[c] = make([]float64, nw.NumLinks())
+	}
+	for _, a := range s.Assignments {
+		if c := a.Layer.Class(); c < len(out) {
+			out[c][a.Link] = nw.Rates.Rates[a.Level]
+		}
+	}
+	return out
+}
+
+// RateVectors returns the two-class (HP, LP) rate vectors of the
+// schedule — the classic view of RateVectorsByClass, kept for the
+// paper's two-layer call sites and tests.
 func (s *Schedule) RateVectors(nw *netmodel.Network) (hp, lp []float64) {
 	hp = make([]float64, nw.NumLinks())
 	lp = make([]float64, nw.NumLinks())
@@ -112,24 +138,23 @@ func (s *Schedule) RateVectors(nw *netmodel.Network) (hp, lp []float64) {
 		rate := nw.Rates.Rates[a.Level]
 		if a.Layer == HP {
 			hp[a.Link] = rate
-		} else {
+		} else if a.Layer == LP {
 			lp[a.Link] = rate
 		}
 	}
 	return hp, lp
 }
 
-// Value returns the pricing objective Σ_l λ_l(layer)·r_l^s of the
-// schedule under dual prices (λhp, λlp).
-func (s *Schedule) Value(nw *netmodel.Network, lambdaHP, lambdaLP []float64) float64 {
+// Value returns the pricing objective Σ_l λ_l(class)·r_l^s of the
+// schedule under class-major dual prices lambda[c][l].
+func (s *Schedule) Value(nw *netmodel.Network, lambda [][]float64) float64 {
 	var v float64
 	for _, a := range s.Assignments {
-		rate := nw.Rates.Rates[a.Level]
-		if a.Layer == HP {
-			v += lambdaHP[a.Link] * rate
-		} else {
-			v += lambdaLP[a.Link] * rate
+		c := a.Layer.Class()
+		if c >= len(lambda) {
+			continue
 		}
+		v += lambda[c][a.Link] * nw.Rates.Rates[a.Level]
 	}
 	return v
 }
@@ -137,7 +162,7 @@ func (s *Schedule) Value(nw *netmodel.Network, lambdaHP, lambdaLP []float64) flo
 // Validate checks feasibility against the network: structural limits,
 // half-duplex node conflicts, power bounds, and SINR thresholds under
 // the schedule's own powers and the network's interference model.
-// Under nw.MultiChannel a link may appear twice — once per layer, on
+// Under nw.MultiChannel a link may appear once per traffic class, on
 // distinct channels; otherwise each link appears at most once.
 func (s *Schedule) Validate(nw *netmodel.Network) error {
 	seenLink := make(map[int]bool, len(s.Assignments))
@@ -154,8 +179,8 @@ func (s *Schedule) Validate(nw *netmodel.Network) error {
 		if a.Level < 0 || a.Level >= nw.Rates.Levels() {
 			return fmt.Errorf("schedule: level %d out of range [0,%d)", a.Level, nw.Rates.Levels())
 		}
-		if a.Layer != HP && a.Layer != LP {
-			return fmt.Errorf("schedule: link %d has invalid layer %d", a.Link, a.Layer)
+		if int(a.Layer) >= nw.TrafficClasses() {
+			return fmt.Errorf("schedule: link %d has invalid layer %d (network carries %d classes)", a.Link, a.Layer, nw.TrafficClasses())
 		}
 		if a.Power < 0 || a.Power > nw.PMax*(1+1e-9) {
 			return fmt.Errorf("schedule: link %d power %g outside [0, %g]", a.Link, a.Power, nw.PMax)
@@ -216,11 +241,12 @@ func (s *Schedule) ActiveLinks() []int {
 }
 
 // TDMA builds the paper's initial column set Ŝ for the master problem:
-// for every link, two single-link schedules (one HP, one LP) on the
-// link's best-throughput channel at the highest level the link can
-// reach alone, with the minimal power that meets that level's
-// threshold. Links that cannot reach even the lowest level at PMax are
-// skipped (their demand is unservable and the instance infeasible).
+// for every link, one single-link schedule per traffic class (HP then
+// LP in the two-class case) on the link's best-throughput channel at
+// the highest level the link can reach alone, with the minimal power
+// that meets that level's threshold. Links that cannot reach even the
+// lowest level at PMax are skipped (their demand is unservable and the
+// instance infeasible).
 func TDMA(nw *netmodel.Network) []*Schedule {
 	var out []*Schedule
 	for l := 0; l < nw.NumLinks(); l++ {
@@ -250,12 +276,12 @@ func TDMA(nw *netmodel.Network) []*Schedule {
 		if power > nw.PMax {
 			power = nw.PMax
 		}
-		for _, layer := range []Layer{HP, LP} {
+		for c := 0; c < nw.TrafficClasses(); c++ {
 			out = append(out, &Schedule{Assignments: []Assignment{{
 				Link:    l,
 				Channel: bestK,
 				Level:   bestQ,
-				Layer:   layer,
+				Layer:   ClassLayer(c),
 				Power:   power,
 			}}})
 		}

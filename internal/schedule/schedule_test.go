@@ -76,8 +76,13 @@ func TestLayerString(t *testing.T) {
 	if HP.String() != "hp" || LP.String() != "lp" {
 		t.Error("Layer String mismatch")
 	}
-	if Layer(7).String() != "Layer(7)" {
+	// Layers beyond the legacy pair render with the generic class-index
+	// form, matching video.Classes.Name for classes without a table entry.
+	if Layer(7).String() != "c7" {
 		t.Error("unknown layer String mismatch")
+	}
+	if ClassLayer(2).String() != "c2" {
+		t.Error("ClassLayer String mismatch")
 	}
 }
 
@@ -120,7 +125,7 @@ func TestRateVectorsAndValue(t *testing.T) {
 	lamHP := []float64{2e-8, 0, 0}
 	lamLP := []float64{0, 0, 3e-8}
 	want := 2e-8*nw.Rates.Rates[4] + 3e-8*nw.Rates.Rates[1]
-	if v := s.Value(nw, lamHP, lamLP); math.Abs(v-want) > 1e-9 {
+	if v := s.Value(nw, [][]float64{lamHP, lamLP}); math.Abs(v-want) > 1e-9 {
 		t.Errorf("Value = %v, want %v", v, want)
 	}
 }

@@ -4,8 +4,8 @@
 // served), and the inputs to the Jain fairness index.
 //
 // A Policy decides, each slot, which links transmit with which
-// channel/level/layer/power; the executor transfers bits against the
-// remaining per-link HP/LP demands and records completion times. The
+// channel/level/class/power; the executor transfers bits against the
+// remaining per-link per-class demands and records completion times. The
 // proposed column-generation plan, the benchmark heuristics, and plain
 // TDMA all run through the same engine, so their metrics are directly
 // comparable.
@@ -25,8 +25,9 @@ import (
 // Remaining tracks the unserved portion of every link's demand during
 // a run. Policies receive it read-only each slot.
 type Remaining struct {
-	HP []float64 // unserved high-priority bits per link
-	LP []float64 // unserved low-priority bits per link
+	// ByClass holds the unserved bits per traffic class and link
+	// (class-major: ByClass[c][l]; class 0 = highest priority).
+	ByClass [][]float64
 
 	// eps is the per-link completion tolerance (a tiny fraction of the
 	// original demand), absorbing the roundoff of repeated bit
@@ -36,15 +37,57 @@ type Remaining struct {
 	// instead of one scaled to the shrunken (possibly zero) input.
 	eps []float64
 
-	// shedHP/shedLP are the bits dropped upstream (load shedding)
-	// before the run: original demand minus the demand actually
-	// scheduled. A link can only ever be "served degraded" when these
-	// are non-zero.
-	shedHP []float64
-	shedLP []float64
+	// shed holds the bits dropped upstream (load shedding) per class
+	// and link before the run: original demand minus the demand
+	// actually scheduled. A link can only ever be "served degraded"
+	// when these are non-zero.
+	shed [][]float64
 }
 
-// Done reports whether link l has no bits left in either layer (up to
+// NewRemaining builds a Remaining over nc classes and L links with
+// zero tolerance and no upstream shedding — the test/policy form; Run
+// builds its own instance with demand-anchored tolerances.
+func NewRemaining(nc, L int) *Remaining {
+	r := &Remaining{ByClass: make([][]float64, nc)}
+	for c := range r.ByClass {
+		r.ByClass[c] = make([]float64, L)
+	}
+	return r
+}
+
+// Classes returns the number of traffic classes tracked.
+func (r *Remaining) Classes() int { return len(r.ByClass) }
+
+// NumLinks returns the tracked link count.
+func (r *Remaining) NumLinks() int {
+	if len(r.ByClass) == 0 {
+		return 0
+	}
+	return len(r.ByClass[0])
+}
+
+// At returns the unserved bits of (class c, link l), 0 for classes
+// beyond the tracked set.
+func (r *Remaining) At(c, l int) float64 {
+	if c < 0 || c >= len(r.ByClass) {
+		return 0
+	}
+	return r.ByClass[c][l]
+}
+
+// LinkTotal returns link l's unserved bits summed over classes
+// (negatives clamp to zero, as in Total).
+func (r *Remaining) LinkTotal(l int) float64 {
+	var v float64
+	for c := range r.ByClass {
+		if b := r.ByClass[c][l]; b > 0 {
+			v += b
+		}
+	}
+	return v
+}
+
+// Done reports whether link l has no bits left in any class (up to
 // the accumulation tolerance). Done answers "is the SCHEDULED demand
 // served" — a link whose demand was shed upstream can be Done yet
 // still degraded; see ServedDegraded.
@@ -53,30 +96,48 @@ func (r *Remaining) Done(l int) bool {
 	if l < len(r.eps) {
 		e = r.eps[l]
 	}
-	return r.HP[l] <= e && r.LP[l] <= e
+	for c := range r.ByClass {
+		if r.ByClass[c][l] > e {
+			return false
+		}
+	}
+	return true
 }
 
 // ServedDegraded reports whether link l finished its scheduled demand
 // but only because bits were shed upstream: the user saw degraded
 // video even though the scheduler calls the link done.
 func (r *Remaining) ServedDegraded(l int) bool {
-	if l >= len(r.shedHP) {
+	if len(r.shed) == 0 {
 		return false
 	}
-	return r.Done(l) && r.shedHP[l]+r.shedLP[l] > 0
+	var shed float64
+	for c := range r.shed {
+		if l < len(r.shed[c]) {
+			shed += r.shed[c][l]
+		}
+	}
+	return r.Done(l) && shed > 0
 }
 
-// Shed returns the bits dropped upstream for link l (HP, LP).
-func (r *Remaining) Shed(l int) (hp, lp float64) {
-	if l >= len(r.shedHP) {
-		return 0, 0
+// Shed returns the bits dropped upstream for link l as a class vector
+// (nil when nothing was shed anywhere).
+func (r *Remaining) Shed(l int) video.Demand {
+	if len(r.shed) == 0 {
+		return nil
 	}
-	return r.shedHP[l], r.shedLP[l]
+	out := make(video.Demand, len(r.shed))
+	for c := range r.shed {
+		if l < len(r.shed[c]) {
+			out[c] = r.shed[c][l]
+		}
+	}
+	return out
 }
 
 // AllDone reports whether every link is fully served.
 func (r *Remaining) AllDone() bool {
-	for l := range r.HP {
+	for l := 0; l < r.NumLinks(); l++ {
 		if !r.Done(l) {
 			return false
 		}
@@ -84,15 +145,14 @@ func (r *Remaining) AllDone() bool {
 	return true
 }
 
-// Total returns the unserved bits across all links and layers.
+// Total returns the unserved bits across all links and classes.
 func (r *Remaining) Total() float64 {
 	var v float64
-	for l := range r.HP {
-		if r.HP[l] > 0 {
-			v += r.HP[l]
-		}
-		if r.LP[l] > 0 {
-			v += r.LP[l]
+	for c := range r.ByClass {
+		for _, b := range r.ByClass[c] {
+			if b > 0 {
+				v += b
+			}
 		}
 	}
 	return v
@@ -114,8 +174,10 @@ type Execution struct {
 	TotalTime  float64   // seconds until the last link finished
 	Slots      int       // slots consumed
 	Completion []float64 // per-link completion time in seconds (delay)
-	ServedHP   []float64 // bits actually delivered per link
-	ServedLP   []float64
+
+	// ServedByClass holds the bits actually delivered, class-major
+	// (ServedByClass[c][l]).
+	ServedByClass [][]float64
 
 	// Degradation accounting. A link is Degraded when its user saw
 	// less than the original demand: bits were load-shed upstream
@@ -123,10 +185,35 @@ type Execution struct {
 	// unserved. A link shed to zero demand is Degraded, never
 	// silently "complete".
 	Degraded    []bool
-	ShedHP      []float64 // bits shed upstream per link (original − scheduled)
-	ShedLP      []float64
-	FailedSlots int // assignment-slots suppressed by injected link failures
-	Replans     int // replanning rounds triggered by failure onsets
+	ShedByClass [][]float64 // bits shed upstream per class and link (original − scheduled)
+	FailedSlots int         // assignment-slots suppressed by injected link failures
+	Replans     int         // replanning rounds triggered by failure onsets
+}
+
+// Served returns link l's delivered bits summed over classes.
+func (e *Execution) Served(l int) float64 {
+	var v float64
+	for c := range e.ServedByClass {
+		v += e.ServedByClass[c][l]
+	}
+	return v
+}
+
+// ServedAt returns the delivered bits of (class c, link l), 0 for
+// classes beyond the tracked set.
+func (e *Execution) ServedAt(c, l int) float64 {
+	if c < 0 || c >= len(e.ServedByClass) {
+		return 0
+	}
+	return e.ServedByClass[c][l]
+}
+
+// ShedAt returns the upstream-shed bits of (class c, link l).
+func (e *Execution) ShedAt(c, l int) float64 {
+	if c < 0 || c >= len(e.ShedByClass) {
+		return 0
+	}
+	return e.ShedByClass[c][l]
 }
 
 // DegradedCount returns how many links finished degraded.
@@ -208,16 +295,27 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 	}
 
 	L := nw.NumLinks()
-	rem := &Remaining{
-		HP:     make([]float64, L),
-		LP:     make([]float64, L),
-		eps:    make([]float64, L),
-		shedHP: make([]float64, L),
-		shedLP: make([]float64, L),
+	nc := nw.TrafficClasses()
+	for _, d := range demands {
+		if n := d.NumClasses(); n > nc {
+			nc = n
+		}
+	}
+	for _, o := range opt.Original {
+		if n := o.NumClasses(); n > nc {
+			nc = n
+		}
+	}
+	rem := NewRemaining(nc, L)
+	rem.eps = make([]float64, L)
+	rem.shed = make([][]float64, nc)
+	for c := range rem.shed {
+		rem.shed[c] = make([]float64, L)
 	}
 	for l, d := range demands {
-		rem.HP[l] = d.HP
-		rem.LP[l] = d.LP
+		for c := 0; c < nc; c++ {
+			rem.ByClass[c][l] = d.At(c)
+		}
 		rem.eps[l] = 1e-9 * d.Total()
 	}
 	if opt.Original != nil {
@@ -229,18 +327,21 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 			// zero must not inherit a zero tolerance and then flip
 			// between done/undone on roundoff.
 			rem.eps[l] = 1e-9 * o.Total()
-			rem.shedHP[l] = maxFloat(o.HP-demands[l].HP, 0)
-			rem.shedLP[l] = maxFloat(o.LP-demands[l].LP, 0)
+			for c := 0; c < nc; c++ {
+				rem.shed[c][l] = maxFloat(o.At(c)-demands[l].At(c), 0)
+			}
 		}
 	}
 	exec := &Execution{
-		Policy:     policy.Name(),
-		Completion: make([]float64, L),
-		ServedHP:   make([]float64, L),
-		ServedLP:   make([]float64, L),
-		Degraded:   make([]bool, L),
-		ShedHP:     append([]float64(nil), rem.shedHP...),
-		ShedLP:     append([]float64(nil), rem.shedLP...),
+		Policy:        policy.Name(),
+		Completion:    make([]float64, L),
+		ServedByClass: make([][]float64, nc),
+		Degraded:      make([]bool, L),
+		ShedByClass:   make([][]float64, nc),
+	}
+	for c := 0; c < nc; c++ {
+		exec.ServedByClass[c] = make([]float64, L)
+		exec.ShedByClass[c] = append([]float64(nil), rem.shed[c]...)
 	}
 	for l := range exec.Completion {
 		if rem.Done(l) {
@@ -316,15 +417,13 @@ func Run(nw *netmodel.Network, demands []video.Demand, policy Policy, opt Option
 				continue
 			}
 			bits := nw.Rates.Rates[a.Level] * slotDur
-			if a.Layer == schedule.HP {
-				served := minFloat(bits, maxFloat(rem.HP[a.Link], 0))
-				rem.HP[a.Link] -= bits
-				exec.ServedHP[a.Link] += served
-			} else {
-				served := minFloat(bits, maxFloat(rem.LP[a.Link], 0))
-				rem.LP[a.Link] -= bits
-				exec.ServedLP[a.Link] += served
+			c := a.Layer.Class()
+			if c >= nc {
+				return exec, fmt.Errorf("sim: policy %q scheduled class %d of %d at slot %d", policy.Name(), c, nc, slot)
 			}
+			served := minFloat(bits, maxFloat(rem.ByClass[c][a.Link], 0))
+			rem.ByClass[c][a.Link] -= bits
+			exec.ServedByClass[c][a.Link] += served
 		}
 		slot++
 		for l := 0; l < L; l++ {
@@ -429,24 +528,18 @@ func (p *PlanPolicy) Decide(nw *netmodel.Network, rem *Remaining, slot int) (*sc
 // still needs.
 func servesPending(s *schedule.Schedule, rem *Remaining) bool {
 	for _, a := range s.Assignments {
-		if a.Layer == schedule.HP && rem.HP[a.Link] > 0 {
-			return true
-		}
-		if a.Layer == schedule.LP && rem.LP[a.Link] > 0 {
+		if rem.At(a.Layer.Class(), a.Link) > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// trimSchedule drops assignments whose layer demand is already served.
+// trimSchedule drops assignments whose class demand is already served.
 func trimSchedule(s *schedule.Schedule, rem *Remaining) *schedule.Schedule {
 	out := &schedule.Schedule{}
 	for _, a := range s.Assignments {
-		if a.Layer == schedule.HP && rem.HP[a.Link] <= 0 {
-			continue
-		}
-		if a.Layer == schedule.LP && rem.LP[a.Link] <= 0 {
+		if rem.At(a.Layer.Class(), a.Link) <= 0 {
 			continue
 		}
 		out.Assignments = append(out.Assignments, a)

@@ -61,7 +61,7 @@ func (p fixedPolicy) Decide(*netmodel.Network, *Remaining, int) (*schedule.Sched
 func TestRunSingleLink(t *testing.T) {
 	nw := testNetwork(1, 1)
 	rate := nw.Rates.Rates[1]
-	demands := []video.Demand{{HP: rate * 0.01}} // exactly 10 slots at 1 ms
+	demands := []video.Demand{{rate * 0.01, 0}} // exactly 10 slots at 1 ms
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
@@ -78,8 +78,8 @@ func TestRunSingleLink(t *testing.T) {
 	if math.Abs(exec.Completion[0]-0.010) > 1e-12 {
 		t.Errorf("completion = %v, want 0.01", exec.Completion[0])
 	}
-	if math.Abs(exec.ServedHP[0]-demands[0].HP) > 1e-6 {
-		t.Errorf("served %v, want %v", exec.ServedHP[0], demands[0].HP)
+	if math.Abs(exec.ServedAt(0, 0)-demands[0].At(0)) > 1e-6 {
+		t.Errorf("served %v, want %v", exec.ServedAt(0, 0), demands[0].At(0))
 	}
 }
 
@@ -100,7 +100,7 @@ func TestRunZeroDemand(t *testing.T) {
 
 func TestRunStalledPolicy(t *testing.T) {
 	nw := testNetwork(1, 1)
-	demands := []video.Demand{{HP: 1e6}}
+	demands := []video.Demand{{1e6, 0}}
 	_, err := Run(nw, demands, fixedPolicy{nil}, Options{})
 	if !errors.Is(err, ErrStalled) {
 		t.Errorf("err = %v, want ErrStalled", err)
@@ -113,7 +113,7 @@ func TestRunSlotLimit(t *testing.T) {
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 0, Layer: schedule.HP, Power: 0.1},
 	}}
-	demands := []video.Demand{{HP: 1e3}, {HP: 1e12}}
+	demands := []video.Demand{{1e3, 0}, {1e12, 0}}
 	_, err := Run(nw, demands, fixedPolicy{s}, Options{MaxSlots: 50})
 	if !errors.Is(err, ErrSlotLimit) {
 		t.Errorf("err = %v, want ErrSlotLimit", err)
@@ -122,7 +122,7 @@ func TestRunSlotLimit(t *testing.T) {
 
 func TestRunValidateRejectsBadSchedule(t *testing.T) {
 	nw := testNetwork(1, 1)
-	demands := []video.Demand{{HP: 1e6}}
+	demands := []video.Demand{{1e6, 0}}
 	bad := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 1e-9}, // SINR below γ
 	}}
@@ -152,8 +152,8 @@ func TestPlanPolicyReplay(t *testing.T) {
 		{Link: 1, Channel: 1, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
 	demands := []video.Demand{
-		{HP: rate * 0.005},
-		{HP: rate * 0.008},
+		{rate * 0.005, 0},
+		{rate * 0.008, 0},
 	}
 	// Deliberately pass the narrow schedule first: the policy must
 	// reorder to run the widest first.
@@ -192,7 +192,7 @@ func TestPlanPolicySkipsUselessEntries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	demands := []video.Demand{{LP: rate * 0.002}}
+	demands := []video.Demand{{0, rate * 0.002}}
 	exec, err := Run(nw, demands, policy, Options{SlotDuration: 1e-3})
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +223,7 @@ func TestPlanPolicyName(t *testing.T) {
 }
 
 func TestRemaining(t *testing.T) {
-	r := &Remaining{HP: []float64{0, 5}, LP: []float64{0, 0}}
+	r := &Remaining{ByClass: [][]float64{{0, 5}, {0, 0}}}
 	if !r.Done(0) || r.Done(1) {
 		t.Error("Done mismatch")
 	}
@@ -233,7 +233,7 @@ func TestRemaining(t *testing.T) {
 	if r.Total() != 5 {
 		t.Errorf("Total = %v, want 5", r.Total())
 	}
-	r.HP[1] = -1 // overshoot counts as done, not negative work
+	r.ByClass[0][1] = -1 // overshoot counts as done, not negative work
 	if !r.AllDone() || r.Total() != 0 {
 		t.Error("overshoot handling wrong")
 	}
@@ -261,7 +261,7 @@ func TestLayerAccounting(t *testing.T) {
 	lpS := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 0, Layer: schedule.LP, Power: 0.05},
 	}}
-	demands := []video.Demand{{HP: rate * 0.004, LP: rate * 0.002}}
+	demands := []video.Demand{{rate * 0.004, rate * 0.002}}
 	policy, err := NewPlanPolicy([]*schedule.Schedule{hpS, lpS}, []float64{0.004, 0.002}, 1e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -273,9 +273,9 @@ func TestLayerAccounting(t *testing.T) {
 	if exec.Slots != 6 {
 		t.Errorf("slots = %d, want 6", exec.Slots)
 	}
-	if math.Abs(exec.ServedHP[0]-demands[0].HP) > 1 || math.Abs(exec.ServedLP[0]-demands[0].LP) > 1 {
+	if math.Abs(exec.ServedAt(0, 0)-demands[0].At(0)) > 1 || math.Abs(exec.ServedAt(1, 0)-demands[0].At(1)) > 1 {
 		t.Errorf("served HP/LP = %v/%v, want %v/%v",
-			exec.ServedHP[0], exec.ServedLP[0], demands[0].HP, demands[0].LP)
+			exec.ServedAt(0, 0), exec.ServedAt(1, 0), demands[0].At(0), demands[0].At(1))
 	}
 }
 
@@ -333,7 +333,7 @@ func TestDeadlineTruncatesRun(t *testing.T) {
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
-	demands := []video.Demand{{HP: rate * 0.020}} // needs 20 ms
+	demands := []video.Demand{{rate * 0.020, 0}} // needs 20 ms
 	exec, err := Run(nw, demands, fixedPolicy{s}, Options{
 		SlotDuration: 1e-3,
 		Deadline:     0.005, // but only 5 ms of air time
@@ -345,8 +345,8 @@ func TestDeadlineTruncatesRun(t *testing.T) {
 		t.Errorf("slots = %d, want 5", exec.Slots)
 	}
 	want := rate * 0.005
-	if math.Abs(exec.ServedHP[0]-want) > 1 {
-		t.Errorf("served %v, want %v", exec.ServedHP[0], want)
+	if math.Abs(exec.ServedAt(0, 0)-want) > 1 {
+		t.Errorf("served %v, want %v", exec.ServedAt(0, 0), want)
 	}
 	// Unfinished link's completion clamps to the deadline boundary.
 	if math.Abs(exec.Completion[0]-0.005) > 1e-12 {
@@ -366,7 +366,7 @@ func TestDeadlineToleratesPlanExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	demands := []video.Demand{{HP: rate * 0.010}}
+	demands := []video.Demand{{rate * 0.010, 0}}
 	exec, err := Run(nw, demands, policy, Options{SlotDuration: 1e-3, Deadline: 0.008})
 	if err != nil {
 		t.Fatal(err)
@@ -382,7 +382,7 @@ func TestDeadlineEarlyFinishUnaffected(t *testing.T) {
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
-	demands := []video.Demand{{HP: rate * 0.003}}
+	demands := []video.Demand{{rate * 0.003, 0}}
 	exec, err := Run(nw, demands, fixedPolicy{s}, Options{SlotDuration: 1e-3, Deadline: 1.0})
 	if err != nil {
 		t.Fatal(err)
@@ -398,8 +398,8 @@ func TestDeadlineEarlyFinishUnaffected(t *testing.T) {
 func TestShedLinkServedDegraded(t *testing.T) {
 	nw := testNetwork(2, 1)
 	rate := nw.Rates.Rates[1]
-	original := []video.Demand{{HP: rate * 0.01}, {HP: rate * 0.01, LP: rate * 0.005}}
-	shed := []video.Demand{{HP: rate * 0.01}, {}} // link 1 shed to zero
+	original := []video.Demand{{rate * 0.01, 0}, {rate * 0.01, rate * 0.005}}
+	shed := []video.Demand{{rate * 0.01, 0}, {}} // link 1 shed to zero
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
@@ -416,8 +416,8 @@ func TestShedLinkServedDegraded(t *testing.T) {
 	if exec.DegradedCount() != 1 {
 		t.Errorf("degraded count = %d, want 1", exec.DegradedCount())
 	}
-	if exec.ShedHP[1] != original[1].HP || exec.ShedLP[1] != original[1].LP {
-		t.Errorf("shed accounting = %v/%v, want %v/%v", exec.ShedHP[1], exec.ShedLP[1], original[1].HP, original[1].LP)
+	if exec.ShedAt(0, 1) != original[1].At(0) || exec.ShedAt(1, 1) != original[1].At(1) {
+		t.Errorf("shed accounting = %v/%v, want %v/%v", exec.ShedAt(0, 1), exec.ShedAt(1, 1), original[1].At(0), original[1].At(1))
 	}
 }
 
@@ -426,8 +426,8 @@ func TestShedLinkServedDegraded(t *testing.T) {
 func TestPartialShedDegraded(t *testing.T) {
 	nw := testNetwork(1, 1)
 	rate := nw.Rates.Rates[1]
-	original := []video.Demand{{HP: rate * 0.01, LP: rate * 0.01}}
-	shed := []video.Demand{{HP: rate * 0.01}}
+	original := []video.Demand{{rate * 0.01, rate * 0.01}}
+	shed := []video.Demand{{rate * 0.01, 0}}
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
@@ -438,8 +438,8 @@ func TestPartialShedDegraded(t *testing.T) {
 	if !exec.Degraded[0] {
 		t.Error("LP-shed link not flagged degraded")
 	}
-	if exec.ServedHP[0] < original[0].HP*(1-1e-6) {
-		t.Errorf("HP under-served: %v of %v", exec.ServedHP[0], original[0].HP)
+	if exec.ServedAt(0, 0) < original[0].At(0)*(1-1e-6) {
+		t.Errorf("HP under-served: %v of %v", exec.ServedAt(0, 0), original[0].At(0))
 	}
 }
 
@@ -448,7 +448,7 @@ func TestPartialShedDegraded(t *testing.T) {
 func TestLinkFailureSuppressesDelivery(t *testing.T) {
 	nw := testNetwork(1, 1)
 	rate := nw.Rates.Rates[1]
-	demands := []video.Demand{{HP: rate * 0.01}} // 10 clean slots
+	demands := []video.Demand{{rate * 0.01, 0}} // 10 clean slots
 	s := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
 	}}
@@ -475,7 +475,7 @@ func TestLinkFailureSuppressesDelivery(t *testing.T) {
 func TestFailureTriggersReplan(t *testing.T) {
 	nw := testNetwork(2, 1)
 	rate := nw.Rates.Rates[1]
-	demands := []video.Demand{{HP: rate * 0.01}, {HP: rate * 0.01}}
+	demands := []video.Demand{{rate * 0.01, 0}, {rate * 0.01, 0}}
 	// The initial policy serves only link 0; the replacement serves both.
 	only0 := &schedule.Schedule{Assignments: []schedule.Assignment{
 		{Link: 0, Channel: 0, Level: 1, Layer: schedule.HP, Power: 0.1},
@@ -502,8 +502,8 @@ func TestFailureTriggersReplan(t *testing.T) {
 	if len(sawFailed) != 2 || !sawFailed[0] || sawFailed[1] {
 		t.Errorf("replan saw failed=%v, want [true false]", sawFailed)
 	}
-	if exec.ServedHP[1] < demands[1].HP*(1-1e-6) {
-		t.Errorf("replanned policy never served link 1: %v", exec.ServedHP[1])
+	if exec.ServedAt(0, 1) < demands[1].At(0)*(1-1e-6) {
+		t.Errorf("replanned policy never served link 1: %v", exec.ServedAt(0, 1))
 	}
 }
 
@@ -511,7 +511,7 @@ func TestFailureTriggersReplan(t *testing.T) {
 // instead of panicking.
 func TestFailureBeyondLinksRejected(t *testing.T) {
 	nw := testNetwork(1, 1)
-	demands := []video.Demand{{HP: 1}}
+	demands := []video.Demand{{1, 0}}
 	_, err := Run(nw, demands, fixedPolicy{nil}, Options{
 		Failures: []faults.LinkFailure{{Slot: 0, Link: 9, Duration: 1}},
 	})

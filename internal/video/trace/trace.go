@@ -203,9 +203,14 @@ func (g *Generator) NextGOP() []Frame {
 }
 
 // NextDemand generates the next GOP and converts it into a layered
-// HP/LP demand using the session's MGS split: I frames (plus the HP
-// share of the enhancement data in P/B frames) map to HP, the rest to
-// LP. The split is volume-preserving: HP+LP equals the GOP bit count.
+// demand using the session's MGS split. The classic two-class path
+// maps I frames (plus the HP share of the enhancement data in P/B
+// frames) to HP and the rest to LP. When the session carries an
+// N-class share vector, the GOP volume splits by those shares with
+// the same I-frame floor on class 0: the base layer can never land in
+// a lower class, so class 0 absorbs at least the I-frame bits and the
+// remaining classes scale down proportionally. Both paths are
+// volume-preserving: the classes sum to the GOP bit count.
 func (g *Generator) NextDemand(s video.Session) video.Demand {
 	var iBits, otherBits float64
 	for _, f := range g.NextGOP() {
@@ -216,6 +221,20 @@ func (g *Generator) NextDemand(s video.Session) video.Demand {
 		}
 	}
 	total := iBits + otherBits
+	if len(s.Shares) > 0 {
+		d := s.DemandForBits(total)
+		if rest := total - d.At(0); d.At(0) < iBits && rest > 0 {
+			// Raise class 0 to the I-frame floor, shrinking the lower
+			// classes by a common factor so the total is preserved.
+			scale := (total - iBits) / rest
+			d = d.Clone()
+			d[0] = iBits
+			for c := 1; c < len(d); c++ {
+				d[c] *= scale
+			}
+		}
+		return d
+	}
 	hp := iBits
 	if want := total * clamp01(s.HPShare); want > hp {
 		hp = want
@@ -223,7 +242,7 @@ func (g *Generator) NextDemand(s video.Session) video.Demand {
 	if hp > total {
 		hp = total
 	}
-	return video.Demand{HP: hp, LP: total - hp}
+	return video.TwoClass(hp, total-hp)
 }
 
 // Stats accumulates trace statistics over n GOPs: mean bitrate and

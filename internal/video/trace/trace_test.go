@@ -159,7 +159,7 @@ func TestNextDemandSplit(t *testing.T) {
 	}
 	// HP share must be at least the session share (I frames can push
 	// it higher but never lower).
-	if share := d.HP / d.Total(); share < 1.0/3-1e-9 {
+	if share := d.At(0) / d.Total(); share < 1.0/3-1e-9 {
 		t.Errorf("HP share %v below session share", share)
 	}
 }
@@ -175,7 +175,7 @@ func TestNextDemandPropertyConserves(t *testing.T) {
 			return false
 		}
 		// HP+LP must equal the GOP volume: positive and finite.
-		return d.Total() > 0 && d.HP <= d.Total()+1e-9
+		return d.Total() > 0 && d.At(0) <= d.Total()+1e-9
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

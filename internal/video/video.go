@@ -1,14 +1,21 @@
 // Package video models the scalable video sessions carried by the
 // mmWave links. Following the paper, each video is encoded into
-// High-Priority (HP) and Low-Priority (LP) layers (Medium-Grain
-// Scalable coding), the reconstructed quality follows the linear model
-// PSNR = α + β·(r_hp + r_lp) (eq. 1), and the traffic demand of a link
-// is the HP/LP data volume of the next GOP period.
+// prioritized layers (Medium-Grain Scalable coding) — classically a
+// High-Priority (HP) and a Low-Priority (LP) layer — the reconstructed
+// quality follows the linear model PSNR = α + β·(r_hp + r_lp) (eq. 1),
+// and the traffic demand of a link is the per-layer data volume of the
+// next GOP period.
+//
+// The demand model generalizes the paper's two layers to N ordered
+// traffic classes (slice-style workloads: URLLC / eMBB / best-effort),
+// with class 0 always the most important. The two-class case remains
+// the canonical reproduction path via TwoClass and DefaultClasses.
 package video
 
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Quality holds the MGS rate-quality model parameters of one encoded
@@ -35,45 +42,248 @@ func (q Quality) RateFor(psnr float64) float64 {
 }
 
 // Demand is one link's traffic demand for the upcoming scheduling
-// period, in bits, split into HP and LP layers. Demands stay constant
-// for the whole scheduling period (the paper's §III note), and a new
-// Demand is issued per GOP.
-type Demand struct {
-	HP float64 // high-priority bits
-	LP float64 // low-priority bits
+// period: a class-indexed vector of bit volumes, where index 0 is the
+// highest-priority class. Demands stay constant for the whole
+// scheduling period (the paper's §III note), and a new Demand is
+// issued per GOP.
+//
+// The nil (zero-value) Demand is valid and all-zero for every class.
+// The paper's two-layer HP/LP demand is the two-class special case —
+// construct it with TwoClass. Demand values are treated as immutable:
+// derive new vectors (Scale, Clone) instead of mutating elements, so
+// sharing a Demand across coordinator state, checkpoints, and plans is
+// safe.
+type Demand []float64
+
+// TwoClass builds the paper's classic two-layer demand: hp bits in
+// class 0, lp bits in class 1.
+func TwoClass(hp, lp float64) Demand { return Demand{hp, lp} }
+
+// At returns the bits of class c, 0 for classes beyond the vector (a
+// 2-class demand is implicitly zero in every higher class).
+func (d Demand) At(c int) float64 {
+	if c < 0 || c >= len(d) {
+		return 0
+	}
+	return d[c]
 }
 
-// Total returns HP + LP bits.
-func (d Demand) Total() float64 { return d.HP + d.LP }
+// NumClasses returns the number of classes the vector carries
+// explicitly.
+func (d Demand) NumClasses() int { return len(d) }
+
+// Clone returns an independent copy (nil stays nil).
+func (d Demand) Clone() Demand {
+	if d == nil {
+		return nil
+	}
+	return append(Demand(nil), d...)
+}
+
+// Total returns the bits summed over every class.
+func (d Demand) Total() float64 {
+	var t float64
+	for _, v := range d {
+		t += v
+	}
+	return t
+}
+
+// IsZero reports whether every class is exactly zero (true for nil).
+func (d Demand) IsZero() bool {
+	for _, v := range d {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Scale returns the demand multiplied by factor c, used by the
-// traffic-demand sweep of Fig. 2.
-func (d Demand) Scale(c float64) Demand { return Demand{HP: d.HP * c, LP: d.LP * c} }
+// traffic-demand sweep of Fig. 2 and the staleness decay of the PNC
+// epoch loop.
+//
+// Non-finite inputs never escape: a NaN or ±Inf factor drops the
+// demand to zero (a poisoned factor must not poison every downstream
+// LP row), and a finite product that overflows clamps to ±MaxFloat64.
+// This keeps Scale's outputs inside what Valid accepts whenever the
+// receiver was valid and the factor non-negative.
+func (d Demand) Scale(c float64) Demand {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		c = 0
+	}
+	out := make(Demand, len(d))
+	for i, v := range d {
+		p := v * c
+		switch {
+		case math.IsNaN(p):
+			p = 0
+		case math.IsInf(p, 1):
+			p = math.MaxFloat64
+		case math.IsInf(p, -1):
+			p = -math.MaxFloat64
+		}
+		out[i] = p
+	}
+	return out
+}
 
-// Valid reports whether both layers are non-negative and finite.
+// Valid reports whether every class is non-negative and finite.
 func (d Demand) Valid() bool {
-	return d.HP >= 0 && d.LP >= 0 &&
-		!math.IsInf(d.HP, 0) && !math.IsInf(d.LP, 0) &&
-		!math.IsNaN(d.HP) && !math.IsNaN(d.LP)
+	for _, v := range d {
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
 }
 
-// String renders the demand in Mb.
+// String renders the demand in Mb. Two-class demands (including the
+// zero demand) keep the historical "hp=…Mb lp=…Mb" form; wider vectors
+// render one "c<i>=…Mb" term per class.
 func (d Demand) String() string {
-	return fmt.Sprintf("hp=%.2fMb lp=%.2fMb", d.HP/1e6, d.LP/1e6)
+	if len(d) <= 2 {
+		return fmt.Sprintf("hp=%.2fMb lp=%.2fMb", d.At(0)/1e6, d.At(1)/1e6)
+	}
+	parts := make([]string, len(d))
+	for i, v := range d {
+		parts[i] = fmt.Sprintf("c%d=%.2fMb", i, v/1e6)
+	}
+	return strings.Join(parts, " ")
 }
 
-// Session describes one video session: its rate-quality model and the
-// fraction of the stream bits placed in the HP layer. The split follows
-// the MGS layering of [17]/[18]: the base layer plus high-priority
-// enhancement (I frames, motion info) goes to HP, the remainder to LP.
+// ClassSpec describes one traffic class of a class table: its name
+// (metrics, rendering), its priority rank (lower = more important;
+// shedding drops the highest rank first), its quality-objective weight,
+// and an optional minimum-rate SLA.
+type ClassSpec struct {
+	// Name labels the class in metrics and experiment output
+	// ("hp", "urllc", …).
+	Name string
+	// Rank is the priority order: strictly increasing across the table,
+	// with rank 0 the most important class. Canonical tables store
+	// classes in rank order, so Rank equals the class index.
+	Rank int
+	// Weight multiplies the per-link quality weight of this class's
+	// delivered bits in the quality-mode objective. Zero means 1.
+	Weight float64
+	// MinRateBits, when positive, is a per-epoch delivered-bits floor
+	// (SLA) for the class in quality mode: each link is guaranteed
+	// min(MinRateBits, its class demand) even when the slot budget
+	// cannot serve everything. Zero disables the floor.
+	MinRateBits float64
+}
+
+// EffectiveWeight returns the objective weight (Weight, defaulting to 1).
+func (c ClassSpec) EffectiveWeight() float64 {
+	if c.Weight == 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// Classes is an ordered traffic-class table: index = class = priority
+// rank (0 most important).
+type Classes []ClassSpec
+
+// DefaultClasses returns the paper's two-class table (HP before LP,
+// unit weights, no SLA floors) — the table every legacy two-class code
+// path is equivalent to.
+func DefaultClasses() Classes {
+	return Classes{
+		{Name: "hp", Rank: 0, Weight: 1},
+		{Name: "lp", Rank: 1, Weight: 1},
+	}
+}
+
+// SliceClasses returns a 3-class slice-style table: a small
+// high-priority URLLC class with a delivered-bits floor, a weighted
+// eMBB class carrying the bulk video traffic, and a best-effort class
+// shed first under overload.
+func SliceClasses() Classes {
+	return Classes{
+		{Name: "urllc", Rank: 0, Weight: 4, MinRateBits: 1e6},
+		{Name: "embb", Rank: 1, Weight: 2},
+		{Name: "besteffort", Rank: 2, Weight: 1},
+	}
+}
+
+// Validate rejects malformed tables: empty, out-of-order ranks,
+// negative weights or floors, or non-finite values.
+func (cs Classes) Validate() error {
+	if len(cs) == 0 {
+		return fmt.Errorf("video: class table is empty")
+	}
+	for i, c := range cs {
+		if c.Rank != i {
+			return fmt.Errorf("video: class %d (%q) has rank %d; tables must be stored in rank order", i, c.Name, c.Rank)
+		}
+		if c.Weight < 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return fmt.Errorf("video: class %d (%q) has invalid weight %g", i, c.Name, c.Weight)
+		}
+		if c.MinRateBits < 0 || math.IsNaN(c.MinRateBits) || math.IsInf(c.MinRateBits, 0) {
+			return fmt.Errorf("video: class %d (%q) has invalid min-rate %g", i, c.Name, c.MinRateBits)
+		}
+	}
+	return nil
+}
+
+// Weights returns the per-class effective objective weights.
+func (cs Classes) Weights() []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.EffectiveWeight()
+	}
+	return out
+}
+
+// Name returns class c's name, or "c<i>" beyond the table.
+func (cs Classes) Name(c int) string {
+	if c >= 0 && c < len(cs) && cs[c].Name != "" {
+		return cs[c].Name
+	}
+	return fmt.Sprintf("c%d", c)
+}
+
+// Session describes one video session: its rate-quality model and how
+// a GOP's bits split across traffic classes. The split follows the MGS
+// layering of [17]/[18]: the base layer plus high-priority enhancement
+// (I frames, motion info) goes to the first class, the remainder to
+// the lower classes.
 type Session struct {
 	Quality Quality
-	HPShare float64 // fraction of bits in HP layer, in [0, 1]
+	HPShare float64 // two-class path: fraction of bits in class 0, in [0, 1]
+
+	// Shares, when non-nil, generalizes HPShare to N classes: entry c
+	// is class c's fraction of the GOP bits. Negative entries clamp to
+	// 0 and the vector is renormalized to sum to 1 (an all-zero vector
+	// puts everything in class 0). When nil, the legacy two-class
+	// [HPShare, 1−HPShare] split applies.
+	Shares []float64
 }
 
-// DemandForBits converts a GOP's total bit volume into a layered
-// Demand using the session's HP share.
+// DemandForBits converts a GOP's total bit volume into a class-indexed
+// Demand using the session's share vector (or the legacy HP share).
 func (s Session) DemandForBits(totalBits float64) Demand {
+	if len(s.Shares) > 0 {
+		shares := make([]float64, len(s.Shares))
+		var sum float64
+		for i, sh := range s.Shares {
+			if sh > 0 {
+				shares[i] = sh
+				sum += sh
+			}
+		}
+		out := make(Demand, len(shares))
+		if sum <= 0 {
+			out[0] = totalBits
+			return out
+		}
+		for i, sh := range shares {
+			out[i] = totalBits * sh / sum
+		}
+		return out
+	}
 	share := s.HPShare
 	if share < 0 {
 		share = 0
@@ -81,7 +291,7 @@ func (s Session) DemandForBits(totalBits float64) Demand {
 	if share > 1 {
 		share = 1
 	}
-	return Demand{HP: totalBits * share, LP: totalBits * (1 - share)}
+	return TwoClass(totalBits*share, totalBits*(1-share))
 }
 
 // DefaultSession returns session parameters matching the paper's

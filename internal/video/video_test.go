@@ -51,22 +51,22 @@ func TestPSNRRateForRoundTrip(t *testing.T) {
 }
 
 func TestDemand(t *testing.T) {
-	d := Demand{HP: 10, LP: 20}
+	d := TwoClass(10, 20)
 	if d.Total() != 30 {
 		t.Errorf("Total = %v, want 30", d.Total())
 	}
 	s := d.Scale(2)
-	if s.HP != 20 || s.LP != 40 {
+	if s.At(0) != 20 || s.At(1) != 40 {
 		t.Errorf("Scale = %+v, want {20 40}", s)
 	}
 	if !d.Valid() {
 		t.Error("valid demand rejected")
 	}
 	for _, bad := range []Demand{
-		{HP: -1, LP: 0},
-		{HP: 0, LP: -1},
-		{HP: math.NaN(), LP: 0},
-		{HP: 0, LP: math.Inf(1)},
+		{-1, 0},
+		{0, -1},
+		{math.NaN(), 0},
+		{0, math.Inf(1)},
 	} {
 		if bad.Valid() {
 			t.Errorf("invalid demand accepted: %+v", bad)
@@ -75,7 +75,7 @@ func TestDemand(t *testing.T) {
 }
 
 func TestDemandString(t *testing.T) {
-	d := Demand{HP: 20e6, LP: 40e6}
+	d := TwoClass(20e6, 40e6)
 	s := d.String()
 	if !strings.Contains(s, "hp=20.00Mb") || !strings.Contains(s, "lp=40.00Mb") {
 		t.Errorf("String = %q", s)
@@ -85,16 +85,16 @@ func TestDemandString(t *testing.T) {
 func TestSessionSplit(t *testing.T) {
 	s := Session{HPShare: 0.25}
 	d := s.DemandForBits(100)
-	if math.Abs(d.HP-25) > 1e-12 || math.Abs(d.LP-75) > 1e-12 {
+	if math.Abs(d.At(0)-25) > 1e-12 || math.Abs(d.At(1)-75) > 1e-12 {
 		t.Errorf("split = %+v, want {25 75}", d)
 	}
 	// Clamping.
 	over := Session{HPShare: 1.5}
-	if d := over.DemandForBits(100); d.HP != 100 || d.LP != 0 {
+	if d := over.DemandForBits(100); d.At(0) != 100 || d.At(1) != 0 {
 		t.Errorf("over-share split = %+v", d)
 	}
 	under := Session{HPShare: -0.5}
-	if d := under.DemandForBits(100); d.HP != 0 || d.LP != 100 {
+	if d := under.DemandForBits(100); d.At(0) != 0 || d.At(1) != 100 {
 		t.Errorf("under-share split = %+v", d)
 	}
 }
@@ -109,6 +109,124 @@ func TestSessionSplitPropertyConserves(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestScaleNonFinite(t *testing.T) {
+	d := TwoClass(10, 20)
+	// A poisoned factor (NaN or ±Inf) must zero the demand symmetrically
+	// rather than leak non-finite bits into LP rows.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := d.Scale(bad)
+		if !s.IsZero() {
+			t.Errorf("Scale(%v) = %v, want zero demand", bad, s)
+		}
+		if !s.Valid() {
+			t.Errorf("Scale(%v) produced invalid demand %v", bad, s)
+		}
+	}
+	// A finite factor that overflows clamps instead of going infinite.
+	big := TwoClass(math.MaxFloat64, 1)
+	s := big.Scale(2)
+	if s.At(0) != math.MaxFloat64 {
+		t.Errorf("overflowing Scale = %v, want clamp at MaxFloat64", s.At(0))
+	}
+	if !s.Valid() {
+		t.Errorf("overflowing Scale produced invalid demand %v", s)
+	}
+	// 0·Inf inside the products is NaN — it must come out as 0.
+	inf := Demand{math.Inf(1), 0}
+	if got := inf.Scale(0); !got.IsZero() {
+		t.Errorf("Scale(0) of infinite demand = %v, want zero", got)
+	}
+}
+
+func TestScaleValidityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(uint32) bool {
+		d := Demand{rng.Float64() * 1e12, rng.Float64() * 1e12, rng.Float64() * 1e12}
+		factors := []float64{rng.Float64() * 10, math.NaN(), math.Inf(1), math.MaxFloat64}
+		c := factors[rng.Intn(len(factors))]
+		return d.Scale(c).Valid()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassTables(t *testing.T) {
+	if err := DefaultClasses().Validate(); err != nil {
+		t.Errorf("default table invalid: %v", err)
+	}
+	if err := SliceClasses().Validate(); err != nil {
+		t.Errorf("slice table invalid: %v", err)
+	}
+	if n := len(SliceClasses()); n != 3 {
+		t.Errorf("slice table has %d classes, want 3", n)
+	}
+	if w := DefaultClasses().Weights(); w[0] != 1 || w[1] != 1 {
+		t.Errorf("default weights = %v, want unit", w)
+	}
+	if name := SliceClasses().Name(0); name != "urllc" {
+		t.Errorf("Name(0) = %q", name)
+	}
+	if name := SliceClasses().Name(9); name != "c9" {
+		t.Errorf("Name beyond table = %q, want c9", name)
+	}
+
+	for _, bad := range []Classes{
+		{},
+		{{Name: "a", Rank: 1}},
+		{{Name: "a", Rank: 0, Weight: -1}},
+		{{Name: "a", Rank: 0, MinRateBits: math.NaN()}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid table accepted: %+v", bad)
+		}
+	}
+}
+
+func TestDemandAtBeyondVector(t *testing.T) {
+	d := TwoClass(1, 2)
+	if d.At(2) != 0 || d.At(-1) != 0 {
+		t.Error("At outside the vector must be 0")
+	}
+	if d.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d, want 2", d.NumClasses())
+	}
+	var nilD Demand
+	if !nilD.IsZero() || nilD.Total() != 0 || nilD.Clone() != nil {
+		t.Error("nil demand must be zero, total 0, and clone to nil")
+	}
+}
+
+func TestSessionShares(t *testing.T) {
+	s := Session{Shares: []float64{0.5, 0.3, 0.2}}
+	d := s.DemandForBits(100)
+	if d.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", d.NumClasses())
+	}
+	if math.Abs(d.At(0)-50) > 1e-9 || math.Abs(d.At(1)-30) > 1e-9 || math.Abs(d.At(2)-20) > 1e-9 {
+		t.Errorf("split = %v", d)
+	}
+	// Negative entries clamp, the rest renormalizes.
+	neg := Session{Shares: []float64{-1, 1, 1}}
+	d = neg.DemandForBits(100)
+	if d.At(0) != 0 || math.Abs(d.At(1)-50) > 1e-9 {
+		t.Errorf("negative-share split = %v", d)
+	}
+	// All-zero shares put everything in class 0.
+	zero := Session{Shares: []float64{0, 0}}
+	if d := zero.DemandForBits(100); d.At(0) != 100 {
+		t.Errorf("zero-share split = %v", d)
+	}
+}
+
+func TestDemandStringWide(t *testing.T) {
+	d := Demand{1e6, 2e6, 3e6}
+	s := d.String()
+	if !strings.Contains(s, "c0=1.00Mb") || !strings.Contains(s, "c2=3.00Mb") {
+		t.Errorf("wide String = %q", s)
 	}
 }
 

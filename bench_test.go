@@ -152,12 +152,20 @@ func BenchmarkAblation(b *testing.B) {
 			case experiment.AblationMultiChan:
 				cfg.MultiChannel = true
 			}
-			var total float64
+			var total, probes, masters float64
 			for i := 0; i < b.N; i++ {
 				res := runPoint(b, cfg, experiment.Proposed, i)
 				total += res.Exec.TotalTime
+				if res.Solver != nil {
+					probes += float64(res.Solver.Stats.Probes)
+					masters += float64(res.Solver.Stats.MasterSolves)
+				}
 			}
 			b.ReportMetric(total/float64(b.N), "sched_s")
+			// Deterministic work counters: the bench-diff noise gate
+			// excuses ns/op drift when these are byte-identical.
+			b.ReportMetric(probes/float64(b.N), "probes/op")
+			b.ReportMetric(masters/float64(b.N), "masters/op")
 		})
 	}
 }

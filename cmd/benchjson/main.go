@@ -17,7 +17,12 @@
 // code 3 — when any benchmark's ns/op regresses by more than N percent
 // against the baseline. -match restricts the gate to benchmarks whose
 // name matches a regular expression (micro-benchmarks too noisy for a
-// single-iteration CI run stay report-only). -reduce min collapses
+// single-iteration CI run stay report-only). -work lists deterministic
+// work counters (e.g. 'pivots/op,nodes/op'): an ns/op regression is
+// excused when the benchmark shares at least one listed counter with
+// the baseline and every shared one is byte-for-byte unchanged — the
+// same algorithmic walk cannot have regressed, so the wall-clock delta
+// is co-tenant CPU noise, which must not fail an unmodified tree. -reduce min collapses
 // duplicate benchmark names from a `-count=N` run into the per-metric
 // minimum — min-of-N filters scheduler interference out of wall-clock
 // numbers, which is what makes a percentage gate usable on shared
@@ -35,6 +40,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 
 	"mmwave/internal/benchparse"
 )
@@ -52,6 +58,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		gate   = fs.Float64("gate", 0, "with -diff: fail (exit 3) on ns/op regressions above this percentage")
 		match  = fs.String("match", "", "with -diff: restrict the diff report and the gate to benchmarks matching this regexp")
 		reduce = fs.String("reduce", "", "collapse duplicate benchmark names (-count>1 runs): 'min' keeps the per-metric minimum")
+		work   = fs.String("work", "", "with -gate: comma-separated deterministic work metrics; an ns/op regression is excused when every shared one is unchanged")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,7 +105,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		printDiff(stdout, base, doc, gateRE)
 		if *gate > 0 {
-			if failures := gateRegressions(stdout, base, doc, *gate, gateRE); failures > 0 {
+			if failures := gateRegressions(stdout, base, doc, *gate, gateRE, workUnits(*work)); failures > 0 {
 				fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed more than %g%% in ns/op\n", failures, *gate)
 				return 3
 			}
@@ -214,10 +221,25 @@ func printDiff(w io.Writer, base, cur *benchparse.Document, re *regexp.Regexp) {
 	}
 }
 
+// workUnits splits the -work flag value into metric names.
+func workUnits(v string) []string {
+	var units []string
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
 // gateRegressions applies the CI regression gate: any benchmark shared
 // with the baseline (and matching re, when given) whose ns/op grew by
-// more than pct percent counts as a failure.
-func gateRegressions(w io.Writer, base, cur *benchparse.Document, pct float64, re *regexp.Regexp) int {
+// more than pct percent counts as a failure — unless the benchmark
+// shares at least one of the deterministic work counters with the
+// baseline and every shared counter is unchanged, in which case the
+// identical algorithmic walk proves the wall-clock delta is scheduler
+// noise and the regression is excused (logged, not counted).
+func gateRegressions(w io.Writer, base, cur *benchparse.Document, pct float64, re *regexp.Regexp, work []string) int {
 	byName := make(map[string]benchparse.Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
@@ -237,10 +259,33 @@ func gateRegressions(w io.Writer, base, cur *benchparse.Document, pct float64, r
 			continue
 		}
 		if now > old*(1+pct/100) {
+			if shared, same := workUnchanged(ref, b, work); shared > 0 && same {
+				fmt.Fprintf(w, "NOISE %s ns/op: %g → %g (%+.1f%%) excused: %d work metric(s) unchanged\n",
+					b.Name, old, now, 100*(now-old)/old, shared)
+				continue
+			}
 			fmt.Fprintf(w, "GATE %s ns/op: %g → %g (%+.1f%% > +%g%% allowed)\n",
 				b.Name, old, now, 100*(now-old)/old, pct)
 			failures++
 		}
 	}
 	return failures
+}
+
+// workUnchanged reports how many of the work metrics both runs carry
+// and whether every shared one is exactly equal.
+func workUnchanged(ref, cur benchparse.Benchmark, work []string) (shared int, same bool) {
+	same = true
+	for _, unit := range work {
+		old, hasOld := ref.Metrics[unit]
+		now, hasNow := cur.Metrics[unit]
+		if !hasOld || !hasNow {
+			continue
+		}
+		shared++
+		if old != now {
+			same = false
+		}
+	}
+	return shared, same
 }

@@ -93,6 +93,68 @@ func TestRunGate(t *testing.T) {
 	}
 }
 
+// Work-counter baseline: both benchmarks regress +100% in ns/op in the
+// runs below, but BenchmarkLP reports a deterministic pivots/op counter
+// while BenchmarkIO reports none of the listed work metrics.
+const runWorkBase = `goos: linux
+pkg: mmwave
+BenchmarkLP-8   3   100000 ns/op   500.0 pivots/op   12 masters/op
+BenchmarkIO-8   3   100000 ns/op   64 B/op
+PASS
+`
+
+const runWorkNoise = `goos: linux
+pkg: mmwave
+BenchmarkLP-8   3   200000 ns/op   500.0 pivots/op   12 masters/op
+PASS
+`
+
+const runWorkReal = `goos: linux
+pkg: mmwave
+BenchmarkLP-8   3   200000 ns/op   900.0 pivots/op   12 masters/op
+BenchmarkIO-8   3   200000 ns/op   64 B/op
+PASS
+`
+
+func TestRunGateWorkCounters(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	if code := run([]string{"-out", base}, strings.NewReader(runWorkBase), &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Fatal("baseline write failed")
+	}
+
+	// Unchanged work counters excuse the ns/op regression: the same
+	// algorithmic walk cannot be slower, so it's co-tenant noise.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", base, "-gate", "10", "-work", "pivots/op,masters/op"},
+		strings.NewReader(runWorkNoise), &stdout, &stderr); code != 0 {
+		t.Fatalf("noise run = %d, want 0; stderr: %s\n%s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "NOISE BenchmarkLP-8 ns/op") ||
+		!strings.Contains(stdout.String(), "2 work metric(s) unchanged") {
+		t.Errorf("excused regression not logged:\n%s", stdout.String())
+	}
+
+	// Without -work the same run fails: the excusal is opt-in.
+	if code := run([]string{"-diff", base, "-gate", "10"},
+		strings.NewReader(runWorkNoise), &bytes.Buffer{}, &bytes.Buffer{}); code != 3 {
+		t.Fatal("regression passed the gate without -work")
+	}
+
+	// A changed counter means the walk itself regressed — still gated.
+	// BenchmarkIO shares no listed work metric, so it is gated too (one
+	// matching unit in only one of the two runs proves nothing).
+	stdout.Reset()
+	if code := run([]string{"-diff", base, "-gate", "10", "-work", "pivots/op,masters/op"},
+		strings.NewReader(runWorkReal), &stdout, &bytes.Buffer{}); code != 3 {
+		t.Fatalf("real regression = %d, want 3:\n%s", code, stdout.String())
+	}
+	for _, want := range []string{"GATE BenchmarkLP-8 ns/op", "GATE BenchmarkIO-8 ns/op"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("gate output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
 // A -count=3 style run: BenchmarkSolve repeats with one noisy outlier
 // (300000 ns/op). min-of-N keeps the 101000 floor — within a 10% gate
 // of runA's 100000 baseline — while gating the raw run would fail.

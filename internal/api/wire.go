@@ -418,6 +418,16 @@ type EpochResult struct {
 	BackoffSeconds float64   `json:"backoff_seconds,omitempty"`
 	TruncatedSolve bool      `json:"truncated_solve,omitempty"`
 	WarmSolve      bool      `json:"warm_solve,omitempty"`
+
+	// Column-generation telemetry for the epoch's P1 solve — additive
+	// v1 fields (omitempty keeps pre-existing decoders and goldens
+	// byte-compatible), zero when the epoch served a cached plan and
+	// ran no solve.
+	CGIterations     int `json:"cg_iterations,omitempty"`
+	CGStabRounds     int `json:"cg_stab_rounds,omitempty"`
+	CGHeuristicHits  int `json:"cg_heuristic_hits,omitempty"`
+	CGExactFallbacks int `json:"cg_exact_fallbacks,omitempty"`
+	CGColumnsAdded   int `json:"cg_columns_added,omitempty"`
 }
 
 // EpochReport is the wire form of host.EpochReport: what one cell did
@@ -469,6 +479,13 @@ func ReportFromHost(rep *host.EpochReport) EpochReport {
 			BackoffSeconds:  r.BackoffSeconds,
 			TruncatedSolve:  r.TruncatedSolve,
 			WarmSolve:       r.WarmSolve,
+		}
+		if sr := r.Solver; sr != nil {
+			wire.CGIterations = sr.Rounds
+			wire.CGStabRounds = sr.StabRounds
+			wire.CGHeuristicHits = sr.HeuristicHits
+			wire.CGExactFallbacks = sr.ExactFallbacks
+			wire.CGColumnsAdded = sr.ColumnsAdded
 		}
 		if len(r.ShedByClass) > 2 {
 			wire.ShedByClass = append([]float64(nil), r.ShedByClass...)

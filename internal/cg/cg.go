@@ -91,6 +91,14 @@ type PriceResult struct {
 	Nodes      int // search nodes explored (telemetry)
 	Probes     int // feasibility probes consumed (the budget unit)
 	CacheHits  int // probes answered by the probe cache (telemetry)
+
+	// Extras are additional near-optimal schedules pooled by the pricer
+	// during the same search (multi-column pricing, DESIGN.md §17). The
+	// engine re-prices each at the true master duals and admits only the
+	// improving ones; they carry no bound information and Value/Exact
+	// describe Schedule alone. Nil unless the pricer was asked to pool
+	// leaves (MultiColumnPolicy).
+	Extras []*schedule.Schedule
 }
 
 // IterationStat records one column-generation iteration for the

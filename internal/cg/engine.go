@@ -54,6 +54,22 @@ type Options struct {
 	// greedy interference-free relaxation) used to form a final valid
 	// bound when the configured pricer dies on cancellation.
 	Fallback Pricer
+	// Heuristic, when non-nil, is the cheap pricer tried first every
+	// round under HeuristicFirst (typically the greedy builder, possibly
+	// configured to peel a column batch). Nil disables heuristic-first
+	// pricing regardless of the policy.
+	Heuristic Pricer
+	// Stabilize governs dual stabilization (zero value: on with
+	// defaults; see StabilizePolicy).
+	Stabilize StabilizePolicy
+	// MultiColumn governs batch column admission from pricer leaf pools
+	// (zero value: on with defaults). The engine side only reads
+	// PriceResult.Extras; the owning solver wires the pool bound into
+	// its pricers via MultiColumnPolicy.Columns.
+	MultiColumn MultiColumnPolicy
+	// HeuristicFirst governs heuristic-first pricing (zero value: on,
+	// effective only when Heuristic is non-nil).
+	HeuristicFirst HeuristicPolicy
 	// MaxIterations caps column-generation rounds; zero means 500.
 	MaxIterations int
 	// Tolerance on the reduced cost: the engine stops when
@@ -168,6 +184,16 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 	span := tracer.StartSpan(e.model.SpanName())
 	defer span.End()
 
+	sb := newStabilizer(e.opts.Stabilize, st)
+	heur := e.opts.Heuristic
+	if e.opts.HeuristicFirst.Disable {
+		heur = nil
+	}
+	colHist := e.opts.Metrics.Histogram("cg_columns_per_round")
+	keepPace := e.opts.HeuristicFirst.keepPace()
+	lastPhi := 0.0       // last exact round's best reduced cost (≤ 0)
+	exactHalted := false // last exact round hit its budget mid-search
+
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
 		mpSol, err := e.solveMaster()
 		if err != nil {
@@ -176,8 +202,43 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 		lambda := e.model.Duals(mpSol)
 		upper := e.model.Upper(mpSol)
 
-		pr, err := e.price(ctx, lambda)
+		// Stabilization: price at λ̃ = α·center + (1−α)·λ while the
+		// trust region is open; admission, bounds, and convergence below
+		// always work against the true duals λ.
+		priceLam, stabilized := sb.duals(lambda)
+
+		// Heuristic-first: the heuristic column substitutes for a round
+		// of exact pricing only when substitution actually wins. The
+		// exact pricer must be running into its budget (a truncated
+		// argmax is no better than any improving column, while a
+		// completed search delivers far stronger batches than the
+		// greedy ever will), and the heuristic column must be new to
+		// the pool, improve at the true duals, and keep pace with the
+		// exact walk's frontier. Otherwise the exact pricer fires in
+		// the same round.
+		var pr *PriceResult
+		heuristic := false
+		if heur != nil && exactHalted {
+			if hr, herr := heur.Price(e.nw, priceLam); herr == nil && hr.Schedule != nil {
+				phiH := 1 - hr.Schedule.Value(e.nw, lambda)
+				if phiH < -e.opts.Tolerance && phiH <= keepPace*lastPhi &&
+					!st.pool.Contains(hr.Schedule) {
+					pr = hr
+					heuristic = true
+					st.stats.HeuristicHits++
+				}
+			}
+			if !heuristic {
+				st.stats.ExactFallbacks++
+			}
+		}
+		if pr == nil {
+			pr, err = e.price(ctx, priceLam)
+		}
 		st.stats.Rounds++
+		if stabilized {
+			st.stats.StabRounds++
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// The pricer died on cancellation before producing a
@@ -200,8 +261,24 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 		st.stats.CacheMisses += pr.Probes - pr.CacheHits
 		st.stats.PricerNodes += pr.Nodes
 
-		phi := 1 - pr.Value // reduced cost of the best found column
-		lower, hasBound := e.model.Bound(upper, pr)
+		phi := 1 - pr.Value // reduced cost of the best found column (at priceLam)
+		if !heuristic {
+			// The keep-pace bar references the exact walk's frontier: a
+			// self-referential bar would let the greedy coast on its own
+			// decaying progress.
+			lastPhi = phi
+			exactHalted = !pr.Exact && pr.Schedule != nil
+		}
+		// Theorem-1 bounds and convergence may only come from rounds
+		// priced at the true master duals by the exact pricer: a
+		// stabilized Φ is not a valid Φ′ ≤ Φ*, and heuristic columns
+		// prove nothing about the maximal Ψ.
+		pure := !stabilized && !heuristic
+		var lower float64
+		var hasBound bool
+		if pure {
+			lower, hasBound = e.model.Bound(upper, pr)
+		}
 		if hasBound && lower > bestLower {
 			bestLower = lower
 		}
@@ -214,7 +291,7 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 			Phi:        phi,
 			PoolSize:   st.pool.Len(),
 			PricerNode: pr.Nodes,
-			Exact:      pr.Exact,
+			Exact:      pure && pr.Exact,
 		})
 		span.Emit(obs.Event{
 			Name:   "cg.iteration",
@@ -233,24 +310,64 @@ func (e *Engine) Run(ctx context.Context) (*Outcome, error) {
 			return e.finishTruncated(out, mpSol, lambda, bestLower, ctx), nil
 		}
 
-		converged := pr.Exact && phi >= -e.opts.Tolerance
+		converged := pure && pr.Exact && phi >= -e.opts.Tolerance
 		gapMet := e.opts.GapTarget > 0 && upper > 0 &&
 			(upper-bestLower)/upper <= e.opts.GapTarget
-		if converged || gapMet || pr.Schedule == nil || phi >= -e.opts.Tolerance {
+		if converged || gapMet || (pure && (pr.Schedule == nil || phi >= -e.opts.Tolerance)) {
 			out.Sol = mpSol
 			out.LowerBound = bestLower
 			out.Converged = converged
 			out.Duals = lambda
+			sb.recenter(lambda)
 			return out, nil
 		}
 
-		if _, added := st.pool.Add(pr.Schedule); !added {
+		// Admit this round's batch: the pricer's best column plus any
+		// pooled near-optimal leaves, each re-priced at the true duals
+		// (schedule.Pool dedups structurally identical columns).
+		added := 0
+		if pr.Schedule != nil {
+			vTrue := pr.Value
+			if !pure {
+				vTrue = pr.Schedule.Value(e.nw, lambda)
+			}
+			if 1-vTrue < -e.opts.Tolerance {
+				if _, ok := st.pool.Add(pr.Schedule); ok {
+					added++
+				}
+			}
+		}
+		for _, sc := range pr.Extras {
+			if sc == nil || e.opts.MultiColumn.Disable {
+				// An explicitly supplied pricer may pool leaves on its
+				// own; the toggle still controls admission.
+				continue
+			}
+			if 1-sc.Value(e.nw, lambda) < -e.opts.Tolerance {
+				if _, ok := st.pool.Add(sc); ok {
+					added++
+				}
+			}
+		}
+		st.stats.ColumnsAdded += added
+		colHist.Observe(float64(added))
+
+		if added == 0 {
+			if stabilized {
+				// Misprice: no admissible column at the smoothed duals.
+				// Shrink the trust region and re-price; at α = 0 the loop
+				// degenerates to the exact unstabilized walk, so it
+				// always terminates through the pure branches above.
+				sb.misprice()
+				continue
+			}
 			// The pricer returned a column already in the pool with
 			// apparently negative reduced cost: numerical stall. Treat
 			// the current solution as final rather than looping.
 			out.Sol = mpSol
 			out.LowerBound = bestLower
 			out.Duals = lambda
+			sb.recenter(lambda)
 			return out, nil
 		}
 		st.syncBookkeeping()
@@ -361,6 +478,9 @@ func (e *Engine) publishRun(out *Outcome) {
 	}
 	m.Counter("cg_warm_masters_total").Add(int64(out.Stats.WarmMasters))
 	m.Counter("cg_gc_evicted_columns_total").Add(int64(out.Stats.EvictedColumns))
+	m.Counter("cg_stab_rounds_total").Add(int64(out.Stats.StabRounds))
+	m.Counter("cg_heuristic_price_hits_total").Add(int64(out.Stats.HeuristicHits))
+	m.Counter("cg_exact_fallbacks_total").Add(int64(out.Stats.ExactFallbacks))
 	m.Gauge("cg_pool_columns").Set(float64(e.state.pool.Len()))
 	m.Counter("cg_lp_ft_updates_total").Add(int64(out.Stats.LPEtaUpdates))
 	if e.state.lastFill > 0 {

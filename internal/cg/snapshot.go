@@ -34,6 +34,10 @@ type StateSnapshot struct {
 	// LastDuals are the final class-major pricing duals of the previous
 	// run (one vector per traffic class).
 	LastDuals [][]float64
+	// StabCenter is the dual-stabilization center (nil when cold), so a
+	// restarted process stabilizes around the same incumbent duals the
+	// dead one had earned.
+	StabCenter [][]float64
 	// Stats carries the lifetime work counters, so per-run deltas and
 	// published metrics stay continuous across a restore.
 	Stats Stats
@@ -53,6 +57,9 @@ func (st *State) Snapshot() *StateSnapshot {
 	}
 	for _, d := range st.lastDuals {
 		snap.LastDuals = append(snap.LastDuals, append([]float64(nil), d...))
+	}
+	for _, d := range st.stabCenter {
+		snap.StabCenter = append(snap.StabCenter, append([]float64(nil), d...))
 	}
 	for j := range snap.Schedules {
 		snap.Schedules[j] = st.pool.At(j).Clone()
@@ -103,6 +110,9 @@ func RestoreState(snap *StateSnapshot, cacheProbes bool) (*State, error) {
 	st.runs = snap.Runs
 	for _, d := range snap.LastDuals {
 		st.lastDuals = append(st.lastDuals, append([]float64(nil), d...))
+	}
+	for _, d := range snap.StabCenter {
+		st.stabCenter = append(st.stabCenter, append([]float64(nil), d...))
 	}
 	st.stats = snap.Stats
 	return st, nil

@@ -65,6 +65,15 @@ type State struct {
 	// gauge by the engine.
 	lastFill float64
 
+	// stabCenter is the dual-stabilization center (class-major, the
+	// duals of the last round that admitted a column — see DESIGN.md
+	// §17). Like lastDuals it survives demand changes and epochs, and
+	// like every other field it dies with the State when the owner
+	// invalidates on a CSI/topology change, so a stale center can never
+	// leak across network regimes. Nil means cold (first stabilized
+	// round prices pure and seeds it).
+	stabCenter [][]float64
+
 	stats Stats
 }
 
@@ -100,6 +109,9 @@ func (st *State) Runs() int { return st.runs }
 // LastDuals returns the class-major pricing duals of the previous
 // run's final master solve (nil before the first run).
 func (st *State) LastDuals() [][]float64 { return st.lastDuals }
+
+// StabCenter returns the dual-stabilization center (nil when cold).
+func (st *State) StabCenter() [][]float64 { return st.stabCenter }
 
 // syncBookkeeping grows lastBasic to match the pool, stamping new
 // columns with the current run index so freshly priced columns get a

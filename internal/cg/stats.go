@@ -36,6 +36,19 @@ type Stats struct {
 	// EvictedColumns counts pool columns dropped by the garbage
 	// collector.
 	EvictedColumns int
+	// StabRounds counts rounds priced at smoothed (stabilized) duals
+	// rather than the true master duals (DESIGN.md §17).
+	StabRounds int
+	// HeuristicHits counts rounds where the heuristic pricer's column
+	// passed the reduced-cost test and the exact pricer never ran.
+	HeuristicHits int
+	// ExactFallbacks counts rounds where the heuristic pricer ran first
+	// but failed the reduced-cost test, forcing the exact pricer in the
+	// same round.
+	ExactFallbacks int
+	// ColumnsAdded counts columns admitted to the pool by pricing
+	// rounds (≥ Rounds−misprices under multi-column admission).
+	ColumnsAdded int
 }
 
 // delta returns s − prev, the per-solve slice of a lifetime-cumulative
@@ -53,6 +66,10 @@ func (s Stats) delta(prev Stats) Stats {
 		LPEtaUpdates:       s.LPEtaUpdates - prev.LPEtaUpdates,
 		WarmMasters:        s.WarmMasters - prev.WarmMasters,
 		EvictedColumns:     s.EvictedColumns - prev.EvictedColumns,
+		StabRounds:         s.StabRounds - prev.StabRounds,
+		HeuristicHits:      s.HeuristicHits - prev.HeuristicHits,
+		ExactFallbacks:     s.ExactFallbacks - prev.ExactFallbacks,
+		ColumnsAdded:       s.ColumnsAdded - prev.ColumnsAdded,
 	}
 }
 

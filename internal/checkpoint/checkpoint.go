@@ -61,8 +61,11 @@ const (
 	// class-count-aware when the two-class HP/LP pair generalized to N
 	// traffic classes; version-2/-3 images still decode, with their
 	// fixed-width demand pairs and HP/LP dual vectors read back as the
-	// two-class special case.
-	version = 4
+	// two-class special case. Version 5 appended the engine's dual-
+	// stabilization center and the acceleration work counters
+	// (stabilized rounds, heuristic hits, exact fallbacks, columns
+	// added); older images decode with a cold center and zero counters.
+	version = 5
 	// minVersion is the oldest format this build still decodes.
 	minVersion = 2
 	// headerLen is magic + version + fingerprint; trailerLen the CRC.
@@ -479,11 +482,17 @@ func encodeEngine(w *writer, s *cg.StateSnapshot) {
 	for _, d := range s.LastDuals {
 		encodeFloats(w, d)
 	}
+	w.u16(uint16(len(s.StabCenter)))
+	for _, d := range s.StabCenter {
+		encodeFloats(w, d)
+	}
 	for _, v := range []int{
 		s.Stats.Rounds, s.Stats.Probes, s.Stats.MasterSolves,
 		s.Stats.CacheHits, s.Stats.CacheMisses, s.Stats.PricerNodes,
 		s.Stats.LPPivots, s.Stats.LPRefactorizations, s.Stats.LPEtaUpdates,
 		s.Stats.WarmMasters, s.Stats.EvictedColumns,
+		s.Stats.StabRounds, s.Stats.HeuristicHits, s.Stats.ExactFallbacks,
+		s.Stats.ColumnsAdded,
 	} {
 		w.i64(int64(v))
 	}
@@ -523,12 +532,24 @@ func decodeEngine(r *reader) *cg.StateSnapshot {
 			s.LastDuals = [][]float64{hp, lpd}
 		}
 	}
-	for _, p := range []*int{
+	if r.ver >= 5 {
+		nc := int(r.u16())
+		for i := 0; i < nc; i++ {
+			s.StabCenter = append(s.StabCenter, decodeFloats(r))
+		}
+	}
+	ints := []*int{
 		&s.Stats.Rounds, &s.Stats.Probes, &s.Stats.MasterSolves,
 		&s.Stats.CacheHits, &s.Stats.CacheMisses, &s.Stats.PricerNodes,
 		&s.Stats.LPPivots, &s.Stats.LPRefactorizations, &s.Stats.LPEtaUpdates,
 		&s.Stats.WarmMasters, &s.Stats.EvictedColumns,
-	} {
+	}
+	if r.ver >= 5 {
+		ints = append(ints,
+			&s.Stats.StabRounds, &s.Stats.HeuristicHits, &s.Stats.ExactFallbacks,
+			&s.Stats.ColumnsAdded)
+	}
+	for _, p := range ints {
 		*p = int(r.i64())
 	}
 	return s

@@ -150,37 +150,59 @@ func v3Snapshot(t testing.TB) (*Snapshot, []byte) {
 	return s, encodeV3(t, s)
 }
 
+// clearAccelState strips the engine state the pre-v5 formats cannot
+// express: legacy images decode with a cold dual-stabilization center
+// and zero acceleration counters.
+func clearAccelState(s *Snapshot) {
+	e := s.Coord.Solver
+	if e == nil {
+		return
+	}
+	e.StabCenter = nil
+	e.Stats.StabRounds = 0
+	e.Stats.HeuristicHits = 0
+	e.Stats.ExactFallbacks = 0
+	e.Stats.ColumnsAdded = 0
+}
+
 // TestDecodeV3Image: a version-3 image must decode to exactly the
-// snapshot a v4 round trip of the same state produces — the two-class
-// demand pairs and HP/LP dual vectors land in the class-indexed
-// fields unchanged.
+// snapshot a current-format round trip of the same state produces —
+// the two-class demand pairs and HP/LP dual vectors land in the
+// class-indexed fields unchanged — modulo the acceleration state v3
+// never carried (cold center, zero counters).
 func TestDecodeV3Image(t *testing.T) {
 	s, v3 := v3Snapshot(t)
 
-	v4, err := s.Encode()
+	cur, err := s.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Decode(v4)
+	want, err := Decode(cur)
 	if err != nil {
 		t.Fatal(err)
 	}
+	clearAccelState(want)
 	got, err := Decode(v3)
 	if err != nil {
 		t.Fatalf("v3 image rejected: %v", err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("v3 decode differs from v4 round trip:\nv3: %+v\nv4: %+v", got.Coord, want.Coord)
+		t.Fatalf("v3 decode differs from current round trip:\nv3: %+v\ncur: %+v", got.Coord, want.Coord)
 	}
 
 	// Re-encoding the decoded v3 snapshot upgrades it to the current
-	// format: byte-identical to the v4 image of the same state.
+	// format: byte-identical to the canonical image of the same
+	// (acceleration-cold) state.
 	up, err := got.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(up, v4) {
-		t.Fatal("re-encoded v3 snapshot is not the canonical v4 image")
+	canon, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up, canon) {
+		t.Fatal("re-encoded v3 snapshot is not the canonical current-format image")
 	}
 }
 
@@ -203,5 +225,158 @@ func TestDecodeV3EmptyDuals(t *testing.T) {
 	}
 	if got.Coord.Solver != nil && got.Coord.Solver.LastDuals != nil {
 		t.Fatal("empty v3 dual pair decoded to non-nil LastDuals")
+	}
+}
+
+// encodeV4 serializes a snapshot in the version-4 layout:
+// class-count-aware demands and duals, but no stabilization center and
+// only the eleven pre-acceleration work counters. It is the reference
+// writer for the v4 backward-compatibility path (and the fuzz corpus's
+// v4 seed).
+func encodeV4(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	w := &writer{buf: make([]byte, 0, 4096)}
+	w.buf = append(w.buf, magic...)
+	w.u16(4)
+	w.u64(s.Fingerprint)
+	encodeCoordV4(t, w, s.Coord)
+	if s.Injector != nil {
+		w.u8(1)
+		encodeInjector(w, s.InjectorCfg, s.Injector)
+	} else {
+		w.u8(0)
+	}
+	if s.Plan != nil {
+		w.u8(1)
+		encodeSchedules(w, s.Plan.Schedules)
+		encodeFloats(w, s.Plan.Tau)
+		w.f64(s.Plan.Objective)
+		w.i64(s.PlanEpoch)
+	} else {
+		w.u8(0)
+	}
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+func encodeCoordV4(t testing.TB, w *writer, st *pnc.CoordState) {
+	t.Helper()
+	w.i64(st.Epoch)
+	encodeDemands(w, st.Demands)
+	w.u32(uint32(len(st.Seen)))
+	for _, s := range st.Seen {
+		w.boolean(s)
+	}
+	encodeDemands(w, st.LastGood)
+	w.u32(uint32(len(st.LastAge)))
+	for _, a := range st.LastAge {
+		w.i64(int64(a))
+	}
+	w.u32(uint32(len(st.Delayed)))
+	for _, f := range st.Delayed {
+		w.bytes(f)
+	}
+	w.i64(st.Retries)
+	w.i64(st.LostFrames)
+	w.f64(st.BackoffSec)
+	w.i64(st.Control.BitsSent)
+	w.i64(st.Control.MsgsSent)
+	w.f64(st.Control.Airtime)
+	w.f64(st.EpochAirStart)
+	w.i64(st.EpochMsgStart)
+	w.u64(st.SolverFP)
+	if st.Solver == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	encodeEngineV4(w, st.Solver)
+	encodeDemands(w, st.SolverDemands)
+}
+
+func encodeEngineV4(w *writer, s *cg.StateSnapshot) {
+	encodeSchedules(w, s.Schedules)
+	w.i64(int64(s.SeedLen))
+	w.u32(uint32(len(s.WarmBasis)))
+	for _, b := range s.WarmBasis {
+		w.u8(uint8(b.Kind))
+		w.i64(int64(b.Index))
+	}
+	w.u32(uint32(len(s.LastBasic)))
+	for _, v := range s.LastBasic {
+		w.i64(int64(v))
+	}
+	w.i64(int64(s.Runs))
+	w.u16(uint16(len(s.LastDuals)))
+	for _, d := range s.LastDuals {
+		encodeFloats(w, d)
+	}
+	for _, v := range []int{
+		s.Stats.Rounds, s.Stats.Probes, s.Stats.MasterSolves,
+		s.Stats.CacheHits, s.Stats.CacheMisses, s.Stats.PricerNodes,
+		s.Stats.LPPivots, s.Stats.LPRefactorizations, s.Stats.LPEtaUpdates,
+		s.Stats.WarmMasters, s.Stats.EvictedColumns,
+	} {
+		w.i64(int64(v))
+	}
+}
+
+// v4Snapshot builds a realistic snapshot (with solver state, injector,
+// and last-known-good plan) plus its v4 image.
+func v4Snapshot(t testing.TB) (*Snapshot, []byte) {
+	t.Helper()
+	nw := testNetwork(t, 41, 4, 2)
+	coord, err := pnc.NewCoordinator(nw, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll(t, coord, 4, video.TwoClass(3e6, 5e6))
+	res, err := coord.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Config{CtrlLoss: 0.1, CellPanic: 0.05, Seed: 11}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Capture(coord, inj)
+	s.Plan = &res.Plan
+	s.PlanEpoch = 1
+	return s, encodeV4(t, s)
+}
+
+// TestDecodeV4Image: a version-4 image must decode to exactly the
+// snapshot a current-format round trip produces, modulo the
+// acceleration state v4 never carried, and re-encode canonically.
+func TestDecodeV4Image(t *testing.T) {
+	s, v4 := v4Snapshot(t)
+
+	cur, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearAccelState(want)
+	got, err := Decode(v4)
+	if err != nil {
+		t.Fatalf("v4 image rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v4 decode differs from current round trip:\nv4: %+v\ncur: %+v", got.Coord, want.Coord)
+	}
+
+	up, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(up, canon) {
+		t.Fatal("re-encoded v4 snapshot is not the canonical current-format image")
 	}
 }

@@ -37,10 +37,13 @@ func FuzzSnapshotDecode(f *testing.F) {
 	if seed, err := Capture(coord, nil).Encode(); err == nil {
 		f.Add(seed)
 	}
-	// A legacy version-3 image (fixed HP/LP demand pairs, two dual
-	// vectors) seeds the backward-compatibility decode path.
+	// Legacy images seed the backward-compatibility decode paths: a
+	// version-3 one (fixed HP/LP demand pairs, two dual vectors) and a
+	// version-4 one (class-aware, but no stabilization center).
 	_, v3 := v3Snapshot(f)
 	f.Add(v3)
+	_, v4 := v4Snapshot(f)
+	f.Add(v4)
 	f.Add([]byte("MWCK"))
 	f.Add([]byte{})
 

@@ -182,6 +182,27 @@ type Options struct {
 	// branch-and-bound pricer constructed when Pricer is nil (0 means
 	// sequential). Explicit pricers carry their own parallelism.
 	PricerWorkers int
+	// Stabilization governs dual stabilization in the engine loop
+	// (DESIGN.md §17): pricing runs at smoothed duals inside a
+	// shrinking trust region, with exactness restored by the final
+	// unstabilized rounds. The zero value enables it with defaults; set
+	// Disable to reproduce the historical unstabilized walk.
+	Stabilization cg.StabilizePolicy
+	// MultiColumn governs multi-column pricing: the pricers pool their
+	// near-optimal leaves and the engine admits every batch member that
+	// improves at the true duals. The zero value enables it with a
+	// bounded default pool; Disable returns to one column per round.
+	// The policy configures the default branch-and-bound pricer (and
+	// the heuristic's peeling width); an explicit Pricer controls its
+	// own leaf pool (BranchBoundPricer.PoolLeaves, MILPPricer.PoolLeaves).
+	MultiColumn cg.MultiColumnPolicy
+	// HeuristicPricing governs heuristic-first pricing: the greedy
+	// builder prices every round first and the exact pricer fires only
+	// when the greedy column fails the reduced-cost test at the true
+	// duals. The zero value enables it; it is automatically off when
+	// the configured pricer is itself the greedy heuristic or uses
+	// fixed-power column semantics the greedy builder would violate.
+	HeuristicPricing cg.HeuristicPolicy
 	// Classes describes the network's traffic classes (names, weights,
 	// SLA floors). Nil means unit-weight classes with no floors — for a
 	// two-class network, exactly the paper's HP/LP model. When set, the
@@ -206,17 +227,43 @@ type Options struct {
 // anytime bound.
 func (o Options) engineOptions(prefix string) cg.Options {
 	return cg.Options{
-		Pricer:        o.Pricer,
-		Fallback:      GreedyPricer{},
-		MaxIterations: o.MaxIterations,
-		Tolerance:     o.Tolerance,
-		GapTarget:     o.GapTarget,
-		GC:            o.ColumnGC,
-		LPOpts:        o.LPOpts,
-		Tracer:        o.Tracer,
-		Metrics:       o.Metrics,
-		MetricsPrefix: prefix,
+		Pricer:         o.Pricer,
+		Fallback:       GreedyPricer{},
+		Heuristic:      o.heuristicPricer(),
+		Stabilize:      o.Stabilization,
+		MultiColumn:    o.MultiColumn,
+		HeuristicFirst: o.HeuristicPricing,
+		MaxIterations:  o.MaxIterations,
+		Tolerance:      o.Tolerance,
+		GapTarget:      o.GapTarget,
+		GC:             o.ColumnGC,
+		LPOpts:         o.LPOpts,
+		Tracer:         o.Tracer,
+		Metrics:        o.Metrics,
+		MetricsPrefix:  prefix,
 	}
+}
+
+// heuristicPricer picks the heuristic-first pricer for the engine: the
+// greedy builder, peeling a column batch when multi-column admission is
+// on. It returns nil — disabling heuristic-first pricing — when the
+// policy says so, when the main pricer is already the greedy heuristic
+// (running it twice per round buys nothing), or when the main pricer
+// prices fixed-power columns (the greedy builder adapts powers, and the
+// fixed-power ablation's master pool must stay PMax-only).
+func (o Options) heuristicPricer() cg.Pricer {
+	if o.HeuristicPricing.Disable {
+		return nil
+	}
+	switch p := o.Pricer.(type) {
+	case *BranchBoundPricer:
+		if p.FixedPower {
+			return nil
+		}
+	case GreedyPricer:
+		return nil
+	}
+	return GreedyPricer{PoolColumns: o.MultiColumn.Columns()}
 }
 
 // Solver runs column generation on one network instance, holding the
@@ -277,6 +324,7 @@ func NewSolver(nw *netmodel.Network, demands []video.Demand, opts Options) (*Sol
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
 		p.Parallel = opts.PricerWorkers
+		p.PoolLeaves = opts.MultiColumn.Columns()
 		opts.Pricer = p
 	}
 
@@ -324,6 +372,7 @@ func NewSolverFromSnapshot(nw *netmodel.Network, demands []video.Demand, opts Op
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
 		p.Parallel = opts.PricerWorkers
+		p.PoolLeaves = opts.MultiColumn.Columns()
 		opts.Pricer = p
 	}
 	state, err := cg.RestoreState(snap, opts.CacheProbes)

@@ -54,6 +54,16 @@ type BranchBoundPricer struct {
 	// reference.
 	Parallel int
 
+	// PoolLeaves, when > 0, pools up to this many improving complete
+	// DFS leaves (pricing value > 1, i.e. negative reduced cost) and
+	// returns them in PriceResult.Extras for multi-column admission.
+	// Collection is passive — pruning and the returned argmax are
+	// untouched — and serial-only: under Parallel > 1 the shared
+	// incumbent makes the set of *reached* leaves timing-dependent, so
+	// pooling is skipped there to keep parallel pricing's result
+	// reproducible.
+	PoolLeaves int
+
 	// referenceProbes (test-only) answers every feasibility probe with
 	// the full pivoted solve instead of the incremental bordered-LU
 	// probe solver, for fast-vs-reference equivalence tests.
@@ -161,6 +171,16 @@ type pricerState struct {
 
 	bestVal    float64
 	bestAssign []assignChoice
+
+	// Leaf pool (multi-column pricing): the top poolLeaves improving,
+	// activation-diverse
+	// complete assignments seen by the DFS, value-keyed, buffers
+	// recycled across calls. poolLeaves is 0 unless the owning pricer
+	// enables pooling for this (serial) search.
+	poolLeaves  int
+	leafVals    []float64
+	leafSigs    []uint64
+	leafAssigns [][]assignChoice
 
 	nodes      int // dfs nodes (telemetry)
 	probes     int // this worker's feasibility probes (telemetry)
@@ -343,6 +363,7 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 
 	var bestVal float64
 	var bestAssign []assignChoice
+	var extras []*schedule.Schedule
 	var nodes, cacheHits int
 	halted := false
 
@@ -350,10 +371,12 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 		bestVal, bestAssign, nodes, cacheHits, halted = p.searchParallel(ctl, nw, cands, suffix, sibling, cache, seedVal, seedAssign)
 	} else {
 		st := p.getState(ctl, nw, cands, suffix, sibling, cache)
+		st.poolLeaves = p.PoolLeaves
 		st.bestVal, st.bestAssign = seedVal, seedAssign
 		st.dfs(0, 0)
 		bestVal, bestAssign = st.bestVal, st.bestAssign
 		nodes, cacheHits, halted = st.nodes, st.cacheHits, st.halted
+		extras = st.buildLeafPool(nw, cands, bestAssign, p.FixedPower)
 		p.putState(st)
 	}
 
@@ -371,6 +394,7 @@ func (p *BranchBoundPricer) price(done <-chan struct{}, nw *netmodel.Network, la
 	if !halted {
 		res.RelaxValue = bestVal
 	}
+	res.Extras = extras
 	if bestVal > 0 && bestAssign != nil {
 		sched, err := buildSchedule(nw, cands, bestAssign, p.FixedPower)
 		if err != nil {
@@ -400,6 +424,10 @@ func (p *BranchBoundPricer) getState(ctl *searchCtl, nw *netmodel.Network, cands
 	st.bestVal, st.bestAssign = 0, nil
 	st.nodes, st.probes, st.cacheHits, st.lastPoll = 0, 0, 0, 0
 	st.halted = false
+	st.poolLeaves = 0
+	st.leafVals = st.leafVals[:0]
+	st.leafSigs = st.leafSigs[:0]
+	st.leafAssigns = st.leafAssigns[:0]
 
 	if st.nw != nw || len(st.chActive) < nw.NumChannels {
 		st.nw = nw
@@ -622,6 +650,7 @@ func (st *pricerState) dfs(i int, value float64) {
 	}
 	st.ctl.offer(value)
 	if i >= len(st.cands) {
+		st.recordLeaf(value)
 		return
 	}
 	// Prune against max(incumbent, 1): schedules with pricing value
@@ -693,6 +722,106 @@ func (st *pricerState) dfs(i int, value float64) {
 
 	// Idle branch.
 	st.dfs(i+1, value)
+}
+
+// recordLeaf pools a complete improving assignment (Ψ > 1) into the
+// bounded leaf pool. The pool is activation-diverse: it keeps at most
+// one leaf — the best-valued one — per distinct set of active
+// candidates, because the DFS visits long runs of siblings that differ
+// only in channel or power level, and a batch of such near-duplicates
+// teaches the master almost nothing (and breeds the numerically
+// near-parallel columns the LP then has to sort out). When full, the
+// weakest entry is replaced only by a strictly better value, so among
+// equal values the first (DFS-order) leaf wins and serial collection
+// is deterministic.
+func (st *pricerState) recordLeaf(value float64) {
+	if st.poolLeaves <= 0 || value <= 1+1e-12 {
+		return
+	}
+	sig := activationSig(st.assign)
+	for i, sg := range st.leafSigs {
+		if sg == sig {
+			if value > st.leafVals[i] {
+				st.leafVals[i] = value
+				st.leafAssigns[i] = append(st.leafAssigns[i][:0], st.assign...)
+			}
+			return
+		}
+	}
+	if len(st.leafVals) >= st.poolLeaves {
+		mi := 0
+		for i, v := range st.leafVals {
+			if v < st.leafVals[mi] {
+				mi = i
+			}
+		}
+		if value <= st.leafVals[mi] {
+			return
+		}
+		st.leafVals[mi] = value
+		st.leafSigs[mi] = sig
+		st.leafAssigns[mi] = append(st.leafAssigns[mi][:0], st.assign...)
+		return
+	}
+	st.leafVals = append(st.leafVals, value)
+	st.leafSigs = append(st.leafSigs, sig)
+	st.leafAssigns = append(st.leafAssigns, append([]assignChoice(nil), st.assign...))
+}
+
+// activationSig hashes which candidates are active (FNV-1a over the
+// active indices), ignoring channels and power levels: assignments
+// with the same active set are one diversity class.
+func activationSig(assign []assignChoice) uint64 {
+	h := uint64(14695981039346656037)
+	for i := range assign {
+		if assign[i].channel < 0 {
+			continue
+		}
+		h ^= uint64(i) + 1
+		h *= 1099511628211
+	}
+	return h
+}
+
+// buildLeafPool converts the pooled leaves into schedules, best value
+// first (ties in discovery order), skipping the argmax assignment the
+// caller already returns. Leaves that fail the power refit (cannot
+// happen for DFS-verified patterns; defensive) are dropped.
+func (st *pricerState) buildLeafPool(nw *netmodel.Network, cands []candidate, bestAssign []assignChoice, fixedPower bool) []*schedule.Schedule {
+	if len(st.leafVals) == 0 {
+		return nil
+	}
+	order := make([]int, len(st.leafVals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return st.leafVals[order[a]] > st.leafVals[order[b]] })
+	var out []*schedule.Schedule
+	for _, idx := range order {
+		assign := st.leafAssigns[idx]
+		if sameAssignment(assign, bestAssign) {
+			continue
+		}
+		sched, err := buildSchedule(nw, cands, assign, fixedPower)
+		if err != nil || sched == nil {
+			continue
+		}
+		out = append(out, sched)
+	}
+	return out
+}
+
+// sameAssignment reports elementwise equality of two full assignments.
+func sameAssignment(a, b []assignChoice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // channelTaken reports whether any sibling candidate already occupies
@@ -882,8 +1011,17 @@ var greedyProbePool sync.Pool
 // candidates in descending contribution order at the highest feasible
 // level on their best feasible channel. It never proves optimality
 // (Exact is false unless nothing is activatable) and serves as a
-// baseline for pricing-ablation experiments.
-type GreedyPricer struct{}
+// baseline for pricing-ablation experiments, as the branch-and-bound
+// incumbent seed, and as the engine's heuristic-first pricer.
+type GreedyPricer struct {
+	// PoolColumns, when > 1, peels up to PoolColumns−1 additional
+	// columns into PriceResult.Extras: each peel re-runs the greedy
+	// pass excluding every link activated by the previous column, so
+	// one heuristic round can cover disjoint slices of the network.
+	// Zero (the historical zero value) returns only the single best
+	// column.
+	PoolColumns int
+}
 
 var _ Pricer = GreedyPricer{}
 
@@ -891,7 +1029,7 @@ var _ Pricer = GreedyPricer{}
 func (GreedyPricer) String() string { return "greedy" }
 
 // Price implements Pricer.
-func (GreedyPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
+func (g GreedyPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResult, error) {
 	L := nw.NumLinks()
 	if err := checkDuals(nw, lambda); err != nil {
 		return nil, err
@@ -930,12 +1068,6 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResul
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].best > items[j].best })
 
-	var accLinks, accChans, accLevels []int
-	var accGammas []float64
-	var layers []schedule.Layer
-	usedNode := make(map[int]bool)
-	var value float64
-
 	// The accepted set grows one link at a time, so the incremental
 	// probe solver answers each candidate placement in O(m²) without
 	// assembling (or allocating) the pattern.
@@ -947,55 +1079,93 @@ func (GreedyPricer) Price(nw *netmodel.Network, lambda [][]float64) (*PriceResul
 	}
 	defer greedyProbePool.Put(probe)
 
-	for _, it := range items {
-		lk := nw.Links[it.link]
-		if usedNode[lk.TXNode] || usedNode[lk.RXNode] {
-			continue
-		}
-		bestK, bestQ := -1, -1
-		for k := 0; k < nw.NumChannels; k++ {
-			solo := nw.Rates.BestLevel(nw.Gains.Direct[it.link][k] * nw.PMax / nw.Noise[it.link])
-			for q := solo; q >= 0; q-- {
-				if bestQ >= q {
-					break // cannot beat the incumbent channel choice
-				}
-				if probe.Probe(it.link, k, nw.Rates.Gammas[q]) {
-					bestK, bestQ = k, q
-					break
+	// runPass is one greedy build over the items, skipping excluded
+	// links; peeling re-runs it with the previous columns' links
+	// excluded to batch disjoint columns into Extras.
+	runPass := func(excluded map[int]bool) (*schedule.Schedule, float64, error) {
+		var accLinks, accChans, accLevels []int
+		var accGammas []float64
+		var layers []schedule.Layer
+		usedNode := make(map[int]bool)
+		var value float64
+		for _, it := range items {
+			if excluded != nil && excluded[it.link] {
+				continue
+			}
+			lk := nw.Links[it.link]
+			if usedNode[lk.TXNode] || usedNode[lk.RXNode] {
+				continue
+			}
+			bestK, bestQ := -1, -1
+			for k := 0; k < nw.NumChannels; k++ {
+				solo := nw.Rates.BestLevel(nw.Gains.Direct[it.link][k] * nw.PMax / nw.Noise[it.link])
+				for q := solo; q >= 0; q-- {
+					if bestQ >= q {
+						break // cannot beat the incumbent channel choice
+					}
+					if probe.Probe(it.link, k, nw.Rates.Gammas[q]) {
+						bestK, bestQ = k, q
+						break
+					}
 				}
 			}
+			if bestK < 0 {
+				continue
+			}
+			probe.PushCommitted(it.link, bestK, nw.Rates.Gammas[bestQ])
+			accLinks = append(accLinks, it.link)
+			accChans = append(accChans, bestK)
+			accLevels = append(accLevels, bestQ)
+			accGammas = append(accGammas, nw.Rates.Gammas[bestQ])
+			layers = append(layers, it.layer)
+			usedNode[lk.TXNode] = true
+			usedNode[lk.RXNode] = true
+			value += it.lam * nw.Rates.Rates[bestQ]
 		}
-		if bestK < 0 {
-			continue
+		if len(accLinks) == 0 {
+			return nil, 0, nil
 		}
-		probe.PushCommitted(it.link, bestK, nw.Rates.Gammas[bestQ])
-		accLinks = append(accLinks, it.link)
-		accChans = append(accChans, bestK)
-		accLevels = append(accLevels, bestQ)
-		accGammas = append(accGammas, nw.Rates.Gammas[bestQ])
-		layers = append(layers, it.layer)
-		usedNode[lk.TXNode] = true
-		usedNode[lk.RXNode] = true
-		value += it.lam * nw.Rates.Rates[bestQ]
+		powers, ok := nw.MinPowersAssigned(accLinks, accChans, accGammas)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: internal: greedy activation set infeasible")
+		}
+		var out schedule.Schedule
+		for i, l := range accLinks {
+			out.Assignments = append(out.Assignments, schedule.Assignment{
+				Link:    l,
+				Channel: accChans[i],
+				Level:   accLevels[i],
+				Layer:   layers[i],
+				Power:   powers[i],
+			})
+		}
+		out.Normalize()
+		return &out, value, nil
 	}
 
-	if len(accLinks) == 0 {
+	sched, value, err := runPass(nil)
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
 		return &PriceResult{Value: 0, Exact: len(items) == 0, RelaxValue: relax}, nil
 	}
-	powers, ok := nw.MinPowersAssigned(accLinks, accChans, accGammas)
-	if !ok {
-		return nil, fmt.Errorf("core: internal: greedy activation set infeasible")
+	res := &PriceResult{Schedule: sched, Value: value, Exact: false, RelaxValue: relax}
+	if g.PoolColumns > 1 {
+		excluded := make(map[int]bool, len(sched.Assignments))
+		last := sched
+		for peel := 1; peel < g.PoolColumns; peel++ {
+			for _, a := range last.Assignments {
+				excluded[a.Link] = true
+			}
+			probe.Reset()
+			sc, v, perr := runPass(excluded)
+			if perr != nil || sc == nil || v <= 1+1e-9 {
+				break
+			}
+			res.Extras = append(res.Extras, sc)
+			last = sc
+		}
 	}
-	var out schedule.Schedule
-	for i, l := range accLinks {
-		out.Assignments = append(out.Assignments, schedule.Assignment{
-			Link:    l,
-			Channel: accChans[i],
-			Level:   accLevels[i],
-			Layer:   layers[i],
-			Power:   powers[i],
-		})
-	}
-	out.Normalize()
-	return &PriceResult{Schedule: &out, Value: value, Exact: false, RelaxValue: relax}, nil
+	return res, nil
 }

@@ -113,6 +113,7 @@ func NewQualitySolver(nw *netmodel.Network, demands []video.Demand, budgetSecond
 	if opts.Pricer == nil {
 		p := NewBranchBoundPricer(0)
 		p.Parallel = opts.PricerWorkers
+		p.PoolLeaves = opts.MultiColumn.Columns()
 		opts.Pricer = p
 	}
 	s := &QualitySolver{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -129,7 +130,11 @@ func TestWorkerCountDefaults(t *testing.T) {
 // TestParallelPricerMatchesSerial solves the same instances with the
 // serial exact pricer and the root-split parallel pricer: the plan
 // value and convergence flag must agree (the parallel search shares
-// one probe budget and prunes against the same incumbent bound).
+// one probe budget and prunes against the same incumbent bound). Leaf
+// pooling is serial-only, so the two runs admit different — equally
+// optimal — column batches and may converge through different LP
+// vertices; values are compared to 1e-9 relative, the repo-wide
+// value-equality bar, rather than bit-for-bit.
 func TestParallelPricerMatchesSerial(t *testing.T) {
 	cfg := parallelConfig()
 	for rep := 0; rep < 3; rep++ {
@@ -143,7 +148,7 @@ func TestParallelPricerMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parallel rep %d: %v", rep, err)
 		}
-		if s, p := serial.Solver.Plan.Objective, par.Solver.Plan.Objective; s != p {
+		if s, p := serial.Solver.Plan.Objective, par.Solver.Plan.Objective; math.Abs(s-p) > 1e-9*math.Abs(s) {
 			t.Errorf("rep %d: objective %g (serial) vs %g (pricer-workers=4)", rep, s, p)
 		}
 		if serial.Solver.Converged != par.Solver.Converged {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mmwave/internal/baseline"
+	"mmwave/internal/cg"
 	"mmwave/internal/core"
 	"mmwave/internal/sim"
 	"mmwave/internal/stats"
@@ -99,6 +100,7 @@ func (c Config) pricer() core.Pricer {
 	p := core.NewBranchBoundPricer(c.PricerBudget)
 	p.FixedPower = c.FixedPower
 	p.Parallel = c.PricerWorkers
+	p.PoolLeaves = cg.MultiColumnPolicy{}.Columns()
 	return p
 }
 

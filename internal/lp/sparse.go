@@ -58,6 +58,11 @@ type spx struct {
 	vstat  []vstatus // per column
 	xB     []float64 // basic values, slot-indexed
 	barred []bool
+	// noisy marks columns set aside for one pricing round because
+	// their computed reduced cost sits inside its own roundoff band
+	// (see scoreNoise); noisyList records them for cheap clearing.
+	noisy     []bool
+	noisyList []int
 
 	lu      luFactor
 	luSpare luFactor // factorize target; swapped in only on success
@@ -261,6 +266,8 @@ func (s *spx) fill(p *Problem, tol float64) {
 		s.slotOf[j] = r
 	}
 	s.barred = growB(s.barred, n)
+	s.noisy = growB(s.noisy, n)
+	s.noisyList = s.noisyList[:0]
 	s.xB = growF(s.xB, m)
 
 	s.yBuf = growF(s.yBuf, m)
@@ -477,6 +484,28 @@ func (s *spx) objective(c []float64) float64 {
 	return v
 }
 
+// scoreNoise bounds the floating-point cancellation error of a
+// computed reduced cost c[j] − y·a_j: a small multiple of machine
+// epsilon times the absolute-value sum of the terms. A score inside
+// this band carries no sign information — pivoting on it lets two
+// numerically near-duplicate columns swap in and out of the basis
+// forever, each "improving" on the other by roundoff (observed on
+// quality-mode masters, whose objective sits around 1e8: both twins
+// price at −3e−8 with term magnitudes near 4e8 no matter which one is
+// basic, a nondegenerate cycle Bland's rule cannot break).
+func (s *spx) scoreNoise(c, y []float64, j int) float64 {
+	const relEps = 1e-13 // a few hundred ulps: generous for these row counts
+	a := math.Abs(c[j])
+	if j < s.nStruct {
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			a += math.Abs(y[s.rowIdx[k]] * s.colVal[k])
+		}
+	} else {
+		a += math.Abs(y[s.auxRow[j-s.nStruct]] * s.auxVal[j-s.nStruct])
+	}
+	return relEps * a
+}
+
 // run performs primal simplex pivots under costs c until optimality,
 // unboundedness, or the iteration budget runs out — the bounded
 // generalization of the dense loop with identical pricing, tolerances,
@@ -499,26 +528,46 @@ func (s *spx) run(c []float64, maxIter int, phase1 bool) (Status, int) {
 
 		// Pricing: a variable at lower improves by increasing (rc < 0),
 		// one at upper by decreasing (rc > 0); the Dantzig score folds
-		// both into "most negative wins".
+		// both into "most negative wins". A winner whose score sits
+		// inside its own roundoff band (scoreNoise) is set aside for
+		// this round and the scan repeats — almost always zero extra
+		// scans, and only near optimality on badly scaled objectives.
 		enter := -1
-		best := -s.tol
-		for j := 0; j < s.n; j++ {
-			if s.vstat[j] == vBasic || s.barred[j] {
-				continue
-			}
-			score := c[j] - s.colDot(y, j)
-			if s.vstat[j] == nbUpper {
-				score = -score
-			}
-			if useBland {
-				if score < -s.tol {
-					enter = j
-					break
+		for {
+			enter = -1
+			best := -s.tol
+			chosen := 0.0
+			for j := 0; j < s.n; j++ {
+				if s.vstat[j] == vBasic || s.barred[j] || s.noisy[j] {
+					continue
 				}
-			} else if score < best {
-				best = score
-				enter = j
+				score := c[j] - s.colDot(y, j)
+				if s.vstat[j] == nbUpper {
+					score = -score
+				}
+				if useBland {
+					if score < -s.tol {
+						enter = j
+						chosen = score
+						break
+					}
+				} else if score < best {
+					best = score
+					chosen = score
+					enter = j
+				}
 			}
+			if enter < 0 || -chosen > s.scoreNoise(c, y, enter) {
+				break
+			}
+			s.noisy[enter] = true
+			s.noisyList = append(s.noisyList, enter)
+		}
+		if len(s.noisyList) > 0 {
+			for _, j := range s.noisyList {
+				s.noisy[j] = false
+			}
+			s.noisyList = s.noisyList[:0]
 		}
 		if enter < 0 {
 			return StatusOptimal, iters

@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"mmwave/internal/lp"
 )
@@ -124,6 +125,18 @@ type Solution struct {
 	// HasIncumbent reports whether X/Objective hold a feasible integral
 	// point (always true for StatusOptimal).
 	HasIncumbent bool
+	// Pool holds the near-optimal integral leaves collected during the
+	// search when Options.PoolLeaves > 0 (multi-column pricing): every
+	// distinct integral point encountered whose objective lies within
+	// the pool gap of the final incumbent, best (lowest objective)
+	// first, the incumbent included. Empty when pooling is off.
+	Pool []PoolEntry
+}
+
+// PoolEntry is one pooled integral leaf.
+type PoolEntry struct {
+	X         []float64
+	Objective float64
 }
 
 // Options tunes the branch and bound.
@@ -145,6 +158,17 @@ type Options struct {
 	// cross-iteration reuse pattern); node relaxations always warm-start
 	// from their parent's basis.
 	LPOpts lp.Options
+
+	// PoolLeaves, when > 0, collects up to this many near-optimal
+	// integral leaves into Solution.Pool. Pruning then keeps a PoolGap
+	// slack *above* the incumbent so near-optimal integral points
+	// survive to integrality testing — the search explores more nodes
+	// than a pure optimality proof, trading pricer work for master
+	// columns. Zero leaves the historical search untouched.
+	PoolLeaves int
+	// PoolGap is the relative objective slack defining "near-optimal"
+	// for the leaf pool; zero means 0.2.
+	PoolGap float64
 
 	// legacySolve forces the historical per-node clone-and-rebuild cold
 	// relaxation path. Test-only: it is the reference the warm path's
@@ -323,6 +347,10 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 	if gap <= 0 {
 		gap = 1e-9
 	}
+	poolGap := opt.PoolGap
+	if poolGap <= 0 {
+		poolGap = 0.2
+	}
 
 	var work *workState
 	if !opt.legacySolve {
@@ -334,6 +362,50 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 
 	sol := &Solution{Status: StatusInfeasible, Bound: math.Inf(-1)}
 	incumbent := math.Inf(1)
+
+	// Leaf pooling (multi-column pricing): pruning keeps poolSlack of
+	// headroom above the incumbent so near-optimal integral leaves are
+	// reached instead of cut; every integral point seen is recorded and
+	// the final filter keeps the best PoolLeaves within the slack.
+	poolSlack := func() float64 {
+		if opt.PoolLeaves <= 0 {
+			return -gapAbs(incumbent, gap)
+		}
+		return gapAbs(incumbent, poolGap)
+	}
+	var pool []PoolEntry
+	recordLeaf := func(obj float64, x []float64) {
+		if opt.PoolLeaves <= 0 {
+			return
+		}
+		pool = append(pool, PoolEntry{X: roundIntegral(p, x), Objective: obj})
+		if len(pool) > 4*opt.PoolLeaves {
+			sort.SliceStable(pool, func(i, j int) bool { return pool[i].Objective < pool[j].Objective })
+			pool = pool[:2*opt.PoolLeaves]
+		}
+	}
+	finalizePool := func() {
+		if opt.PoolLeaves <= 0 || len(pool) == 0 {
+			return
+		}
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].Objective < pool[j].Objective })
+		limit := incumbent + poolSlack()
+		for _, e := range pool {
+			if e.Objective > limit || len(sol.Pool) >= opt.PoolLeaves {
+				break
+			}
+			dup := false
+			for _, k := range sol.Pool {
+				if sameVector(k.X, e.X) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sol.Pool = append(sol.Pool, e)
+			}
+		}
+	}
 
 	// Node freelist: expanded and pruned nodes are recycled instead of
 	// churning the allocator (bound maps are retained and cleared).
@@ -408,6 +480,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		if nodes > maxNodes {
 			sol.Status = StatusNodeLimit
 			sol.Nodes = nodes
+			finalizePool()
 			return sol, nil
 		}
 		if opt.Cancel != nil {
@@ -415,6 +488,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 			case <-opt.Cancel:
 				sol.Status = StatusCanceled
 				sol.Nodes = nodes
+				finalizePool()
 				return sol, nil
 			default:
 			}
@@ -422,9 +496,9 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		// Best-first: the head's bound is the global lower bound.
 		sol.Bound = math.Max(sol.Bound, math.Min(nd.bound, incumbent))
 
-		if nd.bound >= incumbent-gapAbs(incumbent, gap) {
+		if nd.bound >= incumbent+poolSlack() {
 			freeNode(nd)
-			continue // cannot beat the incumbent
+			continue // cannot beat the incumbent (or enter the leaf pool)
 		}
 
 		rel := nd.rel
@@ -439,21 +513,24 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 			freeNode(nd)
 			continue // infeasible branch (unbounded cannot appear below a bounded root)
 		}
-		if rel.Objective >= incumbent-gapAbs(incumbent, gap) {
+		if rel.Objective >= incumbent+poolSlack() {
 			freeNode(nd)
 			continue
 		}
 
 		branchVar := mostFractional(p, rel.X, intTol)
 		if branchVar < 0 {
-			// Integral: new incumbent.
+			// Integral: pool the leaf, and take it as the new incumbent
+			// when it improves. Root fixing keeps the pool slack so it
+			// never removes a leaf the pool would have accepted.
+			recordLeaf(rel.Objective, rel.X)
 			if rel.Objective < incumbent {
 				incumbent = rel.Objective
 				sol.X = roundIntegral(p, rel.X)
 				sol.Objective = rel.Objective
 				sol.HasIncumbent = true
 				if work != nil && !opt.noRootFixing {
-					sol.FixedVars += work.fixBinaries(rootLP, incumbent)
+					sol.FixedVars += work.fixBinaries(rootLP, incumbent+math.Max(0, poolSlack()))
 				}
 			}
 			freeNode(nd)
@@ -474,7 +551,7 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 				freeNode(child)
 				continue
 			}
-			if childRel.Objective >= incumbent-gapAbs(incumbent, gap) {
+			if childRel.Objective >= incumbent+poolSlack() {
 				freeNode(child)
 				continue
 			}
@@ -490,7 +567,22 @@ func SolveWith(p *Problem, opt Options) (*Solution, error) {
 		sol.Status = StatusOptimal
 		sol.Bound = sol.Objective
 	}
+	finalizePool()
 	return sol, nil
+}
+
+// sameVector reports exact elementwise equality (pooled leaves are
+// rounded integral points, so exact comparison is the dedup we want).
+func sameVector(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // gapAbs converts a relative gap into an absolute slack around the

@@ -437,6 +437,13 @@ func TestReportsAndStream(t *testing.T) {
 	if len(reps) != epochs {
 		t.Fatalf("retained %d reports, want %d", len(reps), epochs)
 	}
+	// The first epoch runs a cold P1 solve, so its report must surface
+	// the column-generation telemetry over the wire.
+	if r := reps[0].Result; r == nil {
+		t.Fatal("epoch 0 report carries no result")
+	} else if r.CGIterations == 0 || r.CGColumnsAdded == 0 {
+		t.Fatalf("epoch 0 report missing CG telemetry: %+v", r)
+	}
 	reps, err = client.Reports(ctx, st.Cell, 1)
 	if err != nil {
 		t.Fatal(err)
